@@ -1,0 +1,152 @@
+// Factor-graph inference cost — what bounds the online detector's latency.
+// Sweeps chain length for full sum-product BP vs the streaming forward
+// filter (the deployed implementation), benches per-event filter cost, and
+// an exact-vs-loopy comparison on small graphs.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "fg/model.hpp"
+#include "incidents/generator.hpp"
+
+namespace {
+
+using namespace at;
+
+const fg::ModelParams& params() {
+  static const fg::ModelParams p = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.02;
+    return fg::learn_params(incidents::CorpusGenerator(config).generate());
+  }();
+  return p;
+}
+
+std::vector<alerts::AlertType> random_sequence(std::size_t length) {
+  util::Rng rng(42);
+  std::vector<alerts::AlertType> out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<alerts::AlertType>(
+        rng.uniform_int(0, static_cast<std::int64_t>(alerts::kNumAlertTypes) - 1)));
+  }
+  return out;
+}
+
+void BM_Fg_ChainBpByLength(benchmark::State& state) {
+  const auto sequence = random_sequence(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto posterior = fg::chain_posterior_last(params(), sequence);
+    benchmark::DoNotOptimize(posterior.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sequence.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Fg_ChainBpByLength)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fg_ForwardFilterByLength(benchmark::State& state) {
+  // The streaming implementation of the same posterior: O(S^2) per event
+  // rather than O(n) message rounds per update.
+  const auto sequence = random_sequence(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    fg::ForwardFilter filter(params());
+    for (const auto type : sequence) filter.observe(type);
+    benchmark::DoNotOptimize(filter.posterior().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sequence.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Fg_ForwardFilterByLength)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fg_ForwardFilterPerEvent(benchmark::State& state) {
+  // Steady-state per-alert cost of the online detector.
+  fg::ForwardFilter filter(params());
+  util::Rng rng(7);
+  for (auto _ : state) {
+    filter.observe(static_cast<alerts::AlertType>(
+        rng.uniform_int(0, static_cast<std::int64_t>(alerts::kNumAlertTypes) - 1)));
+    benchmark::DoNotOptimize(filter.posterior().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Fg_ForwardFilterPerEvent);
+
+void BM_Fg_LearnParams(benchmark::State& state) {
+  static const incidents::Corpus corpus = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.05;
+    return incidents::CorpusGenerator(config).generate();
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fg::learn_params(corpus).log_emission.data());
+  }
+}
+BENCHMARK(BM_Fg_LearnParams)->Unit(benchmark::kMillisecond);
+
+void BM_Fg_ExactVsBp(benchmark::State& state) {
+  // On a small chain, enumeration vs BP (the test oracle's cost gap).
+  const bool exact = state.range(0) != 0;
+  const auto sequence = random_sequence(8);
+  const auto graph = fg::build_chain(params(), sequence);
+  for (auto _ : state) {
+    if (exact) {
+      benchmark::DoNotOptimize(fg::enumerate_exact(graph).marginals.data());
+    } else {
+      benchmark::DoNotOptimize(fg::run_bp(graph).marginals.data());
+    }
+  }
+  state.SetLabel(exact ? "enumerate_exact" : "sum-product-bp");
+}
+BENCHMARK(BM_Fg_ExactVsBp)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_Fg_EntityModelByLength(benchmark::State& state) {
+  // The entity-augmented (loopy) AttackTagger model: chain + global
+  // user-state variable. Structure ablation vs the plain chain above.
+  const auto sequence = random_sequence(static_cast<std::size_t>(state.range(0)));
+  fg::EntityResult result;
+  for (auto _ : state) {
+    result = fg::infer_entity(params(), sequence);
+    benchmark::DoNotOptimize(result.p_malicious);
+  }
+  state.counters["bp_iterations"] = static_cast<double>(result.iterations);
+  state.counters["p_malicious"] = result.p_malicious;
+  state.SetItemsProcessed(static_cast<std::int64_t>(sequence.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Fg_EntityModelByLength)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fg_LoopyDampingSweep(benchmark::State& state) {
+  // Loopy BP convergence cost vs damping on a frustrated cycle.
+  const double damping = static_cast<double>(state.range(0)) / 100.0;
+  fg::FactorGraph graph;
+  std::vector<fg::VarId> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(graph.add_variable(3));
+  util::Rng rng(3);
+  auto table = [&rng] {
+    std::vector<double> t(9);
+    for (auto& v : t) v = std::log(rng.uniform(0.05, 1.0));
+    return t;
+  };
+  for (int i = 0; i < 6; ++i) {
+    graph.add_factor({vars[static_cast<std::size_t>(i)],
+                      vars[static_cast<std::size_t>((i + 1) % 6)]},
+                     table());
+  }
+  fg::BpOptions options;
+  options.damping = damping;
+  options.max_iterations = 500;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    const auto result = fg::run_bp(graph, options);
+    iterations = result.iterations;
+    benchmark::DoNotOptimize(result.marginals.data());
+  }
+  state.counters["bp_iterations"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_Fg_LoopyDampingSweep)->Arg(0)->Arg(30)->Arg(60)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

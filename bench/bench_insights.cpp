@@ -1,0 +1,136 @@
+// Section II / Remarks 1 & 2 — the measurement-study summary: the four
+// insights measured over the regenerated corpus, the alert-lift table
+// behind Remark 2, and the factor-graph ROC/AUC over the corpus split.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <mutex>
+
+#include "analysis/insights.hpp"
+#include "analysis/lift.hpp"
+#include "detect/roc.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace at;
+
+const incidents::Corpus& corpus() {
+  static const incidents::Corpus c = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.05;
+    return incidents::CorpusGenerator(config).generate();
+  }();
+  return c;
+}
+
+void report() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const auto i1 = analysis::measure_insight1(corpus());
+    const auto i2 = analysis::measure_insight2(corpus());
+    const auto i3 = analysis::measure_insight3(corpus());
+    const auto i4 = analysis::measure_insight4(corpus());
+    util::TextTable insights({"insight", "paper", "measured"});
+    insights.add_row({"1: pairs with <=1/3 similar alerts", ">95%",
+                      util::fmt_double(100.0 * i1.fraction_pairs_at_or_below_third, 2) + "%"});
+    insights.add_row({"2: recurring sequences / lengths", "43, len 2..14",
+                      std::to_string(i2.distinct_sequences) + ", len " +
+                          std::to_string(i2.min_length) + ".." +
+                          std::to_string(i2.max_length)});
+    insights.add_row({"3: probing vs manual gap variability", "regular vs variable",
+                      "cv " + util::fmt_double(i3.recon_gap_cv, 2) + " vs cv " +
+                          util::fmt_double(i3.manual_gap_cv, 2)});
+    insights.add_row({"4: critical alerts (types/occurrences)", "19 / 98",
+                      std::to_string(i4.distinct_critical_types) + " / " +
+                          std::to_string(i4.critical_occurrences)});
+    insights.add_row({"4: critical position in kill chain", "late (after damage)",
+                      util::fmt_double(100.0 * i4.mean_relative_position, 0) +
+                          "% of the way through"});
+    std::printf("\n=== Insights 1-4 (Remark 1) ===\n%s\n", insights.render().c_str());
+
+    incidents::DailyNoiseModel noise_model;
+    const auto day = noise_model.sample_month(0, 1);
+    const auto background = noise_model.materialize_day(day[0], 40'000);
+    const auto lift = analysis::measure_lift(corpus(), background);
+    util::TextTable lift_table(
+        {"alert type", "P(|attack)", "P(|benign)", "lift", "critical"});
+    for (std::size_t i = 0; i < 8; ++i) {
+      const auto& row = lift.rows[i];
+      lift_table.add_row({std::string(alerts::symbol(row.type)),
+                          util::fmt_double(row.p_given_attack, 5),
+                          util::fmt_double(row.p_given_benign, 5),
+                          util::fmt_double(row.lift, 1), row.critical ? "yes" : "no"});
+    }
+    const auto* scan = lift.find(alerts::AlertType::kPortScan);
+    lift_table.add_row({std::string(alerts::symbol(scan->type)),
+                        util::fmt_double(scan->p_given_attack, 5),
+                        util::fmt_double(scan->p_given_benign, 5),
+                        util::fmt_double(scan->lift, 1), "no"});
+    std::printf("=== Alert lift (Remark 2: conditional probabilities) ===\n%s\n",
+                lift_table.render().c_str());
+
+    const auto split = detect::split_corpus(corpus());
+    const auto params = fg::learn_params(split.train);
+    std::vector<detect::Stream> attacks;
+    for (const auto& incident : split.test) {
+      attacks.push_back(detect::attack_stream(incident));
+    }
+    incidents::DailyNoiseModel noise;
+    const auto benign = detect::benign_streams(noise, 0, 30, 500);
+    const auto roc = detect::roc_factor_graph(params, attacks, benign, 50);
+    util::TextTable roc_table({"threshold", "TPR", "FPR"});
+    for (const double t : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      const auto& point =
+          roc.points[static_cast<std::size_t>(t * (roc.points.size() - 1))];
+      roc_table.add_row({util::fmt_double(point.threshold, 2),
+                         util::fmt_double(point.tpr, 3), util::fmt_double(point.fpr, 3)});
+    }
+    std::printf("=== Factor-graph ROC (AUC = %s) ===\n%s\n",
+                util::fmt_double(roc.auc, 4).c_str(), roc_table.render().c_str());
+  });
+}
+
+void BM_Insights_MeasureAll(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto i1 = analysis::measure_insight1(corpus());
+    const auto i4 = analysis::measure_insight4(corpus());
+    benchmark::DoNotOptimize(i1.mean_similarity);
+    benchmark::DoNotOptimize(i4.critical_occurrences);
+  }
+  report();
+}
+BENCHMARK(BM_Insights_MeasureAll)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_Insights_LiftTable(benchmark::State& state) {
+  incidents::DailyNoiseModel noise_model;
+  const auto day = noise_model.sample_month(0, 1);
+  const auto background = noise_model.materialize_day(day[0], 40'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::measure_lift(corpus(), background).rows.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(corpus().stats.filtered_alerts) *
+      static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Insights_LiftTable)->Unit(benchmark::kMillisecond);
+
+void BM_Insights_RocSweep(benchmark::State& state) {
+  const auto split = detect::split_corpus(corpus());
+  const auto params = fg::learn_params(split.train);
+  std::vector<detect::Stream> attacks;
+  for (const auto& incident : split.test) attacks.push_back(detect::attack_stream(incident));
+  incidents::DailyNoiseModel noise;
+  const auto benign = detect::benign_streams(noise, 0, 10, 300);
+  double auc = 0.0;
+  for (auto _ : state) {
+    auc = detect::roc_factor_graph(params, attacks, benign, 50).auc;
+    benchmark::DoNotOptimize(auc);
+  }
+  state.counters["auc"] = auc;
+}
+BENCHMARK(BM_Insights_RocSweep)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace

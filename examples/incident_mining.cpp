@@ -1,0 +1,103 @@
+// Longitudinal measurement study (Section II): generate the incident
+// corpus, run the annotation + filtering pipeline, and print all four
+// data-driven insights exactly as the paper frames them.
+//
+// Run: ./build/examples/example_incident_mining
+
+#include <cstdio>
+
+#include "analysis/insights.hpp"
+#include "analysis/lift.hpp"
+#include "incidents/noise.hpp"
+#include "incidents/annotate.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace at;
+
+  incidents::CorpusConfig config;
+  config.repetition_scale = 0.05;
+  const auto corpus = incidents::CorpusGenerator(config).generate();
+  const auto annotation = incidents::AnnotationPipeline{}.annotate(corpus);
+
+  std::printf("== dataset ==\n");
+  std::printf("  incidents: %zu (2002-2024)\n", corpus.stats.incidents);
+  std::printf("  raw alerts in incident windows: %s\n",
+              util::fmt_count(corpus.stats.raw_alerts).c_str());
+  std::printf("  filtered attack-related alerts: %s\n",
+              util::fmt_count(corpus.stats.filtered_alerts).c_str());
+  std::printf("  auto-annotated: %.2f%% (%s alerts needed experts)\n\n",
+              100.0 * annotation.auto_fraction(),
+              util::fmt_count(annotation.expert).c_str());
+
+  const auto insight1 = analysis::measure_insight1(corpus);
+  std::printf("== Insight 1: attacks have a high degree of alert similarity ==\n");
+  std::printf("  %.1f%% of attack pairs share up to 33%% of their alerts (paper: >95%%)\n",
+              100.0 * insight1.fraction_pairs_at_or_below_third);
+  std::printf("  %.1f%% of pairs share at least one alert type\n",
+              100.0 * insight1.fraction_pairs_overlapping);
+  std::printf("  mean pairwise Jaccard similarity: %.3f\n\n", insight1.mean_similarity);
+
+  const auto insight2 = analysis::measure_insight2(corpus);
+  std::printf("== Insight 2: the effective detection range is 2-4 alerts ==\n");
+  std::printf("  %zu recurring sequences (S1..S%zu), lengths %zu..%zu\n",
+              insight2.distinct_sequences, insight2.distinct_sequences,
+              insight2.min_length, insight2.max_length);
+  std::printf("  S1 seen %zu times across the corpus\n", insight2.top_sequence_count);
+  std::printf("  %.1f%% of damaging attacks expose >=2 alerts before damage\n\n",
+              100.0 * insight2.fraction_preemptible);
+
+  const auto insight3 = analysis::measure_insight3(corpus);
+  std::printf("== Insight 3: timing reveals sophistication ==\n");
+  std::printf("  automated probing: mean gap %.1fs, coefficient of variation %.2f\n",
+              insight3.recon_gap_mean_s, insight3.recon_gap_cv);
+  std::printf("  manual attack stages: mean gap %.1fh, coefficient of variation %.2f\n\n",
+              insight3.manual_gap_mean_s / util::kHour, insight3.manual_gap_cv);
+
+  const auto insight4 = analysis::measure_insight4(corpus);
+  std::printf("== Insight 4: critical alerts come too late to preempt ==\n");
+  std::printf("  %zu unique critical alert types, %zu occurrences (paper: 19 / 98)\n",
+              insight4.distinct_critical_types, insight4.critical_occurrences);
+  std::printf("  mean position in the kill chain when they fire: %.0f%% of the way through\n",
+              100.0 * insight4.mean_relative_position);
+  std::printf("  incidents that recorded no critical alert at all: %zu\n\n",
+              insight4.incidents_without_critical);
+
+  const auto mined = analysis::mine_core_sequences(corpus.incidents);
+  const auto motif = mined.containing(incidents::Catalog::motif());
+  std::printf("== the 2002 motif (download -> compile -> erase trace) ==\n");
+  std::printf("  present in %zu of %zu incidents (%.2f%%; paper: 137/228 = 60.08%%)\n",
+              motif, corpus.stats.incidents,
+              100.0 * static_cast<double>(motif) /
+                  static_cast<double>(corpus.stats.incidents));
+  std::printf("  top five recurring sequences:\n");
+  for (std::size_t i = 0; i < 5 && i < mined.sequences.size(); ++i) {
+    std::string alerts;
+    for (const auto type : mined.sequences[i].alerts) {
+      if (!alerts.empty()) alerts += " > ";
+      alerts += std::string(alerts::symbol(type)).substr(6);
+    }
+    std::printf("    %-4s x%-3zu %s\n", mined.sequences[i].name.c_str(),
+                mined.sequences[i].count, alerts.c_str());
+  }
+
+  // Remark 2 quantified: single alerts range from near-certain-but-late
+  // (critical) through indicative-but-noisy (scans) to ordinary (benign).
+  incidents::DailyNoiseModel noise_model;
+  const auto day = noise_model.sample_month(0, 1);
+  const auto lift =
+      analysis::measure_lift(corpus, noise_model.materialize_day(day[0], 20'000));
+  std::printf("\n== alert indicativeness (lift = P(type|attack)/P(type|benign)) ==\n");
+  std::printf("  top indicators:\n");
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& row = lift.rows[i];
+    std::printf("    %-38s lift %7.1f %s\n",
+                std::string(alerts::symbol(row.type)).c_str(), row.lift,
+                row.critical ? "(critical -> too late to preempt)" : "");
+  }
+  const auto* scan = lift.find(alerts::AlertType::kPortScan);
+  const auto* job = lift.find(alerts::AlertType::kJobSubmitted);
+  std::printf("  vs. a port scan: lift %.2f; a batch job: lift %.2f\n", scan->lift,
+              job->lift);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Section V end-to-end: deploy the full testbed (16 honeypot entry points
+// on the /24, monitors, detectors, black hole router), release the
+// PostgreSQL ransomware scenario into it alongside background scanning
+// and legitimate traffic, and narrate the case study:
+// probing -> entry -> payload -> detection -> notification -> lateral
+// movement -> the matching production wave 12 days later.
+//
+// Run: ./build/examples/example_ransomware_casestudy
+
+#include <algorithm>
+#include <cstdio>
+
+#include "replay/background.hpp"
+#include "replay/ransomware.hpp"
+
+int main() {
+  using namespace at;
+
+  // Train detectors on a calibrated corpus (in a real deployment: the
+  // curated incident history).
+  incidents::CorpusConfig corpus_config;
+  corpus_config.repetition_scale = 0.02;
+  const auto corpus = incidents::CorpusGenerator(corpus_config).generate();
+
+  testbed::Testbed bed(testbed::TestbedConfig{}, corpus);
+  const util::SimTime t0 = util::to_sim_time(util::CivilDate{2024, 10, 23});
+  bed.deploy(t0);
+  std::printf("deployed %zu entry-point VMs on %s, %zu credentials advertised\n",
+              bed.vms().instances().size(),
+              bed.vms().config().entry_block.str().c_str(),
+              bed.credentials().credentials().size());
+
+  replay::RansomwareScenario ransomware;
+  replay::MassScanScenario scanner;
+  replay::LegitTrafficScenario legit;
+  std::vector<replay::Scenario*> scenarios{&ransomware, &scanner, &legit};
+  const auto report = replay::run_scenarios(bed, scenarios, t0);
+  std::printf("replay: %llu events executed across %zu scenarios\n\n",
+              static_cast<unsigned long long>(report.events_executed), scenarios.size());
+
+  auto day = [&](util::SimTime t) { return util::format_datetime(t).substr(0, 16); };
+
+  std::printf("== case-study timeline ==\n");
+  std::printf("%s  probing of PostgreSQL port 5432 begins (%s)\n", day(t0).c_str(),
+              ransomware.config().attacker.anonymized().c_str());
+  std::printf("%s  ransomware enters via default credentials on pg-0\n",
+              day(ransomware.entry_time()).c_str());
+  std::printf("                    step 1: SHOW server_version_num\n");
+  std::printf("                    step 2: hex ELF payload (7F454C46...) into a large object\n");
+  std::printf("                    step 3: lo_export -> /tmp/kp\n");
+
+  const auto note = replay::first_notification_after(bed, t0, "factor-graph");
+  if (note) {
+    std::printf("%s  >>> MODEL DETECTS (%s on %s) -> operators notified <<<\n",
+                day(note->ts).c_str(), note->detector.c_str(), note->entity.c_str());
+    if (note->source) {
+      std::printf("                    BHR blocks %s\n", note->source->anonymized().c_str());
+    }
+  }
+  std::printf("                    lateral movement via stolen SSH keys: %zu instances\n",
+              ransomware.compromised().size());
+  std::printf("                    egress sandbox dropped %llu C2 beacons (Zeek saw them)\n",
+              static_cast<unsigned long long>(bed.sandbox().dropped()));
+  std::printf("%s  matching attack wave hits (the paper's Nov 10 incident)\n",
+              day(ransomware.second_wave_time()).c_str());
+  if (note) {
+    std::printf("\nearly warning lead: %.2f days (paper: 12 days)\n",
+                static_cast<double>(ransomware.second_wave_time() - note->ts) / util::kDay);
+  }
+
+  // Spread tree (Fig 5).
+  std::printf("\n== Fig 5: recursive lateral movement ==\n");
+  const auto& spread = ransomware.spread_by_depth();
+  for (std::size_t depth = 0; depth < spread.size(); ++depth) {
+    if (spread[depth] == 0) continue;
+    std::printf("  depth %zu: %zu host(s)\n", depth, spread[depth]);
+  }
+
+  // Operator view: every page, in order.
+  std::printf("\n== operator notifications (%zu) ==\n", bed.pipeline().notifications().size());
+  auto notes = bed.pipeline().notifications();
+  std::sort(notes.begin(), notes.end(),
+            [](const auto& a, const auto& b) { return a.ts < b.ts; });
+  for (std::size_t i = 0; i < notes.size() && i < 8; ++i) {
+    std::printf("  %s  [%s] %s: %s\n", day(notes[i].ts).c_str(), notes[i].detector.c_str(),
+                notes[i].entity.c_str(), notes[i].reason.c_str());
+  }
+  if (notes.size() > 8) std::printf("  ... and %zu more\n", notes.size() - 8);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 1 generator: reconstruct the one-hour scan graph (29,075 nodes /
+// 27,336 edges), run the force-directed layout, and export DOT, GEXF (for
+// Gephi, as the paper used) and a CSV edge list into ./fig1_out/.
+//
+// Run: ./build/examples/example_visualize_scans [output-dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/geo.hpp"
+#include "viz/export.hpp"
+#include "viz/fig1.hpp"
+#include "viz/layout.hpp"
+
+int main(int argc, char** argv) {
+  using namespace at;
+
+  const std::string out_dir = argc > 1 ? argv[1] : "fig1_out";
+  std::filesystem::create_directories(out_dir);
+
+  std::printf("building the Figure 1 graph (one scan-hour, 2024-08-01 00:00-01:00)...\n");
+  auto data = viz::build_fig1();
+  std::printf("  %zu nodes, %zu edges (paper: 29,075 / 27,336)\n",
+              data.graph.node_count(), data.graph.edge_count());
+  std::printf("  BHR recorded %llu probes in the hour; 10,000 sampled from the mass scanner\n",
+              static_cast<unsigned long long>(data.recorded_probes));
+
+  std::printf("running force-directed layout (Barnes-Hut, 60 iterations)...\n");
+  viz::LayoutOptions options;
+  options.iterations = 60;
+  const auto stats = viz::run_layout(data.graph, options);
+  std::printf("  done in %zu iterations, bounding radius %.0f\n", stats.iterations,
+              stats.bounding_radius);
+
+  const auto& nodes = data.graph.nodes();
+  const net::GeoDb geo;
+  const auto scanner_origin = geo.lookup(net::Ipv4(103, 102, 47, 9));
+  std::printf("annotations:\n");
+  std::printf("  A) mass scanner %s at the star's center (degree %zu) — a %s from %s\n",
+              nodes[data.scanner_node].label.c_str(),
+              data.graph.degree(data.scanner_node),
+              scanner_origin->asn_name.c_str(), scanner_origin->country.c_str());
+  std::printf("  B) real attack from %s: entry on 5432, then lateral movement\n",
+              nodes[data.attacker_node].label.c_str());
+  std::printf("  C) %zu smaller scanners\n",
+              data.graph.count_role(viz::NodeRole::kOtherScanner));
+  std::printf("  D) %zu legitimate endpoints with no clear pattern\n",
+              data.graph.count_role(viz::NodeRole::kLegitimate));
+
+  viz::write_file(out_dir + "/fig1.dot", viz::to_dot(data.graph, /*include_positions=*/true));
+  viz::write_file(out_dir + "/fig1.gexf", viz::to_gexf(data.graph));
+  viz::write_file(out_dir + "/fig1_edges.csv", viz::to_edge_csv(data.graph));
+  std::printf("exported %s/fig1.dot, fig1.gexf (open in Gephi), fig1_edges.csv\n",
+              out_dir.c_str());
+
+  // A taste of the flow sample, anonymized like the paper's listing.
+  std::printf("\nsample connections (anonymized):\n");
+  for (std::size_t i = 0; i < 5 && i < data.flows.size(); ++i) {
+    const auto& flow = data.flows[i];
+    std::printf("  %s -> %s :%u %s\n", flow.src.anonymized().c_str(),
+                flow.dst.anonymized().c_str(), flow.dst_port, net::to_string(flow.state));
+  }
+  return 0;
+}

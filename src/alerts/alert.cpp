@@ -1,0 +1,64 @@
+#include "alerts/alert.hpp"
+
+#include <algorithm>
+
+namespace at::alerts {
+
+const char* to_string(Origin origin) noexcept {
+  switch (origin) {
+    case Origin::kZeek: return "zeek";
+    case Origin::kOsquery: return "osquery";
+    case Origin::kAuditd: return "auditd";
+    case Origin::kRsyslog: return "rsyslog";
+    case Origin::kSynthetic: return "synthetic";
+  }
+  return "?";
+}
+
+const std::string* Alert::find_meta(std::string_view key) const noexcept {
+  for (const auto& [k, v] : metadata) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Alert::str() const {
+  std::string out = util::format_datetime(ts);
+  out += ' ';
+  out += symbol_name();
+  if (!host.empty()) {
+    out += " host=";
+    out += host;
+  }
+  if (!user.empty()) {
+    out += " user=";
+    out += user;
+  }
+  if (src) {
+    out += " src=";
+    out += src->anonymized();
+  }
+  for (const auto& [k, v] : metadata) {
+    out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+void sort_timeline(std::vector<Alert>& alerts) {
+  std::stable_sort(alerts.begin(), alerts.end(), [](const Alert& a, const Alert& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.type < b.type;
+  });
+}
+
+std::vector<AlertType> type_sequence(const std::vector<Alert>& alerts) {
+  std::vector<AlertType> out;
+  out.reserve(alerts.size());
+  for (const auto& alert : alerts) out.push_back(alert.type);
+  return out;
+}
+
+}  // namespace at::alerts

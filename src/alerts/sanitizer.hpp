@@ -1,0 +1,39 @@
+#pragma once
+// Sanitization: the paper keeps log timestamps but masks specific
+// information (personal data, file names, trailing IP octets) before logs
+// leave the security enclave. This mirrors the anonymization visible in the
+// paper's own listings ("64.215.xxx.yyy", "hXXp://194.145.xxx.yyy/...").
+
+#include <string>
+#include <string_view>
+
+#include "alerts/alert.hpp"
+
+namespace at::alerts {
+
+struct SanitizeOptions {
+  unsigned ip_octets_kept = 2;   ///< leading octets preserved in IPs
+  bool mask_usernames = true;    ///< replace usernames with stable pseudonyms
+  bool defang_urls = true;       ///< http -> hXXp so logs are not clickable
+  bool mask_filenames = false;   ///< replace path basenames with <file>
+};
+
+class Sanitizer {
+ public:
+  explicit Sanitizer(SanitizeOptions options = {}) : options_(options) {}
+
+  /// Sanitize a raw log line (IPs masked, URLs defanged, names pseudonymized).
+  [[nodiscard]] std::string sanitize_line(std::string_view line) const;
+
+  /// Sanitize an alert in place: src IP rendering is masked via
+  /// Ipv4::anonymized at print time, so only metadata and user need work.
+  void sanitize(Alert& alert) const;
+
+  /// Stable pseudonym for a username (same input -> same output).
+  [[nodiscard]] std::string pseudonym(std::string_view user) const;
+
+ private:
+  SanitizeOptions options_;
+};
+
+}  // namespace at::alerts

@@ -1,0 +1,205 @@
+#include "alerts/symbolizer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace at::alerts {
+
+namespace {
+
+[[nodiscard]] bool contains_ci(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      const char a = static_cast<char>(std::tolower(static_cast<unsigned char>(haystack[i + j])));
+      const char b = static_cast<char>(std::tolower(static_cast<unsigned char>(needle[j])));
+      if (a != b) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] bool looks_like_ip_token(std::string_view token) {
+  // Accept full or privacy-masked quads: "1.2.3.4", "64.215.xxx.yyy".
+  int dots = 0;
+  int run = 0;
+  for (const char c : token) {
+    if (c == '.') {
+      if (run == 0) return false;
+      ++dots;
+      run = 0;
+    } else if ((c >= '0' && c <= '9') || c == 'x' || c == 'y' || c == 'z' || c == 't') {
+      if (++run > 3) return false;
+    } else {
+      return false;
+    }
+  }
+  return dots == 3 && run > 0;
+}
+
+}  // namespace
+
+std::optional<util::SimTime> parse_time_of_day(std::string_view text) noexcept {
+  // Expect "HH:MM:SS" at the start.
+  if (text.size() < 8) return std::nullopt;
+  auto digit = [&](std::size_t i) { return text[i] >= '0' && text[i] <= '9'; };
+  if (!(digit(0) && digit(1) && text[2] == ':' && digit(3) && digit(4) && text[5] == ':' &&
+        digit(6) && digit(7))) {
+    return std::nullopt;
+  }
+  const int h = (text[0] - '0') * 10 + (text[1] - '0');
+  const int m = (text[3] - '0') * 10 + (text[4] - '0');
+  const int s = (text[6] - '0') * 10 + (text[7] - '0');
+  if (h > 23 || m > 59 || s > 59) return std::nullopt;
+  return static_cast<util::SimTime>(h) * util::kHour + m * util::kMinute + s;
+}
+
+std::optional<std::string> parse_bracket_host(std::string_view line) {
+  const std::size_t open = line.find('[');
+  if (open == std::string_view::npos) return std::nullopt;
+  const std::size_t close = line.find(']', open + 1);
+  if (close == std::string_view::npos || close == open + 1) return std::nullopt;
+  const std::string_view token = line.substr(open + 1, close - open - 1);
+  // Hosts are alnum/dash/dot/underscore; PIDs like [7036] are numeric-only
+  // and intentionally still accepted as a host candidate only if non-numeric.
+  bool has_alpha = false;
+  for (const char c : token) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.' || c == '_')) {
+      return std::nullopt;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  if (!has_alpha) return std::nullopt;
+  return std::string(token);
+}
+
+std::optional<std::string> find_ip_like_token(std::string_view line) {
+  for (const auto& token : util::split_ws(line)) {
+    // Strip URL path and port suffixes: "64.215.xxx.yyy/abs.c" -> quad part.
+    std::string_view view = token;
+    if (const auto slash = view.find('/'); slash != std::string_view::npos) {
+      view = view.substr(0, slash);
+    }
+    if (const auto colon = view.find(':'); colon != std::string_view::npos) {
+      view = view.substr(0, colon);
+    }
+    // Trim leading scheme, e.g. "hXXp://..."
+    if (view.empty()) continue;
+    if (looks_like_ip_token(view)) return std::string(view);
+  }
+  return std::nullopt;
+}
+
+Symbolizer::Symbolizer() {
+  using enum AlertType;
+  // Order matters: first match wins, so put the most specific rules first.
+  patterns_ = {
+      // The paper's flagship example: source-file download over HTTP.
+      {"http_source_download", {"wget", ".c"}, kDownloadSensitive},
+      {"http_source_download_curl", {"curl", ".c"}, kDownloadSensitive},
+      {"http_binary_download", {"wget", ".sh"}, kDownloadSensitive},
+      {"http_payload_download", {"hxxp", "ldr"}, kDownloadSensitive},
+      // Forensic-trace erasure (step 3 of the 2002 pattern). Ordered before
+      // the compile rules: on a composite line the stealth intent is the
+      // more severe signal and must win the first-match tie.
+      {"wipe_wtmp", {"rm", "wtmp"}, kLogTampering},
+      {"wipe_var_log", {"rm", "/var/log"}, kLogTampering},
+      {"shred_log", {"shred"}, kLogTampering},
+      {"history_clear", {"history", "-c"}, kHistoryCleared},
+      {"unset_histfile", {"unset", "histfile"}, kHistoryCleared},
+      // Kernel-module motif (step 2 of the 2002 pattern).
+      {"kernel_module_insmod", {"insmod"}, kInstallKernelModule},
+      {"kernel_module_modprobe", {"modprobe"}, kInstallKernelModule},
+      {"compile_gcc", {"gcc"}, kCompileSource},
+      {"compile_make", {"make", "module"}, kCompileSource},
+      // Section V PostgreSQL ransomware steps.
+      {"pg_version_recon", {"show server_version_num"}, kVersionRecon},
+      {"pg_lo_elf_payload", {"7f454c46"}, kDbPayloadEncoding},
+      {"pg_lo_export", {"lo_export"}, kDbFileExport},
+      {"tmp_drop", {"/tmp/kp"}, kFileDroppedTmp},
+      {"known_hosts_enum", {"known_hosts"}, kKnownHostsEnumeration},
+      {"ssh_key_theft", {"id_rsa"}, kSshKeyTheft},
+      {"ssh_batch_spread", {"ssh", "-o batchmode"}, kSshLateralMove},
+      // Access patterns.
+      {"default_cred_login", {"password authentication", "default credential"},
+       kDefaultPasswordLogin},
+      {"ghost_login", {"ghost account", "login"}, kGhostAccountLogin},
+      {"ssh_accept", {"accepted", "ssh"}, kLoginSuccess},
+      {"ssh_fail", {"failed password"}, kLoginFailure},
+      {"ssh_invalid_user", {"invalid user"}, kSshBruteforce},
+      {"sudo_session", {"sudo", "session opened"}, kSudoAbuse},
+      {"useradd_backdoor", {"useradd"}, kRootBackdoorInstalled},
+      {"passwd_dump", {"/etc/shadow"}, kCredentialDump},
+      // Recon / scanning.
+      {"nmap_scan", {"nmap"}, kPortScan},
+      {"masscan", {"masscan"}, kAddressScan},
+      {"struts_probe", {"struts"}, kVulnScanStruts},
+      {"pg_probe", {"5432", "connection"}, kDbPortProbe},
+      // Exfil / damage.
+      {"scp_outbound_bulk", {"scp", "tar.gz"}, kDataExfiltrationBulk},
+      {"dns_tunnel", {"dnscat"}, kExfilDnsTunnel},
+      {"c2_beacon", {"beacon"}, kC2Communication},
+      {"miner", {"xmrig"}, kCryptoMinerSustained},
+      {"ransom_note", {"readme_for_decrypt"}, kRansomNoteDropped},
+      // Benign.
+      {"slurm_submit", {"sbatch"}, kJobSubmitted},
+      {"slurm_done", {"job complete"}, kJobCompleted},
+      {"globus_transfer", {"globus"}, kFileTransfer},
+      {"apt_update", {"apt-get"}, kSoftwareUpdate},
+      {"cron", {"cron"}, kCronRun},
+  };
+}
+
+std::optional<SymbolizedLine> Symbolizer::symbolize(std::string_view raw_line,
+                                                    util::SimTime day_start) const {
+  for (const auto& pattern : patterns_) {
+    bool all = true;
+    for (const auto& needle : pattern.needles) {
+      if (!contains_ci(raw_line, needle)) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+
+    SymbolizedLine out;
+    out.matched_pattern = pattern.name;
+    out.alert.type = pattern.type;
+    out.alert.origin = Origin::kRsyslog;
+    out.alert.ts = day_start;
+    if (const auto tod = parse_time_of_day(util::trim(raw_line))) {
+      out.alert.ts = day_start + *tod;
+    }
+    if (auto host = parse_bracket_host(raw_line)) {
+      out.alert.host = std::move(*host);
+    }
+    if (auto ip = find_ip_like_token(raw_line)) {
+      out.alert.add_meta("source-ip", *ip);
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+Symbolizer::BatchResult Symbolizer::symbolize_all(const std::vector<std::string>& lines,
+                                                  util::SimTime day_start) const {
+  BatchResult result;
+  result.alerts.reserve(lines.size());
+  for (const auto& line : lines) {
+    if (auto sym = symbolize(line, day_start)) {
+      result.alerts.push_back(std::move(sym->alert));
+    } else {
+      ++result.unmapped;
+    }
+  }
+  return result;
+}
+
+}  // namespace at::alerts

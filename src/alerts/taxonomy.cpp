@@ -1,0 +1,170 @@
+#include "alerts/taxonomy.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace at::alerts {
+
+std::string_view to_string(Category category) noexcept {
+  switch (category) {
+    case Category::kBenign: return "benign";
+    case Category::kRecon: return "recon";
+    case Category::kAccess: return "access";
+    case Category::kExecution: return "execution";
+    case Category::kPersistence: return "persistence";
+    case Category::kEscalation: return "escalation";
+    case Category::kLateral: return "lateral";
+    case Category::kDamage: return "damage";
+  }
+  return "?";
+}
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kNotice: return "notice";
+    case Severity::kWarning: return "warning";
+    case Severity::kHigh: return "high";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+std::string_view to_string(AttackStage stage) noexcept {
+  switch (stage) {
+    case AttackStage::kBenign: return "benign";
+    case AttackStage::kSuspicious: return "suspicious";
+    case AttackStage::kInProgress: return "in_progress";
+    case AttackStage::kCompromised: return "compromised";
+  }
+  return "?";
+}
+
+namespace {
+
+using enum AlertType;
+
+
+
+
+// One entry per AlertType, in enum order. p_in_attack / p_in_benign are the
+// generator's ground-truth emission weights (relative, not normalized).
+constexpr std::array<AlertInfo, kNumAlertTypes> kTable = {{
+    // --- benign ---
+    {kLoginSuccess, "alert_login_success", Category::kBenign, Severity::kInfo, false, 0.30, 0.95, AttackStage::kBenign},
+    {kLogout, "alert_logout", Category::kBenign, Severity::kInfo, false, 0.10, 0.90, AttackStage::kBenign},
+    {kJobSubmitted, "alert_job_submitted", Category::kBenign, Severity::kInfo, false, 0.02, 0.85, AttackStage::kBenign},
+    {kJobCompleted, "alert_job_completed", Category::kBenign, Severity::kInfo, false, 0.02, 0.85, AttackStage::kBenign},
+    {kFileTransfer, "alert_file_transfer", Category::kBenign, Severity::kInfo, false, 0.08, 0.70, AttackStage::kBenign},
+    {kSoftwareUpdate, "alert_software_update", Category::kBenign, Severity::kInfo, false, 0.01, 0.40, AttackStage::kBenign},
+    {kCronRun, "alert_cron_run", Category::kBenign, Severity::kInfo, false, 0.01, 0.80, AttackStage::kBenign},
+    {kNfsMount, "alert_nfs_mount", Category::kBenign, Severity::kInfo, false, 0.01, 0.50, AttackStage::kBenign},
+    {kConfigChangeAuthorized, "alert_config_change_authorized", Category::kBenign, Severity::kNotice, false, 0.01, 0.20, AttackStage::kBenign},
+    {kPasswordChanged, "alert_password_changed", Category::kBenign, Severity::kNotice, false, 0.02, 0.15, AttackStage::kBenign},
+    // --- recon ---
+    {kPortScan, "alert_port_scan", Category::kRecon, Severity::kNotice, false, 0.55, 0.30, AttackStage::kSuspicious},
+    {kAddressScan, "alert_address_scan", Category::kRecon, Severity::kNotice, false, 0.35, 0.25, AttackStage::kSuspicious},
+    {kVulnScanStruts, "alert_vuln_scan_struts", Category::kRecon, Severity::kNotice, false, 0.12, 0.10, AttackStage::kSuspicious},
+    {kDbPortProbe, "alert_db_port_probe", Category::kRecon, Severity::kNotice, false, 0.25, 0.08, AttackStage::kSuspicious},
+    {kVersionRecon, "alert_version_recon", Category::kRecon, Severity::kNotice, false, 0.30, 0.05, AttackStage::kSuspicious},
+    {kWebCrawler, "alert_web_crawler", Category::kRecon, Severity::kInfo, false, 0.05, 0.35, AttackStage::kBenign},
+    {kSshVersionProbe, "alert_ssh_version_probe", Category::kRecon, Severity::kNotice, false, 0.20, 0.12, AttackStage::kSuspicious},
+    {kSnmpSweep, "alert_snmp_sweep", Category::kRecon, Severity::kNotice, false, 0.06, 0.04, AttackStage::kSuspicious},
+    // --- access ---
+    {kLoginFailure, "alert_login_failure", Category::kAccess, Severity::kNotice, false, 0.40, 0.45, AttackStage::kSuspicious},
+    {kSshBruteforce, "alert_ssh_bruteforce", Category::kAccess, Severity::kWarning, false, 0.38, 0.15, AttackStage::kSuspicious},
+    {kDefaultPasswordLogin, "alert_default_password_login", Category::kAccess, Severity::kHigh, false, 0.22, 0.004, AttackStage::kInProgress},
+    {kGhostAccountLogin, "alert_ghost_account_login", Category::kAccess, Severity::kHigh, false, 0.10, 0.001, AttackStage::kInProgress},
+    {kCredentialReuse, "alert_credential_reuse", Category::kAccess, Severity::kWarning, false, 0.28, 0.02, AttackStage::kInProgress},
+    {kLoginUnusualTime, "alert_login_unusual_time", Category::kAccess, Severity::kNotice, false, 0.18, 0.06, AttackStage::kSuspicious},
+    {kLoginNewGeo, "alert_login_new_geo", Category::kAccess, Severity::kNotice, false, 0.22, 0.05, AttackStage::kSuspicious},
+    {kRemoteCodeExec, "alert_remote_code_exec", Category::kAccess, Severity::kHigh, false, 0.20, 0.002, AttackStage::kInProgress},
+    {kSqlInjection, "alert_sql_injection", Category::kAccess, Severity::kHigh, false, 0.12, 0.003, AttackStage::kInProgress},
+    {kAuthBypassAttempt, "alert_auth_bypass_attempt", Category::kAccess, Severity::kWarning, false, 0.09, 0.01, AttackStage::kSuspicious},
+    // --- execution / foothold ---
+    {kDownloadSensitive, "alert_download_sensitive", Category::kExecution, Severity::kWarning, false, 0.62, 0.01, AttackStage::kInProgress},
+    {kCompileSource, "alert_compile_source", Category::kExecution, Severity::kWarning, false, 0.58, 0.03, AttackStage::kInProgress},
+    {kInstallKernelModule, "alert_install_kernel_module", Category::kExecution, Severity::kHigh, false, 0.30, 0.002, AttackStage::kInProgress},
+    {kNewBinaryExecuted, "alert_new_binary_executed", Category::kExecution, Severity::kWarning, false, 0.42, 0.04, AttackStage::kInProgress},
+    {kScheduledTaskAdded, "alert_scheduled_task_added", Category::kExecution, Severity::kWarning, false, 0.15, 0.02, AttackStage::kInProgress},
+    {kDbPayloadEncoding, "alert_db_payload_encoding", Category::kExecution, Severity::kHigh, false, 0.08, 0.0005, AttackStage::kInProgress},
+    {kDbFileExport, "alert_db_file_export", Category::kExecution, Severity::kHigh, false, 0.08, 0.0005, AttackStage::kInProgress},
+    {kFileDroppedTmp, "alert_file_dropped_tmp", Category::kExecution, Severity::kWarning, false, 0.26, 0.01, AttackStage::kInProgress},
+    {kContainerEscapeAttempt, "alert_container_escape_attempt", Category::kExecution, Severity::kHigh, false, 0.04, 0.0002, AttackStage::kInProgress},
+    {kIcmpTunnel, "alert_icmp_tunnel", Category::kExecution, Severity::kHigh, false, 0.05, 0.0002, AttackStage::kInProgress},
+    // --- persistence / stealth ---
+    {kLogTampering, "alert_log_tampering", Category::kPersistence, Severity::kHigh, false, 0.55, 0.001, AttackStage::kInProgress},
+    {kHistoryCleared, "alert_history_cleared", Category::kPersistence, Severity::kWarning, false, 0.30, 0.005, AttackStage::kInProgress},
+    {kRootkitSignature, "alert_rootkit_signature", Category::kPersistence, Severity::kHigh, false, 0.12, 0.0003, AttackStage::kInProgress},
+    {kMonitorDisabled, "alert_monitor_disabled", Category::kPersistence, Severity::kHigh, false, 0.08, 0.0005, AttackStage::kInProgress},
+    {kHiddenCronAdded, "alert_hidden_cron_added", Category::kPersistence, Severity::kWarning, false, 0.14, 0.002, AttackStage::kInProgress},
+    {kBinaryMasquerade, "alert_binary_masquerade", Category::kPersistence, Severity::kWarning, false, 0.10, 0.001, AttackStage::kInProgress},
+    // --- escalation (pre-damage) ---
+    {kSudoAbuse, "alert_sudo_abuse", Category::kEscalation, Severity::kHigh, false, 0.18, 0.008, AttackStage::kInProgress},
+    {kSetuidBinaryCreated, "alert_setuid_binary_created", Category::kEscalation, Severity::kHigh, false, 0.10, 0.001, AttackStage::kInProgress},
+    {kKernelExploitAttempt, "alert_kernel_exploit_attempt", Category::kEscalation, Severity::kHigh, false, 0.09, 0.0004, AttackStage::kInProgress},
+    // --- lateral movement ---
+    {kKnownHostsEnumeration, "alert_known_hosts_enumeration", Category::kLateral, Severity::kHigh, false, 0.16, 0.002, AttackStage::kInProgress},
+    {kSshKeyTheft, "alert_ssh_key_theft", Category::kLateral, Severity::kHigh, false, 0.14, 0.0005, AttackStage::kInProgress},
+    {kSshLateralMove, "alert_ssh_lateral_move", Category::kLateral, Severity::kHigh, false, 0.24, 0.01, AttackStage::kInProgress},
+    {kInternalScan, "alert_internal_scan", Category::kLateral, Severity::kWarning, false, 0.20, 0.01, AttackStage::kInProgress},
+    {kC2Communication, "alert_c2_communication", Category::kLateral, Severity::kHigh, false, 0.22, 0.0005, AttackStage::kInProgress},
+    // --- the 19 critical "too late" alerts (Insight 4) ---
+    {kPrivilegeEscalation, "alert_privilege_escalation", Category::kEscalation, Severity::kCritical, true, 0.20, 0.0002, AttackStage::kCompromised},
+    {kPiiHttpPost, "alert_pii_http_post", Category::kDamage, Severity::kCritical, true, 0.10, 0.0001, AttackStage::kCompromised},
+    {kDataExfiltrationBulk, "alert_data_exfiltration_bulk", Category::kDamage, Severity::kCritical, true, 0.14, 0.0001, AttackStage::kCompromised},
+    {kRansomwareEncryptionStarted, "alert_ransomware_encryption_started", Category::kDamage, Severity::kCritical, true, 0.05, 0.00001, AttackStage::kCompromised},
+    {kRansomNoteDropped, "alert_ransom_note_dropped", Category::kDamage, Severity::kCritical, true, 0.04, 0.00001, AttackStage::kCompromised},
+    {kCredentialDump, "alert_credential_dump", Category::kDamage, Severity::kCritical, true, 0.08, 0.0001, AttackStage::kCompromised},
+    {kRootBackdoorInstalled, "alert_root_backdoor_installed", Category::kPersistence, Severity::kCritical, true, 0.09, 0.00005, AttackStage::kCompromised},
+    {kKernelRootkitLoaded, "alert_kernel_rootkit_loaded", Category::kPersistence, Severity::kCritical, true, 0.06, 0.00002, AttackStage::kCompromised},
+    {kAuditLogWiped, "alert_audit_log_wiped", Category::kPersistence, Severity::kCritical, true, 0.07, 0.00005, AttackStage::kCompromised},
+    {kMassFileDeletion, "alert_mass_file_deletion", Category::kDamage, Severity::kCritical, true, 0.04, 0.0001, AttackStage::kCompromised},
+    {kDatabaseDropped, "alert_database_dropped", Category::kDamage, Severity::kCritical, true, 0.03, 0.00005, AttackStage::kCompromised},
+    {kSshKeyloggerCapture, "alert_ssh_keylogger_capture", Category::kDamage, Severity::kCritical, true, 0.06, 0.00001, AttackStage::kCompromised},
+    {kOutboundDdosBurst, "alert_outbound_ddos_burst", Category::kDamage, Severity::kCritical, true, 0.03, 0.00005, AttackStage::kCompromised},
+    {kCryptoMinerSustained, "alert_crypto_miner_sustained", Category::kDamage, Severity::kCritical, true, 0.05, 0.0001, AttackStage::kCompromised},
+    {kAccountTakeoverConfirmed, "alert_account_takeover_confirmed", Category::kDamage, Severity::kCritical, true, 0.05, 0.00002, AttackStage::kCompromised},
+    {kFirmwareTampering, "alert_firmware_tampering", Category::kDamage, Severity::kCritical, true, 0.01, 0.000005, AttackStage::kCompromised},
+    {kMonitorGloballyDisabled, "alert_monitor_globally_disabled", Category::kPersistence, Severity::kCritical, true, 0.02, 0.00001, AttackStage::kCompromised},
+    {kSecurityConfigRollback, "alert_security_config_rollback", Category::kPersistence, Severity::kCritical, true, 0.02, 0.00002, AttackStage::kCompromised},
+    {kExfilDnsTunnel, "alert_exfil_dns_tunnel", Category::kDamage, Severity::kCritical, true, 0.04, 0.00002, AttackStage::kCompromised},
+}};
+
+constexpr bool table_is_sound() {
+  std::size_t criticals = 0;
+  for (std::size_t i = 0; i < kTable.size(); ++i) {
+    if (kTable[i].type != static_cast<AlertType>(i)) return false;
+    if (kTable[i].critical) ++criticals;
+  }
+  return criticals == kNumCriticalTypes;
+}
+static_assert(table_is_sound(), "taxonomy table out of order or critical count != 19");
+
+}  // namespace
+
+const AlertInfo& info(AlertType type) noexcept {
+  return kTable[static_cast<std::size_t>(type)];
+}
+
+std::span<const AlertInfo> all_alert_info() noexcept { return kTable; }
+
+std::string_view symbol(AlertType type) noexcept { return info(type).symbol; }
+
+std::optional<AlertType> from_symbol(std::string_view symbol) noexcept {
+  for (const auto& entry : kTable) {
+    if (entry.symbol == symbol) return entry.type;
+  }
+  return std::nullopt;
+}
+
+std::vector<AlertType> critical_types() {
+  std::vector<AlertType> out;
+  out.reserve(kNumCriticalTypes);
+  for (const auto& entry : kTable) {
+    if (entry.critical) out.push_back(entry.type);
+  }
+  return out;
+}
+
+}  // namespace at::alerts

@@ -1,0 +1,177 @@
+#pragma once
+// Symbolic alert taxonomy.
+//
+// The paper's pre-processing step assigns every raw log message "a symbolic
+// name indicating the attacker's intention" (e.g. the wget-of-a-C-file log
+// becomes `alert_download_sensitive`). This header is that vocabulary: every
+// alert type the monitors can emit, its kill-chain category, severity, and
+// whether it is one of the paper's 19 *critical* alerts — the ones whose
+// appearance means "system integrity has already been compromised"
+// (Insight 4), i.e. useless for preemption.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace at::alerts {
+
+/// Kill-chain category of an alert (coarse attacker intention).
+enum class Category : std::uint8_t {
+  kBenign,       ///< normal operations (logins, jobs, transfers)
+  kRecon,        ///< scanning, probing, version discovery
+  kAccess,       ///< gaining or abusing entry (bruteforce, stolen creds)
+  kExecution,    ///< foothold: downloads, compilation, new binaries
+  kPersistence,  ///< stealth and persistence (log wiping, rootkits)
+  kEscalation,   ///< privilege gain
+  kLateral,      ///< movement inside the network
+  kDamage        ///< exfiltration, encryption, destruction
+};
+
+[[nodiscard]] std::string_view to_string(Category category) noexcept;
+
+enum class Severity : std::uint8_t { kInfo, kNotice, kWarning, kHigh, kCritical };
+
+[[nodiscard]] std::string_view to_string(Severity severity) noexcept;
+
+/// Hidden attack-stage variable inferred by the factor-graph model.
+/// The preemption decision is P(stage >= kInProgress) crossing a threshold.
+enum class AttackStage : std::uint8_t {
+  kBenign = 0,      ///< no attack
+  kSuspicious = 1,  ///< inconclusive probing observed
+  kInProgress = 2,  ///< attack underway, damage not yet done — preempt here
+  kCompromised = 3  ///< integrity lost / data exfiltrated — too late
+};
+
+inline constexpr std::size_t kNumStages = 4;
+
+[[nodiscard]] std::string_view to_string(AttackStage stage) noexcept;
+
+/// Every symbolic alert the monitors can produce. Order is stable (it is
+/// an index into model parameter tables); append only.
+enum class AlertType : std::uint8_t {
+  // --- benign operations -------------------------------------------------
+  kLoginSuccess,
+  kLogout,
+  kJobSubmitted,
+  kJobCompleted,
+  kFileTransfer,
+  kSoftwareUpdate,
+  kCronRun,
+  kNfsMount,
+  kConfigChangeAuthorized,
+  kPasswordChanged,
+  // --- reconnaissance ----------------------------------------------------
+  kPortScan,
+  kAddressScan,
+  kVulnScanStruts,
+  kDbPortProbe,
+  kVersionRecon,
+  kWebCrawler,
+  kSshVersionProbe,
+  kSnmpSweep,
+  // --- access ------------------------------------------------------------
+  kLoginFailure,
+  kSshBruteforce,
+  kDefaultPasswordLogin,
+  kGhostAccountLogin,
+  kCredentialReuse,
+  kLoginUnusualTime,
+  kLoginNewGeo,
+  kRemoteCodeExec,
+  kSqlInjection,
+  kAuthBypassAttempt,
+  // --- execution / foothold ----------------------------------------------
+  kDownloadSensitive,  ///< source file fetched over unsecured HTTP (the 2002 motif)
+  kCompileSource,
+  kInstallKernelModule,
+  kNewBinaryExecuted,
+  kScheduledTaskAdded,
+  kDbPayloadEncoding,   ///< hex-ELF written into a large object (Section V step 2)
+  kDbFileExport,        ///< lo_export-style write to disk (Section V step 3)
+  kFileDroppedTmp,      ///< /tmp/kp-style drop
+  kContainerEscapeAttempt,
+  kIcmpTunnel,
+  // --- persistence / stealth ---------------------------------------------
+  kLogTampering,  ///< erase forensic trace (third step of the 2002 motif)
+  kHistoryCleared,
+  kRootkitSignature,
+  kMonitorDisabled,
+  kHiddenCronAdded,
+  kBinaryMasquerade,
+  // --- escalation (pre-damage) ---------------------------------------------
+  kSudoAbuse,
+  kSetuidBinaryCreated,
+  kKernelExploitAttempt,
+  // --- lateral movement ----------------------------------------------------
+  kKnownHostsEnumeration,  ///< Section V: enumerate historical SSH peers
+  kSshKeyTheft,            ///< Section V: collect private keys
+  kSshLateralMove,
+  kInternalScan,
+  kC2Communication,  ///< beacon to command-and-control; the FG model's trigger
+  // --- critical alerts (the 19 "too late" indicators, Insight 4) ----------
+  kPrivilegeEscalation,
+  kPiiHttpPost,
+  kDataExfiltrationBulk,
+  kRansomwareEncryptionStarted,
+  kRansomNoteDropped,
+  kCredentialDump,
+  kRootBackdoorInstalled,
+  kKernelRootkitLoaded,
+  kAuditLogWiped,
+  kMassFileDeletion,
+  kDatabaseDropped,
+  kSshKeyloggerCapture,
+  kOutboundDdosBurst,
+  kCryptoMinerSustained,
+  kAccountTakeoverConfirmed,
+  kFirmwareTampering,
+  kMonitorGloballyDisabled,
+  kSecurityConfigRollback,
+  kExfilDnsTunnel,
+};
+
+inline constexpr std::size_t kNumAlertTypes =
+    static_cast<std::size_t>(AlertType::kExfilDnsTunnel) + 1;
+/// The paper reports exactly 19 unique critical alert types.
+inline constexpr std::size_t kNumCriticalTypes = 19;
+
+/// Static descriptor of an alert type.
+struct AlertInfo {
+  AlertType type{};
+  std::string_view symbol;  ///< symbolic name, e.g. "alert_download_sensitive"
+  Category category{};
+  Severity severity{};
+  bool critical = false;  ///< one of the 19 "too late" alerts
+  /// P(alert appears | successful attack) — ground-truth emission weight
+  /// used by the corpus generator; the FG detector *learns* its own
+  /// estimates back from generated incidents rather than reading these.
+  double p_in_attack = 0.0;
+  /// P(alert appears | normal operations per day per host) weight.
+  double p_in_benign = 0.0;
+  /// Stage the alert is most indicative of.
+  AttackStage typical_stage = AttackStage::kBenign;
+};
+
+/// Descriptor lookup; total over all AlertType values.
+[[nodiscard]] const AlertInfo& info(AlertType type) noexcept;
+/// All descriptors in enum order.
+[[nodiscard]] std::span<const AlertInfo> all_alert_info() noexcept;
+/// Symbolic name, e.g. "alert_download_sensitive".
+[[nodiscard]] std::string_view symbol(AlertType type) noexcept;
+/// Reverse lookup by symbolic name.
+[[nodiscard]] std::optional<AlertType> from_symbol(std::string_view symbol) noexcept;
+/// The 19 critical alert types in enum order.
+[[nodiscard]] std::vector<AlertType> critical_types();
+
+[[nodiscard]] inline bool is_critical(AlertType type) noexcept { return info(type).critical; }
+[[nodiscard]] inline Category category_of(AlertType type) noexcept {
+  return info(type).category;
+}
+[[nodiscard]] inline Severity severity_of(AlertType type) noexcept {
+  return info(type).severity;
+}
+
+}  // namespace at::alerts

@@ -1,0 +1,114 @@
+#include "alerts/zeeklog.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace at::alerts {
+
+namespace {
+
+constexpr char kFieldSep = '\t';
+constexpr const char* kEmpty = "-";
+
+std::string escape(std::string_view value) {
+  // Keep the format line-oriented: tabs/newlines become spaces.
+  std::string out(value);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out.empty() ? kEmpty : out;
+}
+
+}  // namespace
+
+std::string to_notice_line(const Alert& alert) {
+  std::ostringstream out;
+  out << alert.ts << kFieldSep << alert.symbol_name() << kFieldSep << escape(alert.host)
+      << kFieldSep << escape(alert.user) << kFieldSep
+      << (alert.src ? alert.src->str() : kEmpty) << kFieldSep << to_string(alert.origin)
+      << kFieldSep;
+  if (alert.metadata.empty()) {
+    out << kEmpty;
+  } else {
+    bool first = true;
+    for (const auto& [key, value] : alert.metadata) {
+      if (!first) out << '|';
+      first = false;
+      out << escape(key) << '=' << util::replace_all(escape(value), "|", " ");
+    }
+  }
+  return out.str();
+}
+
+std::optional<Alert> parse_notice_line(std::string_view line) {
+  const auto trimmed = util::trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') return std::nullopt;
+  const auto fields = util::split(trimmed, kFieldSep);
+  if (fields.size() != 7) return std::nullopt;
+
+  Alert alert;
+  try {
+    alert.ts = std::stoll(fields[0]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const auto type = from_symbol(fields[1]);
+  if (!type) return std::nullopt;
+  alert.type = *type;
+  if (fields[2] != kEmpty) alert.host = fields[2];
+  if (fields[3] != kEmpty) alert.user = fields[3];
+  if (fields[4] != kEmpty) {
+    try {
+      alert.src = net::Ipv4::parse(fields[4]);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  for (const auto origin : {Origin::kZeek, Origin::kOsquery, Origin::kAuditd,
+                            Origin::kRsyslog, Origin::kSynthetic}) {
+    if (fields[5] == to_string(origin)) {
+      alert.origin = origin;
+      break;
+    }
+  }
+  if (fields[6] != kEmpty) {
+    for (const auto& pair : util::split(fields[6], '|')) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) return std::nullopt;
+      alert.add_meta(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+  }
+  return alert;
+}
+
+std::string write_notice_log(const std::vector<Alert>& alerts) {
+  std::ostringstream out;
+  out << "#separator \\t\n"
+      << "#fields ts\tnote\thost\tuser\tsrc\torigin\tmetadata\n";
+  for (const auto& alert : alerts) out << to_notice_line(alert) << '\n';
+  return out.str();
+}
+
+NoticeLogResult read_notice_log(std::string_view text) {
+  NoticeLogResult result;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const auto line = text.substr(start, end - start);
+    const auto trimmed = util::trim(line);
+    if (!trimmed.empty() && trimmed.front() != '#') {
+      if (auto alert = parse_notice_line(line)) {
+        result.alerts.push_back(std::move(*alert));
+      } else {
+        ++result.malformed;
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return result;
+}
+
+}  // namespace at::alerts

@@ -1,0 +1,36 @@
+#pragma once
+// Zeek notice-log serialization. The paper's dataset is "25 million alerts
+// collected in Zeek notice logs over 24 years"; this module writes and
+// parses alerts in a Zeek-style tab-separated notice format so corpora can
+// be exported, diffed, and re-ingested (the testbed's archival path).
+//
+//   #separator \t
+//   #fields ts  note  host  user  src  origin  metadata
+//   1730259852  alert_download_sensitive  pg-3  postgres  194.145.0.0  zeek  url=...
+//
+// Metadata is key=value pairs joined with '|'; absent fields are '-'.
+
+#include <string>
+#include <vector>
+
+#include "alerts/alert.hpp"
+
+namespace at::alerts {
+
+/// Serialize one alert as a notice line (no trailing newline).
+[[nodiscard]] std::string to_notice_line(const Alert& alert);
+
+/// Parse one notice line; returns nullopt on malformed input or comments.
+[[nodiscard]] std::optional<Alert> parse_notice_line(std::string_view line);
+
+/// Full log with header.
+[[nodiscard]] std::string write_notice_log(const std::vector<Alert>& alerts);
+
+struct NoticeLogResult {
+  std::vector<Alert> alerts;
+  std::size_t malformed = 0;
+};
+/// Parse a whole log (comments and blank lines are skipped silently).
+[[nodiscard]] NoticeLogResult read_notice_log(std::string_view text);
+
+}  // namespace at::alerts

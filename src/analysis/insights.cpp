@@ -1,0 +1,108 @@
+#include "analysis/insights.hpp"
+
+#include <algorithm>
+
+namespace at::analysis {
+
+Insight1 measure_insight1(const incidents::Corpus& corpus, std::size_t threads) {
+  Insight1 out;
+  const auto pairwise = pairwise_jaccard(corpus.incidents, threads);
+  out.fraction_pairs_at_or_below_third = pairwise.fraction_at_or_below_third;
+  out.mean_similarity = pairwise.stats.mean();
+  if (!pairwise.similarities.empty()) {
+    out.p95_similarity = util::quantile(pairwise.similarities, 0.95);
+    std::size_t overlapping = 0;
+    for (const double s : pairwise.similarities) {
+      if (s > 0.0) ++overlapping;
+    }
+    out.fraction_pairs_overlapping =
+        static_cast<double>(overlapping) / static_cast<double>(pairwise.similarities.size());
+  }
+  return out;
+}
+
+Insight2 measure_insight2(const incidents::Corpus& corpus) {
+  Insight2 out;
+  const auto mined = mine_core_sequences(corpus.incidents);
+  out.distinct_sequences = mined.sequences.size();
+  out.min_length = mined.min_length;
+  out.max_length = mined.max_length;
+  out.top_sequence_count = mined.sequences.empty() ? 0 : mined.sequences.front().count;
+
+  std::size_t preemptible = 0;
+  std::size_t with_damage = 0;
+  for (const auto& incident : corpus.incidents) {
+    if (!incident.damage_ts) continue;
+    ++with_damage;
+    // Position of the first critical alert within the core sequence.
+    const auto core = incident.core_sequence();
+    for (std::size_t i = 0; i < core.size(); ++i) {
+      if (alerts::is_critical(core[i])) {
+        if (i >= 2) ++preemptible;  // at least two observable alerts first
+        break;
+      }
+    }
+  }
+  out.fraction_preemptible =
+      with_damage ? static_cast<double>(preemptible) / static_cast<double>(with_damage) : 0.0;
+  return out;
+}
+
+Insight3 measure_insight3(const incidents::Corpus& corpus) {
+  util::OnlineStats recon;
+  util::OnlineStats manual;
+  for (const auto& incident : corpus.incidents) {
+    // Gaps between consecutive *core* alerts, classified by the category of
+    // the earlier alert (automated probing vs manual attack work).
+    const incidents::LabeledAlert* prev = nullptr;
+    for (const auto& entry : incident.timeline) {
+      if (!entry.core) continue;
+      if (prev != nullptr) {
+        const double gap = static_cast<double>(entry.alert.ts - prev->alert.ts);
+        const auto category = alerts::category_of(prev->alert.type);
+        if (category == alerts::Category::kRecon || category == alerts::Category::kAccess) {
+          recon.add(gap);
+        } else {
+          manual.add(gap);
+        }
+      }
+      prev = &entry;
+    }
+  }
+  Insight3 out;
+  out.recon_gap_mean_s = recon.mean();
+  out.recon_gap_cv = recon.mean() > 0.0 ? recon.stddev() / recon.mean() : 0.0;
+  out.manual_gap_mean_s = manual.mean();
+  out.manual_gap_cv = manual.mean() > 0.0 ? manual.stddev() / manual.mean() : 0.0;
+  return out;
+}
+
+Insight4 measure_insight4(const incidents::Corpus& corpus) {
+  Insight4 out;
+  std::vector<bool> seen(alerts::kNumAlertTypes, false);
+  util::OnlineStats relative_position;
+  for (const auto& incident : corpus.incidents) {
+    const auto core = incident.core_sequence();
+    bool any_critical = false;
+    for (std::size_t i = 0; i < core.size(); ++i) {
+      if (!alerts::is_critical(core[i])) continue;
+      any_critical = true;
+      ++out.critical_occurrences;
+      seen[static_cast<std::size_t>(core[i])] = true;
+      if (core.size() > 1) {
+        relative_position.add(static_cast<double>(i) /
+                              static_cast<double>(core.size() - 1));
+      }
+    }
+    if (!any_critical) ++out.incidents_without_critical;
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] && alerts::is_critical(static_cast<alerts::AlertType>(i))) {
+      ++out.distinct_critical_types;
+    }
+  }
+  out.mean_relative_position = relative_position.mean();
+  return out;
+}
+
+}  // namespace at::analysis

@@ -1,0 +1,61 @@
+#pragma once
+// Quantification of the paper's four data-driven insights over a corpus.
+// Each function measures the corresponding claim so benches and tests can
+// compare generated-data behaviour against the paper's reported numbers.
+
+#include <cstddef>
+
+#include "analysis/mining.hpp"
+#include "analysis/similarity.hpp"
+#include "incidents/generator.hpp"
+
+namespace at::analysis {
+
+/// Insight 1: attacks have a high degree of alert similarity; >95% of
+/// attack pairs share up to 1/3 of their alerts.
+struct Insight1 {
+  double fraction_pairs_at_or_below_third = 0.0;
+  double mean_similarity = 0.0;
+  double p95_similarity = 0.0;
+  /// Fraction of pairs with nonzero overlap (attacks *do* share vectors).
+  double fraction_pairs_overlapping = 0.0;
+};
+[[nodiscard]] Insight1 measure_insight1(const incidents::Corpus& corpus,
+                                        std::size_t threads = 0);
+
+/// Insight 2: recurring sequences have lengths 2..14; the preemption-
+/// effective range is 2..4 (shorter = sudden attack, longer = damage done).
+struct Insight2 {
+  std::size_t distinct_sequences = 0;  ///< 43
+  std::size_t min_length = 0;          ///< 2
+  std::size_t max_length = 0;          ///< 14
+  std::size_t top_sequence_count = 0;  ///< S1 = 14
+  /// Incidents whose damage (first critical alert) comes at core position
+  /// >= 3, i.e. at least two pre-damage alerts exist to preempt on.
+  double fraction_preemptible = 0.0;
+};
+[[nodiscard]] Insight2 measure_insight2(const incidents::Corpus& corpus);
+
+/// Insight 3: recon-stage inter-alert gaps are tight and regular; manual
+/// attack stages show high timing variability.
+struct Insight3 {
+  double recon_gap_mean_s = 0.0;
+  double recon_gap_cv = 0.0;   ///< coefficient of variation (low)
+  double manual_gap_mean_s = 0.0;
+  double manual_gap_cv = 0.0;  ///< high
+};
+[[nodiscard]] Insight3 measure_insight3(const incidents::Corpus& corpus);
+
+/// Insight 4: critical alerts are rare, late, and useless for preemption.
+struct Insight4 {
+  std::size_t distinct_critical_types = 0;  ///< 19
+  std::size_t critical_occurrences = 0;     ///< 98
+  /// Of incidents with a critical alert: mean fraction of the core sequence
+  /// already elapsed when it fires (close to 1.0 = "at the end").
+  double mean_relative_position = 0.0;
+  /// Incidents with no critical alert at all (partial observability).
+  std::size_t incidents_without_critical = 0;
+};
+[[nodiscard]] Insight4 measure_insight4(const incidents::Corpus& corpus);
+
+}  // namespace at::analysis

@@ -1,0 +1,61 @@
+#include "analysis/lift.hpp"
+
+#include <algorithm>
+
+namespace at::analysis {
+
+const AlertLift* LiftTable::find(alerts::AlertType type) const {
+  for (const auto& row : rows) {
+    if (row.type == type) return &row;
+  }
+  return nullptr;
+}
+
+LiftTable measure_lift(const incidents::Corpus& corpus,
+                       const std::vector<alerts::Alert>& benign_background) {
+  std::vector<std::uint64_t> attack_counts(alerts::kNumAlertTypes, 0);
+  std::vector<std::uint64_t> benign_counts(alerts::kNumAlertTypes, 0);
+  LiftTable table;
+  for (const auto& incident : corpus.incidents) {
+    for (const auto& entry : incident.timeline) {
+      const auto index = static_cast<std::size_t>(entry.alert.type);
+      if (entry.attack_related) {
+        ++attack_counts[index];
+        ++table.attack_alerts;
+      } else {
+        ++benign_counts[index];
+        ++table.benign_alerts;
+      }
+    }
+  }
+  // The daily background (mass scanning + operations) is normal-condition
+  // traffic: none of it belongs to a successful attack.
+  for (const auto& alert : benign_background) {
+    ++benign_counts[static_cast<std::size_t>(alert.type)];
+    ++table.benign_alerts;
+  }
+  const double attack_total = static_cast<double>(table.attack_alerts) +
+                              static_cast<double>(alerts::kNumAlertTypes);
+  const double benign_total = static_cast<double>(table.benign_alerts) +
+                              static_cast<double>(alerts::kNumAlertTypes);
+  table.rows.reserve(alerts::kNumAlertTypes);
+  for (std::size_t i = 0; i < alerts::kNumAlertTypes; ++i) {
+    AlertLift row;
+    row.type = static_cast<alerts::AlertType>(i);
+    row.attack_count = attack_counts[i];
+    row.benign_count = benign_counts[i];
+    row.p_given_attack = (static_cast<double>(attack_counts[i]) + 1.0) / attack_total;
+    row.p_given_benign = (static_cast<double>(benign_counts[i]) + 1.0) / benign_total;
+    row.lift = row.p_given_attack / row.p_given_benign;
+    row.critical = alerts::is_critical(row.type);
+    table.rows.push_back(row);
+  }
+  std::sort(table.rows.begin(), table.rows.end(),
+            [](const AlertLift& a, const AlertLift& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              return a.type < b.type;
+            });
+  return table;
+}
+
+}  // namespace at::analysis

@@ -1,0 +1,43 @@
+#pragma once
+// Alert indicativeness (Remark 2 quantified): for every alert type, the
+// corpus-measured conditional rates P(type | attack context) and
+// P(type | benign context) and their ratio (lift). Critical alerts have
+// enormous lift but arrive too late (Insight 4); scan alerts have lift
+// near 1 — exactly why single-alert decisions drown and why the model
+// must combine conditional probabilities over sequences.
+
+#include <string>
+#include <vector>
+
+#include "incidents/generator.hpp"
+
+namespace at::analysis {
+
+struct AlertLift {
+  alerts::AlertType type{};
+  std::uint64_t attack_count = 0;   ///< occurrences in attack-related alerts
+  std::uint64_t benign_count = 0;   ///< occurrences in legitimate alerts
+  double p_given_attack = 0.0;      ///< attack_count / total attack alerts
+  double p_given_benign = 0.0;      ///< benign_count / total benign alerts
+  double lift = 0.0;                ///< smoothed ratio
+  bool critical = false;
+};
+
+struct LiftTable {
+  std::vector<AlertLift> rows;  ///< descending lift
+  std::uint64_t attack_alerts = 0;
+  std::uint64_t benign_alerts = 0;
+
+  [[nodiscard]] const AlertLift* find(alerts::AlertType type) const;
+};
+
+/// Measure lift over a corpus. `benign_background` supplies the "normal
+/// operational conditions" side of Remark 2 — typically a materialized
+/// sample of the daily alert volume (Fig 2), where repeated scans dominate;
+/// without it only the sparse legitimate alerts inside incident windows
+/// anchor the benign rates and scan alerts look falsely indicative.
+/// Add-one smoothing on both rates.
+[[nodiscard]] LiftTable measure_lift(const incidents::Corpus& corpus,
+                                     const std::vector<alerts::Alert>& benign_background = {});
+
+}  // namespace at::analysis

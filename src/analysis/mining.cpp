@@ -1,0 +1,58 @@
+#include "analysis/mining.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/similarity.hpp"
+
+namespace at::analysis {
+
+std::size_t MiningResult::containing(const std::vector<alerts::AlertType>& pattern) const {
+  std::size_t total = 0;
+  for (const auto& seq : sequences) {
+    if (is_subsequence(pattern, seq.alerts)) total += seq.count;
+  }
+  return total;
+}
+
+MiningResult mine_core_sequences(const std::vector<incidents::Incident>& incidents) {
+  // Group identical cores. std::map keeps deterministic ordering for ties.
+  std::map<std::vector<alerts::AlertType>, std::size_t> groups;
+  for (const auto& incident : incidents) {
+    ++groups[incident.core_sequence()];
+  }
+
+  MiningResult result;
+  result.sequences.reserve(groups.size());
+  for (const auto& [alerts_seq, count] : groups) {
+    MinedSequence mined;
+    mined.alerts = alerts_seq;
+    mined.count = count;
+    result.sequences.push_back(std::move(mined));
+  }
+  std::stable_sort(result.sequences.begin(), result.sequences.end(),
+                   [](const MinedSequence& a, const MinedSequence& b) {
+                     if (a.count != b.count) return a.count > b.count;
+                     return a.alerts.size() < b.alerts.size();
+                   });
+  for (std::size_t i = 0; i < result.sequences.size(); ++i) {
+    result.sequences[i].name = "S" + std::to_string(i + 1);
+  }
+  if (!result.sequences.empty()) {
+    result.min_length = result.sequences.front().alerts.size();
+    result.max_length = result.min_length;
+    for (const auto& seq : result.sequences) {
+      result.min_length = std::min(result.min_length, seq.alerts.size());
+      result.max_length = std::max(result.max_length, seq.alerts.size());
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> length_histogram(const MiningResult& result) {
+  std::map<std::size_t, std::size_t> hist;
+  for (const auto& seq : result.sequences) ++hist[seq.alerts.size()];
+  return {hist.begin(), hist.end()};
+}
+
+}  // namespace at::analysis

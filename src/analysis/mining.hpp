@@ -1,0 +1,41 @@
+#pragma once
+// Common-sequence mining (Fig 3b). Groups incidents by their forensically
+// extracted core sequences, ranks the distinct sequences by how many
+// incidents exhibit them (S1 = most frequent), and reports the length
+// histogram behind Insight 2 (effective model range = 2..4-alert prefixes,
+// sequences observed up to length 14).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "alerts/taxonomy.hpp"
+#include "incidents/incident.hpp"
+
+namespace at::analysis {
+
+struct MinedSequence {
+  std::string name;  ///< "S1".."Sk" by frequency rank
+  std::vector<alerts::AlertType> alerts;
+  std::size_t count = 0;  ///< incidents exhibiting this exact core
+};
+
+struct MiningResult {
+  std::vector<MinedSequence> sequences;  ///< sorted by descending count
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+
+  /// Incidents (of those mined) whose core contains `pattern` as a
+  /// subsequence — used for the 60.08% motif prevalence figure.
+  [[nodiscard]] std::size_t containing(const std::vector<alerts::AlertType>& pattern) const;
+};
+
+/// Mine distinct core sequences from a set of incidents.
+[[nodiscard]] MiningResult mine_core_sequences(const std::vector<incidents::Incident>& incidents);
+
+/// Histogram of sequence length -> number of distinct mined sequences of
+/// that length (Fig 3b companion plot).
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> length_histogram(
+    const MiningResult& result);
+
+}  // namespace at::analysis

@@ -1,0 +1,161 @@
+#include "analysis/similarity.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/thread_pool.hpp"
+
+namespace at::analysis {
+
+double jaccard(const std::vector<alerts::AlertType>& a,
+               const std::vector<alerts::AlertType>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t inter = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+TypeSet::TypeSet(const std::vector<alerts::AlertType>& types) {
+  for (const auto type : types) insert(type);
+}
+
+void TypeSet::insert(alerts::AlertType type) noexcept {
+  const auto bit = static_cast<std::size_t>(type);
+  words_[bit >> 6] |= 1ULL << (bit & 63);
+}
+
+bool TypeSet::contains(alerts::AlertType type) const noexcept {
+  const auto bit = static_cast<std::size_t>(type);
+  return (words_[bit >> 6] >> (bit & 63)) & 1ULL;
+}
+
+std::size_t TypeSet::size() const noexcept {
+  return static_cast<std::size_t>(std::popcount(words_[0]) + std::popcount(words_[1]));
+}
+
+std::vector<alerts::AlertType> TypeSet::to_vector() const {
+  std::vector<alerts::AlertType> out;
+  for (std::size_t i = 0; i < alerts::kNumAlertTypes; ++i) {
+    const auto type = static_cast<alerts::AlertType>(i);
+    if (contains(type)) out.push_back(type);
+  }
+  return out;
+}
+
+double TypeSet::jaccard(const TypeSet& a, const TypeSet& b) noexcept {
+  const int inter = std::popcount(a.words_[0] & b.words_[0]) +
+                    std::popcount(a.words_[1] & b.words_[1]);
+  const int uni = std::popcount(a.words_[0] | b.words_[0]) +
+                  std::popcount(a.words_[1] | b.words_[1]);
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::size_t lcs_length(const std::vector<alerts::AlertType>& a,
+                       const std::vector<alerts::AlertType>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<std::size_t> prev(shorter.size() + 1, 0);
+  std::vector<std::size_t> cur(shorter.size() + 1, 0);
+  for (std::size_t i = 1; i <= longer.size(); ++i) {
+    for (std::size_t j = 1; j <= shorter.size(); ++j) {
+      if (longer[i - 1] == shorter[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[shorter.size()];
+}
+
+std::vector<alerts::AlertType> lcs(const std::vector<alerts::AlertType>& a,
+                                   const std::vector<alerts::AlertType>& b) {
+  // Full DP table for traceback; sequences here are short (<= ~20).
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::vector<std::size_t>> dp(n + 1, std::vector<std::size_t>(m + 1, 0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+  }
+  std::vector<alerts::AlertType> out;
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 && j > 0) {
+    if (a[i - 1] == b[j - 1]) {
+      out.push_back(a[i - 1]);
+      --i;
+      --j;
+    } else if (dp[i - 1][j] >= dp[i][j - 1]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+bool is_subsequence(const std::vector<alerts::AlertType>& pattern,
+                    const std::vector<alerts::AlertType>& sequence) {
+  std::size_t next = 0;
+  for (const auto type : sequence) {
+    if (next < pattern.size() && type == pattern[next]) ++next;
+  }
+  return next == pattern.size();
+}
+
+PairwiseResult pairwise_jaccard(const std::vector<incidents::Incident>& incidents,
+                                std::size_t threads) {
+  PairwiseResult result;
+  const std::size_t n = incidents.size();
+  if (n < 2) return result;
+
+  // Bitset representation: each set is two machine words, so the O(n^2)
+  // sweep is pure AND/OR + popcount (equivalence with the sorted-merge
+  // jaccard() is covered by tests).
+  std::vector<TypeSet> sets(n);
+  for (std::size_t i = 0; i < n; ++i) sets[i] = TypeSet(incidents[i].attack_type_set());
+
+  const std::size_t pairs = n * (n - 1) / 2;
+  result.similarities.assign(pairs, 0.0);
+
+  util::ThreadPool pool(threads);
+  // Row i owns pairs (i, i+1..n-1); flat index = offset(i) + (j - i - 1).
+  std::vector<std::size_t> row_offset(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    row_offset[i] = row_offset[i - 1] + (n - i);
+  }
+  pool.parallel_for(0, n - 1, [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      result.similarities[row_offset[i] + (j - i - 1)] = TypeSet::jaccard(sets[i], sets[j]);
+    }
+  });
+
+  for (const double s : result.similarities) result.stats.add(s);
+  result.fraction_at_or_below_third =
+      util::fraction_at_or_below(result.similarities, 1.0 / 3.0);
+  return result;
+}
+
+}  // namespace at::analysis

@@ -1,0 +1,68 @@
+#pragma once
+// Pairwise similarity analyses (Fig 3a) and longest-common-subsequence
+// machinery (Fig 3b). Jaccard runs over incident attack-type sets; LCS
+// over ordered core sequences. The pairwise sweep is parallelized over a
+// thread pool (O(n^2) pairs).
+
+#include <cstddef>
+#include <vector>
+
+#include "alerts/taxonomy.hpp"
+#include "incidents/incident.hpp"
+#include "util/stats.hpp"
+
+namespace at::analysis {
+
+/// Jaccard similarity of two sorted type sets: |A ∩ B| / |A ∪ B|.
+/// Both inputs must be sorted ascending and duplicate-free.
+[[nodiscard]] double jaccard(const std::vector<alerts::AlertType>& a,
+                             const std::vector<alerts::AlertType>& b);
+
+/// Fixed-width bitset over the alert-type universe (<= 128 types): the
+/// cache-friendly representation the pairwise sweep uses — intersection
+/// and union become two ANDs/ORs plus popcounts.
+class TypeSet {
+ public:
+  TypeSet() = default;
+  explicit TypeSet(const std::vector<alerts::AlertType>& types);
+
+  void insert(alerts::AlertType type) noexcept;
+  [[nodiscard]] bool contains(alerts::AlertType type) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::vector<alerts::AlertType> to_vector() const;
+
+  /// Jaccard of two bitsets (1.0 for two empty sets, matching jaccard()).
+  [[nodiscard]] static double jaccard(const TypeSet& a, const TypeSet& b) noexcept;
+
+ private:
+  static_assert(alerts::kNumAlertTypes <= 128, "widen TypeSet words");
+  std::uint64_t words_[2] = {0, 0};
+};
+
+/// Longest common subsequence length of two alert sequences (classic DP,
+/// O(|a|*|b|) time, O(min) space).
+[[nodiscard]] std::size_t lcs_length(const std::vector<alerts::AlertType>& a,
+                                     const std::vector<alerts::AlertType>& b);
+
+/// One longest common subsequence (ties broken deterministically).
+[[nodiscard]] std::vector<alerts::AlertType> lcs(const std::vector<alerts::AlertType>& a,
+                                                 const std::vector<alerts::AlertType>& b);
+
+/// Is `pattern` a subsequence of `sequence`?
+[[nodiscard]] bool is_subsequence(const std::vector<alerts::AlertType>& pattern,
+                                  const std::vector<alerts::AlertType>& sequence);
+
+struct PairwiseResult {
+  /// Similarity of every unordered incident pair (n*(n-1)/2 values).
+  std::vector<double> similarities;
+  util::OnlineStats stats;
+  /// Fraction of pairs with similarity <= 1/3 (the paper's headline: >95%).
+  double fraction_at_or_below_third = 0.0;
+};
+
+/// Pairwise Jaccard over all incidents' attack-type sets (Fig 3a input).
+/// `threads` == 0 uses hardware concurrency.
+[[nodiscard]] PairwiseResult pairwise_jaccard(const std::vector<incidents::Incident>& incidents,
+                                              std::size_t threads = 0);
+
+}  // namespace at::analysis

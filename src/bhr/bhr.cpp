@@ -1,0 +1,114 @@
+#include "bhr/bhr.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace at::bhr {
+
+bool BlackHoleRouter::block(net::Ipv4 source, util::SimTime now, util::SimTime ttl,
+                            std::string reason, std::string client) {
+  const bool internal = protected_.contains(source);
+  audit_.push_back({now, "block", source, client, !internal});
+  if (internal) return false;  // never blackhole the protected network
+  BlockEntry& entry = blocks_[source.value()];
+  entry.source = source;
+  entry.blocked_at = now;
+  entry.expires_at = ttl > 0 ? now + ttl : 0;
+  entry.reason = std::move(reason);
+  entry.requested_by = std::move(client);
+  return true;
+}
+
+bool BlackHoleRouter::unblock(net::Ipv4 source, util::SimTime now, std::string client) {
+  const bool existed = blocks_.erase(source.value()) > 0;
+  audit_.push_back({now, "unblock", source, std::move(client), existed});
+  return existed;
+}
+
+bool BlackHoleRouter::is_blocked(net::Ipv4 source, util::SimTime now) const {
+  const auto it = blocks_.find(source.value());
+  if (it == blocks_.end()) return false;
+  return it->second.expires_at == 0 || it->second.expires_at > now;
+}
+
+std::optional<BlockEntry> BlackHoleRouter::query(net::Ipv4 source, util::SimTime now) const {
+  if (!is_blocked(source, now)) return std::nullopt;
+  return blocks_.at(source.value());
+}
+
+std::size_t BlackHoleRouter::expire(util::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second.expires_at != 0 && it->second.expires_at <= now) {
+      it = blocks_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool BlackHoleRouter::filter(const net::Flow& flow) {
+  if (is_blocked(flow.src, flow.ts)) {
+    ++dropped_;
+    return true;
+  }
+  ++passed_;
+  return false;
+}
+
+std::size_t BlackHoleRouter::active_blocks(util::SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& [key, entry] : blocks_) {
+    if (entry.expires_at == 0 || entry.expires_at > now) ++count;
+  }
+  return count;
+}
+
+void ScanRecorder::record(const net::Flow& flow) {
+  ++total_;
+  State& state = per_source_[flow.src.value()];
+  if (state.profile.probes == 0) {
+    state.profile.source = flow.src;
+    state.profile.first_seen = flow.ts;
+    // Exact bitmap over the /16 host space: the low 16 bits of the target
+    // address index one of 65,536 bits (1024 words).
+    state.target_bits.assign(1024, 0);
+  }
+  ++state.profile.probes;
+  state.profile.last_seen = std::max(state.profile.last_seen, flow.ts);
+  const std::uint32_t host = flow.dst.value() & 0xffffu;
+  auto& word = state.target_bits[host >> 6];
+  const std::uint64_t bit = 1ULL << (host & 63u);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++state.profile.distinct_targets;
+  }
+}
+
+std::vector<ScannerProfile> ScanRecorder::top_scanners(std::size_t k) const {
+  std::vector<ScannerProfile> profiles;
+  profiles.reserve(per_source_.size());
+  for (const auto& [key, state] : per_source_) profiles.push_back(state.profile);
+  std::sort(profiles.begin(), profiles.end(),
+            [](const ScannerProfile& a, const ScannerProfile& b) {
+              if (a.probes != b.probes) return a.probes > b.probes;
+              return a.source < b.source;
+            });
+  if (profiles.size() > k) profiles.resize(k);
+  return profiles;
+}
+
+std::vector<ScannerProfile> ScanRecorder::mass_scanners(std::uint64_t min_targets) const {
+  std::vector<ScannerProfile> out;
+  for (const auto& [key, state] : per_source_) {
+    if (state.profile.distinct_targets >= min_targets) out.push_back(state.profile);
+  }
+  std::sort(out.begin(), out.end(), [](const ScannerProfile& a, const ScannerProfile& b) {
+    return a.distinct_targets > b.distinct_targets;
+  });
+  return out;
+}
+
+}  // namespace at::bhr

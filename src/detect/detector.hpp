@@ -1,0 +1,129 @@
+#pragma once
+// Detector framework. A Detector consumes one time-ordered alert stream
+// (one attack entity, or one benign window) and reports the first moment it
+// would page the security team. The four implementations span the design
+// space the paper argues about:
+//   - CriticalAlertDetector: fire on any of the 19 critical alerts — the
+//     "too late" baseline of Insight 4.
+//   - ThresholdDetector: fire on any single alert of sufficient severity —
+//     the noisy single-alert baseline of Remark 2.
+//   - RuleBasedDetector: match known pre-damage signature subsequences
+//     (the testbed's rule-based model, ref [5]).
+//   - FactorGraphDetector: AttackTagger — forward-filtered stage posterior
+//     crossing a probability threshold (ref [6]).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alerts/alert.hpp"
+#include "fg/model.hpp"
+
+namespace at::detect {
+
+struct Detection {
+  std::size_t alert_index = 0;  ///< index into the stream (0-based)
+  util::SimTime ts = 0;
+  double score = 0.0;  ///< model confidence at firing time
+  std::string reason;
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Restart for a new stream.
+  virtual void reset() = 0;
+  /// Absorb one alert; returns a detection the first time the stream
+  /// crosses the firing condition (and nothing on later alerts).
+  virtual std::optional<Detection> observe(const alerts::Alert& alert,
+                                           std::size_t index) = 0;
+};
+
+/// Fires on the first of the paper's 19 critical alert types.
+class CriticalAlertDetector final : public Detector {
+ public:
+  [[nodiscard]] std::string name() const override { return "critical-alert"; }
+  void reset() override { fired_ = false; }
+  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
+
+ private:
+  bool fired_ = false;
+};
+
+/// Fires on any single alert at or above a severity floor.
+class ThresholdDetector final : public Detector {
+ public:
+  explicit ThresholdDetector(alerts::Severity floor = alerts::Severity::kWarning)
+      : floor_(floor) {}
+  [[nodiscard]] std::string name() const override { return "single-alert-threshold"; }
+  void reset() override { fired_ = false; }
+  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
+
+ private:
+  alerts::Severity floor_;
+  bool fired_ = false;
+};
+
+/// Matches known signature subsequences (learned from training incidents).
+class RuleBasedDetector final : public Detector {
+ public:
+  struct Signature {
+    std::string name;
+    std::vector<alerts::AlertType> alerts;
+  };
+
+  explicit RuleBasedDetector(std::vector<Signature> signatures);
+
+  /// Extract signatures from training incidents: the pre-damage prefix of
+  /// each distinct core sequence, truncated to `max_len` alerts
+  /// (Insight 2's effective range) and deduplicated.
+  static RuleBasedDetector train(const std::vector<incidents::Incident>& training,
+                                 std::size_t max_len = 4, std::size_t min_len = 2);
+
+  [[nodiscard]] std::string name() const override { return "rule-based"; }
+  [[nodiscard]] std::size_t signature_count() const noexcept { return signatures_.size(); }
+  /// Add a signature at runtime — the paper's feedback loop where alerts
+  /// from a preempted attack refine the deployed ruleset.
+  void add_signature(Signature signature);
+  void reset() override;
+  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
+
+ private:
+  std::vector<Signature> signatures_;
+  std::vector<std::size_t> progress_;  ///< matched prefix length per signature
+  bool fired_ = false;
+};
+
+/// AttackTagger: factor-graph stage inference with a posterior threshold.
+/// With `use_timing` the filter also conditions on inter-alert gap buckets
+/// (Insight 3: probe bursts vs manual-stage pauses are themselves evidence).
+class FactorGraphDetector final : public Detector {
+ public:
+  FactorGraphDetector(fg::ModelParams params, double threshold = 0.75,
+                      alerts::AttackStage stage = alerts::AttackStage::kInProgress,
+                      bool use_timing = false);
+
+  /// Learn parameters from a training corpus and wrap them.
+  static FactorGraphDetector train(const incidents::Corpus& training,
+                                   double threshold = 0.75, bool use_timing = false);
+
+  [[nodiscard]] std::string name() const override {
+    return use_timing_ ? "factor-graph-timed" : "factor-graph";
+  }
+  [[nodiscard]] const fg::ModelParams& params() const noexcept { return params_; }
+  void reset() override;
+  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
+
+ private:
+  fg::ModelParams params_;
+  double threshold_;
+  alerts::AttackStage stage_;
+  bool use_timing_;
+  fg::ForwardFilter filter_;
+  std::optional<util::SimTime> last_ts_;
+  bool fired_ = false;
+};
+
+}  // namespace at::detect

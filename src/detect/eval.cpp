@@ -1,0 +1,146 @@
+#include "detect/eval.hpp"
+
+#include <algorithm>
+
+namespace at::detect {
+
+Stream attack_stream(const incidents::Incident& incident) {
+  Stream stream;
+  stream.is_attack = true;
+  stream.label = incident.family + "#" + std::to_string(incident.id);
+  stream.damage_ts = incident.damage_ts;
+  for (const auto& entry : incident.timeline) {
+    if (!entry.attack_related) continue;
+    if (entry.alert.critical() && !stream.damage_index) {
+      stream.damage_index = stream.alerts.size();
+    }
+    if (entry.core) stream.core_indices.push_back(stream.alerts.size());
+    stream.alerts.push_back(entry.alert);
+  }
+  return stream;
+}
+
+std::vector<Stream> benign_streams(const incidents::DailyNoiseModel& model,
+                                   util::SimTime start, std::size_t count,
+                                   std::size_t alerts_per_stream) {
+  const auto month = model.sample_month(start, count);
+  std::vector<Stream> streams;
+  streams.reserve(count);
+  for (std::size_t d = 0; d < count; ++d) {
+    Stream stream;
+    stream.is_attack = false;
+    stream.label = "benign-day-" + std::to_string(d);
+    stream.alerts = model.materialize_day(month[d], alerts_per_stream);
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+double EvalResult::precision() const noexcept {
+  const auto fired = true_positives + false_positives;
+  return fired ? static_cast<double>(true_positives) / static_cast<double>(fired) : 0.0;
+}
+
+double EvalResult::recall() const noexcept {
+  const auto attacks = true_positives + false_negatives;
+  return attacks ? static_cast<double>(true_positives) / static_cast<double>(attacks) : 0.0;
+}
+
+double EvalResult::preemption_rate() const noexcept {
+  return damage_streams ? static_cast<double>(preempted) / static_cast<double>(damage_streams)
+                        : 0.0;
+}
+
+double EvalResult::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+EvalResult evaluate(Detector& detector, std::span<const Stream> attacks,
+                    std::span<const Stream> benign) {
+  EvalResult result;
+  result.detector = detector.name();
+  result.attack_streams = attacks.size();
+  result.benign_streams = benign.size();
+
+  for (const auto& stream : attacks) {
+    detector.reset();
+    std::optional<Detection> detection;
+    for (std::size_t i = 0; i < stream.alerts.size() && !detection; ++i) {
+      detection = detector.observe(stream.alerts[i], i);
+    }
+    if (!detection) {
+      ++result.false_negatives;
+      continue;
+    }
+    ++result.true_positives;
+    result.detection_index.add(static_cast<double>(detection->alert_index));
+    if (stream.damage_ts) {
+      ++result.damage_streams;
+      if (detection->ts < *stream.damage_ts) {
+        ++result.preempted;
+        result.lead_seconds.add(static_cast<double>(*stream.damage_ts - detection->ts));
+        if (stream.damage_index) {
+          result.lead_events.add(static_cast<double>(*stream.damage_index) -
+                                 static_cast<double>(detection->alert_index));
+        }
+      }
+    }
+  }
+
+  for (const auto& stream : benign) {
+    detector.reset();
+    bool fired = false;
+    for (std::size_t i = 0; i < stream.alerts.size() && !fired; ++i) {
+      fired = detector.observe(stream.alerts[i], i).has_value();
+    }
+    if (fired) {
+      ++result.false_positives;
+    } else {
+      ++result.true_negatives;
+    }
+  }
+  return result;
+}
+
+double recall_at_prefix(Detector& detector, std::span<const Stream> attacks,
+                        std::size_t prefix) {
+  if (attacks.empty()) return 0.0;
+  std::size_t detected = 0;
+  for (const auto& stream : attacks) {
+    detector.reset();
+    // Truncate right after the prefix-th core alert; if the stream has
+    // fewer core alerts, show everything.
+    std::size_t limit = stream.alerts.size();
+    if (prefix == 0) {
+      limit = 0;
+    } else if (!stream.core_indices.empty() && prefix <= stream.core_indices.size()) {
+      limit = stream.core_indices[prefix - 1] + 1;
+    }
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (detector.observe(stream.alerts[i], i)) {
+        ++detected;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(detected) / static_cast<double>(attacks.size());
+}
+
+Split split_corpus(const incidents::Corpus& corpus) {
+  Split split;
+  split.train.catalog = corpus.catalog;
+  split.train.stats = {};
+  for (const auto& incident : corpus.incidents) {
+    if (incident.id % 2 == 0) {
+      split.train.incidents.push_back(incident);
+    } else {
+      split.test.push_back(incident);
+    }
+  }
+  split.train.stats.incidents = split.train.incidents.size();
+  return split;
+}
+
+}  // namespace at::detect

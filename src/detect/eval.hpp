@@ -1,0 +1,77 @@
+#pragma once
+// Detector evaluation harness: train/test splitting, stream extraction,
+// preemption-centric metrics (did the detector fire *before* damage, and
+// with how much lead), and the prefix-length sweep that validates
+// Insight 2's 2-4-alert effective range.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "incidents/noise.hpp"
+#include "util/stats.hpp"
+
+namespace at::detect {
+
+/// One evaluation stream: an ordered alert list plus its ground truth.
+struct Stream {
+  std::vector<alerts::Alert> alerts;
+  bool is_attack = false;
+  /// Damage instant (first critical alert), if the stream has one.
+  std::optional<util::SimTime> damage_ts;
+  std::optional<std::size_t> damage_index;
+  /// Stream positions of the incident's core-sequence alerts (attack
+  /// streams only); drives the Insight-2 prefix sweep.
+  std::vector<std::size_t> core_indices;
+  std::string label;
+};
+
+/// The attack-related alert stream of an incident (what the entity-keyed
+/// pipeline would hand the detector for the attacker).
+[[nodiscard]] Stream attack_stream(const incidents::Incident& incident);
+
+/// Benign streams sampled from the daily-noise model (negatives).
+[[nodiscard]] std::vector<Stream> benign_streams(const incidents::DailyNoiseModel& model,
+                                                 util::SimTime start, std::size_t count,
+                                                 std::size_t alerts_per_stream);
+
+struct EvalResult {
+  std::string detector;
+  std::size_t attack_streams = 0;
+  std::size_t benign_streams = 0;
+  std::size_t true_positives = 0;   ///< fired on an attack stream
+  std::size_t false_negatives = 0;  ///< attack stream, never fired
+  std::size_t false_positives = 0;  ///< fired on a benign stream
+  std::size_t true_negatives = 0;
+  /// Of attack streams with a damage instant: fired strictly before it.
+  std::size_t preempted = 0;
+  std::size_t damage_streams = 0;
+  util::OnlineStats lead_seconds;  ///< damage_ts - detection_ts over preempted
+  util::OnlineStats lead_events;   ///< damage_index - detection_index
+  util::OnlineStats detection_index;  ///< how many alerts were needed
+
+  [[nodiscard]] double precision() const noexcept;
+  [[nodiscard]] double recall() const noexcept;
+  [[nodiscard]] double preemption_rate() const noexcept;
+  [[nodiscard]] double f1() const noexcept;
+};
+
+/// Run one detector over attack + benign streams.
+[[nodiscard]] EvalResult evaluate(Detector& detector, std::span<const Stream> attacks,
+                                  std::span<const Stream> benign);
+
+/// Recall when each attack stream is truncated right after its `prefix`-th
+/// *core* alert (noise in between is still shown). This is Insight 2's
+/// question: can the model fire with only 2-4 attack alerts observed?
+[[nodiscard]] double recall_at_prefix(Detector& detector, std::span<const Stream> attacks,
+                                      std::size_t prefix);
+
+/// Deterministic train/test split of a corpus by incident id parity.
+struct Split {
+  incidents::Corpus train;  ///< catalog + training incidents
+  std::vector<incidents::Incident> test;
+};
+[[nodiscard]] Split split_corpus(const incidents::Corpus& corpus);
+
+}  // namespace at::detect

@@ -1,0 +1,26 @@
+#include "detect/refinery.hpp"
+
+#include <algorithm>
+
+namespace at::detect {
+
+std::optional<RuleBasedDetector::Signature> derive_signature(
+    const std::vector<alerts::Alert>& observed, std::string name,
+    const RefineOptions& options) {
+  RuleBasedDetector::Signature signature;
+  signature.name = std::move(name);
+  for (const auto& alert : observed) {
+    if (alert.critical()) break;  // signatures must be usable pre-damage
+    if (alerts::category_of(alert.type) == alerts::Category::kBenign) continue;
+    if (std::find(signature.alerts.begin(), signature.alerts.end(), alert.type) !=
+        signature.alerts.end()) {
+      continue;  // repeated probing collapses to its first occurrence
+    }
+    signature.alerts.push_back(alert.type);
+    if (signature.alerts.size() >= options.max_len) break;
+  }
+  if (signature.alerts.size() < options.min_len) return std::nullopt;
+  return signature;
+}
+
+}  // namespace at::detect

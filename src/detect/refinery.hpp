@@ -1,0 +1,28 @@
+#pragma once
+// Signature refinement — the paper's closing feedback loop: "Our
+// successful detection of the ransomware family results in new security
+// alerts ... being improved and incorporated into Zeek policies ... These
+// new alerts are the basis for refining detection models in adapting to
+// future attacks." Given the alert stream of a *detected* attack, derive
+// the pre-damage signature that will catch the family's next variant.
+
+#include <optional>
+
+#include "detect/detector.hpp"
+
+namespace at::detect {
+
+struct RefineOptions {
+  std::size_t max_len = 4;  ///< Insight 2's effective range
+  std::size_t min_len = 2;
+};
+
+/// Derive a signature from an observed (time-ordered) attack alert stream:
+/// the first distinct non-benign alert types, truncated before any
+/// critical alert, capped at max_len. Returns nullopt if fewer than
+/// min_len usable alerts exist.
+[[nodiscard]] std::optional<RuleBasedDetector::Signature> derive_signature(
+    const std::vector<alerts::Alert>& observed, std::string name,
+    const RefineOptions& options = {});
+
+}  // namespace at::detect

@@ -1,0 +1,37 @@
+#pragma once
+// ROC analysis for threshold detectors: sweep the factor-graph firing
+// threshold over its range, measure (false-positive rate, true-positive
+// rate) per operating point, and integrate AUC. This is the evaluation a
+// model-selection pass on the testbed runs before deploying a threshold.
+
+#include <span>
+#include <vector>
+
+#include "detect/eval.hpp"
+
+namespace at::detect {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  ///< recall on attack streams
+  double fpr = 0.0;  ///< firing fraction on benign streams
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;  ///< ascending threshold
+  double auc = 0.0;              ///< trapezoidal, over the swept range
+};
+
+/// Score every stream once with the *maximum* posterior the factor-graph
+/// filter reaches, then sweep thresholds over those scores. One inference
+/// pass, arbitrarily many operating points.
+[[nodiscard]] RocCurve roc_factor_graph(const fg::ModelParams& params,
+                                        std::span<const Stream> attacks,
+                                        std::span<const Stream> benign,
+                                        std::size_t threshold_steps = 50);
+
+/// Max P(stage >= in_progress) the filter reaches along one stream.
+[[nodiscard]] double max_posterior_score(const fg::ModelParams& params,
+                                         const Stream& stream);
+
+}  // namespace at::detect

@@ -1,0 +1,88 @@
+#include "detect/sessionizer.hpp"
+
+#include <algorithm>
+
+namespace at::detect {
+
+void AttackSessionizer::record(AttackSession& session, const alerts::Alert& alert) {
+  if (session.alerts.empty()) session.first_ts = alert.ts;
+  session.last_ts = std::max(session.last_ts, alert.ts);
+  if (!alert.host.empty() &&
+      std::find(session.hosts.begin(), session.hosts.end(), alert.host) ==
+          session.hosts.end()) {
+    session.hosts.push_back(alert.host);
+  }
+  if (alert.src && std::find(session.sources.begin(), session.sources.end(), *alert.src) ==
+                       session.sources.end()) {
+    session.sources.push_back(*alert.src);
+  }
+  session.alerts.push_back(alert);
+}
+
+AttackSession& AttackSessionizer::session_for_account(const std::string& account) {
+  const auto it = by_account_.find(account);
+  if (it != by_account_.end()) return sessions_[it->second];
+  AttackSession session;
+  session.id = static_cast<std::uint32_t>(sessions_.size());
+  session.account = account;
+  by_account_.emplace(account, session.id);
+  sessions_.push_back(std::move(session));
+  return sessions_.back();
+}
+
+AttackSession& AttackSessionizer::session_for_source(net::Ipv4 src) {
+  const auto it = by_source_.find(src.value());
+  if (it != by_source_.end()) return sessions_[it->second];
+  AttackSession session;
+  session.id = static_cast<std::uint32_t>(sessions_.size());
+  by_source_.emplace(src.value(), session.id);
+  sessions_.push_back(std::move(session));
+  return sessions_.back();
+}
+
+std::uint32_t AttackSessionizer::ingest(const alerts::Alert& alert) {
+  if (!alert.user.empty()) {
+    // Account activity: the account is the attack identity, regardless of
+    // how many sources act as it (rule: same account => one attack).
+    AttackSession& session = session_for_account(alert.user);
+    // Tie the source to this account's session so the attacker's later
+    // account-less network activity is attributed here too.
+    if (alert.src) {
+      const auto bound = by_source_.find(alert.src->value());
+      if (bound == by_source_.end()) {
+        by_source_.emplace(alert.src->value(), session.id);
+      } else if (sessions_[bound->second].account.empty()) {
+        // The source previously only produced account-less alerts; merge
+        // that provisional session into the account's.
+        AttackSession& orphan = sessions_[bound->second];
+        if (orphan.id != session.id) {
+          for (const auto& moved : orphan.alerts) record(session, moved);
+          orphan.alerts.clear();
+          orphan.hosts.clear();
+          orphan.sources.clear();
+          bound->second = session.id;
+        }
+      }
+      // A source bound to a *different account* stays bound there: one
+      // attacker using different accounts is separate attacks by the rule.
+    }
+    record(session, alert);
+    return session.id;
+  }
+  if (alert.src) {
+    AttackSession& session = session_for_source(*alert.src);
+    record(session, alert);
+    return session.id;
+  }
+  // Neither account nor source: host-local activity with no attribution;
+  // file under a per-host pseudo-account.
+  AttackSession& session = session_for_account("<host>:" + alert.host);
+  record(session, alert);
+  return session.id;
+}
+
+const AttackSession* AttackSessionizer::find(std::uint32_t id) const {
+  return id < sessions_.size() ? &sessions_[id] : nullptr;
+}
+
+}  // namespace at::detect

@@ -1,0 +1,51 @@
+#pragma once
+// Attack sessionization — the paper's threat-model accounting rules
+// (Section III-B):
+//   * one attacker moving laterally under the SAME user account, and
+//   * multiple (coordinated or independent) attackers using the SAME
+//     account, are ONE attack;
+//   * an attacker using DIFFERENT accounts, or different attackers with
+//     different entry points and accounts, are SEPARATE attacks.
+// The sessionizer groups a time-ordered alert stream into attack sessions
+// by account, associating account-less network alerts through the source
+// addresses previously seen acting as that account.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alerts/alert.hpp"
+
+namespace at::detect {
+
+struct AttackSession {
+  std::uint32_t id = 0;
+  std::string account;  ///< empty for source-only sessions
+  std::vector<alerts::Alert> alerts;
+  std::vector<std::string> hosts;    ///< distinct, in first-seen order
+  std::vector<net::Ipv4> sources;    ///< distinct, in first-seen order
+  util::SimTime first_ts = 0;
+  util::SimTime last_ts = 0;
+};
+
+class AttackSessionizer {
+ public:
+  /// Feed one alert (time-ordered); returns the session it was filed in.
+  std::uint32_t ingest(const alerts::Alert& alert);
+
+  [[nodiscard]] const std::vector<AttackSession>& sessions() const noexcept {
+    return sessions_;
+  }
+  [[nodiscard]] const AttackSession* find(std::uint32_t id) const;
+
+ private:
+  AttackSession& session_for_account(const std::string& account);
+  AttackSession& session_for_source(net::Ipv4 src);
+  static void record(AttackSession& session, const alerts::Alert& alert);
+
+  std::vector<AttackSession> sessions_;
+  std::unordered_map<std::string, std::uint32_t> by_account_;
+  std::unordered_map<std::uint32_t, std::uint32_t> by_source_;  ///< ip -> session
+};
+
+}  // namespace at::detect

@@ -1,0 +1,208 @@
+#include "fg/bp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logdomain.hpp"
+
+namespace at::fg {
+
+namespace {
+
+using util::kLogZero;
+using util::log_add;
+
+/// Normalize a log-domain message so its max entry is 0 (stability).
+void normalize_log(std::vector<double>& message) {
+  double peak = kLogZero;
+  for (const double v : message) peak = std::max(peak, v);
+  if (peak == kLogZero) return;
+  for (double& v : message) v -= peak;
+}
+
+/// Convert a log-domain belief into a normalized linear distribution.
+std::vector<double> to_distribution(const std::vector<double>& log_belief) {
+  double peak = kLogZero;
+  for (const double v : log_belief) peak = std::max(peak, v);
+  std::vector<double> out(log_belief.size(), 0.0);
+  if (peak == kLogZero) {
+    // Degenerate: uniform.
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(out.size()));
+    return out;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < log_belief.size(); ++i) {
+    out[i] = std::exp(log_belief[i] - peak);
+    total += out[i];
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace
+
+BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
+  const std::size_t num_vars = graph.num_variables();
+  const std::size_t num_factors = graph.num_factors();
+
+  // Edge storage: for each factor, one message slot per scope entry in each
+  // direction, indexed by (factor, position-in-scope).
+  struct Edge {
+    std::vector<double> to_var;     // factor -> variable
+    std::vector<double> to_factor;  // variable -> factor
+  };
+  std::vector<std::vector<Edge>> edges(num_factors);
+  for (FactorId f = 0; f < num_factors; ++f) {
+    const auto& factor = graph.factor(f);
+    edges[f].resize(factor.scope.size());
+    for (std::size_t k = 0; k < factor.scope.size(); ++k) {
+      const std::size_t card = graph.variable(factor.scope[k]).cardinality;
+      edges[f][k].to_var.assign(card, 0.0);
+      edges[f][k].to_factor.assign(card, 0.0);
+    }
+  }
+
+  // Per-variable incident edge list: (factor, position) pairs.
+  std::vector<std::vector<std::pair<FactorId, std::size_t>>> incident(num_vars);
+  for (FactorId f = 0; f < num_factors; ++f) {
+    const auto& scope = graph.factor(f).scope;
+    for (std::size_t k = 0; k < scope.size(); ++k) incident[scope[k]].emplace_back(f, k);
+  }
+
+  BpResult result;
+  double delta = 0.0;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    delta = 0.0;
+
+    // Variable -> factor messages.
+    for (VarId v = 0; v < num_vars; ++v) {
+      const std::size_t card = graph.variable(v).cardinality;
+      for (const auto& [f, k] : incident[v]) {
+        std::vector<double> message(card, 0.0);
+        for (const auto& [f2, k2] : incident[v]) {
+          if (f2 == f && k2 == k) continue;
+          for (std::size_t x = 0; x < card; ++x) message[x] += edges[f2][k2].to_var[x];
+        }
+        normalize_log(message);
+        auto& slot = edges[f][k].to_factor;
+        for (std::size_t x = 0; x < card; ++x) {
+          delta = std::max(delta, std::abs(message[x] - slot[x]));
+        }
+        slot = std::move(message);
+      }
+    }
+
+    // Factor -> variable messages.
+    for (FactorId f = 0; f < num_factors; ++f) {
+      const auto& factor = graph.factor(f);
+      const auto stride = graph.strides(f);
+      const std::size_t arity = factor.scope.size();
+      std::vector<std::size_t> cards(arity);
+      for (std::size_t k = 0; k < arity; ++k) {
+        cards[k] = graph.variable(factor.scope[k]).cardinality;
+      }
+      for (std::size_t k = 0; k < arity; ++k) {
+        std::vector<double> message(cards[k], kLogZero);
+        // Walk every table entry; accumulate into the target variable slot.
+        std::vector<std::size_t> idx(arity, 0);
+        for (std::size_t flat = 0; flat < factor.log_table.size(); ++flat) {
+          double score = factor.log_table[flat];
+          for (std::size_t j = 0; j < arity; ++j) {
+            if (j == k) continue;
+            score += edges[f][j].to_factor[idx[j]];
+          }
+          auto& slot = message[idx[k]];
+          slot = options.max_product ? std::max(slot, score) : log_add(slot, score);
+          // Increment the mixed-radix index (last scope var fastest).
+          for (std::size_t j = arity; j-- > 0;) {
+            if (++idx[j] < cards[j]) break;
+            idx[j] = 0;
+          }
+        }
+        normalize_log(message);
+        auto& slot = edges[f][k].to_var;
+        if (options.damping > 0.0) {
+          for (std::size_t x = 0; x < message.size(); ++x) {
+            message[x] = options.damping * slot[x] + (1.0 - options.damping) * message[x];
+          }
+          normalize_log(message);
+        }
+        for (std::size_t x = 0; x < message.size(); ++x) {
+          delta = std::max(delta, std::abs(message[x] - slot[x]));
+        }
+        slot = std::move(message);
+      }
+    }
+
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Beliefs.
+  result.marginals.resize(num_vars);
+  result.map_assignment.resize(num_vars, 0);
+  for (VarId v = 0; v < num_vars; ++v) {
+    const std::size_t card = graph.variable(v).cardinality;
+    std::vector<double> log_belief(card, 0.0);
+    for (const auto& [f, k] : incident[v]) {
+      for (std::size_t x = 0; x < card; ++x) log_belief[x] += edges[f][k].to_var[x];
+    }
+    result.marginals[v] = to_distribution(log_belief);
+    result.map_assignment[v] = static_cast<std::size_t>(
+        std::max_element(log_belief.begin(), log_belief.end()) - log_belief.begin());
+  }
+  return result;
+}
+
+ExactResult enumerate_exact(const FactorGraph& graph) {
+  const std::size_t num_vars = graph.num_variables();
+  std::size_t total = 1;
+  for (VarId v = 0; v < num_vars; ++v) {
+    total *= graph.variable(v).cardinality;
+    if (total > (1ULL << 22)) throw std::invalid_argument("enumerate_exact: too large");
+  }
+
+  ExactResult result;
+  result.marginals.resize(num_vars);
+  for (VarId v = 0; v < num_vars; ++v) {
+    result.marginals[v].assign(graph.variable(v).cardinality, 0.0);
+  }
+  result.map_assignment.assign(num_vars, 0);
+
+  std::vector<std::size_t> assignment(num_vars, 0);
+  double best = util::kLogZero;
+  double log_z = util::kLogZero;
+  std::vector<std::vector<double>> log_marginals(num_vars);
+  for (VarId v = 0; v < num_vars; ++v) {
+    log_marginals[v].assign(graph.variable(v).cardinality, util::kLogZero);
+  }
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    const double score = graph.joint_log_score(assignment);
+    log_z = util::log_add(log_z, score);
+    if (score > best) {
+      best = score;
+      result.map_assignment = assignment;
+    }
+    for (VarId v = 0; v < num_vars; ++v) {
+      auto& slot = log_marginals[v][assignment[v]];
+      slot = util::log_add(slot, score);
+    }
+    for (std::size_t v = num_vars; v-- > 0;) {
+      if (++assignment[v] < graph.variable(static_cast<VarId>(v)).cardinality) break;
+      assignment[v] = 0;
+    }
+  }
+  result.log_partition = log_z;
+  for (VarId v = 0; v < num_vars; ++v) {
+    for (std::size_t x = 0; x < result.marginals[v].size(); ++x) {
+      result.marginals[v][x] = util::safe_exp(log_marginals[v][x] - log_z);
+    }
+  }
+  return result;
+}
+
+}  // namespace at::fg

@@ -1,0 +1,258 @@
+#include "fg/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logdomain.hpp"
+
+namespace at::fg {
+
+namespace {
+
+constexpr std::size_t kStages = alerts::kNumStages;
+constexpr std::size_t kTypes = alerts::kNumAlertTypes;
+
+void normalize_rows(std::vector<double>& counts, std::size_t rows, std::size_t cols,
+                    std::vector<double>& out_log) {
+  out_log.assign(rows * cols, util::kLogZero);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) total += counts[r * cols + c];
+    if (total <= 0.0) continue;
+    for (std::size_t c = 0; c < cols; ++c) {
+      out_log[r * cols + c] = util::safe_log(counts[r * cols + c] / total);
+    }
+  }
+}
+
+}  // namespace
+
+GapBucket bucket_for_gap(util::SimTime gap) noexcept {
+  if (gap < 30) return GapBucket::kBurst;
+  if (gap < util::kHour) return GapBucket::kMinutes;
+  if (gap < util::kDay) return GapBucket::kHours;
+  return GapBucket::kDays;
+}
+
+ModelParams learn_params(const incidents::Corpus& corpus, const LearnOptions& options) {
+  std::vector<double> prior_counts(kStages, options.laplace);
+  std::vector<double> transition_counts(kStages * kStages, options.laplace);
+  std::vector<double> emission_counts(kStages * kTypes, options.laplace);
+  std::vector<double> gap_counts(kStages * kNumGapBuckets, options.laplace);
+
+  for (const auto& incident : corpus.incidents) {
+    const incidents::LabeledAlert* prev = nullptr;
+    for (const auto& entry : incident.timeline) {
+      const auto stage = static_cast<std::size_t>(entry.stage);
+      const auto type = static_cast<std::size_t>(entry.alert.type);
+      emission_counts[stage * kTypes + type] += 1.0;
+      if (prev == nullptr) {
+        prior_counts[stage] += 1.0;
+      } else {
+        const auto prev_stage = static_cast<std::size_t>(prev->stage);
+        double weight = 1.0;
+        // Attacks progress; observed regressions (noise interleaving) are
+        // learned with reduced weight so the model prefers monotonic
+        // escalation, as the original AttackTagger factors encode.
+        if (stage < prev_stage) weight = options.regression_penalty;
+        transition_counts[prev_stage * kStages + stage] += weight;
+        const auto bucket =
+            static_cast<std::size_t>(bucket_for_gap(entry.alert.ts - prev->alert.ts));
+        gap_counts[stage * kNumGapBuckets + bucket] += 1.0;
+      }
+      prev = &entry;
+    }
+  }
+
+  ModelParams params;
+  {
+    double total = 0.0;
+    for (const double c : prior_counts) total += c;
+    params.log_prior.assign(kStages, util::kLogZero);
+    for (std::size_t s = 0; s < kStages; ++s) {
+      params.log_prior[s] = util::safe_log(prior_counts[s] / total);
+    }
+  }
+  normalize_rows(transition_counts, kStages, kStages, params.log_transition);
+  normalize_rows(emission_counts, kStages, kTypes, params.log_emission);
+  normalize_rows(gap_counts, kStages, kNumGapBuckets, params.log_gap);
+  return params;
+}
+
+FactorGraph build_chain(const ModelParams& params,
+                        std::span<const alerts::AlertType> observed) {
+  FactorGraph graph;
+  if (observed.empty()) return graph;
+
+  std::vector<VarId> stages;
+  stages.reserve(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    stages.push_back(graph.add_variable(kStages, "stage_" + std::to_string(t)));
+  }
+  // Prior factor on the first stage.
+  graph.add_factor({stages[0]}, params.log_prior, "prior");
+  // Emission factor per event: phi_t(s) = log P(alert_t | s).
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    std::vector<double> table(kStages);
+    for (std::size_t s = 0; s < kStages; ++s) {
+      table[s] = params.emission(static_cast<alerts::AttackStage>(s), observed[t]);
+    }
+    graph.add_factor({stages[t]}, std::move(table), "emit_" + std::to_string(t));
+  }
+  // Transition factor per adjacent pair; layout [prev, next], next fastest,
+  // matching ModelParams::log_transition.
+  for (std::size_t t = 1; t < observed.size(); ++t) {
+    graph.add_factor({stages[t - 1], stages[t]}, params.log_transition,
+                     "trans_" + std::to_string(t));
+  }
+  return graph;
+}
+
+ForwardFilter::ForwardFilter(ModelParams params) : params_(std::move(params)) { reset(); }
+
+void ForwardFilter::reset() {
+  belief_.assign(kStages, 0.0);
+  count_ = 0;
+}
+
+const std::vector<double>& ForwardFilter::observe(alerts::AlertType type,
+                                                  std::optional<GapBucket> gap) {
+  std::vector<double> next(kStages, 0.0);
+  if (count_ == 0) {
+    for (std::size_t s = 0; s < kStages; ++s) {
+      next[s] = util::safe_exp(params_.log_prior[s]) *
+                util::safe_exp(params_.emission(static_cast<alerts::AttackStage>(s), type));
+    }
+  } else {
+    for (std::size_t s = 0; s < kStages; ++s) {
+      double predicted = 0.0;
+      for (std::size_t p = 0; p < kStages; ++p) {
+        predicted += belief_[p] *
+                     util::safe_exp(params_.transition(static_cast<alerts::AttackStage>(p),
+                                                        static_cast<alerts::AttackStage>(s)));
+      }
+      next[s] = predicted *
+                util::safe_exp(params_.emission(static_cast<alerts::AttackStage>(s), type));
+      if (gap && !params_.log_gap.empty()) {
+        next[s] *= util::safe_exp(params_.gap(static_cast<alerts::AttackStage>(s), *gap));
+      }
+    }
+  }
+  double total = 0.0;
+  for (const double v : next) total += v;
+  if (total <= 0.0) {
+    // All-zero likelihood (impossible observation under the model): keep
+    // the previous belief rather than dividing by zero.
+    ++count_;
+    return belief_;
+  }
+  for (double& v : next) v /= total;
+  belief_ = std::move(next);
+  ++count_;
+  return belief_;
+}
+
+double ForwardFilter::p_at_least(alerts::AttackStage stage) const {
+  double total = 0.0;
+  for (std::size_t s = static_cast<std::size_t>(stage); s < kStages; ++s) {
+    total += belief_[s];
+  }
+  return total;
+}
+
+std::vector<alerts::AttackStage> decode_stages(const ModelParams& params,
+                                               std::span<const alerts::AlertType> observed) {
+  const std::size_t n = observed.size();
+  std::vector<alerts::AttackStage> path(n, alerts::AttackStage::kBenign);
+  if (n == 0) return path;
+
+  // Viterbi in log space.
+  std::vector<double> score(kStages);
+  std::vector<std::vector<std::uint8_t>> back(n, std::vector<std::uint8_t>(kStages, 0));
+  for (std::size_t s = 0; s < kStages; ++s) {
+    score[s] = params.log_prior[s] +
+               params.emission(static_cast<alerts::AttackStage>(s), observed[0]);
+  }
+  for (std::size_t t = 1; t < n; ++t) {
+    std::vector<double> next(kStages, util::kLogZero);
+    for (std::size_t s = 0; s < kStages; ++s) {
+      for (std::size_t p = 0; p < kStages; ++p) {
+        const double candidate =
+            score[p] + params.transition(static_cast<alerts::AttackStage>(p),
+                                         static_cast<alerts::AttackStage>(s));
+        if (candidate > next[s]) {
+          next[s] = candidate;
+          back[t][s] = static_cast<std::uint8_t>(p);
+        }
+      }
+      next[s] += params.emission(static_cast<alerts::AttackStage>(s), observed[t]);
+    }
+    score = std::move(next);
+  }
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < kStages; ++s) {
+    if (score[s] > score[best]) best = s;
+  }
+  for (std::size_t t = n; t-- > 0;) {
+    path[t] = static_cast<alerts::AttackStage>(best);
+    if (t > 0) best = back[t][best];
+  }
+  return path;
+}
+
+FactorGraph build_entity_graph(const ModelParams& params,
+                               std::span<const alerts::AlertType> observed,
+                               double coupling) {
+  FactorGraph graph = build_chain(params, observed);
+  if (observed.empty()) return graph;
+  const VarId user = graph.add_variable(2, "user_state");
+  // Uniform prior on U; the evidence flows through the couplings.
+  graph.add_factor({user}, {std::log(0.5), std::log(0.5)}, "user_prior");
+  // Coupling table over (stage, U), U fastest: a legitimate user (U=0) is
+  // consistent with benign/suspicious stages, a malicious one (U=1) with
+  // in_progress/compromised.
+  std::vector<double> table(kStages * 2);
+  for (std::size_t s = 0; s < kStages; ++s) {
+    const bool attack_stage = s >= static_cast<std::size_t>(alerts::AttackStage::kInProgress);
+    table[s * 2 + 0] = attack_stage ? -coupling : 0.0;  // U = legitimate
+    table[s * 2 + 1] = attack_stage ? 0.0 : -coupling;  // U = malicious
+  }
+  for (VarId stage = 0; stage < static_cast<VarId>(observed.size()); ++stage) {
+    graph.add_factor({stage, user}, table, "couple_" + std::to_string(stage));
+  }
+  return graph;
+}
+
+EntityResult infer_entity(const ModelParams& params,
+                          std::span<const alerts::AlertType> observed, double coupling,
+                          const BpOptions& options) {
+  EntityResult result;
+  if (observed.empty()) {
+    result.p_malicious = 0.5;
+    return result;
+  }
+  const FactorGraph graph = build_entity_graph(params, observed, coupling);
+  BpOptions opts = options;
+  opts.damping = opts.damping > 0.0 ? opts.damping : 0.3;  // the graph is loopy
+  opts.max_iterations = std::max<std::size_t>(opts.max_iterations, 4 * observed.size() + 20);
+  const BpResult bp = run_bp(graph, opts);
+  result.converged = bp.converged;
+  result.iterations = bp.iterations;
+  result.p_malicious = bp.marginals.back()[1];
+  result.last_stage = bp.marginals[observed.size() - 1];
+  return result;
+}
+
+std::vector<double> chain_posterior_last(const ModelParams& params,
+                                         std::span<const alerts::AlertType> observed,
+                                         const BpOptions& options) {
+  if (observed.empty()) throw std::invalid_argument("chain_posterior_last: empty sequence");
+  const FactorGraph graph = build_chain(params, observed);
+  BpOptions opts = options;
+  // A chain of n variables needs ~n rounds of flooding BP to be exact.
+  opts.max_iterations = std::max<std::size_t>(opts.max_iterations, observed.size() + 2);
+  const BpResult result = run_bp(graph, opts);
+  return result.marginals.back();
+}
+
+}  // namespace at::fg

@@ -1,0 +1,145 @@
+#pragma once
+// The AttackTagger model: a chain factor graph over hidden per-event attack
+// stages (benign, suspicious, in_progress, compromised), with emission
+// factors tying each observed alert to its stage and transition factors
+// enforcing stage progression. Parameters are learned from an annotated
+// incident corpus plus benign traffic (Laplace-smoothed counts) — this is
+// the "conditional probability of an alert being in a successful attack
+// and normal operational conditions" of Remark 2.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "alerts/taxonomy.hpp"
+#include "fg/bp.hpp"
+#include "fg/graph.hpp"
+#include "incidents/generator.hpp"
+
+namespace at::fg {
+
+/// Inter-alert gap buckets (Insight 3: automated probing arrives in tight
+/// bursts, manual attack stages hours apart — timing is itself evidence).
+enum class GapBucket : std::uint8_t {
+  kBurst = 0,    ///< < 30 s since the previous alert
+  kMinutes = 1,  ///< < 1 h
+  kHours = 2,    ///< < 1 day
+  kDays = 3      ///< >= 1 day
+};
+inline constexpr std::size_t kNumGapBuckets = 4;
+
+[[nodiscard]] GapBucket bucket_for_gap(util::SimTime gap) noexcept;
+
+/// Learned model parameters (all natural-log probabilities).
+struct ModelParams {
+  /// log P(stage) at the first event; [stage].
+  std::vector<double> log_prior;
+  /// log P(stage_t | stage_{t-1}); [prev * kNumStages + next].
+  std::vector<double> log_transition;
+  /// log P(alert type | stage); [stage * kNumAlertTypes + type].
+  std::vector<double> log_emission;
+  /// log P(gap bucket | stage); [stage * kNumGapBuckets + bucket]. Used by
+  /// the time-aware detector variant (Insight 3 ablation).
+  std::vector<double> log_gap;
+
+  [[nodiscard]] double prior(alerts::AttackStage stage) const {
+    return log_prior[static_cast<std::size_t>(stage)];
+  }
+  [[nodiscard]] double transition(alerts::AttackStage prev, alerts::AttackStage next) const {
+    return log_transition[static_cast<std::size_t>(prev) * alerts::kNumStages +
+                          static_cast<std::size_t>(next)];
+  }
+  [[nodiscard]] double emission(alerts::AttackStage stage, alerts::AlertType type) const {
+    return log_emission[static_cast<std::size_t>(stage) * alerts::kNumAlertTypes +
+                        static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] double gap(alerts::AttackStage stage, GapBucket bucket) const {
+    return log_gap[static_cast<std::size_t>(stage) * kNumGapBuckets +
+                   static_cast<std::size_t>(bucket)];
+  }
+};
+
+struct LearnOptions {
+  double laplace = 1.0;  ///< additive smoothing count
+  /// Weight of monotonic-progression preference baked into transitions:
+  /// attacks rarely de-escalate; regressing transitions are down-weighted.
+  double regression_penalty = 0.25;
+};
+
+/// Estimate parameters from a corpus's annotated timelines.
+[[nodiscard]] ModelParams learn_params(const incidents::Corpus& corpus,
+                                       const LearnOptions& options = {});
+
+/// Build the chain factor graph for an observed alert-type sequence:
+/// one stage variable per event, an emission factor per event, and a
+/// transition factor per adjacent pair (plus a prior factor on the first).
+[[nodiscard]] FactorGraph build_chain(const ModelParams& params,
+                                      std::span<const alerts::AlertType> observed);
+
+/// Streaming forward filter over the chain (O(stages^2) per event):
+/// maintains P(stage_t | alerts_1..t). This is what the online detector
+/// runs; it is algebraically identical to sum-product BP restricted to the
+/// forward direction of the chain (verified in tests).
+class ForwardFilter {
+ public:
+  /// Takes its own copy of the parameters (a few KB), so the filter — and
+  /// anything embedding it — is freely copyable and movable.
+  explicit ForwardFilter(ModelParams params);
+
+  /// Absorb one observation; returns the posterior over the current stage.
+  /// `gap` (time since the previous alert of this stream) enables the
+  /// time-aware emission term; pass nullopt to ignore timing.
+  const std::vector<double>& observe(alerts::AlertType type,
+                                     std::optional<GapBucket> gap = std::nullopt);
+
+  [[nodiscard]] const std::vector<double>& posterior() const noexcept { return belief_; }
+  [[nodiscard]] double p_at_least(alerts::AttackStage stage) const;
+  [[nodiscard]] std::size_t observed() const noexcept { return count_; }
+  void reset();
+
+ private:
+  ModelParams params_;
+  std::vector<double> belief_;  ///< linear, normalized
+  std::size_t count_ = 0;
+};
+
+/// Full-sequence posterior of the *last* stage via sum-product BP on the
+/// chain. Test oracle for ForwardFilter and the bench workload for
+/// inference-cost scaling.
+[[nodiscard]] std::vector<double> chain_posterior_last(const ModelParams& params,
+                                                       std::span<const alerts::AlertType> observed,
+                                                       const BpOptions& options = {});
+
+/// Most likely stage sequence for the full observation (Viterbi on the
+/// chain) — what the original AttackTagger emits to tag each event for
+/// forensics. Equivalent to max-product BP on the chain factor graph
+/// (verified in tests) but O(n * stages^2) directly.
+[[nodiscard]] std::vector<alerts::AttackStage> decode_stages(
+    const ModelParams& params, std::span<const alerts::AlertType> observed);
+
+/// Entity-augmented model (the original AttackTagger's full shape): the
+/// per-event stage chain plus one global binary *user-state* variable U
+/// (legitimate / malicious) coupled to every stage variable. The coupling
+/// factor rewards consistency: a malicious user explains in_progress and
+/// compromised stages, a legitimate one explains benign/suspicious. The
+/// resulting graph is loopy; inference is damped loopy BP.
+struct EntityResult {
+  double p_malicious = 0.0;            ///< posterior of U = malicious
+  std::vector<double> last_stage;      ///< posterior over the final stage
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// `coupling` > 0 is the log-strength of the U<->stage consistency factor.
+[[nodiscard]] EntityResult infer_entity(const ModelParams& params,
+                                        std::span<const alerts::AlertType> observed,
+                                        double coupling = 1.0,
+                                        const BpOptions& options = {});
+
+/// Build the loopy entity graph itself (exposed for tests and benches).
+/// Variable 0..n-1 are the stages; variable n is U.
+[[nodiscard]] FactorGraph build_entity_graph(const ModelParams& params,
+                                             std::span<const alerts::AlertType> observed,
+                                             double coupling = 1.0);
+
+}  // namespace at::fg

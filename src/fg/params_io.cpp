@@ -1,0 +1,103 @@
+#include "fg/params_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace at::fg {
+
+namespace {
+
+constexpr const char* kMagic = "attacktagger-model v2";
+
+/// Hex-exact double encoding (%a round trips bit-for-bit).
+std::string encode(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", value);
+  return buf;
+}
+
+std::optional<double> decode(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  return value;
+}
+
+void emit_block(std::ostringstream& out, const char* name,
+                const std::vector<double>& values) {
+  out << name << ' ' << values.size() << '\n';
+  for (const double v : values) out << encode(v) << '\n';
+}
+
+bool read_block(const std::vector<std::string>& lines, std::size_t& cursor,
+                const char* name, std::size_t expected, std::vector<double>& out) {
+  if (cursor >= lines.size()) return false;
+  const auto header = util::split_ws(lines[cursor++]);
+  if (header.size() != 2 || header[0] != name) return false;
+  std::size_t count = 0;
+  try {
+    count = std::stoul(header[1]);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (count != expected || cursor + count > lines.size()) return false;
+  out.clear();
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto value = decode(std::string(util::trim(lines[cursor++])));
+    if (!value) return false;
+    out.push_back(*value);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string write_params(const ModelParams& params) {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "stages " << alerts::kNumStages << " alert_types " << alerts::kNumAlertTypes
+      << '\n';
+  emit_block(out, "prior", params.log_prior);
+  emit_block(out, "transition", params.log_transition);
+  emit_block(out, "emission", params.log_emission);
+  emit_block(out, "gap", params.log_gap);
+  return out.str();
+}
+
+std::optional<ModelParams> read_params(const std::string& text) {
+  const auto lines = util::split(text, '\n');
+  std::size_t cursor = 0;
+  if (lines.empty() || util::trim(lines[cursor++]) != kMagic) return std::nullopt;
+  if (cursor >= lines.size()) return std::nullopt;
+  const auto shape = util::split_ws(lines[cursor++]);
+  if (shape.size() != 4 || shape[0] != "stages" || shape[2] != "alert_types") {
+    return std::nullopt;
+  }
+  if (std::stoul(shape[1]) != alerts::kNumStages ||
+      std::stoul(shape[3]) != alerts::kNumAlertTypes) {
+    return std::nullopt;  // taxonomy mismatch: refuse to load
+  }
+  ModelParams params;
+  if (!read_block(lines, cursor, "prior", alerts::kNumStages, params.log_prior)) {
+    return std::nullopt;
+  }
+  if (!read_block(lines, cursor, "transition", alerts::kNumStages * alerts::kNumStages,
+                  params.log_transition)) {
+    return std::nullopt;
+  }
+  if (!read_block(lines, cursor, "emission",
+                  alerts::kNumStages * alerts::kNumAlertTypes, params.log_emission)) {
+    return std::nullopt;
+  }
+  if (!read_block(lines, cursor, "gap", alerts::kNumStages * kNumGapBuckets,
+                  params.log_gap)) {
+    return std::nullopt;
+  }
+  return params;
+}
+
+}  // namespace at::fg

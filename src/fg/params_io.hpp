@@ -1,0 +1,20 @@
+#pragma once
+// Model persistence: trained ModelParams serialize to a versioned text
+// format so a production deployment can train offline on the curated
+// corpus and ship the model to the live pipeline (and so experiments are
+// reproducible bit-for-bit across runs).
+
+#include <optional>
+#include <string>
+
+#include "fg/model.hpp"
+
+namespace at::fg {
+
+/// Serialize parameters (text, hex-exact doubles, versioned header).
+[[nodiscard]] std::string write_params(const ModelParams& params);
+
+/// Parse parameters; nullopt on version/shape mismatch or corruption.
+[[nodiscard]] std::optional<ModelParams> read_params(const std::string& text);
+
+}  // namespace at::fg

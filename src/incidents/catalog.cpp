@@ -1,0 +1,162 @@
+#include "incidents/catalog.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace at::incidents {
+
+namespace {
+
+using enum alerts::AlertType;
+
+// Shorthand for the motif prefix shared by the 20 motif-bearing sequences.
+// D = download source over unsecured HTTP, C = compile it, W = wipe trace.
+constexpr alerts::AlertType D = kDownloadSensitive;
+constexpr alerts::AlertType C = kCompileSource;
+constexpr alerts::AlertType W = kLogTampering;
+
+struct Spec {
+  std::size_t frequency;
+  bool motif;
+  std::vector<alerts::AlertType> alerts;
+  const char* family;
+};
+
+// 43 sequence specs. Aggregate calibration (asserted by tests):
+//   sum(frequency)                         = 228 incidents
+//   sum over motif specs                   = 137 (60.08%)
+//   sum(frequency * #critical in alerts)   = 98, over 19 distinct types
+//   lengths span [2, 14]; max frequency 14 (S1)
+std::vector<Spec> make_specs() {
+  return {
+      // --- motif-bearing sequences (the 2002 foothold pattern) ---
+      {14, true, {D, C, W, kPrivilegeEscalation}, "kernel-module-privesc"},
+      {12, true, {D, C, kInstallKernelModule, W}, "kernel-module-rootkit"},
+      {11, true, {D, C, kRootkitSignature, W}, "userland-rootkit"},
+      {10, true, {D, C, W, kSshKeyTheft, kCredentialDump}, "credential-harvester"},
+      {9, true, {D, C, W, kPiiHttpPost}, "pii-exfil"},
+      {8, true, {D, C, kSudoAbuse, W, kAuditLogWiped}, "sudo-abuse-cleaner"},
+      {8, true, {D, C, W, kHistoryCleared, kMonitorDisabled}, "stealth-foothold"},
+      {7, true, {D, C, W, kSetuidBinaryCreated, kRootBackdoorInstalled}, "setuid-backdoor"},
+      {7, true, {D, C, W, kInternalScan, kSshLateralMove}, "lateral-pivot"},
+      {6, true, {D, C, kInstallKernelModule, W, kKernelRootkitLoaded}, "lkm-rootkit-loaded"},
+      {6, true, {D, C, kIcmpTunnel, W}, "icmp-tunnel"},
+      {5, true, {D, C, kBinaryMasquerade, W, kSshKeyloggerCapture}, "ssh-keylogger"},
+      {5, true, {D, C, kScheduledTaskAdded, kHiddenCronAdded, W}, "cron-persistence"},
+      {5, true, {D, C, W, kC2Communication}, "c2-foothold"},
+      {4, true, {D, C, W, kSudoAbuse, kInternalScan, kMassFileDeletion}, "wiper"},
+      {4, true, {D, C, kKernelExploitAttempt, W}, "kernel-exploit"},
+      {4, true, {D, kFileDroppedTmp, C, kNewBinaryExecuted, W}, "tmp-dropper"},
+      {4, true,
+       {D, C, W, kInternalScan, kKnownHostsEnumeration, kSshKeyTheft, kSshLateralMove,
+        kC2Communication, kIcmpTunnel, kHiddenCronAdded, kMonitorDisabled, kSudoAbuse},
+       "worm-campaign"},
+      {4, true,
+       {D, C, kScheduledTaskAdded, kBinaryMasquerade, W, kInternalScan,
+        kKnownHostsEnumeration, kSshKeyTheft, kSshLateralMove, kC2Communication, kIcmpTunnel,
+        kHistoryCleared, kRootkitSignature, kMonitorDisabled},
+       "apt-campaign"},
+      {4, true, {D, C, kNewBinaryExecuted, W}, "generic-dropper"},
+      // --- non-motif sequences ---
+      {9, false,
+       {kDbPortProbe, kDefaultPasswordLogin, kDbPayloadEncoding, kDbFileExport,
+        kDataExfiltrationBulk},
+       "pg-ransomware"},
+      {8, false, {kPortScan, kSshBruteforce, kCredentialReuse}, "ssh-bruteforce"},
+      {7, false, {kVulnScanStruts, kRemoteCodeExec, kNewBinaryExecuted}, "struts-rce"},
+      {6, false, {kSshVersionProbe, kSshBruteforce, kCredentialReuse}, "ssh-probe-brute"},
+      {6, false, {kGhostAccountLogin, kLoginNewGeo}, "ghost-account"},
+      {5, false, {kSqlInjection, kNewBinaryExecuted, kCryptoMinerSustained}, "sqli-miner"},
+      {5, false, {kPortScan, kAuthBypassAttempt, kLoginUnusualTime}, "auth-bypass"},
+      {4, false,
+       {kDbPortProbe, kDefaultPasswordLogin, kCredentialReuse, kAccountTakeoverConfirmed},
+       "db-takeover"},
+      {4, false, {kPortScan, kSshBruteforce, kCredentialReuse, kInternalScan, kSshLateralMove},
+       "brute-pivot"},
+      {4, false, {kVulnScanStruts, kRemoteCodeExec, kFileDroppedTmp, kScheduledTaskAdded},
+       "struts-dropper"},
+      {4, false, {kSshVersionProbe, kSshBruteforce, kLoginNewGeo}, "geo-anomaly-brute"},
+      {3, false, {kSqlInjection, kNewBinaryExecuted, kHiddenCronAdded}, "sqli-cron"},
+      {3, false, {kGhostAccountLogin, kLoginNewGeo, kNewBinaryExecuted, kOutboundDdosBurst},
+       "ddos-bot"},
+      {3, false, {kPortScan, kAuthBypassAttempt, kIcmpTunnel, kExfilDnsTunnel}, "dns-exfil"},
+      {3, false, {kPortScan, kSshBruteforce, kCredentialReuse, kSudoAbuse}, "brute-sudo"},
+      {3, false, {kDbPortProbe, kDefaultPasswordLogin, kVersionRecon}, "db-recon"},
+      {3, false, {kVulnScanStruts, kRemoteCodeExec, kC2Communication}, "struts-c2"},
+      {2, false,
+       {kSshVersionProbe, kSshBruteforce, kSshLateralMove, kKnownHostsEnumeration},
+       "hosts-harvest"},
+      {2, false,
+       {kDbPortProbe, kDefaultPasswordLogin, kDbPayloadEncoding,
+        kRansomwareEncryptionStarted, kRansomNoteDropped},
+       "pg-ransomware-detonated"},
+      {2, false, {kSqlInjection, kNewBinaryExecuted, kDatabaseDropped}, "db-wiper"},
+      {2, false,
+       {kPortScan, kSshBruteforce, kCredentialReuse, kMonitorDisabled,
+        kMonitorGloballyDisabled},
+       "monitor-killer"},
+      {2, false, {kGhostAccountLogin, kSudoAbuse, kSecurityConfigRollback}, "config-rollback"},
+      {1, false, {kPortScan, kAuthBypassAttempt, kKernelExploitAttempt, kFirmwareTampering},
+       "firmware-implant"},
+  };
+}
+
+}  // namespace
+
+Catalog::Catalog() {
+  auto specs = make_specs();
+  // Name by frequency rank: S1 = most frequent. Stable sort keeps the spec
+  // order among ties so naming is deterministic.
+  std::stable_sort(specs.begin(), specs.end(),
+                   [](const Spec& a, const Spec& b) { return a.frequency > b.frequency; });
+  sequences_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    CatalogSequence seq;
+    seq.name = "S" + std::to_string(i + 1);
+    seq.alerts = std::move(specs[i].alerts);
+    seq.frequency = specs[i].frequency;
+    seq.has_motif = specs[i].motif;
+    seq.family = specs[i].family;
+    sequences_.push_back(std::move(seq));
+  }
+}
+
+std::size_t Catalog::total_incidents() const noexcept {
+  std::size_t total = 0;
+  for (const auto& seq : sequences_) total += seq.frequency;
+  return total;
+}
+
+std::size_t Catalog::motif_incidents() const noexcept {
+  std::size_t total = 0;
+  for (const auto& seq : sequences_) {
+    if (seq.has_motif) total += seq.frequency;
+  }
+  return total;
+}
+
+std::size_t Catalog::critical_occurrences() const noexcept {
+  std::size_t total = 0;
+  for (const auto& seq : sequences_) {
+    std::size_t criticals = 0;
+    for (const auto type : seq.alerts) {
+      if (alerts::is_critical(type)) ++criticals;
+    }
+    total += criticals * seq.frequency;
+  }
+  return total;
+}
+
+std::size_t Catalog::distinct_critical_types() const noexcept {
+  std::unordered_set<int> types;
+  for (const auto& seq : sequences_) {
+    for (const auto type : seq.alerts) {
+      if (alerts::is_critical(type)) types.insert(static_cast<int>(type));
+    }
+  }
+  return types.size();
+}
+
+std::vector<alerts::AlertType> Catalog::motif() { return {D, C, W}; }
+
+}  // namespace at::incidents

@@ -1,0 +1,58 @@
+#pragma once
+// The S1..S43 common-alert-sequence catalog.
+//
+// The paper identifies 43 recurring alert sequences across its >200
+// incidents (released as S1..S43 in the appendix), with lengths from two
+// to fourteen alerts; the most frequent (S1) was seen 14 times, and 60.08%
+// of incidents (137/228) contain the 2002 foothold motif
+// download-source -> compile -> erase-forensic-trace. This catalog encodes
+// sequences with exactly those aggregate properties; the corpus generator
+// instantiates freq(S) incidents per sequence, and the mining analysis
+// (Fig 3b) recovers the frequencies back from the generated data.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "alerts/taxonomy.hpp"
+
+namespace at::incidents {
+
+struct CatalogSequence {
+  std::string name;                        ///< "S1".."S43" (rank by frequency)
+  std::vector<alerts::AlertType> alerts;   ///< the ordered key sequence
+  std::size_t frequency = 0;               ///< incidents exhibiting it
+  bool has_motif = false;                  ///< contains the 2002 foothold motif
+  std::string family;                      ///< narrative label for reports
+};
+
+class Catalog {
+ public:
+  /// Build the canonical 43-sequence catalog (deterministic).
+  Catalog();
+
+  [[nodiscard]] const std::vector<CatalogSequence>& sequences() const noexcept {
+    return sequences_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return sequences_.size(); }
+  [[nodiscard]] const CatalogSequence& at(std::size_t index) const {
+    return sequences_.at(index);
+  }
+
+  /// Total incidents implied by the catalog (sum of frequencies) == 228.
+  [[nodiscard]] std::size_t total_incidents() const noexcept;
+  /// Incidents containing the foothold motif == 137 (60.08%).
+  [[nodiscard]] std::size_t motif_incidents() const noexcept;
+  /// Total critical-alert occurrences across all incidents == 98.
+  [[nodiscard]] std::size_t critical_occurrences() const noexcept;
+  /// Distinct critical alert types used == 19.
+  [[nodiscard]] std::size_t distinct_critical_types() const noexcept;
+
+  /// The 2002 foothold motif: download over HTTP, compile, erase trace.
+  [[nodiscard]] static std::vector<alerts::AlertType> motif();
+
+ private:
+  std::vector<CatalogSequence> sequences_;
+};
+
+}  // namespace at::incidents

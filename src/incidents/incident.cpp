@@ -1,0 +1,44 @@
+#include "incidents/incident.hpp"
+
+#include <algorithm>
+
+namespace at::incidents {
+
+std::vector<alerts::AlertType> Incident::core_sequence() const {
+  std::vector<alerts::AlertType> out;
+  for (const auto& entry : timeline) {
+    if (entry.core) out.push_back(entry.alert.type);
+  }
+  return out;
+}
+
+std::vector<alerts::AlertType> Incident::attack_type_set() const {
+  std::vector<alerts::AlertType> out;
+  for (const auto& entry : timeline) {
+    if (!entry.attack_related) continue;
+    if (std::find(out.begin(), out.end(), entry.alert.type) == out.end()) {
+      out.push_back(entry.alert.type);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Incident::critical_count() const {
+  std::size_t count = 0;
+  for (const auto& entry : timeline) {
+    if (entry.alert.critical()) ++count;
+  }
+  return count;
+}
+
+bool Incident::core_contains(const std::vector<alerts::AlertType>& pattern) const {
+  const auto core = core_sequence();
+  std::size_t next = 0;
+  for (const auto type : core) {
+    if (next < pattern.size() && type == pattern[next]) ++next;
+  }
+  return next == pattern.size();
+}
+
+}  // namespace at::incidents

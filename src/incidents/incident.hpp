@@ -1,0 +1,61 @@
+#pragma once
+// Incident model. One Incident mirrors what NCSA's security team curates
+// for each successful attack: a human-identified ground truth (attacker
+// address, compromised user and hosts), the forensically relevant alert
+// timeline, and summary counts of the raw log volume the incident window
+// produced before filtering.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alerts/alert.hpp"
+#include "net/ipv4.hpp"
+
+namespace at::incidents {
+
+/// An alert plus its ground-truth annotation (what the paper's experts and
+/// auto-annotation assign).
+struct LabeledAlert {
+  alerts::Alert alert;
+  alerts::AttackStage stage = alerts::AttackStage::kBenign;
+  bool attack_related = false;  ///< part of the attack (vs legitimate noise)
+  bool core = false;            ///< member of the incident's key sequence
+};
+
+struct GroundTruth {
+  net::Ipv4 attacker;
+  std::string compromised_user;
+  std::vector<std::string> compromised_hosts;
+};
+
+struct Incident {
+  std::uint32_t id = 0;
+  std::uint32_t sequence_id = 0;  ///< catalog index (0-based) of its pattern
+  std::string family;             ///< e.g. "kernel-rootkit", "pg-ransomware"
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  GroundTruth truth;
+  /// Sanitized, annotated timeline: core sequence + attack noise + benign
+  /// activity, time-ordered.
+  std::vector<LabeledAlert> timeline;
+  /// Simulated raw alert volume of the incident window (pre-filtering);
+  /// only counted, not materialized, to match the paper's 25M total.
+  std::uint64_t raw_alert_count = 0;
+  /// First critical alert's timestamp — the "damage done" instant; nullopt
+  /// when the attack succeeded without any critical alert being recorded
+  /// (partial observability).
+  std::optional<util::SimTime> damage_ts;
+
+  /// The key (core) alert-type sequence, in time order.
+  [[nodiscard]] std::vector<alerts::AlertType> core_sequence() const;
+  /// Distinct attack-related alert types (Jaccard input).
+  [[nodiscard]] std::vector<alerts::AlertType> attack_type_set() const;
+  /// Number of critical alerts in the timeline.
+  [[nodiscard]] std::size_t critical_count() const;
+  /// Whether the timeline contains `pattern` as a subsequence of its core.
+  [[nodiscard]] bool core_contains(const std::vector<alerts::AlertType>& pattern) const;
+};
+
+}  // namespace at::incidents

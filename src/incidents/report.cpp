@@ -1,0 +1,85 @@
+#include "incidents/report.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace at::incidents {
+
+std::string write_report(const Incident& incident, const ReportOptions& options) {
+  std::ostringstream out;
+  out << "== SECURITY INCIDENT REPORT ==\n";
+  out << "incident-id: " << incident.id << "\n";
+  out << "family: " << incident.family << "\n";
+  out << "first-seen: " << util::format_date(util::to_civil(incident.start).date) << "\n";
+  out << "attacker: "
+      << (options.anonymize ? incident.truth.attacker.anonymized()
+                            : incident.truth.attacker.str())
+      << "\n";
+  out << "compromised-user: " << incident.truth.compromised_user << "\n";
+  out << "compromised-hosts: " << util::join(incident.truth.compromised_hosts, ",") << "\n";
+  out << "core-alerts: " << incident.core_sequence().size() << "\n";
+  out << "damage-recorded: " << (incident.damage_ts ? "yes" : "no") << "\n";
+  out << "\n-- attack sequence --\n";
+  for (const auto& entry : incident.timeline) {
+    if (!entry.core) continue;
+    out << "  " << util::format_datetime(entry.alert.ts) << "  "
+        << entry.alert.symbol_name() << "  [" << alerts::to_string(entry.stage) << "]\n";
+  }
+  out << "\n-- log snippets (attack-related) --\n";
+  // Quote the first N attack-related lines, the way reports carry evidence.
+  std::size_t quoted = 0;
+  for (const auto& entry : incident.timeline) {
+    if (!entry.attack_related || entry.core) continue;
+    if (quoted++ >= options.max_snippet_lines) break;
+    out << "  " << entry.alert.str() << "\n";
+  }
+  if (quoted == 0) out << "  (none)\n";
+  return out.str();
+}
+
+std::optional<ParsedReport> parse_report(const std::string& text) {
+  if (!util::starts_with(util::trim(text), "== SECURITY INCIDENT REPORT ==")) {
+    return std::nullopt;
+  }
+  ParsedReport parsed;
+  bool saw_id = false;
+  for (const auto& raw_line : util::split(text, '\n')) {
+    const auto line = util::trim(raw_line);
+    const auto colon = line.find(": ");
+    if (colon == std::string_view::npos) continue;
+    const auto key = line.substr(0, colon);
+    const std::string value{line.substr(colon + 2)};
+    if (key == "incident-id") {
+      try {
+        parsed.id = static_cast<std::uint32_t>(std::stoul(value));
+        saw_id = true;
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    } else if (key == "family") {
+      parsed.family = value;
+    } else if (key == "first-seen") {
+      parsed.first_seen = value;
+    } else if (key == "attacker") {
+      // Anonymized addresses ("1.2.xxx.yyy") cannot be parsed back; keep 0.
+      try {
+        parsed.truth.attacker = net::Ipv4::parse(value);
+      } catch (const std::exception&) {
+        parsed.truth.attacker = net::Ipv4{};
+      }
+    } else if (key == "compromised-user") {
+      parsed.truth.compromised_user = value;
+    } else if (key == "compromised-hosts") {
+      parsed.truth.compromised_hosts = util::split(value, ',');
+    } else if (key == "core-alerts") {
+      parsed.core_alerts = std::stoul(value);
+    } else if (key == "damage-recorded") {
+      parsed.damage_recorded = value == "yes";
+    }
+  }
+  if (!saw_id) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace at::incidents

@@ -1,0 +1,47 @@
+#pragma once
+// Raw observable events produced by simulated hosts and consumed by the
+// monitor layer. These mirror the paper's three log sources: network flows
+// (Zeek), process activity (osquery/ossec via rsyslog), and syscall audit
+// records (auditd).
+
+#include <cstdint>
+#include <string>
+
+#include "net/flow.hpp"
+#include "util/time_utils.hpp"
+
+namespace at::monitors {
+
+/// A process execution observed on a host (osquery process_events-like).
+struct ProcessEvent {
+  util::SimTime ts = 0;
+  std::string host;
+  std::string user;
+  std::string cmdline;  ///< full command line, pre-sanitization
+  std::uint32_t pid = 0;
+  std::uint32_t parent_pid = 0;
+};
+
+enum class SyscallKind : std::uint8_t {
+  kOpen,
+  kUnlink,
+  kExecve,
+  kConnect,
+  kChmod,
+  kModuleLoad,
+  kSetuid
+};
+
+[[nodiscard]] const char* to_string(SyscallKind kind) noexcept;
+
+/// An audited syscall (auditd-like).
+struct SyscallEvent {
+  util::SimTime ts = 0;
+  std::string host;
+  std::string user;
+  SyscallKind kind = SyscallKind::kOpen;
+  std::string path;   ///< file path or module name; empty for connect
+  std::string detail; ///< extra context (dst addr for connect, mode for chmod)
+};
+
+}  // namespace at::monitors

@@ -1,0 +1,58 @@
+#pragma once
+// Monitor framework. A Monitor turns raw events into symbolic alerts and
+// pushes them into an AlertSink (the testbed pipeline). The tamper model
+// follows the paper's defender assumptions: an attacker with local
+// privilege may disable a monitor *on one host*, but cannot disable all
+// monitors; per-host tampering therefore silences that host's events on
+// the tampered monitor only.
+
+#include <string>
+#include <unordered_set>
+
+#include "alerts/alert.hpp"
+
+namespace at::monitors {
+
+class Monitor {
+ public:
+  Monitor(std::string name, alerts::Origin origin, alerts::AlertSink& sink)
+      : name_(std::move(name)), origin_(origin), sink_(&sink) {}
+  virtual ~Monitor() = default;
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] alerts::Origin origin() const noexcept { return origin_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t suppressed() const noexcept { return suppressed_; }
+
+  /// Attacker tampers with this monitor on `host`; its events go dark.
+  void tamper(const std::string& host) { tampered_hosts_.insert(host); }
+  void restore(const std::string& host) { tampered_hosts_.erase(host); }
+  [[nodiscard]] bool tampered(const std::string& host) const {
+    return tampered_hosts_.contains(host);
+  }
+
+ protected:
+  /// Emit unless the observing host has been tampered with.
+  void emit(alerts::Alert alert) {
+    alert.origin = origin_;
+    if (tampered(alert.host)) {
+      ++suppressed_;
+      return;
+    }
+    ++emitted_;
+    sink_->on_alert(alert);
+  }
+
+ private:
+  std::string name_;
+  alerts::Origin origin_;
+  alerts::AlertSink* sink_;
+  std::unordered_set<std::string> tampered_hosts_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace at::monitors

@@ -1,0 +1,42 @@
+#pragma once
+// Osquery-like host monitor: watches process executions and symbolizes
+// their command lines through the shared pattern library, so a `wget ...
+// abs.c` exec on any honeypot host becomes `alert_download_sensitive`
+// exactly as the paper's preprocessing describes.
+
+#include "alerts/sanitizer.hpp"
+#include "alerts/symbolizer.hpp"
+#include "monitors/events.hpp"
+#include "monitors/monitor.hpp"
+
+namespace at::monitors {
+
+class OsqueryMonitor final : public Monitor {
+ public:
+  explicit OsqueryMonitor(alerts::AlertSink& sink);
+
+  void on_process(const ProcessEvent& event);
+
+  [[nodiscard]] std::uint64_t events_seen() const noexcept { return events_seen_; }
+  [[nodiscard]] std::uint64_t unmapped() const noexcept { return unmapped_; }
+
+ private:
+  alerts::Symbolizer symbolizer_;
+  alerts::Sanitizer sanitizer_;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t unmapped_ = 0;
+};
+
+class AuditdMonitor final : public Monitor {
+ public:
+  explicit AuditdMonitor(alerts::AlertSink& sink);
+
+  void on_syscall(const SyscallEvent& event);
+
+  [[nodiscard]] std::uint64_t events_seen() const noexcept { return events_seen_; }
+
+ private:
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace at::monitors

@@ -1,0 +1,19 @@
+#include "monitors/rsyslog_monitor.hpp"
+
+namespace at::monitors {
+
+bool RsyslogMonitor::on_line(std::string_view line, util::SimTime day_start) {
+  ++lines_seen_;
+  auto symbolized = symbolizer_.symbolize(line, day_start);
+  if (!symbolized) {
+    ++unmapped_;
+    return false;
+  }
+  alerts::Alert alert = std::move(symbolized->alert);
+  alert.add_meta("raw", sanitizer_.sanitize_line(line));
+  sanitizer_.sanitize(alert);
+  emit(std::move(alert));
+  return true;
+}
+
+}  // namespace at::monitors

@@ -1,0 +1,33 @@
+#pragma once
+// Rsyslog-like monitor: the fourth log source of the paper's dataset.
+// Consumes raw text log lines (with the "HH:MM:SS [host] message" shape of
+// the paper's wget example), symbolizes them through the shared pattern
+// library, sanitizes, and emits alerts. Unmapped lines are counted — at
+// corpus scale they are the residue that motivates expert annotation.
+
+#include "alerts/sanitizer.hpp"
+#include "alerts/symbolizer.hpp"
+#include "monitors/monitor.hpp"
+
+namespace at::monitors {
+
+class RsyslogMonitor final : public Monitor {
+ public:
+  explicit RsyslogMonitor(alerts::AlertSink& sink)
+      : Monitor("rsyslog", alerts::Origin::kRsyslog, sink) {}
+
+  /// Ingest one raw log line; `day_start` anchors the HH:MM:SS timestamp.
+  /// Returns true if the line mapped to an alert.
+  bool on_line(std::string_view line, util::SimTime day_start = 0);
+
+  [[nodiscard]] std::uint64_t lines_seen() const noexcept { return lines_seen_; }
+  [[nodiscard]] std::uint64_t unmapped() const noexcept { return unmapped_; }
+
+ private:
+  alerts::Symbolizer symbolizer_;
+  alerts::Sanitizer sanitizer_;
+  std::uint64_t lines_seen_ = 0;
+  std::uint64_t unmapped_ = 0;
+};
+
+}  // namespace at::monitors

@@ -1,0 +1,66 @@
+#include "net/cidr.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace at::net {
+
+namespace {
+constexpr std::uint32_t mask_for(unsigned prefix_len) noexcept {
+  return prefix_len == 0 ? 0u : ~0u << (32 - prefix_len);
+}
+}  // namespace
+
+Cidr::Cidr(Ipv4 base, unsigned prefix_len)
+    : base_(Ipv4(base.value() & mask_for(prefix_len))), prefix_len_(prefix_len) {
+  if (prefix_len > 32) throw std::invalid_argument("Cidr: prefix_len > 32");
+}
+
+Cidr Cidr::parse(const std::string& text) {
+  const auto parts = util::split(text, '/');
+  if (parts.size() != 2) throw std::invalid_argument("Cidr::parse: " + text);
+  const int len = std::stoi(parts[1]);
+  if (len < 0 || len > 32) throw std::invalid_argument("Cidr::parse: " + text);
+  return Cidr(Ipv4::parse(parts[0]), static_cast<unsigned>(len));
+}
+
+bool Cidr::contains(Ipv4 ip) const noexcept {
+  return (ip.value() & mask_for(prefix_len_)) == base_.value();
+}
+
+bool Cidr::overlaps(const Cidr& other) const noexcept {
+  const unsigned shorter = prefix_len_ < other.prefix_len_ ? prefix_len_ : other.prefix_len_;
+  return (base_.value() & mask_for(shorter)) == (other.base_.value() & mask_for(shorter));
+}
+
+Ipv4 Cidr::host(std::uint64_t offset) const {
+  if (offset >= host_count()) throw std::out_of_range("Cidr::host: offset beyond block");
+  return Ipv4(base_.value() + static_cast<std::uint32_t>(offset));
+}
+
+std::string Cidr::str() const { return base_.str() + "/" + std::to_string(prefix_len_); }
+
+Cidr SubnetAllocator::allocate(unsigned prefix_len) {
+  if (prefix_len < parent_.prefix_len() || prefix_len > 32) {
+    throw std::invalid_argument("SubnetAllocator: bad child prefix");
+  }
+  const std::uint64_t child_size = 1ULL << (32 - prefix_len);
+  // Align the offset to the child size (CIDR blocks are size-aligned).
+  const std::uint64_t aligned = (next_offset_ + child_size - 1) / child_size * child_size;
+  if (aligned + child_size > parent_.host_count()) {
+    throw std::runtime_error("SubnetAllocator: parent block exhausted");
+  }
+  next_offset_ = aligned + child_size;
+  Cidr child(parent_.host(aligned), prefix_len);
+  allocated_.push_back(child);
+  return child;
+}
+
+namespace blocks {
+Cidr ncsa16() { return Cidr(Ipv4(141, 142, 0, 0), 16); }
+Cidr honeypot24() { return Cidr(Ipv4(141, 142, 250, 0), 24); }
+Cidr overlay() { return Cidr(Ipv4(10, 250, 0, 0), 16); }
+}  // namespace blocks
+
+}  // namespace at::net

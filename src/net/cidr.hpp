@@ -1,0 +1,68 @@
+#pragma once
+// CIDR blocks and subnet allocation. Models the paper's address plan:
+// NCSA's class-B /16 (65,536 hosts), the honeypot's dedicated /24 with
+// sixteen entry points, and the sandbox overlay block.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace at::net {
+
+class Cidr {
+ public:
+  constexpr Cidr() noexcept = default;
+  /// Network bits outside the prefix are cleared (canonical form).
+  Cidr(Ipv4 base, unsigned prefix_len);
+
+  /// Parse "a.b.c.d/len".
+  static Cidr parse(const std::string& text);
+
+  [[nodiscard]] Ipv4 base() const noexcept { return base_; }
+  [[nodiscard]] unsigned prefix_len() const noexcept { return prefix_len_; }
+  [[nodiscard]] std::uint64_t host_count() const noexcept {
+    return 1ULL << (32 - prefix_len_);
+  }
+  [[nodiscard]] bool contains(Ipv4 ip) const noexcept;
+  [[nodiscard]] bool overlaps(const Cidr& other) const noexcept;
+  /// Host at offset within the block (offset < host_count()).
+  [[nodiscard]] Ipv4 host(std::uint64_t offset) const;
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Cidr&, const Cidr&) = default;
+
+ private:
+  Ipv4 base_{};
+  unsigned prefix_len_ = 0;
+};
+
+/// Hands out non-overlapping child blocks from a parent block.
+class SubnetAllocator {
+ public:
+  explicit SubnetAllocator(Cidr parent) : parent_(parent) {}
+
+  /// Allocate the next /prefix_len child; throws when exhausted or when
+  /// prefix_len is shorter than the parent's.
+  Cidr allocate(unsigned prefix_len);
+  [[nodiscard]] const Cidr& parent() const noexcept { return parent_; }
+  [[nodiscard]] const std::vector<Cidr>& allocated() const noexcept { return allocated_; }
+
+ private:
+  Cidr parent_;
+  std::uint64_t next_offset_ = 0;  ///< in host addresses from parent base
+  std::vector<Cidr> allocated_;
+};
+
+/// Well-known blocks of the simulated deployment (see DESIGN.md).
+namespace blocks {
+/// NCSA's public class-B range (the paper's 141.142/16).
+[[nodiscard]] Cidr ncsa16();
+/// Honeypot entry /24 carved from the /16.
+[[nodiscard]] Cidr honeypot24();
+/// Private overlay used by the container sandbox.
+[[nodiscard]] Cidr overlay();
+}  // namespace blocks
+
+}  // namespace at::net

@@ -1,0 +1,90 @@
+#include "net/connlog.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace at::net {
+
+namespace {
+
+std::optional<Proto> proto_from(const std::string& text) {
+  if (text == "tcp") return Proto::kTcp;
+  if (text == "udp") return Proto::kUdp;
+  if (text == "icmp") return Proto::kIcmp;
+  return std::nullopt;
+}
+
+std::optional<ConnState> state_from(const std::string& text) {
+  if (text == "S0") return ConnState::kAttempt;
+  if (text == "REJ") return ConnState::kRejected;
+  if (text == "SF") return ConnState::kEstablished;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string to_conn_line(const Flow& flow) {
+  std::ostringstream out;
+  out << flow.ts << '\t' << flow.src.str() << '\t' << flow.src_port << '\t'
+      << flow.dst.str() << '\t' << flow.dst_port << '\t' << to_string(flow.proto) << '\t'
+      << to_string(flow.state) << '\t' << flow.bytes_out << '\t' << flow.bytes_in;
+  return out.str();
+}
+
+std::optional<Flow> parse_conn_line(std::string_view line) {
+  const auto trimmed = util::trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') return std::nullopt;
+  const auto fields = util::split(trimmed, '\t');
+  if (fields.size() != 9) return std::nullopt;
+  Flow flow;
+  try {
+    flow.ts = std::stoll(fields[0]);
+    flow.src = Ipv4::parse(fields[1]);
+    flow.src_port = static_cast<std::uint16_t>(std::stoul(fields[2]));
+    flow.dst = Ipv4::parse(fields[3]);
+    flow.dst_port = static_cast<std::uint16_t>(std::stoul(fields[4]));
+    flow.bytes_out = std::stoull(fields[7]);
+    flow.bytes_in = std::stoull(fields[8]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const auto proto = proto_from(fields[5]);
+  const auto state = state_from(fields[6]);
+  if (!proto || !state) return std::nullopt;
+  flow.proto = *proto;
+  flow.state = *state;
+  return flow;
+}
+
+std::string write_conn_log(const std::vector<Flow>& flows) {
+  std::ostringstream out;
+  out << "#separator \\t\n"
+      << "#fields ts\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tproto\tconn_state\t"
+         "orig_bytes\tresp_bytes\n";
+  for (const auto& flow : flows) out << to_conn_line(flow) << '\n';
+  return out.str();
+}
+
+ConnLogResult read_conn_log(std::string_view text) {
+  ConnLogResult result;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const auto line = text.substr(start, end - start);
+    const auto trimmed = util::trim(line);
+    if (!trimmed.empty() && trimmed.front() != '#') {
+      if (auto flow = parse_conn_line(line)) {
+        result.flows.push_back(*flow);
+      } else {
+        ++result.malformed;
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return result;
+}
+
+}  // namespace at::net

@@ -1,0 +1,25 @@
+#pragma once
+// Zeek conn.log-style serialization for flow records — the raw network
+// evidence format behind the dataset (alerts live in notice logs, flows in
+// conn logs). Tab-separated: ts, src, src_port, dst, dst_port, proto,
+// conn_state, orig_bytes, resp_bytes.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace at::net {
+
+[[nodiscard]] std::string to_conn_line(const Flow& flow);
+[[nodiscard]] std::optional<Flow> parse_conn_line(std::string_view line);
+[[nodiscard]] std::string write_conn_log(const std::vector<Flow>& flows);
+
+struct ConnLogResult {
+  std::vector<Flow> flows;
+  std::size_t malformed = 0;
+};
+[[nodiscard]] ConnLogResult read_conn_log(std::string_view text);
+
+}  // namespace at::net

@@ -1,0 +1,62 @@
+#include "net/flow.hpp"
+
+#include <unordered_set>
+
+namespace at::net {
+
+const char* to_string(Proto proto) noexcept {
+  switch (proto) {
+    case Proto::kTcp: return "tcp";
+    case Proto::kUdp: return "udp";
+    case Proto::kIcmp: return "icmp";
+  }
+  return "?";
+}
+
+const char* to_string(ConnState state) noexcept {
+  switch (state) {
+    case ConnState::kAttempt: return "S0";
+    case ConnState::kRejected: return "REJ";
+    case ConnState::kEstablished: return "SF";
+  }
+  return "?";
+}
+
+std::string Flow::str() const {
+  std::string out = util::format_datetime(ts);
+  out += ' ';
+  out += src.str();
+  out += ':';
+  out += std::to_string(src_port);
+  out += " -> ";
+  out += dst.str();
+  out += ':';
+  out += std::to_string(dst_port);
+  out += ' ';
+  out += to_string(proto);
+  out += ' ';
+  out += to_string(state);
+  out += " out=";
+  out += std::to_string(bytes_out);
+  out += " in=";
+  out += std::to_string(bytes_in);
+  return out;
+}
+
+FlowStats summarize(const std::vector<Flow>& flows) {
+  FlowStats stats;
+  stats.flows = flows.size();
+  std::unordered_set<std::uint32_t> sources;
+  std::unordered_set<std::uint32_t> destinations;
+  for (const auto& flow : flows) {
+    if (flow.state == ConnState::kAttempt) ++stats.attempts;
+    if (flow.state == ConnState::kEstablished) ++stats.established;
+    sources.insert(flow.src.value());
+    destinations.insert(flow.dst.value());
+  }
+  stats.distinct_sources = sources.size();
+  stats.distinct_destinations = destinations.size();
+  return stats;
+}
+
+}  // namespace at::net

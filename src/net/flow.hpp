@@ -1,0 +1,66 @@
+#pragma once
+// Network flow records: the schema shared by the traffic generators, the
+// Zeek-like monitor, the black-hole-router scan recorder, and the Fig-1
+// graph builder. Mirrors the fields of a Zeek conn.log line that the
+// paper's pipeline consumes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "util/time_utils.hpp"
+
+namespace at::net {
+
+enum class Proto : std::uint8_t { kTcp, kUdp, kIcmp };
+
+[[nodiscard]] const char* to_string(Proto proto) noexcept;
+
+/// Connection outcome, following Zeek's conn_state vocabulary (collapsed).
+enum class ConnState : std::uint8_t {
+  kAttempt,    ///< S0: connection attempt seen, no reply (typical of scans)
+  kRejected,   ///< REJ: actively refused
+  kEstablished ///< SF: handshake completed, data may have flowed
+};
+
+[[nodiscard]] const char* to_string(ConnState state) noexcept;
+
+struct Flow {
+  util::SimTime ts = 0;
+  Ipv4 src{};
+  Ipv4 dst{};
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Proto proto = Proto::kTcp;
+  ConnState state = ConnState::kAttempt;
+  std::uint64_t bytes_out = 0;  ///< originator -> responder
+  std::uint64_t bytes_in = 0;   ///< responder -> originator
+
+  /// One-line render in a conn.log-like format.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Well-known service ports used across the testbed.
+namespace ports {
+inline constexpr std::uint16_t kSsh = 22;
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kHttps = 443;
+inline constexpr std::uint16_t kPostgres = 5432;  ///< the ransomware's entry port
+inline constexpr std::uint16_t kMysql = 3306;
+inline constexpr std::uint16_t kRdp = 3389;
+inline constexpr std::uint16_t kTelnet = 23;
+}  // namespace ports
+
+/// Flow-set summary used by graph building and scan statistics.
+struct FlowStats {
+  std::size_t flows = 0;
+  std::size_t attempts = 0;
+  std::size_t established = 0;
+  std::size_t distinct_sources = 0;
+  std::size_t distinct_destinations = 0;
+};
+
+[[nodiscard]] FlowStats summarize(const std::vector<Flow>& flows);
+
+}  // namespace at::net

@@ -1,0 +1,35 @@
+#include "net/geo.hpp"
+
+namespace at::net {
+
+GeoDb::GeoDb() {
+  // The blocks the traffic generators and scenarios draw from.
+  add(Cidr(Ipv4(103, 102, 0, 0), 16), {"ID", "cloud-provider"});  // Fig 1's scanner
+  add(Cidr(Ipv4(111, 200, 0, 0), 13), {"CN", "isp"});             // ransomware entry
+  add(Cidr(Ipv4(194, 145, 0, 0), 16), {"RU", "hosting"});         // C2 / payload host
+  add(Cidr(Ipv4(45, 14, 0, 0), 16), {"NL", "hosting"});           // Fig 1 part C scanners
+  add(Cidr(Ipv4(45, 155, 204, 0), 24), {"RU", "bulletproof-hosting"});  // keylogger
+  add(Cidr(Ipv4(185, 100, 84, 0), 22), {"RO", "hosting"});        // struts campaign
+  add(Cidr(Ipv4(92, 63, 0, 0), 16), {"LT", "hosting"});           // bruteforce
+  add(Cidr(Ipv4(17, 32, 0, 0), 11), {"US", "enterprise"});        // legit clients
+  add(Cidr(Ipv4(8, 20, 0, 0), 14), {"US", "isp"});                // Fig 1 part D
+  add(blocks::ncsa16(), {"US", "ncsa"});
+}
+
+void GeoDb::add(Cidr block, Origin origin) {
+  entries_.push_back({block, std::move(origin)});
+}
+
+std::optional<Origin> GeoDb::lookup(Ipv4 addr) const {
+  const Entry* best = nullptr;
+  for (const auto& entry : entries_) {
+    if (!entry.block.contains(addr)) continue;
+    if (best == nullptr || entry.block.prefix_len() > best->block.prefix_len()) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->origin;
+}
+
+}  // namespace at::net

@@ -1,0 +1,42 @@
+#pragma once
+// Static geo/ASN attribution for external addresses. The paper's Fig 1
+// annotates the mass scanner as "a cloud provider from Indonesia" via its
+// prefix (103.102); the BHR and the visualization use the same kind of
+// prefix-to-origin lookup. This is a deliberately small, offline table —
+// the shape of a GeoIP database, not its contents.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/cidr.hpp"
+
+namespace at::net {
+
+struct Origin {
+  std::string country;
+  std::string asn_name;  ///< e.g. "cloud-provider", "university", "isp"
+};
+
+class GeoDb {
+ public:
+  /// Built-in table covering the address blocks the simulation uses.
+  GeoDb();
+
+  /// Longest-prefix match; nullopt for unknown space.
+  [[nodiscard]] std::optional<Origin> lookup(Ipv4 addr) const;
+
+  /// Add/override an entry (longest prefix wins on lookup).
+  void add(Cidr block, Origin origin);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Cidr block;
+    Origin origin;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace at::net

@@ -1,0 +1,47 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace at::net {
+
+Ipv4 Ipv4::parse(const std::string& text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) throw std::invalid_argument("Ipv4::parse: " + text);
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) throw std::invalid_argument("Ipv4::parse: " + text);
+    int octet = 0;
+    for (const char c : part) {
+      if (c < '0' || c > '9') throw std::invalid_argument("Ipv4::parse: " + text);
+      octet = octet * 10 + (c - '0');
+    }
+    if (octet > 255) throw std::invalid_argument("Ipv4::parse: " + text);
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4(value);
+}
+
+std::string Ipv4::str() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return buf;
+}
+
+std::string Ipv4::anonymized(unsigned octets) const {
+  static constexpr const char* kMask[4] = {"xxx", "yyy", "zzz", "ttt"};
+  std::string out;
+  for (unsigned i = 0; i < 4; ++i) {
+    if (i) out += '.';
+    if (i < octets) {
+      out += std::to_string(octet(i));
+    } else {
+      out += kMask[i - (octets < 4 ? octets : 3)];
+    }
+  }
+  return out;
+}
+
+}  // namespace at::net

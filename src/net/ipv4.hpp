@@ -1,0 +1,47 @@
+#pragma once
+// IPv4 address value type. The testbed models NCSA's /16 (141.142.0.0/16)
+// plus external scanner and attacker address space, and the paper's privacy
+// convention of printing only the leading octets is implemented here.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace at::net {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() noexcept = default;
+  explicit constexpr Ipv4(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+               std::uint32_t{d}) {}
+
+  /// Parse dotted quad; throws std::invalid_argument on malformed input.
+  static Ipv4 parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(unsigned i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (24 - 8 * i));
+  }
+
+  [[nodiscard]] std::string str() const;
+  /// Privacy-preserving render: first `octets` kept, rest masked, e.g.
+  /// anonymized(2) -> "103.102.xxx.yyy" as in the paper's listings.
+  [[nodiscard]] std::string anonymized(unsigned octets = 2) const;
+
+  friend constexpr auto operator<=>(const Ipv4&, const Ipv4&) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace at::net
+
+template <>
+struct std::hash<at::net::Ipv4> {
+  std::size_t operator()(const at::net::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

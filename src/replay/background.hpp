@@ -1,0 +1,69 @@
+#pragma once
+// Background traffic scenarios: the noise the testbed swims in. A mass
+// scanner sweeping the /16 (Fig 1 part A), SSH bruteforce campaigns, a
+// Struts vulnerability scanner, and legitimate client traffic. These are
+// what make preemption hard — the pipeline must stay quiet on all of them.
+
+#include "replay/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace at::replay {
+
+/// Internet-wide scanner probing random hosts of the protected /16.
+class MassScanScenario final : public Scenario {
+ public:
+  struct Config {
+    net::Ipv4 scanner{103, 102, 47, 9};
+    std::size_t probes = 5'000;
+    util::SimTime duration = util::kHour;
+    std::uint64_t seed = 31;
+  };
+  MassScanScenario() : config_() {}
+  explicit MassScanScenario(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "mass-scanner"; }
+  util::SimTime schedule(testbed::Testbed& bed, util::SimTime start) override;
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// SSH bruteforce against one honeypot entry point.
+class BruteforceScenario final : public Scenario {
+ public:
+  struct Config {
+    net::Ipv4 attacker{92, 63, 10, 4};
+    std::size_t attempts = 200;
+    util::SimTime spacing = 3 * util::kSecond;
+  };
+  BruteforceScenario() : config_() {}
+  explicit BruteforceScenario(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "ssh-bruteforce"; }
+  util::SimTime schedule(testbed::Testbed& bed, util::SimTime start) override;
+
+ private:
+  Config config_;
+};
+
+/// Legitimate clients talking to internal services (must stay undetected).
+class LegitTrafficScenario final : public Scenario {
+ public:
+  struct Config {
+    std::size_t clients = 50;
+    std::size_t flows_per_client = 10;
+    util::SimTime duration = util::kHour;
+    std::uint64_t seed = 17;
+  };
+  LegitTrafficScenario() : config_() {}
+  explicit LegitTrafficScenario(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "legitimate"; }
+  util::SimTime schedule(testbed::Testbed& bed, util::SimTime start) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace at::replay

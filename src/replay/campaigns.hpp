@@ -1,0 +1,57 @@
+#pragma once
+// Additional attack campaigns from the dataset's attack spectrum ("from
+// simple SQL injections to sophisticated SSH keyloggers, ransomware and
+// their variants"):
+//   * StrutsCampaign — the Apache Struts RCE class (CVE-2017-5638, the
+//     paper's Equifax reference [17]): scan, exploit a VRT-built vulnerable
+//     service, drop a cryptominer. Against a patched build the exploit
+//     fails and only the probing is observable.
+//   * SshKeyloggerCampaign — bruteforce entry, masqueraded keylogger
+//     install, credential capture (a critical alert) — the attack class
+//     the testbed's SSH honeypot predecessor (CAUDIT) targeted.
+
+#include "replay/scenario.hpp"
+
+namespace at::replay {
+
+class StrutsCampaign final : public Scenario {
+ public:
+  struct Config {
+    net::Ipv4 attacker{185, 100, 87, 41};
+    std::string snapshot_date{"20170301"};  ///< pre-fix: exploitable
+    std::string cve{"CVE-2017-5638"};
+    std::size_t probe_count = 30;
+    util::SimTime probe_spacing = 20;
+  };
+  StrutsCampaign() : config_() {}
+  explicit StrutsCampaign(Config config) : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "struts-rce"; }
+  util::SimTime schedule(testbed::Testbed& bed, util::SimTime start) override;
+
+  [[nodiscard]] bool exploited() const noexcept { return exploited_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  bool exploited_ = false;
+};
+
+class SshKeyloggerCampaign final : public Scenario {
+ public:
+  struct Config {
+    net::Ipv4 attacker{45, 155, 204, 1};
+    std::size_t bruteforce_attempts = 60;
+    util::SimTime attempt_spacing = 2;
+  };
+  SshKeyloggerCampaign() : config_() {}
+  explicit SshKeyloggerCampaign(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "ssh-keylogger"; }
+  util::SimTime schedule(testbed::Testbed& bed, util::SimTime start) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace at::replay

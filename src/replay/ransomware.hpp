@@ -1,0 +1,72 @@
+#pragma once
+// The Section V case study as a replayable scenario: the PostgreSQL
+// ransomware family. Timeline (all offsets relative to the scenario start,
+// which stands in for 2024-10-30):
+//   - days of repeated probing of port 5432 beforehand,
+//   - entry through an open PostgreSQL with privileged default creds,
+//   - step 1: SHOW server_version_num reconnaissance,
+//   - step 2: hex-encoded ELF payload (7F454C46...) into a large object,
+//   - step 3: lo_export drops /tmp/kp on disk,
+//   - SSH-key theft + known-hosts enumeration on the compromised instance,
+//   - recursive lateral movement to every historical peer (Fig 5),
+//   - beaconing to the command-and-control server — where the deployed
+//     model detected it and operators were notified,
+//   - twelve days later, the matching attack wave that hit production,
+//     confirming the early warning.
+
+#include <optional>
+#include <unordered_set>
+
+#include "replay/scenario.hpp"
+
+namespace at::replay {
+
+struct RansomwareConfig {
+  net::Ipv4 attacker{111, 200, 51, 77};
+  net::Ipv4 c2_server{194, 145, 88, 33};
+  util::SimTime probe_lead = 7 * util::kDay;  ///< probing before entry
+  std::size_t probes_per_day = 24;
+  util::SimTime beacon_period = 5 * util::kMinute;
+  std::size_t beacon_count = 6;
+  std::size_t max_spread_depth = 3;  ///< recursion depth of lateral movement
+  util::SimTime second_wave_delay = 12 * util::kDay;
+  std::string payload_path = "/tmp/kp";
+  std::string stolen_key = "SHA256:e7945e-postgres";
+};
+
+class RansomwareScenario final : public Scenario {
+ public:
+  explicit RansomwareScenario(RansomwareConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "pg-ransomware"; }
+  util::SimTime schedule(testbed::Testbed& bed, util::SimTime start) override;
+
+  // --- outcome accessors (valid after the engine has run) ---
+  [[nodiscard]] util::SimTime entry_time() const noexcept { return entry_time_; }
+  [[nodiscard]] util::SimTime second_wave_time() const noexcept { return second_wave_time_; }
+  [[nodiscard]] const std::unordered_set<std::string>& compromised() const noexcept {
+    return compromised_;
+  }
+  /// Hosts infected at each lateral-movement depth (Fig 5's spread shape).
+  [[nodiscard]] const std::vector<std::size_t>& spread_by_depth() const noexcept {
+    return spread_by_depth_;
+  }
+  [[nodiscard]] const RansomwareConfig& config() const noexcept { return config_; }
+
+ private:
+  void compromise_host(testbed::Testbed& bed, std::size_t instance_index,
+                       util::SimTime when, std::size_t depth);
+
+  RansomwareConfig config_;
+  util::SimTime entry_time_ = 0;
+  util::SimTime second_wave_time_ = 0;
+  std::unordered_set<std::string> compromised_;
+  std::vector<std::size_t> spread_by_depth_;
+};
+
+/// Find the first pipeline notification at/after `from` (the operator page
+/// for this attack), optionally restricted to one detector.
+[[nodiscard]] std::optional<testbed::Notification> first_notification_after(
+    const testbed::Testbed& bed, util::SimTime from, const std::string& detector = {});
+
+}  // namespace at::replay

@@ -1,0 +1,22 @@
+#include "replay/scenario.hpp"
+
+#include <algorithm>
+
+namespace at::replay {
+
+ReplayReport run_scenarios(testbed::Testbed& bed, const std::vector<Scenario*>& scenarios,
+                           util::SimTime start) {
+  ReplayReport report;
+  report.started = start;
+  util::SimTime horizon = start;
+  for (Scenario* scenario : scenarios) {
+    horizon = std::max(horizon, scenario->schedule(bed, start));
+  }
+  bed.engine().run();
+  report.finished = std::max(horizon, bed.engine().now());
+  report.events_executed = bed.engine().executed();
+  report.notifications = bed.pipeline().notifications().size();
+  return report;
+}
+
+}  // namespace at::replay

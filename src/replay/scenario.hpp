@@ -1,0 +1,35 @@
+#pragma once
+// Attack-scenario replay framework. A Scenario schedules its actions onto
+// the testbed's discrete-event engine through the same entry points a live
+// attacker uses (service connections, command execution, raw flows); the
+// engine then interleaves every active scenario deterministically. This is
+// the substitute for the live Internet traffic the real testbed is exposed
+// to (repro note in DESIGN.md).
+
+#include <string>
+
+#include "testbed/testbed.hpp"
+
+namespace at::replay {
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Schedule all actions; returns the scenario's nominal end time.
+  virtual util::SimTime schedule(testbed::Testbed& bed, util::SimTime start) = 0;
+};
+
+/// Run a set of scenarios to completion on a deployed testbed.
+struct ReplayReport {
+  util::SimTime started = 0;
+  util::SimTime finished = 0;
+  std::uint64_t events_executed = 0;
+  std::size_t notifications = 0;
+};
+
+ReplayReport run_scenarios(testbed::Testbed& bed,
+                           const std::vector<Scenario*>& scenarios,
+                           util::SimTime start);
+
+}  // namespace at::replay

@@ -1,0 +1,98 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace at::sim {
+
+EventId Engine::schedule_at(util::SimTime when, Callback callback, std::string label) {
+  (void)label;  // labels are advisory; kept in the API for tracing builds
+  if (when < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+  const EventId id = next_id_++;
+  queue_.push(Item{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(callback));
+  return id;
+}
+
+EventId Engine::schedule_in(util::SimTime delay, Callback callback, std::string label) {
+  return schedule_at(now_ + delay, std::move(callback), std::move(label));
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  ++cancelled_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Item item = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(item.id);
+    if (it == callbacks_.end()) {
+      // Cancelled event: drop the tombstone.
+      --cancelled_;
+      continue;
+    }
+    now_ = item.when;
+    Callback body = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    body(*this);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run_until(util::SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    // Skip tombstones at the head so the time peek is accurate.
+    if (!callbacks_.contains(queue_.top().id)) {
+      queue_.pop();
+      --cancelled_;
+      continue;
+    }
+    if (queue_.top().when > until) break;
+    if (step()) ++ran;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t ran = 0;
+  while (step()) ++ran;
+  return ran;
+}
+
+PeriodicTask::PeriodicTask(Engine& engine, util::SimTime period, Engine::Callback body,
+                           std::string label)
+    : engine_(engine), period_(period), body_(std::move(body)), label_(std::move(label)) {
+  if (period_ <= 0) throw std::invalid_argument("PeriodicTask: period must be positive");
+  arm();
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) engine_.cancel(pending_);
+  pending_ = 0;
+}
+
+void PeriodicTask::arm() {
+  pending_ = engine_.schedule_in(
+      period_,
+      [this](Engine& engine) {
+        pending_ = 0;
+        if (!running_) return;
+        body_(engine);
+        if (running_) arm();
+      },
+      label_);
+}
+
+}  // namespace at::sim

@@ -1,0 +1,93 @@
+#pragma once
+// Discrete-event simulation engine. Everything "live" in the testbed —
+// scanner traffic, honeypot sessions, VM lifecycle timers, BHR TTL expiry,
+// scripted attack scenarios — runs as events on one shared engine so the
+// whole deployment is deterministic and replayable.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time_utils.hpp"
+
+namespace at::sim {
+
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void(Engine&)>;
+
+  explicit Engine(util::SimTime start = 0) : now_(start) {}
+
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Schedule `callback` at absolute time `when` (>= now). Returns an id
+  /// usable with cancel(). Ties run in scheduling order (stable).
+  EventId schedule_at(util::SimTime when, Callback callback, std::string label = {});
+  /// Schedule at now + delay.
+  EventId schedule_in(util::SimTime delay, Callback callback, std::string label = {});
+  /// Cancel a pending event; returns false if already run/cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the queue drains or `until` is passed (events at t > until
+  /// stay queued). Returns the number of events executed.
+  std::uint64_t run_until(util::SimTime until);
+  /// Run until the queue drains entirely.
+  std::uint64_t run();
+  /// Execute exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+ private:
+  struct Item {
+    util::SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    // Ordered min-first by (when, seq) for deterministic tie-breaking.
+    bool operator>(const Item& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  util::SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  // Keyed by id; a queue entry whose id is absent here is a cancelled
+  // tombstone and is dropped when it reaches the head.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+/// Repeating event helper: schedules itself every `period` until stopped.
+class PeriodicTask {
+ public:
+  PeriodicTask(Engine& engine, util::SimTime period, Engine::Callback body,
+               std::string label = {});
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void arm();
+
+  Engine& engine_;
+  util::SimTime period_;
+  Engine::Callback body_;
+  std::string label_;
+  EventId pending_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace at::sim

@@ -1,0 +1,27 @@
+#include "testbed/correlator.hpp"
+
+#include "util/rng.hpp"
+
+namespace at::testbed {
+
+std::uint64_t AlertCorrelator::key_of(const alerts::Alert& alert) {
+  const std::uint64_t host_hash = util::mix64(std::hash<std::string>{}(alert.host));
+  return host_hash ^ (static_cast<std::uint64_t>(alert.type) << 1);
+}
+
+void AlertCorrelator::on_alert(const alerts::Alert& alert) {
+  ++received_;
+  const auto key = key_of(alert);
+  const auto it = last_forwarded_.find(key);
+  if (it != last_forwarded_.end() && alert.ts - it->second < config_.window &&
+      alert.ts >= it->second) {
+    // Corroborating observation of the same event: absorb it. (Operators
+    // can recover the per-monitor view from the monitors' own counters.)
+    return;
+  }
+  last_forwarded_[key] = alert.ts;
+  ++forwarded_;
+  downstream_->on_alert(alert);
+}
+
+}  // namespace at::testbed

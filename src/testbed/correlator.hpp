@@ -1,0 +1,45 @@
+#pragma once
+// Cross-monitor alert correlation. The same attacker action is often seen
+// by more than one monitor (a /tmp/kp execution surfaces via osquery's
+// process event AND auditd's execve record). The correlator sits between
+// the monitors and the pipeline and merges near-duplicate observations —
+// same host, same alert type, within a small window — into one alert with
+// a corroboration count, so detectors are not double-counting evidence
+// while operators still see which monitors agreed.
+
+#include <unordered_map>
+
+#include "alerts/alert.hpp"
+
+namespace at::testbed {
+
+struct CorrelatorConfig {
+  /// Alerts of the same (host, type) within this window are one event.
+  util::SimTime window = 30;
+};
+
+class AlertCorrelator final : public alerts::AlertSink {
+ public:
+  AlertCorrelator(CorrelatorConfig config, alerts::AlertSink& downstream)
+      : config_(config), downstream_(&downstream) {}
+
+  void on_alert(const alerts::Alert& alert) override;
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::uint64_t merged() const noexcept { return received_ - forwarded_; }
+
+ private:
+  struct Key {
+    std::uint64_t value = 0;
+  };
+  [[nodiscard]] static std::uint64_t key_of(const alerts::Alert& alert);
+
+  CorrelatorConfig config_;
+  alerts::AlertSink* downstream_;
+  std::unordered_map<std::uint64_t, util::SimTime> last_forwarded_;
+  std::uint64_t received_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace at::testbed

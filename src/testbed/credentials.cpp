@@ -1,0 +1,47 @@
+#include "testbed/credentials.hpp"
+
+namespace at::testbed {
+
+const char* to_string(LeakChannel channel) noexcept {
+  switch (channel) {
+    case LeakChannel::kNone: return "none";
+    case LeakChannel::kSocialMedia: return "social-media";
+    case LeakChannel::kGitCommit: return "git-commit";
+    case LeakChannel::kPasteSite: return "paste-site";
+    case LeakChannel::kForum: return "forum";
+  }
+  return "?";
+}
+
+CredentialStore::CredentialStore(std::uint64_t seed) : rng_(seed) {}
+
+void CredentialStore::add_defaults() {
+  credentials_.push_back({"postgres", "postgres", LeakChannel::kNone, true, 0, 0});
+  credentials_.push_back({"admin", "admin", LeakChannel::kNone, true, 0, 0});
+  credentials_.push_back({"root", "toor", LeakChannel::kNone, true, 0, 0});
+}
+
+const Credential& CredentialStore::leak(LeakChannel channel, util::SimTime when) {
+  Credential credential;
+  credential.username = "svc" + std::to_string(rng_.uniform_int(100, 999));
+  // Unique per leak; the suffix ties a later login back to this channel.
+  credential.password = "k" + std::to_string(rng_() % 0xffffffffULL);
+  credential.channel = channel;
+  credential.leaked_at = when;
+  credentials_.push_back(std::move(credential));
+  return credentials_.back();
+}
+
+std::optional<Credential> CredentialStore::authenticate(const std::string& username,
+                                                        const std::string& password) {
+  for (auto& credential : credentials_) {
+    if (credential.username == username && credential.password == password) {
+      ++credential.uses;
+      ++total_uses_;
+      return credential;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace at::testbed

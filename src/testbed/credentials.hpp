@@ -1,0 +1,56 @@
+#pragma once
+// Attacker-attraction credentials (Section IV-B). The testbed advertises
+// default or unique user-generated credentials through public channels
+// (social media, git commits, paste sites); because each generated
+// credential is unique per channel, a login with it attributes the
+// attacker to the leak channel that drew them in.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time_utils.hpp"
+
+namespace at::testbed {
+
+enum class LeakChannel : std::uint8_t { kNone, kSocialMedia, kGitCommit, kPasteSite, kForum };
+
+[[nodiscard]] const char* to_string(LeakChannel channel) noexcept;
+
+struct Credential {
+  std::string username;
+  std::string password;
+  LeakChannel channel = LeakChannel::kNone;  ///< where it was advertised
+  bool is_default = false;                   ///< e.g. postgres/postgres
+  util::SimTime leaked_at = 0;
+  std::uint64_t uses = 0;
+};
+
+class CredentialStore {
+ public:
+  explicit CredentialStore(std::uint64_t seed = 99);
+
+  /// Add the well-known default credentials honeypots expose.
+  void add_defaults();
+  /// Generate and "leak" a unique credential via `channel`.
+  const Credential& leak(LeakChannel channel, util::SimTime when);
+
+  /// Validate a login attempt; on success, records the use and returns the
+  /// credential (whose channel attributes the attacker).
+  std::optional<Credential> authenticate(const std::string& username,
+                                         const std::string& password);
+
+  [[nodiscard]] const std::vector<Credential>& credentials() const noexcept {
+    return credentials_;
+  }
+  [[nodiscard]] std::uint64_t total_uses() const noexcept { return total_uses_; }
+
+ private:
+  util::Rng rng_;
+  std::vector<Credential> credentials_;
+  std::uint64_t total_uses_ = 0;
+};
+
+}  // namespace at::testbed

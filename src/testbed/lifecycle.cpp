@@ -1,0 +1,101 @@
+#include "testbed/lifecycle.hpp"
+
+#include <stdexcept>
+
+namespace at::testbed {
+
+const char* to_string(InstanceState state) noexcept {
+  switch (state) {
+    case InstanceState::kProvisioning: return "provisioning";
+    case InstanceState::kRunning: return "running";
+    case InstanceState::kCapturing: return "capturing";
+    case InstanceState::kRecycling: return "recycling";
+    case InstanceState::kDestroyed: return "destroyed";
+  }
+  return "?";
+}
+
+VmManager::VmManager(LifecycleConfig config) : config_(std::move(config)) {
+  if (config_.entry_points == 0 || config_.entry_points > config_.max_instances) {
+    throw std::invalid_argument("VmManager: bad entry point count");
+  }
+  if (config_.entry_points >= config_.entry_block.host_count()) {
+    throw std::invalid_argument("VmManager: entry block too small");
+  }
+}
+
+Instance VmManager::make_instance(util::SimTime now, std::uint64_t slot) {
+  Instance instance;
+  instance.id = next_id_++;
+  instance.hostname = "pg-" + std::to_string(slot);
+  instance.address = config_.entry_block.host(slot + 1);  // .0 is the network
+  instance.image = config_.image;
+  instance.state = InstanceState::kRunning;
+  instance.launched_at = now;
+  instance.expires_at = now + config_.instance_ttl;
+  return instance;
+}
+
+void VmManager::provision_entry_points(util::SimTime now) {
+  instances_.clear();
+  for (std::size_t slot = 0; slot < config_.entry_points; ++slot) {
+    instances_.push_back(make_instance(now, slot));
+  }
+}
+
+std::optional<std::uint32_t> VmManager::scale_up(util::SimTime now) {
+  if (instances_.size() >= config_.max_instances) return std::nullopt;
+  instances_.push_back(make_instance(now, instances_.size()));
+  return instances_.back().id;
+}
+
+bool VmManager::mark_capturing(std::uint32_t id) {
+  for (auto& instance : instances_) {
+    if (instance.id == id && instance.state == InstanceState::kRunning) {
+      instance.state = InstanceState::kCapturing;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t VmManager::tick(util::SimTime now) {
+  std::size_t recycled = 0;
+  for (auto& instance : instances_) {
+    const bool expired =
+        instance.state == InstanceState::kRunning && now >= instance.expires_at;
+    const bool captured = instance.state == InstanceState::kCapturing;
+    if (!expired && !captured) continue;
+    // Immutable image: the slot is relaunched fresh; nothing persists.
+    const auto slot_host = instance.hostname;
+    const auto slot_addr = instance.address;
+    const auto generation = instance.generation + 1;
+    instance = make_instance(now, 0);
+    instance.hostname = slot_host;
+    instance.address = slot_addr;
+    instance.generation = generation;
+    ++recycled;
+    ++recycled_;
+  }
+  return recycled;
+}
+
+const Instance* VmManager::find(std::uint32_t id) const {
+  for (const auto& instance : instances_) {
+    if (instance.id == id) return &instance;
+  }
+  return nullptr;
+}
+
+std::size_t VmManager::running_count() const {
+  std::size_t count = 0;
+  for (const auto& instance : instances_) {
+    if (instance.state == InstanceState::kRunning ||
+        instance.state == InstanceState::kCapturing) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace at::testbed

@@ -1,0 +1,79 @@
+#pragma once
+// VM/container lifecycle (Section IV-C). The honeypot's entry points live
+// on a dedicated /24 (sixteen entry-point VMs); each instance is launched
+// from an immutable image, is short-lived (recycled after a TTL or after
+// capturing an attack), and the fleet auto-scales by cloning instances —
+// "simulating a distributed federation of databases" to catch lateral
+// movement.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/cidr.hpp"
+#include "util/time_utils.hpp"
+
+namespace at::testbed {
+
+enum class InstanceState : std::uint8_t {
+  kProvisioning,
+  kRunning,
+  kCapturing,  ///< attack traces being collected
+  kRecycling,
+  kDestroyed
+};
+
+[[nodiscard]] const char* to_string(InstanceState state) noexcept;
+
+struct Instance {
+  std::uint32_t id = 0;
+  std::string hostname;
+  net::Ipv4 address;
+  std::string image;  ///< immutable image identity
+  InstanceState state = InstanceState::kProvisioning;
+  util::SimTime launched_at = 0;
+  util::SimTime expires_at = 0;
+  std::uint32_t generation = 0;  ///< how many times this slot was recycled
+};
+
+struct LifecycleConfig {
+  net::Cidr entry_block = net::blocks::honeypot24();
+  std::size_t entry_points = 16;  ///< VMs forwarding into the private cloud
+  util::SimTime instance_ttl = 6 * util::kHour;  ///< short-lived by design
+  std::string image = "pg-honeypot-immutable-v3";
+  std::size_t max_instances = 64;  ///< auto-scaling ceiling
+};
+
+class VmManager {
+ public:
+  explicit VmManager(LifecycleConfig config = {});
+
+  /// Provision the sixteen entry-point instances.
+  void provision_entry_points(util::SimTime now);
+  /// Clone one more instance (auto-scaling); nullopt at the ceiling.
+  std::optional<std::uint32_t> scale_up(util::SimTime now);
+  /// Mark an instance as capturing an attack (it will be recycled after).
+  bool mark_capturing(std::uint32_t id);
+  /// Recycle expired or post-capture instances into fresh generations.
+  /// Returns how many instances were recycled.
+  std::size_t tick(util::SimTime now);
+
+  [[nodiscard]] const std::vector<Instance>& instances() const noexcept {
+    return instances_;
+  }
+  [[nodiscard]] const Instance* find(std::uint32_t id) const;
+  [[nodiscard]] std::size_t running_count() const;
+  [[nodiscard]] std::uint64_t total_recycled() const noexcept { return recycled_; }
+  [[nodiscard]] const LifecycleConfig& config() const noexcept { return config_; }
+
+ private:
+  Instance make_instance(util::SimTime now, std::uint64_t slot);
+
+  LifecycleConfig config_;
+  std::vector<Instance> instances_;
+  std::uint32_t next_id_ = 1;
+  std::uint64_t recycled_ = 0;
+};
+
+}  // namespace at::testbed

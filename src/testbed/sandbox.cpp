@@ -1,0 +1,34 @@
+#include "testbed/sandbox.hpp"
+
+namespace at::testbed {
+
+const char* to_string(EgressVerdict verdict) noexcept {
+  switch (verdict) {
+    case EgressVerdict::kAllowedInternal: return "allowed-internal";
+    case EgressVerdict::kAllowedWhitelisted: return "allowed-whitelisted";
+    case EgressVerdict::kDroppedEgress: return "dropped-egress";
+  }
+  return "?";
+}
+
+NetworkSandbox::NetworkSandbox(SandboxConfig config) : config_(std::move(config)) {}
+
+EgressVerdict NetworkSandbox::judge(const net::Flow& flow) {
+  // Traffic staying inside the overlay or the honeypot segment is the
+  // attack surface we *want* exercised (lateral movement between instances).
+  if (config_.overlay.contains(flow.dst) || config_.honeypot_segment.contains(flow.dst)) {
+    ++allowed_;
+    return EgressVerdict::kAllowedInternal;
+  }
+  for (const auto& dst : config_.whitelist) {
+    if (dst == flow.dst) {
+      ++allowed_;
+      return EgressVerdict::kAllowedWhitelisted;
+    }
+  }
+  ++dropped_;
+  escapes_.push_back(flow);
+  return EgressVerdict::kDroppedEgress;
+}
+
+}  // namespace at::testbed

@@ -1,0 +1,55 @@
+#pragma once
+// Network isolation sandbox (Section IV-C). Containers run on a Layer-3
+// private overlay in a separate CIDR block; iptables-style rules watch
+// every *new outgoing* connection from a honeypot container and drop it
+// before it can reach the Internet — the property that keeps injected and
+// attracted attacks from escaping. The sandbox also allows explicitly
+// whitelisted flows (monitoring plane, capture collection).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/cidr.hpp"
+#include "net/flow.hpp"
+
+namespace at::testbed {
+
+enum class EgressVerdict : std::uint8_t {
+  kAllowedInternal,    ///< stays within the overlay / honeypot segment
+  kAllowedWhitelisted, ///< monitoring or capture plane
+  kDroppedEgress       ///< new outbound connection to the Internet: dropped
+};
+
+[[nodiscard]] const char* to_string(EgressVerdict verdict) noexcept;
+
+struct SandboxConfig {
+  net::Cidr overlay = net::blocks::overlay();
+  net::Cidr honeypot_segment = net::blocks::honeypot24();
+  /// Destinations always allowed (e.g. the out-of-band monitoring host).
+  std::vector<net::Ipv4> whitelist;
+};
+
+class NetworkSandbox {
+ public:
+  explicit NetworkSandbox(SandboxConfig config = {});
+
+  /// Judge a flow originating inside the sandbox.
+  EgressVerdict judge(const net::Flow& flow);
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t allowed() const noexcept { return allowed_; }
+  /// Log of dropped escape attempts (source, destination, time).
+  [[nodiscard]] const std::vector<net::Flow>& escape_attempts() const noexcept {
+    return escapes_;
+  }
+  [[nodiscard]] const SandboxConfig& config() const noexcept { return config_; }
+
+ private:
+  SandboxConfig config_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t allowed_ = 0;
+  std::vector<net::Flow> escapes_;
+};
+
+}  // namespace at::testbed

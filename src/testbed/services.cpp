@@ -1,0 +1,164 @@
+#include "testbed/services.hpp"
+
+#include "util/strings.hpp"
+
+namespace at::testbed {
+
+namespace {
+
+net::Flow make_flow(net::Ipv4 src, net::Ipv4 dst, std::uint16_t port, util::SimTime now,
+                    net::ConnState state) {
+  net::Flow flow;
+  flow.ts = now;
+  flow.src = src;
+  flow.dst = dst;
+  flow.src_port = 40000;
+  flow.dst_port = port;
+  flow.state = state;
+  return flow;
+}
+
+}  // namespace
+
+PostgresHoneypot::PostgresHoneypot(std::string host, net::Ipv4 address,
+                                   CredentialStore& store, ServiceHooks hooks)
+    : host_(std::move(host)), address_(address), store_(&store), hooks_(std::move(hooks)) {}
+
+std::optional<PostgresHoneypot::Session> PostgresHoneypot::connect(
+    net::Ipv4 peer, const std::string& user, const std::string& password,
+    util::SimTime now) {
+  const auto credential = store_->authenticate(user, password);
+  if (hooks_.on_flow) {
+    hooks_.on_flow(make_flow(peer, address_, net::ports::kPostgres, now,
+                             credential ? net::ConnState::kEstablished
+                                        : net::ConnState::kRejected));
+  }
+  if (!credential) {
+    ++failed_logins_;
+    return std::nullopt;
+  }
+  if (credential->is_default && hooks_.on_process) {
+    // A privileged login with vendor-default credentials is itself a
+    // significant alert (the ransomware's entry vector in Section V).
+    monitors::ProcessEvent event;
+    event.ts = now;
+    event.host = host_;
+    event.user = user;
+    event.cmdline = "postgres: password authentication accepted (default credential) for " + user;
+    event.pid = 7036;
+    hooks_.on_process(event);
+  }
+  Session session;
+  session.authenticated = true;
+  session.user = user;
+  session.peer = peer;
+  session.attributed_channel = credential->channel;
+  return session;
+}
+
+PostgresHoneypot::QueryResult PostgresHoneypot::query(Session& session,
+                                                      const std::string& sql,
+                                                      util::SimTime now) {
+  QueryResult result;
+  if (!session.authenticated) {
+    result.response = "ERROR: not authenticated";
+    return result;
+  }
+  const std::string lowered = util::to_lower(sql);
+
+  // Every query surfaces as a process event on the DB host so osquery-level
+  // monitoring sees the same activity the paper's deployment logged.
+  auto emit_process = [&](const std::string& cmdline) {
+    if (hooks_.on_process) {
+      monitors::ProcessEvent event;
+      event.ts = now;
+      event.host = host_;
+      event.user = session.user;
+      event.cmdline = cmdline;
+      event.pid = 7036;
+      hooks_.on_process(event);
+    }
+  };
+
+  if (util::contains(lowered, "show server_version_num")) {
+    // Step 1 of the Section V attack: version reconnaissance.
+    emit_process("postgres: SHOW server_version_num");
+    result.ok = true;
+    result.response = "90121";  // an old, vulnerable 9.1 line
+    return result;
+  }
+  if (util::contains(lowered, "lo_create") || util::contains(lowered, "lowrite") ||
+      util::contains(lowered, "7f454c46")) {
+    // Step 2: hex-encoded ELF payload into a large object (magic 7F 45 4C 46).
+    large_objects_.push_back(sql);
+    emit_process("postgres: lowrite 7F454C46...");
+    result.ok = true;
+    result.response = "lo " + std::to_string(large_objects_.size());
+    return result;
+  }
+  if (util::contains(lowered, "lo_export")) {
+    // Step 3: write the payload to disk (the paper's /tmp/kp drop).
+    const auto parts = util::split_ws(sql);
+    std::string path = "/tmp/kp";
+    for (const auto& part : parts) {
+      if (util::starts_with(part, "/")) path = part;
+    }
+    files_on_disk_.push_back(path);
+    emit_process("postgres: lo_export to " + path);
+    if (hooks_.on_syscall) {
+      monitors::SyscallEvent event;
+      event.ts = now;
+      event.host = host_;
+      event.user = session.user;
+      event.kind = monitors::SyscallKind::kExecve;
+      event.path = path;
+      hooks_.on_syscall(event);
+    }
+    result.ok = true;
+    result.response = "exported " + path;
+    return result;
+  }
+  emit_process("postgres: " + sql.substr(0, 48));
+  result.ok = true;
+  result.response = "OK";
+  return result;
+}
+
+SshHoneypot::SshHoneypot(std::string host, net::Ipv4 address, ServiceHooks hooks)
+    : host_(std::move(host)), address_(address), hooks_(std::move(hooks)) {}
+
+void SshHoneypot::authorize_key(std::string key_fingerprint) {
+  authorized_keys_.push_back(std::move(key_fingerprint));
+}
+
+bool SshHoneypot::login_with_key(net::Ipv4 peer, const std::string& key_fingerprint,
+                                 util::SimTime now) {
+  bool ok = false;
+  for (const auto& key : authorized_keys_) {
+    if (key == key_fingerprint) {
+      ok = true;
+      break;
+    }
+  }
+  if (hooks_.on_flow) {
+    hooks_.on_flow(make_flow(peer, address_, net::ports::kSsh, now,
+                             ok ? net::ConnState::kEstablished : net::ConnState::kRejected));
+  }
+  if (!ok) ++rejected_;
+  return ok;
+}
+
+void SshHoneypot::exec(const std::string& user, const std::string& cmdline,
+                       util::SimTime now) {
+  if (hooks_.on_process) {
+    monitors::ProcessEvent event;
+    event.ts = now;
+    event.host = host_;
+    event.user = user;
+    event.cmdline = cmdline;
+    event.pid = 4242;
+    hooks_.on_process(event);
+  }
+}
+
+}  // namespace at::testbed

@@ -1,0 +1,103 @@
+#pragma once
+// Honeypot service state machines (Section IV-A/V). Attack interaction
+// with the real testbed happens at the command level — PostgreSQL queries,
+// SSH sessions — and that is exactly what these models expose. Service
+// activity is observed by the monitor layer (process/syscall events) and
+// by a Zeek-style connection record, so the detectors see the same alert
+// stream the paper's deployment produced.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "monitors/events.hpp"
+#include "net/flow.hpp"
+#include "testbed/credentials.hpp"
+
+namespace at::testbed {
+
+/// Observable side effects of honeypot activity, delivered to the testbed.
+struct ServiceHooks {
+  std::function<void(const net::Flow&)> on_flow;
+  std::function<void(const monitors::ProcessEvent&)> on_process;
+  std::function<void(const monitors::SyscallEvent&)> on_syscall;
+};
+
+/// A PostgreSQL honeypot instance with privileged default credentials and
+/// the large-object primitives the Section V ransomware abused.
+class PostgresHoneypot {
+ public:
+  PostgresHoneypot(std::string host, net::Ipv4 address, CredentialStore& store,
+                   ServiceHooks hooks);
+
+  struct Session {
+    bool authenticated = false;
+    std::string user;
+    net::Ipv4 peer;
+    LeakChannel attributed_channel = LeakChannel::kNone;
+  };
+
+  /// TCP connect + auth on port 5432. Returns a session on auth success.
+  std::optional<Session> connect(net::Ipv4 peer, const std::string& user,
+                                 const std::string& password, util::SimTime now);
+
+  struct QueryResult {
+    bool ok = false;
+    std::string response;
+  };
+  /// Execute SQL in a session; recognizes the ransomware's primitives
+  /// (version recon, large-object hex payloads, lo_export to disk).
+  QueryResult query(Session& session, const std::string& sql, util::SimTime now);
+
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  [[nodiscard]] net::Ipv4 address() const noexcept { return address_; }
+  [[nodiscard]] const std::vector<std::string>& files_on_disk() const noexcept {
+    return files_on_disk_;
+  }
+  /// SSH private keys and known_hosts entries harvestable from this host
+  /// (seeded so lateral movement has something to steal).
+  [[nodiscard]] const std::vector<std::string>& known_hosts() const noexcept {
+    return known_hosts_;
+  }
+  void seed_known_hosts(std::vector<std::string> hosts) { known_hosts_ = std::move(hosts); }
+
+  [[nodiscard]] std::uint64_t failed_logins() const noexcept { return failed_logins_; }
+
+ private:
+  std::string host_;
+  net::Ipv4 address_;
+  CredentialStore* store_;
+  ServiceHooks hooks_;
+  std::vector<std::string> files_on_disk_;
+  std::vector<std::string> known_hosts_;
+  std::vector<std::string> large_objects_;
+  std::uint64_t failed_logins_ = 0;
+};
+
+/// Minimal SSH honeypot: key- or password-based sessions, command
+/// execution observed via process events.
+class SshHoneypot {
+ public:
+  SshHoneypot(std::string host, net::Ipv4 address, ServiceHooks hooks);
+
+  /// Key-based login; `authorized` keys accepted.
+  bool login_with_key(net::Ipv4 peer, const std::string& key_fingerprint,
+                      util::SimTime now);
+  void authorize_key(std::string key_fingerprint);
+  /// Run a command in an (assumed-authenticated) session.
+  void exec(const std::string& user, const std::string& cmdline, util::SimTime now);
+
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  [[nodiscard]] net::Ipv4 address() const noexcept { return address_; }
+  [[nodiscard]] std::uint64_t rejected_logins() const noexcept { return rejected_; }
+
+ private:
+  std::string host_;
+  net::Ipv4 address_;
+  ServiceHooks hooks_;
+  std::vector<std::string> authorized_keys_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace at::testbed

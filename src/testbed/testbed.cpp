@@ -1,0 +1,114 @@
+#include "testbed/testbed.hpp"
+
+#include "fg/model.hpp"
+
+namespace at::testbed {
+
+Testbed::Testbed(TestbedConfig config, const incidents::Corpus& training)
+    : config_(config), vms_(config.lifecycle), sandbox_(config.sandbox) {
+  pipeline_ = std::make_unique<AlertPipeline>(config_.pipeline, &router_);
+
+  // Default detector set: the factor-graph model (trained on the corpus)
+  // and the rule-based signatures, per entity.
+  auto params = fg::learn_params(training);
+  const double threshold = config_.fg_threshold;
+  pipeline_->add_detector("factor-graph", [params, threshold] {
+    return std::make_unique<detect::FactorGraphDetector>(params, threshold);
+  });
+  auto rules = std::make_shared<detect::RuleBasedDetector>(
+      detect::RuleBasedDetector::train(training.incidents));
+  pipeline_->add_detector("rule-based", [rules] {
+    // Each entity gets a fresh matcher over the shared signature set.
+    auto copy = std::make_unique<detect::RuleBasedDetector>(*rules);
+    copy->reset();
+    return copy;
+  });
+
+  // Monitors feed the correlator (cross-monitor dedup), which feeds the
+  // pipeline.
+  correlator_ = std::make_unique<AlertCorrelator>(config_.correlator, *pipeline_);
+  ssh_auditor_ = std::make_unique<SshAuditor>(config_.ssh_auditor, router_);
+  zeek_ = std::make_unique<monitors::ZeekMonitor>(*correlator_, config_.zeek);
+  osquery_ = std::make_unique<monitors::OsqueryMonitor>(*correlator_);
+  auditd_ = std::make_unique<monitors::AuditdMonitor>(*correlator_);
+}
+
+void Testbed::deploy(util::SimTime now) {
+  vms_.provision_entry_points(now);
+  credentials_.add_defaults();
+  credentials_.leak(LeakChannel::kSocialMedia, now);
+  credentials_.leak(LeakChannel::kGitCommit, now);
+  credentials_.leak(LeakChannel::kPasteSite, now);
+
+  postgres_.clear();
+  ssh_.clear();
+  for (const auto& instance : vms_.instances()) {
+    postgres_.push_back(std::make_unique<PostgresHoneypot>(
+        instance.hostname, instance.address, credentials_, hooks()));
+    // The SSH service shares the instance's hostname so host-keyed entity
+    // streams see database and shell activity as one timeline.
+    ssh_.push_back(
+        std::make_unique<SshHoneypot>(instance.hostname, instance.address, hooks()));
+    zeek_->set_host_name(instance.address, instance.hostname);
+  }
+  // Seed cross-instance known_hosts so lateral movement has a topology to
+  // crawl (the "distributed federation of databases").
+  for (std::size_t i = 0; i < postgres_.size(); ++i) {
+    std::vector<std::string> peers;
+    for (std::size_t j = 0; j < postgres_.size(); ++j) {
+      if (j != i) peers.push_back(postgres_[j]->host());
+    }
+    postgres_[i]->seed_known_hosts(std::move(peers));
+  }
+}
+
+bool Testbed::inject_flow(const net::Flow& flow) {
+  if (router_.filter(flow)) return false;
+  // Every attempt against the protected space feeds the BHR's scan view.
+  if (flow.state != net::ConnState::kEstablished) scan_recorder_.record(flow);
+  // Flows *originating* in the honeypot go through the egress sandbox;
+  // dropped escapes are still *observed* by Zeek before the drop — the
+  // iptables rules monitor new outbound connections and then discard them,
+  // which is exactly how the C2 attempt was caught in Section V.
+  bool delivered = true;
+  if (config_.sandbox.honeypot_segment.contains(flow.src) ||
+      config_.sandbox.overlay.contains(flow.src)) {
+    delivered = sandbox_.judge(flow) != EgressVerdict::kDroppedEgress;
+  }
+  // Continuous SSH auditing: reflexively blackholes bruteforce sources.
+  if (!config_.sandbox.honeypot_segment.contains(flow.src)) {
+    ssh_auditor_->on_flow(flow);
+  }
+  zeek_->on_flow(flow);
+  return delivered;
+}
+
+VulnerableService* Testbed::add_vulnerable_service(const std::string& package,
+                                                   const std::string& yyyymmdd,
+                                                   util::SimTime now) {
+  static const vrt::SnapshotArchive archive;
+  const vrt::ContainerBuilder builder(archive);
+  auto build = builder.build(package, yyyymmdd);
+  if (!build.success) return nullptr;
+  const auto vm = vms_.scale_up(now);
+  if (!vm) return nullptr;
+  const Instance* instance = vms_.find(*vm);
+  services_.push_back(std::make_unique<VulnerableService>(
+      instance->hostname, instance->address, std::move(build), hooks()));
+  zeek_->set_host_name(instance->address, instance->hostname);
+  return services_.back().get();
+}
+
+ServiceHooks Testbed::hooks() {
+  ServiceHooks hooks;
+  hooks.on_flow = [this](const net::Flow& flow) { inject_flow(flow); };
+  hooks.on_process = [this](const monitors::ProcessEvent& event) {
+    osquery_->on_process(event);
+  };
+  hooks.on_syscall = [this](const monitors::SyscallEvent& event) {
+    auditd_->on_syscall(event);
+  };
+  return hooks;
+}
+
+}  // namespace at::testbed

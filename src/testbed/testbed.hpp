@@ -1,0 +1,102 @@
+#pragma once
+// The ATTACKTAGGER testbed orchestrator: wires honeypot services, the VM
+// fleet, the isolation sandbox, the monitor layer, the alert pipeline with
+// its detectors, and the Black Hole Router into one deployment (Fig 4).
+// Attack scenarios from the replay engine drive it through the same entry
+// points a live attacker would use.
+
+#include <memory>
+#include <vector>
+
+#include "monitors/osquery_monitor.hpp"
+#include "monitors/zeek_monitor.hpp"
+#include "sim/engine.hpp"
+#include "testbed/correlator.hpp"
+#include "testbed/credentials.hpp"
+#include "testbed/lifecycle.hpp"
+#include "testbed/pipeline.hpp"
+#include "testbed/sandbox.hpp"
+#include "testbed/services.hpp"
+#include "testbed/ssh_auditor.hpp"
+#include "testbed/vuln_service.hpp"
+
+namespace at::testbed {
+
+struct TestbedConfig {
+  PipelineConfig pipeline;
+  LifecycleConfig lifecycle;
+  SandboxConfig sandbox;
+  monitors::ZeekConfig zeek;
+  CorrelatorConfig correlator;
+  SshAuditorConfig ssh_auditor;
+  /// Factor-graph detector threshold for the default detector set.
+  double fg_threshold = 0.75;
+};
+
+class Testbed {
+ public:
+  /// Build the deployment; detectors are trained from `training`.
+  Testbed(TestbedConfig config, const incidents::Corpus& training);
+
+  /// Provision the entry-point fleet and seed leak-channel credentials.
+  void deploy(util::SimTime now);
+
+  // --- components (exposed for scenarios, benches and tests) ---
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] AlertPipeline& pipeline() noexcept { return *pipeline_; }
+  [[nodiscard]] const AlertPipeline& pipeline() const noexcept { return *pipeline_; }
+  [[nodiscard]] AlertCorrelator& correlator() noexcept { return *correlator_; }
+  [[nodiscard]] SshAuditor& ssh_auditor() noexcept { return *ssh_auditor_; }
+  [[nodiscard]] bhr::BlackHoleRouter& router() noexcept { return router_; }
+  [[nodiscard]] bhr::ScanRecorder& scan_recorder() noexcept { return scan_recorder_; }
+  [[nodiscard]] VmManager& vms() noexcept { return vms_; }
+  [[nodiscard]] NetworkSandbox& sandbox() noexcept { return sandbox_; }
+  [[nodiscard]] CredentialStore& credentials() noexcept { return credentials_; }
+  [[nodiscard]] monitors::ZeekMonitor& zeek() noexcept { return *zeek_; }
+  [[nodiscard]] monitors::OsqueryMonitor& osquery() noexcept { return *osquery_; }
+  [[nodiscard]] monitors::AuditdMonitor& auditd() noexcept { return *auditd_; }
+
+  /// Honeypot instances (one per running entry-point VM after deploy()).
+  [[nodiscard]] std::vector<std::unique_ptr<PostgresHoneypot>>& postgres() noexcept {
+    return postgres_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<SshHoneypot>>& ssh() noexcept { return ssh_; }
+
+  /// Stand up a VRT-built vulnerable service (Section IV-A): the package is
+  /// built from the dated snapshot and hosted on a newly scaled VM. Returns
+  /// nullptr when the fleet is at its ceiling or the build fails.
+  VulnerableService* add_vulnerable_service(const std::string& package,
+                                            const std::string& yyyymmdd,
+                                            util::SimTime now);
+  [[nodiscard]] std::vector<std::unique_ptr<VulnerableService>>& services() noexcept {
+    return services_;
+  }
+
+  /// Ingest raw traffic: BHR filter -> scan recorder -> sandbox (for
+  /// honeypot-originated flows) -> Zeek. Returns false if the flow was
+  /// dropped at the BHR.
+  bool inject_flow(const net::Flow& flow);
+
+  /// Hooks handed to honeypot services (monitor fan-in).
+  [[nodiscard]] ServiceHooks hooks();
+
+ private:
+  TestbedConfig config_;
+  sim::Engine engine_;
+  bhr::BlackHoleRouter router_;
+  bhr::ScanRecorder scan_recorder_;
+  VmManager vms_;
+  NetworkSandbox sandbox_;
+  CredentialStore credentials_;
+  std::unique_ptr<AlertPipeline> pipeline_;
+  std::unique_ptr<AlertCorrelator> correlator_;
+  std::unique_ptr<SshAuditor> ssh_auditor_;
+  std::unique_ptr<monitors::ZeekMonitor> zeek_;
+  std::unique_ptr<monitors::OsqueryMonitor> osquery_;
+  std::unique_ptr<monitors::AuditdMonitor> auditd_;
+  std::vector<std::unique_ptr<PostgresHoneypot>> postgres_;
+  std::vector<std::unique_ptr<SshHoneypot>> ssh_;
+  std::vector<std::unique_ptr<VulnerableService>> services_;
+};
+
+}  // namespace at::testbed

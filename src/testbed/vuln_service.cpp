@@ -1,0 +1,106 @@
+#include "testbed/vuln_service.hpp"
+
+#include <algorithm>
+
+namespace at::testbed {
+
+namespace {
+
+net::Flow service_flow(net::Ipv4 src, net::Ipv4 dst, std::uint16_t port, util::SimTime now,
+                       net::ConnState state) {
+  net::Flow flow;
+  flow.ts = now;
+  flow.src = src;
+  flow.dst = dst;
+  flow.src_port = 47000;
+  flow.dst_port = port;
+  flow.state = state;
+  return flow;
+}
+
+}  // namespace
+
+std::uint16_t VulnerableService::port_for_package(const std::string& package) noexcept {
+  if (package == "struts" || package == "tomcat") return 8080;
+  if (package == "openssl") return net::ports::kHttps;
+  if (package == "postgresql") return net::ports::kPostgres;
+  if (package == "bash") return net::ports::kHttp;  // CGI
+  return 2222;
+}
+
+VulnerableService::VulnerableService(std::string host, net::Ipv4 address,
+                                     vrt::BuildResult build, ServiceHooks hooks)
+    : host_(std::move(host)),
+      address_(address),
+      build_(std::move(build)),
+      hooks_(std::move(hooks)),
+      port_(port_for_package(build_.closure.empty() ? "" : build_.closure.back().package)) {}
+
+bool VulnerableService::carries(const std::string& cve) const {
+  for (const auto& pkg : build_.closure) {
+    if (pkg.cve == cve) return true;
+  }
+  return false;
+}
+
+void VulnerableService::probe(net::Ipv4 peer, util::SimTime now) {
+  if (hooks_.on_flow) {
+    hooks_.on_flow(service_flow(peer, address_, port_, now, net::ConnState::kEstablished));
+  }
+  if (hooks_.on_process) {
+    monitors::ProcessEvent event;
+    event.ts = now;
+    event.host = host_;
+    event.cmdline = "httpd: struts version banner request";  // symbolizes as a struts probe
+    hooks_.on_process(event);
+  }
+}
+
+VulnerableService::ExploitResult VulnerableService::exploit(net::Ipv4 peer,
+                                                            const std::string& cve,
+                                                            util::SimTime now) {
+  ExploitResult result;
+  const bool vulnerable = carries(cve);
+  if (hooks_.on_flow) {
+    hooks_.on_flow(service_flow(peer, address_, port_, now,
+                                vulnerable ? net::ConnState::kEstablished
+                                           : net::ConnState::kRejected));
+  }
+  if (!vulnerable) {
+    ++failed_;
+    result.detail = "build " + build_.distribution + " is patched against " + cve;
+    return result;
+  }
+  // Successful remote code execution: observable as a host-level event.
+  if (hooks_.on_process) {
+    monitors::ProcessEvent event;
+    event.ts = now;
+    event.host = host_;
+    event.user = "www-data";
+    event.cmdline = "httpd: remote payload via " + cve + " wget sh.c";  // -> download alert
+    hooks_.on_process(event);
+  }
+  shelled_peers_.push_back(peer.value());
+  result.success = true;
+  result.detail = "shell as www-data via " + cve;
+  return result;
+}
+
+bool VulnerableService::run_payload(net::Ipv4 peer, const std::string& cmdline,
+                                    util::SimTime now) {
+  if (std::find(shelled_peers_.begin(), shelled_peers_.end(), peer.value()) ==
+      shelled_peers_.end()) {
+    return false;
+  }
+  if (hooks_.on_process) {
+    monitors::ProcessEvent event;
+    event.ts = now;
+    event.host = host_;
+    event.user = "www-data";
+    event.cmdline = cmdline;
+    hooks_.on_process(event);
+  }
+  return true;
+}
+
+}  // namespace at::testbed

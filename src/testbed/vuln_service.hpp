@@ -1,0 +1,58 @@
+#pragma once
+// VRT-backed vulnerable services. Section IV-A's point is that the
+// reproduction tool exists *to stock the honeypot*: a dated container
+// build with an unpatched package becomes a service whose exploit path is
+// live exactly when the build carries the corresponding CVE. An exploit
+// attempt against a patched build fails (and still produces the probe
+// alerts), which is what makes before/after-fix-date scenarios testable.
+
+#include <string>
+
+#include "testbed/services.hpp"
+#include "vrt/builder.hpp"
+
+namespace at::testbed {
+
+class VulnerableService {
+ public:
+  VulnerableService(std::string host, net::Ipv4 address, vrt::BuildResult build,
+                    ServiceHooks hooks);
+
+  struct ExploitResult {
+    bool success = false;
+    std::string detail;
+  };
+
+  /// Probe the service (version banner grab); always observable.
+  void probe(net::Ipv4 peer, util::SimTime now);
+
+  /// Attempt an exploit for `cve`; succeeds iff the underlying build's
+  /// dependency closure contains a package carrying that CVE.
+  ExploitResult exploit(net::Ipv4 peer, const std::string& cve, util::SimTime now);
+
+  /// Execute a post-exploitation command (requires a prior successful
+  /// exploit from the same peer).
+  bool run_payload(net::Ipv4 peer, const std::string& cmdline, util::SimTime now);
+
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  [[nodiscard]] net::Ipv4 address() const noexcept { return address_; }
+  [[nodiscard]] const vrt::BuildResult& build() const noexcept { return build_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t failed_exploits() const noexcept { return failed_; }
+
+  /// Service port by package convention (struts->8080, openssl->443, ...).
+  [[nodiscard]] static std::uint16_t port_for_package(const std::string& package) noexcept;
+
+ private:
+  [[nodiscard]] bool carries(const std::string& cve) const;
+
+  std::string host_;
+  net::Ipv4 address_;
+  vrt::BuildResult build_;
+  ServiceHooks hooks_;
+  std::uint16_t port_;
+  std::vector<std::uint32_t> shelled_peers_;  ///< peers with a live shell
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace at::testbed

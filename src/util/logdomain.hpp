@@ -1,0 +1,35 @@
+#pragma once
+// Log-domain arithmetic for the factor-graph library. Belief propagation
+// over long alert sequences underflows in linear space, so all factor
+// tables and messages are kept as natural-log values.
+
+#include <cmath>
+#include <limits>
+
+namespace at::util {
+
+inline constexpr double kLogZero = -std::numeric_limits<double>::infinity();
+
+/// log(exp(a) + exp(b)) computed stably.
+[[nodiscard]] inline double log_add(double a, double b) noexcept {
+  if (a == kLogZero) return b;
+  if (b == kLogZero) return a;
+  if (a < b) {
+    const double t = a;
+    a = b;
+    b = t;
+  }
+  return a + std::log1p(std::exp(b - a));
+}
+
+/// Safe log: log(0) -> kLogZero instead of a domain error.
+[[nodiscard]] inline double safe_log(double x) noexcept {
+  return x > 0.0 ? std::log(x) : kLogZero;
+}
+
+/// exp that maps kLogZero to exactly 0.
+[[nodiscard]] inline double safe_exp(double x) noexcept {
+  return x == kLogZero ? 0.0 : std::exp(x);
+}
+
+}  // namespace at::util

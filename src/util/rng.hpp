@@ -1,0 +1,122 @@
+#pragma once
+// Deterministic random number generation for reproducible simulation.
+//
+// Every stochastic component of the testbed (corpus generation, traffic
+// synthesis, scenario jitter) draws from an explicitly seeded Rng so that a
+// given seed reproduces the exact same experiment, which is a hard
+// requirement for a reproduction harness. The core generator is
+// xoshiro256**, seeded via SplitMix64 per the authors' recommendation.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace at::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a single value (for hashing ids into streams).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** deterministic PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedcafe1234ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream; `stream_id` selects the stream.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept {
+    Rng child(state_[0] ^ mix64(stream_id ^ 0xabcdef987654ULL));
+    return child;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  [[nodiscard]] double normal() noexcept;
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with rate lambda (> 0).
+  [[nodiscard]] double exponential(double lambda) noexcept;
+
+  /// Poisson-distributed count with the given mean (>= 0).
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+
+  /// Geometric number of failures before first success, p in (0, 1].
+  [[nodiscard]] std::uint64_t geometric(double p) noexcept;
+
+  /// Zipf-like rank in [1, n] with exponent s (mass ~ rank^-s).
+  [[nodiscard]] std::uint64_t zipf(std::uint64_t n, double s) noexcept;
+
+  /// Pick an index according to non-negative weights (must not all be 0).
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace at::util

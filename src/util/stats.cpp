@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace at::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const bool last_of_value = (i + 1 == sorted.size()) || (sorted[i + 1] != sorted[i]);
+    if (last_of_value) {
+      cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return cdf;
+}
+
+double fraction_at_or_below(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const double v : values) {
+    if (v <= threshold) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+}
+
+void Histogram::add(double x) noexcept {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / span * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept { return bin_lo(bin + 1); }
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = counts_[b] * width / peak;
+    out << "[" << bin_lo(b) << ", " << bin_hi(b) << ") ";
+    for (std::size_t i = 0; i < bar; ++i) out << '#';
+    out << ' ' << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+void LabelCounter::add(const std::string& label, std::uint64_t delta) {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) {
+      counts_[i] += delta;
+      total_ += delta;
+      return;
+    }
+  }
+  labels_.push_back(label);
+  counts_.push_back(delta);
+  total_ += delta;
+}
+
+std::uint64_t LabelCounter::count(const std::string& label) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return counts_[i];
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> LabelCounter::sorted() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) out.emplace_back(labels_[i], counts_[i]);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace at::util

@@ -1,0 +1,29 @@
+#pragma once
+// Small string helpers shared by log parsing and report formatting.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace at::util {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+/// Split on any run of whitespace; no empty tokens.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view text);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+[[nodiscard]] std::string to_lower(std::string_view text);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+[[nodiscard]] bool contains(std::string_view text, std::string_view needle) noexcept;
+/// Replace every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view text, std::string_view from,
+                                      std::string_view to);
+/// printf-style double with fixed decimals.
+[[nodiscard]] std::string fmt_double(double value, int decimals = 2);
+/// Thousands-separated integer, e.g. 94238 -> "94,238".
+[[nodiscard]] std::string fmt_count(std::uint64_t value);
+/// Human-readable byte count, e.g. 32985348833280 -> "30.0 TB".
+[[nodiscard]] std::string fmt_bytes(std::uint64_t bytes);
+
+}  // namespace at::util

@@ -1,0 +1,26 @@
+#pragma once
+// Plain-text table renderer. Every bench prints its paper table/figure data
+// through this so the output is uniform and diffable against EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace at::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  /// Render with aligned columns and a header rule.
+  [[nodiscard]] std::string render() const;
+  /// Render as CSV (no quoting of separators; callers keep cells clean).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace at::util

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal work-sharing thread pool with a parallel_for convenience wrapper.
+//
+// The analysis kernels (pairwise Jaccard over ~200^2/2 incident pairs,
+// force-directed layout over ~29k nodes) are embarrassingly parallel; the
+// pool gives them OpenMP-style static chunking with plain C++ threads so
+// the library has no compiler-pragma dependency. On a single-core host the
+// pool degrades to serial execution with no contention.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace at::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; tasks may not throw (call std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run body(i) for i in [begin, end) across the pool and wait.
+  /// Chunked statically; `grain` is the minimum chunk size.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body, std::size_t grain = 64);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace at::util

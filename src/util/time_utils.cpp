@@ -1,0 +1,113 @@
+#include "util/time_utils.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace at::util {
+
+std::int64_t days_from_civil(const CivilDate& date) noexcept {
+  // Hinnant's days_from_civil. Shift year so the cycle starts on 1 March.
+  std::int64_t y = date.year;
+  const unsigned m = date.month;
+  const unsigned d = date.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);                       // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;         // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;                  // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t days) noexcept {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(days - era * 146097);                 // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);                // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                     // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                             // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                                  // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), m, d};
+}
+
+SimTime to_sim_time(const CivilDateTime& dt) noexcept {
+  return days_from_civil(dt.date) * kDay + dt.hour * kHour + dt.minute * kMinute + dt.second;
+}
+
+SimTime to_sim_time(const CivilDate& d) noexcept { return days_from_civil(d) * kDay; }
+
+CivilDateTime to_civil(SimTime t) noexcept {
+  std::int64_t days = t / kDay;
+  std::int64_t rem = t % kDay;
+  if (rem < 0) {
+    rem += kDay;
+    --days;
+  }
+  CivilDateTime out;
+  out.date = civil_from_days(days);
+  out.hour = static_cast<unsigned>(rem / kHour);
+  out.minute = static_cast<unsigned>((rem % kHour) / kMinute);
+  out.second = static_cast<unsigned>(rem % kMinute);
+  return out;
+}
+
+CivilDate parse_yyyymmdd(const std::string& text) {
+  if (text.size() != 8) throw std::invalid_argument("parse_yyyymmdd: need 8 digits: " + text);
+  for (const char c : text) {
+    if (c < '0' || c > '9') throw std::invalid_argument("parse_yyyymmdd: non-digit: " + text);
+  }
+  CivilDate date;
+  date.year = std::stoi(text.substr(0, 4));
+  date.month = static_cast<unsigned>(std::stoi(text.substr(4, 2)));
+  date.day = static_cast<unsigned>(std::stoi(text.substr(6, 2)));
+  if (date.month < 1 || date.month > 12 || date.day < 1 ||
+      date.day > days_in_month(date.year, date.month)) {
+    throw std::invalid_argument("parse_yyyymmdd: invalid date: " + text);
+  }
+  return date;
+}
+
+std::string format_date(const CivilDate& date) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", date.year, date.month, date.day);
+  return buf;
+}
+
+std::string format_datetime(SimTime t) {
+  const CivilDateTime dt = to_civil(t);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u %02u:%02u:%02u", dt.date.year, dt.date.month,
+                dt.date.day, dt.hour, dt.minute, dt.second);
+  return buf;
+}
+
+std::string format_yyyymmdd(const CivilDate& date) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d%02u%02u", date.year, date.month, date.day);
+  return buf;
+}
+
+SimTime start_of_day(SimTime t) noexcept {
+  std::int64_t days = t / kDay;
+  if (t % kDay < 0) --days;
+  return days * kDay;
+}
+
+std::int64_t day_index(SimTime t) noexcept {
+  std::int64_t days = t / kDay;
+  if (t % kDay < 0) --days;
+  return days;
+}
+
+bool is_leap_year(int year) noexcept {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+unsigned days_in_month(int year, unsigned month) noexcept {
+  static constexpr unsigned kDays[13] = {0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap_year(year)) return 29;
+  return month >= 1 && month <= 12 ? kDays[month] : 0;
+}
+
+}  // namespace at::util

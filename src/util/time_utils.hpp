@@ -1,0 +1,62 @@
+#pragma once
+// Simulation time. All testbed components share a single notion of time:
+// seconds since the Unix epoch as a signed 64-bit count (SimTime). The
+// longitudinal corpus spans 2000-2024, so the civil-date helpers implement
+// proleptic Gregorian conversion (Howard Hinnant's algorithms) rather than
+// relying on the C library's locale- and range-limited facilities.
+
+#include <cstdint>
+#include <string>
+
+namespace at::util {
+
+/// Seconds since 1970-01-01T00:00:00Z.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 3600;
+inline constexpr SimTime kDay = 86400;
+
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  ///< 1..12
+  unsigned day = 1;    ///< 1..31
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+struct CivilDateTime {
+  CivilDate date;
+  unsigned hour = 0;
+  unsigned minute = 0;
+  unsigned second = 0;
+  friend bool operator==(const CivilDateTime&, const CivilDateTime&) = default;
+};
+
+/// Days since epoch for a civil date (valid for all years of interest).
+[[nodiscard]] std::int64_t days_from_civil(const CivilDate& date) noexcept;
+/// Inverse of days_from_civil.
+[[nodiscard]] CivilDate civil_from_days(std::int64_t days) noexcept;
+
+[[nodiscard]] SimTime to_sim_time(const CivilDateTime& dt) noexcept;
+[[nodiscard]] SimTime to_sim_time(const CivilDate& d) noexcept;
+[[nodiscard]] CivilDateTime to_civil(SimTime t) noexcept;
+
+/// Parse "YYYYMMDD" (the VRT tool's input format, e.g. 20140401).
+[[nodiscard]] CivilDate parse_yyyymmdd(const std::string& text);
+/// Format as "YYYY-MM-DD".
+[[nodiscard]] std::string format_date(const CivilDate& date);
+/// Format as "YYYY-MM-DD HH:MM:SS".
+[[nodiscard]] std::string format_datetime(SimTime t);
+/// Format as "YYYYMMDD".
+[[nodiscard]] std::string format_yyyymmdd(const CivilDate& date);
+
+/// Midnight of the day containing t.
+[[nodiscard]] SimTime start_of_day(SimTime t) noexcept;
+/// Day index since epoch of the day containing t.
+[[nodiscard]] std::int64_t day_index(SimTime t) noexcept;
+
+[[nodiscard]] bool is_leap_year(int year) noexcept;
+[[nodiscard]] unsigned days_in_month(int year, unsigned month) noexcept;
+
+}  // namespace at::util

@@ -1,0 +1,68 @@
+#include "viz/export.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace at::viz {
+
+std::string to_dot(const Graph& graph, bool include_positions) {
+  std::ostringstream out;
+  out << "digraph scans {\n";
+  for (const auto& node : graph.nodes()) {
+    out << "  n" << node.id << " [label=\"" << node.label << "\" role=\""
+        << to_string(node.role) << "\"";
+    if (include_positions) {
+      out << " pos=\"" << node.x << "," << node.y << "\"";
+    }
+    out << "];\n";
+  }
+  for (const auto& edge : graph.edges()) {
+    out << "  n" << edge.src << " -> n" << edge.dst << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_gexf(const Graph& graph, bool include_positions) {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<gexf xmlns=\"http://www.gexf.net/1.2draft\" version=\"1.2\">\n"
+      << "  <graph mode=\"static\" defaultedgetype=\"directed\">\n"
+      << "    <nodes>\n";
+  for (const auto& node : graph.nodes()) {
+    out << "      <node id=\"" << node.id << "\" label=\"" << node.label << "\"";
+    if (include_positions) {
+      out << "><viz:position x=\"" << node.x << "\" y=\"" << node.y
+          << "\" z=\"0\" xmlns:viz=\"http://www.gexf.net/1.2draft/viz\"/></node>\n";
+    } else {
+      out << "/>\n";
+    }
+  }
+  out << "    </nodes>\n    <edges>\n";
+  std::size_t id = 0;
+  for (const auto& edge : graph.edges()) {
+    out << "      <edge id=\"" << id++ << "\" source=\"" << edge.src << "\" target=\""
+        << edge.dst << "\"/>\n";
+  }
+  out << "    </edges>\n  </graph>\n</gexf>\n";
+  return out.str();
+}
+
+std::string to_edge_csv(const Graph& graph) {
+  std::ostringstream out;
+  out << "source,target\n";
+  for (const auto& edge : graph.edges()) {
+    out << graph.nodes()[edge.src].label << "," << graph.nodes()[edge.dst].label << "\n";
+  }
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("write_file: cannot open " + path);
+  file << content;
+  if (!file) throw std::runtime_error("write_file: write failed for " + path);
+}
+
+}  // namespace at::viz

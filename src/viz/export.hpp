@@ -1,0 +1,25 @@
+#pragma once
+// Graph exporters: Graphviz DOT (the paper shows its connection data in
+// DOT form), GEXF (Gephi's native format, which the paper used to render
+// Fig 1), and a plain CSV edge list.
+
+#include <string>
+
+#include "viz/graph.hpp"
+
+namespace at::viz {
+
+/// DOT digraph; node labels are the anonymized addresses, roles become
+/// node attributes.
+[[nodiscard]] std::string to_dot(const Graph& graph, bool include_positions = false);
+
+/// GEXF 1.2 with viz positions when a layout has been run.
+[[nodiscard]] std::string to_gexf(const Graph& graph, bool include_positions = true);
+
+/// "src,dst" CSV edge list with a header.
+[[nodiscard]] std::string to_edge_csv(const Graph& graph);
+
+/// Write a string to a file; throws on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace at::viz

@@ -1,0 +1,105 @@
+#include "viz/fig1.hpp"
+
+#include "net/cidr.hpp"
+#include "util/rng.hpp"
+
+namespace at::viz {
+
+// Node/edge arithmetic with the default config:
+//   nodes = 1 (scanner) + 10,000 (A targets) + 40 (C scanners)
+//         + 15,633 (C targets) + 7 (attack path: 1 ext + 6 int)
+//         + 2 * 1,697 (D client/server pairs)            = 29,075
+//   edges = 10,000 (A) + 15,633 (C) + 6 (B) + 1,697 (D)  = 27,336
+// Internal target sets are disjoint across parts so the counts are exact.
+Fig1Data build_fig1(const Fig1Config& config) {
+  Fig1Data data;
+  data.recorded_probes = config.recorded_probes;
+  util::Rng rng(config.seed);
+
+  const net::Cidr internal = net::blocks::ncsa16();
+  const util::SimTime hour_start =
+      util::to_sim_time(util::CivilDateTime{{2024, 8, 1}, 0, 0, 0});
+
+  // Disjoint internal host allocation: walk the /16 host space in order.
+  std::uint64_t next_host = 10;  // skip network infrastructure addresses
+  auto next_internal = [&]() { return internal.host(next_host++); };
+
+  auto add_flow = [&](net::Ipv4 src, net::Ipv4 dst, std::uint16_t port,
+                      net::ConnState state) {
+    net::Flow flow;
+    flow.ts = hour_start + rng.uniform_int(0, util::kHour - 1);
+    flow.src = src;
+    flow.dst = dst;
+    flow.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    flow.dst_port = port;
+    flow.state = state;
+    data.flows.push_back(flow);
+  };
+
+  // --- Part A: the mass scanner (paper: 103.102.x.y, a cloud provider
+  // in Indonesia) probing the /16.
+  const net::Ipv4 scanner(103, 102, 47, 9);
+  data.scanner_node = data.graph.node_for(scanner, NodeRole::kMassScanner);
+  for (std::size_t i = 0; i < config.mass_scan_targets; ++i) {
+    const net::Ipv4 target = next_internal();
+    const auto node = data.graph.node_for(target, NodeRole::kScanTarget);
+    data.graph.add_edge(data.scanner_node, node);
+    add_flow(scanner, target,
+             static_cast<std::uint16_t>(rng.uniform_int(1, 1024)),
+             net::ConnState::kAttempt);
+  }
+
+  // --- Part C: smaller scanners with modest target sets. External source
+  // addresses come from disjoint deterministic blocks so no accidental node
+  // merging perturbs the exact counts.
+  for (std::size_t s = 0; s < config.other_scanners; ++s) {
+    const net::Ipv4 src(45, 14, static_cast<std::uint8_t>(s >> 8),
+                        static_cast<std::uint8_t>(s & 0xff));
+    const auto src_node = data.graph.node_for(src, NodeRole::kOtherScanner);
+    // Spread the target budget evenly; the last scanner takes the remainder.
+    const std::size_t base = config.other_scan_targets_total / config.other_scanners;
+    const std::size_t extra = s + 1 == config.other_scanners
+                                  ? config.other_scan_targets_total % config.other_scanners
+                                  : 0;
+    for (std::size_t i = 0; i < base + extra; ++i) {
+      const net::Ipv4 target = next_internal();
+      const auto node = data.graph.node_for(target, NodeRole::kOtherScanTarget);
+      data.graph.add_edge(src_node, node);
+      add_flow(src, target, net::ports::kSsh, net::ConnState::kRejected);
+    }
+  }
+
+  // --- Part B: the real attack — entry through PostgreSQL, then lateral
+  // movement across internal hosts (the ransomware shape of Section V).
+  const net::Ipv4 attacker(111, 200, 51, 77);
+  data.attacker_node = data.graph.node_for(attacker, NodeRole::kAttacker);
+  std::uint32_t prev = data.attacker_node;
+  net::Ipv4 prev_ip = attacker;
+  for (std::size_t hop = 0; hop < config.attack_hops; ++hop) {
+    const net::Ipv4 victim = next_internal();
+    const auto node = data.graph.node_for(victim, NodeRole::kAttackVictim);
+    data.graph.add_edge(prev, node);
+    add_flow(prev_ip, victim, hop == 0 ? net::ports::kPostgres : net::ports::kSsh,
+             net::ConnState::kEstablished);
+    prev = node;
+    prev_ip = victim;
+  }
+
+  // --- Part D: legitimate one-off connections, no clear pattern.
+  for (std::size_t i = 0; i < config.legit_pairs; ++i) {
+    const net::Ipv4 client(8, static_cast<std::uint8_t>(20 + (i >> 16)),
+                           static_cast<std::uint8_t>((i >> 8) & 0xff),
+                           static_cast<std::uint8_t>(i & 0xff));
+    const net::Ipv4 server = next_internal();
+    const auto c = data.graph.node_for(client, NodeRole::kLegitimate);
+    const auto v = data.graph.node_for(server, NodeRole::kLegitimate);
+    data.graph.add_edge(c, v);
+    const std::uint16_t port =
+        rng.bernoulli(0.5) ? net::ports::kHttps : net::ports::kSsh;
+    add_flow(client, server, port, net::ConnState::kEstablished);
+  }
+
+  return data;
+}
+
+}  // namespace at::viz

@@ -1,0 +1,72 @@
+#include "viz/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace at::viz {
+
+const char* to_string(NodeRole role) noexcept {
+  switch (role) {
+    case NodeRole::kMassScanner: return "mass_scanner";
+    case NodeRole::kScanTarget: return "scan_target";
+    case NodeRole::kAttacker: return "attacker";
+    case NodeRole::kAttackVictim: return "attack_victim";
+    case NodeRole::kOtherScanner: return "other_scanner";
+    case NodeRole::kOtherScanTarget: return "other_scan_target";
+    case NodeRole::kLegitimate: return "legitimate";
+  }
+  return "?";
+}
+
+std::uint32_t Graph::node_for(net::Ipv4 addr, NodeRole role) {
+  const auto it = by_addr_.find(addr.value());
+  if (it != by_addr_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  Node node;
+  node.id = id;
+  node.label = addr.anonymized();
+  node.role = role;
+  nodes_.push_back(std::move(node));
+  by_addr_.emplace(addr.value(), id);
+  return id;
+}
+
+void Graph::add_edge(std::uint32_t src, std::uint32_t dst) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    throw std::out_of_range("Graph::add_edge: unknown node");
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  if (edge_seen_.emplace(key, true).second) {
+    edges_.push_back({src, dst});
+    degree_dirty_ = true;
+  }
+}
+
+std::size_t Graph::degree(std::uint32_t node) const {
+  if (degree_dirty_) {
+    degree_cache_.assign(nodes_.size(), 0);
+    for (const auto& edge : edges_) {
+      ++degree_cache_[edge.src];
+      ++degree_cache_[edge.dst];
+    }
+    degree_dirty_ = false;
+  }
+  return degree_cache_.at(node);
+}
+
+std::uint32_t Graph::max_degree_node() const {
+  if (nodes_.empty()) throw std::logic_error("Graph::max_degree_node: empty graph");
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (degree(i) > degree(best)) best = i;
+  }
+  return best;
+}
+
+std::size_t Graph::count_role(NodeRole role) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [role](const Node& n) { return n.role == role; }));
+}
+
+}  // namespace at::viz

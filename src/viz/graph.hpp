@@ -1,0 +1,68 @@
+#pragma once
+// Connection-graph model behind Fig 1: nodes are IP endpoints, edges are
+// observed connections, and every node carries the figure's annotation
+// role (mass scanner A, real attack B, other scanners C, legitimate D).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace at::viz {
+
+enum class NodeRole : std::uint8_t {
+  kMassScanner,     ///< part A: the central mass scanner
+  kScanTarget,      ///< part A: hosts probed by the mass scanner
+  kAttacker,        ///< part B: the real attack's source
+  kAttackVictim,    ///< part B: hosts on the attack path
+  kOtherScanner,    ///< part C: smaller scanners
+  kOtherScanTarget, ///< part C: their targets
+  kLegitimate       ///< part D: ordinary clients/servers
+};
+
+[[nodiscard]] const char* to_string(NodeRole role) noexcept;
+
+struct Node {
+  std::uint32_t id = 0;
+  std::string label;  ///< anonymized address, e.g. "103.102.xxx.yyy"
+  NodeRole role = NodeRole::kLegitimate;
+  // Layout coordinates (filled by layout::run).
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Edge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+class Graph {
+ public:
+  /// Get-or-create a node keyed by address; role applies on creation only.
+  std::uint32_t node_for(net::Ipv4 addr, NodeRole role);
+  /// Add an edge; parallel duplicates are coalesced.
+  void add_edge(std::uint32_t src, std::uint32_t dst);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::vector<Node>& nodes() noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  [[nodiscard]] std::size_t degree(std::uint32_t node) const;
+  /// Node with the highest degree (the figure's central scanner).
+  [[nodiscard]] std::uint32_t max_degree_node() const;
+  [[nodiscard]] std::size_t count_role(NodeRole role) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::uint32_t, std::uint32_t> by_addr_;
+  std::unordered_map<std::uint64_t, bool> edge_seen_;
+  mutable std::vector<std::size_t> degree_cache_;
+  mutable bool degree_dirty_ = true;
+};
+
+}  // namespace at::viz

@@ -1,0 +1,98 @@
+#include "vrt/builder.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace at::vrt {
+
+std::vector<std::string> BuildResult::vulnerabilities() const {
+  std::vector<std::string> cves;
+  for (const auto& pkg : closure) {
+    if (!pkg.cve.empty()) cves.push_back(pkg.cve);
+  }
+  return cves;
+}
+
+BuildResult ContainerBuilder::build(const std::string& target, const std::string& yyyymmdd,
+                                    BuildStrategy strategy) const {
+  BuildResult result;
+  util::CivilDate date;
+  try {
+    date = util::parse_yyyymmdd(yyyymmdd);
+  } catch (const std::exception& e) {
+    result.errors.emplace_back(e.what());
+    return result;
+  }
+  result.snapshot_date = date;
+
+  if (util::days_from_civil(date) < util::days_from_civil(archive_->first_snapshot())) {
+    result.errors.push_back("snapshot archive starts " +
+                            util::format_date(archive_->first_snapshot()));
+    return result;
+  }
+
+  // Pick the distribution image: the release current just before the date
+  // (snapshot mode) or the newest release (straw-man mode).
+  const util::CivilDate today{2024, 8, 1};
+  const auto release =
+      strategy == BuildStrategy::kSnapshot ? archive_->release_for(date)
+                                           : archive_->release_for(today);
+  if (!release) {
+    result.errors.push_back("no distribution released before " + util::format_date(date));
+    return result;
+  }
+  result.distribution = release->codename + " (Debian " + std::to_string(release->version) + ")";
+
+  // Snapshot mode resolves every dependency at the target date; straw-man
+  // keeps the target at the old date but its dependencies come from today's
+  // archive, which is where incompatible skew appears.
+  const util::CivilDate dep_date = strategy == BuildStrategy::kSnapshot ? date : today;
+  resolve(target, date, dep_date, result);
+  result.success = result.errors.empty();
+  return result;
+}
+
+void ContainerBuilder::resolve(const std::string& target, const util::CivilDate& target_date,
+                               const util::CivilDate& dep_date, BuildResult& result) const {
+  const auto root = archive_->version_at(target, target_date);
+  if (!root) {
+    result.errors.push_back("package '" + target + "' not in snapshot " +
+                            util::format_date(target_date));
+    return;
+  }
+
+  // Depth-first closure, dependencies first. Versions for dependencies are
+  // taken at dep_date; a mismatch between what the target expects (its own
+  // era) and what dep_date serves is a build failure.
+  std::unordered_set<std::string> visited;
+  std::vector<std::string> stack = root->depends;
+  std::vector<ResolvedPackage> deps;
+  while (!stack.empty()) {
+    const std::string name = stack.back();
+    stack.pop_back();
+    if (!visited.insert(name).second) continue;
+    const auto at_dep_date = archive_->version_at(name, dep_date);
+    if (!at_dep_date) {
+      result.errors.push_back("dependency '" + name + "' unavailable at " +
+                              util::format_date(dep_date));
+      continue;
+    }
+    const auto at_target_date = archive_->version_at(name, target_date);
+    if (!at_target_date || at_target_date->version != at_dep_date->version) {
+      // The era the target was built for no longer matches what the
+      // dependency archive serves — the incompatible-dependencies failure
+      // the paper describes for the straw-man approach.
+      result.errors.push_back("dependency skew on '" + name + "': target expects " +
+                              (at_target_date ? at_target_date->version : "<era version>") +
+                              ", archive serves " + at_dep_date->version);
+      continue;
+    }
+    deps.push_back({at_dep_date->package, at_dep_date->version, at_dep_date->cve});
+    for (const auto& dep : at_dep_date->depends) stack.push_back(dep);
+  }
+  std::reverse(deps.begin(), deps.end());
+  result.closure = std::move(deps);
+  result.closure.push_back({root->package, root->version, root->cve});
+}
+
+}  // namespace at::vrt

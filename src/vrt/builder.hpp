@@ -1,0 +1,55 @@
+#pragma once
+// Container build simulation for the VRT tool: takes a date string (e.g.
+// "20140401"), picks the distribution released just before it, resolves a
+// version-consistent dependency closure from the snapshot archive, and
+// "builds" the container. Also implements the straw-man strategy the paper
+// rejects — installing the old target package on the *latest* distribution
+// — which fails on dependency skew.
+
+#include <string>
+#include <vector>
+
+#include "vrt/snapshot.hpp"
+
+namespace at::vrt {
+
+enum class BuildStrategy : std::uint8_t {
+  kSnapshot,  ///< VRT: everything from the dated snapshot (paper's tool)
+  kStrawMan   ///< old target package on a current distribution
+};
+
+struct ResolvedPackage {
+  std::string package;
+  std::string version;
+  std::string cve;  ///< non-empty if this version is vulnerable
+};
+
+struct BuildResult {
+  bool success = false;
+  std::string distribution;  ///< e.g. "wheezy (Debian 7)"
+  util::CivilDate snapshot_date;
+  std::vector<ResolvedPackage> closure;  ///< install order (deps first)
+  std::vector<std::string> errors;       ///< non-empty iff !success
+  /// CVEs reproduced in the built container.
+  [[nodiscard]] std::vector<std::string> vulnerabilities() const;
+};
+
+class ContainerBuilder {
+ public:
+  explicit ContainerBuilder(const SnapshotArchive& archive) : archive_(&archive) {}
+
+  /// Build a container with `target` installed as of `yyyymmdd`.
+  [[nodiscard]] BuildResult build(const std::string& target,
+                                  const std::string& yyyymmdd,
+                                  BuildStrategy strategy = BuildStrategy::kSnapshot) const;
+
+ private:
+  /// Resolve the dependency closure of `target` with all versions taken at
+  /// `resolve_date`; reports missing/skewed packages into `result`.
+  void resolve(const std::string& target, const util::CivilDate& target_date,
+               const util::CivilDate& dep_date, BuildResult& result) const;
+
+  const SnapshotArchive* archive_;
+};
+
+}  // namespace at::vrt

@@ -1,0 +1,112 @@
+#include "vrt/snapshot.hpp"
+
+#include <algorithm>
+
+namespace at::vrt {
+
+namespace {
+
+/// Compare civil dates.
+bool before(const util::CivilDate& a, const util::CivilDate& b) {
+  return util::days_from_civil(a) < util::days_from_civil(b);
+}
+bool at_or_after(const util::CivilDate& a, const util::CivilDate& b) {
+  return !before(a, b);
+}
+
+}  // namespace
+
+SnapshotArchive::SnapshotArchive() {
+  // Debian stable release history covering the snapshot era.
+  releases_ = {
+      {"sarge", 3, {2005, 6, 6}, {2008, 3, 31}},
+      {"etch", 4, {2007, 4, 8}, {2010, 2, 15}},
+      {"lenny", 5, {2009, 2, 14}, {2012, 2, 6}},
+      {"squeeze", 6, {2011, 2, 6}, {2014, 5, 31}},
+      {"wheezy", 7, {2013, 5, 4}, {2016, 4, 25}},
+      {"jessie", 8, {2015, 4, 25}, {2018, 6, 17}},
+      {"stretch", 9, {2017, 6, 17}, {2020, 7, 18}},
+      {"buster", 10, {2019, 7, 6}, {2022, 9, 10}},
+      {"bullseye", 11, {2021, 8, 14}, {2024, 8, 14}},
+      {"bookworm", 12, {2023, 6, 10}, {2028, 6, 10}},
+  };
+
+  // Package universe. Dependency edges reference package names; the
+  // resolver picks the version current at the build date, so closures are
+  // internally consistent per date. Vulnerable versions carry their CVE.
+  versions_ = {
+      // openssl: Heartbleed (CVE-2014-0160) introduced in 1.0.1, fixed in
+      // 1.0.1g on 2014-04-07 — the paper's worked example (input 20140401
+      // must yield wheezy + vulnerable 1.0.1f).
+      {"openssl", "0.9.8c", {2005, 3, 1}, util::CivilDate{2012, 3, 14}, {"libc6", "zlib"}, ""},
+      {"openssl", "1.0.1f", {2012, 3, 14}, util::CivilDate{2014, 4, 7}, {"libc6", "zlib"},
+       "CVE-2014-0160"},
+      {"openssl", "1.0.1g", {2014, 4, 7}, util::CivilDate{2016, 9, 22}, {"libc6", "zlib"}, ""},
+      {"openssl", "1.1.0", {2016, 9, 22}, std::nullopt, {"libc6", "zlib"}, ""},
+      // bash: Shellshock fixed 2014-09-24.
+      {"bash", "4.2", {2011, 2, 13}, util::CivilDate{2014, 9, 24}, {"libc6", "ncurses"},
+       "CVE-2014-6271"},
+      {"bash", "4.3-fixed", {2014, 9, 24}, std::nullopt, {"libc6", "ncurses"}, ""},
+      // Apache Struts RCE (Equifax, CVE-2017-5638) fixed 2017-03-07.
+      {"struts", "2.3.31", {2016, 10, 3}, util::CivilDate{2017, 3, 7}, {"openjdk", "tomcat"},
+       "CVE-2017-5638"},
+      {"struts", "2.3.32", {2017, 3, 7}, std::nullopt, {"openjdk", "tomcat"}, ""},
+      // PostgreSQL: weak-default-auth era used by the honeypot scenario.
+      {"postgresql", "9.1", {2011, 9, 12}, util::CivilDate{2017, 10, 5}, {"libc6", "openssl"},
+       "CVE-2013-1899"},
+      {"postgresql", "10.0", {2017, 10, 5}, std::nullopt, {"libc6", "openssl"}, ""},
+      // sudo: Baron Samedit fixed 2021-01-26.
+      {"sudo", "1.8.31", {2019, 10, 28}, util::CivilDate{2021, 1, 26}, {"libc6"},
+       "CVE-2021-3156"},
+      {"sudo", "1.9.5p2", {2021, 1, 26}, std::nullopt, {"libc6"}, ""},
+      // Base dependencies, present across the whole era with era-specific
+      // versions (this is what makes the straw-man approach fail: old
+      // leaf packages need old base versions that current distros dropped).
+      {"libc6", "2.3", {2005, 3, 1}, util::CivilDate{2015, 4, 25}, {}, ""},
+      {"libc6", "2.19", {2015, 4, 25}, util::CivilDate{2021, 8, 14}, {}, ""},
+      {"libc6", "2.31", {2021, 8, 14}, std::nullopt, {}, ""},
+      {"zlib", "1.2.3", {2005, 3, 1}, util::CivilDate{2017, 6, 17}, {"libc6"}, ""},
+      {"zlib", "1.2.11", {2017, 6, 17}, std::nullopt, {"libc6"}, ""},
+      {"ncurses", "5.9", {2011, 2, 6}, util::CivilDate{2019, 7, 6}, {"libc6"}, ""},
+      {"ncurses", "6.1", {2019, 7, 6}, std::nullopt, {"libc6"}, ""},
+      {"openjdk", "7", {2011, 7, 28}, util::CivilDate{2017, 6, 17}, {"libc6"}, ""},
+      {"openjdk", "11", {2017, 6, 17}, std::nullopt, {"libc6"}, ""},
+      {"tomcat", "7.0", {2011, 1, 14}, util::CivilDate{2018, 6, 17}, {"openjdk"}, ""},
+      {"tomcat", "9.0", {2018, 6, 17}, std::nullopt, {"openjdk"}, ""},
+  };
+}
+
+std::optional<Release> SnapshotArchive::release_for(const util::CivilDate& date) const {
+  std::optional<Release> best;
+  for (const auto& release : releases_) {
+    if (at_or_after(date, release.release_date)) {
+      if (!best || before(best->release_date, release.release_date)) best = release;
+    }
+  }
+  return best;
+}
+
+std::optional<PackageVersion> SnapshotArchive::version_at(const std::string& package,
+                                                          const util::CivilDate& date) const {
+  if (before(date, first_snapshot())) return std::nullopt;
+  for (const auto& version : versions_) {
+    if (version.package != package) continue;
+    if (before(date, version.available_from)) continue;
+    if (version.superseded_on && at_or_after(date, *version.superseded_on)) continue;
+    return version;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> SnapshotArchive::packages() const {
+  std::vector<std::string> names;
+  for (const auto& version : versions_) {
+    if (std::find(names.begin(), names.end(), version.package) == names.end()) {
+      names.push_back(version.package);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace at::vrt

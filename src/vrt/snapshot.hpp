@@ -1,0 +1,74 @@
+#pragma once
+// Vulnerability Reproduction Tool (VRT) substrate, Section IV-A.
+//
+// The real tool builds Debian containers "at any point in the past
+// (2005-present)" by pointing debootstrap at snapshot.debian.org for a
+// given date, so a vulnerable package version can be installed *with the
+// dependency set that existed on that date*. We model the three pieces the
+// tool's correctness rests on:
+//   - a release timeline (which distribution was current at a date),
+//   - a snapshot archive (package versions as a function of date, with
+//     vulnerability introduction/fix dates),
+//   - a dependency resolver that must find a version-consistent closure at
+//     the chosen date — and provably fails in "straw-man" mode (installing
+//     an old package on a *current* distribution), which is the paper's
+//     motivating argument for the tool.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time_utils.hpp"
+
+namespace at::vrt {
+
+struct Release {
+  std::string codename;  ///< e.g. "wheezy"
+  int version = 0;       ///< Debian major version
+  util::CivilDate release_date;
+  util::CivilDate eol_date;
+};
+
+/// A package version valid over a date interval in the snapshot archive.
+struct PackageVersion {
+  std::string package;
+  std::string version;
+  util::CivilDate available_from;
+  std::optional<util::CivilDate> superseded_on;  ///< nullopt = still current
+  /// Dependencies as (package, exact version-at-same-date) — the archive
+  /// guarantees internally consistent closures per date.
+  std::vector<std::string> depends;
+  /// Known vulnerability carried by this version (empty if none).
+  std::string cve;
+};
+
+class SnapshotArchive {
+ public:
+  /// Build the canonical archive: release history 2005-2024 plus a package
+  /// universe that includes the paper's Heartbleed example (openssl 1.0.1f
+  /// before 2014-04-07) and several other dated vulnerabilities.
+  SnapshotArchive();
+
+  [[nodiscard]] const std::vector<Release>& releases() const noexcept { return releases_; }
+
+  /// The release that was current ("stable") just before `date`.
+  [[nodiscard]] std::optional<Release> release_for(const util::CivilDate& date) const;
+
+  /// Version of `package` in the snapshot of `date`.
+  [[nodiscard]] std::optional<PackageVersion> version_at(const std::string& package,
+                                                         const util::CivilDate& date) const;
+
+  /// All packages known to the archive.
+  [[nodiscard]] std::vector<std::string> packages() const;
+
+  /// Earliest snapshot date served (the project started daily snapshots
+  /// in 2005).
+  [[nodiscard]] util::CivilDate first_snapshot() const noexcept { return {2005, 3, 1}; }
+
+ private:
+  std::vector<Release> releases_;
+  std::vector<PackageVersion> versions_;
+};
+
+}  // namespace at::vrt

@@ -1,0 +1,251 @@
+// Analysis kernels: Jaccard properties, LCS correctness, mining, and the
+// four measured insights against the paper's reported values.
+
+#include <gtest/gtest.h>
+
+#include "analysis/insights.hpp"
+#include "analysis/mining.hpp"
+#include "analysis/similarity.hpp"
+
+namespace at::analysis {
+namespace {
+
+using alerts::AlertType;
+using A = AlertType;
+
+const incidents::Corpus& corpus() {
+  static const incidents::Corpus c = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.02;
+    return incidents::CorpusGenerator(config).generate();
+  }();
+  return c;
+}
+
+TEST(Jaccard, KnownValues) {
+  const std::vector<A> a = {A::kPortScan, A::kSshBruteforce, A::kCompileSource};
+  const std::vector<A> b = {A::kPortScan, A::kSshBruteforce, A::kLogTampering};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.5);  // 2 shared / 4 union
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard({}, {}), 1.0);
+}
+
+// Property suite over generated pairs: bounds, symmetry, identity.
+class JaccardProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JaccardProperty, BoundsSymmetryIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto random_set = [&rng] {
+    std::vector<A> out;
+    for (std::size_t t = 0; t < alerts::kNumAlertTypes; ++t) {
+      if (rng.bernoulli(0.2)) out.push_back(static_cast<A>(t));
+    }
+    return out;  // sorted by construction
+  };
+  const auto a = random_set();
+  const auto b = random_set();
+  const double ab = jaccard(a, b);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_DOUBLE_EQ(ab, jaccard(b, a));
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, JaccardProperty, ::testing::Range(0, 20));
+
+TEST(Lcs, KnownValues) {
+  const std::vector<A> a = {A::kDownloadSensitive, A::kCompileSource, A::kLogTampering,
+                            A::kPrivilegeEscalation};
+  const std::vector<A> b = {A::kDownloadSensitive, A::kPortScan, A::kCompileSource,
+                            A::kLogTampering};
+  EXPECT_EQ(lcs_length(a, b), 3u);
+  EXPECT_EQ(lcs(a, b),
+            (std::vector<A>{A::kDownloadSensitive, A::kCompileSource, A::kLogTampering}));
+  EXPECT_EQ(lcs_length(a, {}), 0u);
+  EXPECT_EQ(lcs_length(a, a), a.size());
+}
+
+class LcsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcsProperty, Invariants) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  auto random_seq = [&rng](std::size_t n) {
+    std::vector<A> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<A>(rng.uniform_int(0, 15)));
+    }
+    return out;
+  };
+  const auto a = random_seq(12);
+  const auto b = random_seq(9);
+  const auto common = lcs(a, b);
+  // Length function agrees with the traceback.
+  EXPECT_EQ(common.size(), lcs_length(a, b));
+  // Symmetric length.
+  EXPECT_EQ(lcs_length(a, b), lcs_length(b, a));
+  // Bounded by the shorter sequence.
+  EXPECT_LE(common.size(), std::min(a.size(), b.size()));
+  // The LCS is a subsequence of both inputs.
+  EXPECT_TRUE(is_subsequence(common, a));
+  EXPECT_TRUE(is_subsequence(common, b));
+  // Monotonicity: appending an element never shrinks the LCS.
+  auto extended = a;
+  extended.push_back(b.empty() ? A::kPortScan : b.front());
+  EXPECT_GE(lcs_length(extended, b), common.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, LcsProperty, ::testing::Range(0, 25));
+
+TEST(Subsequence, Basics) {
+  const std::vector<A> seq = {A::kPortScan, A::kDownloadSensitive, A::kCompileSource,
+                              A::kLogTampering};
+  EXPECT_TRUE(is_subsequence({A::kDownloadSensitive, A::kLogTampering}, seq));
+  EXPECT_FALSE(is_subsequence({A::kLogTampering, A::kDownloadSensitive}, seq));
+  EXPECT_TRUE(is_subsequence({}, seq));
+  EXPECT_FALSE(is_subsequence(seq, {}));
+}
+
+TEST(PairwiseJaccard, CountsAndThreadingAgree) {
+  const auto& c = corpus();
+  // 228 incidents -> 228*227/2 pairs.
+  const auto serial = pairwise_jaccard(c.incidents, 1);
+  EXPECT_EQ(serial.similarities.size(), 228u * 227u / 2u);
+  const auto threaded = pairwise_jaccard(c.incidents, 4);
+  ASSERT_EQ(threaded.similarities.size(), serial.similarities.size());
+  for (std::size_t i = 0; i < serial.similarities.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.similarities[i], threaded.similarities[i]);
+  }
+}
+
+TEST(PairwiseJaccard, DegenerateInputs) {
+  const auto empty = pairwise_jaccard({}, 1);
+  EXPECT_TRUE(empty.similarities.empty());
+  std::vector<incidents::Incident> one(1);
+  EXPECT_TRUE(pairwise_jaccard(one, 1).similarities.empty());
+}
+
+TEST(Insight1, Fig3aHeadline) {
+  // "more than 95% of attacks have up to 33% of similar alerts"
+  const auto insight = measure_insight1(corpus(), 2);
+  EXPECT_GE(insight.fraction_pairs_at_or_below_third, 0.95);
+  EXPECT_LE(insight.p95_similarity, 1.0 / 3.0 + 0.02);
+  // And attacks genuinely share alerts (high degree of similarity, not
+  // trivially disjoint sets).
+  EXPECT_GT(insight.fraction_pairs_overlapping, 0.8);
+  EXPECT_GT(insight.mean_similarity, 0.05);
+}
+
+TEST(Insight2, Fig3bHeadline) {
+  const auto insight = measure_insight2(corpus());
+  EXPECT_EQ(insight.distinct_sequences, 43u);
+  EXPECT_EQ(insight.min_length, 2u);
+  EXPECT_EQ(insight.max_length, 14u);
+  EXPECT_EQ(insight.top_sequence_count, 14u);
+  // Every damaging attack in the corpus has >= 2 pre-damage alerts, i.e. a
+  // preemption model has something to work with.
+  EXPECT_GT(insight.fraction_preemptible, 0.95);
+}
+
+TEST(Insight3, TimingVariability) {
+  const auto insight = measure_insight3(corpus());
+  // Scripted probing: tight, regular. Manual stages: long, highly variable.
+  EXPECT_LT(insight.recon_gap_cv, 0.5);
+  EXPECT_GT(insight.manual_gap_cv, 1.0);
+  EXPECT_LT(insight.recon_gap_mean_s, 60.0);
+  EXPECT_GT(insight.manual_gap_mean_s, 600.0);
+}
+
+TEST(Insight4, CriticalAlertsAreLateAndRare) {
+  const auto insight = measure_insight4(corpus());
+  EXPECT_EQ(insight.distinct_critical_types, 19u);
+  EXPECT_EQ(insight.critical_occurrences, 98u);
+  // Critical alerts sit at the very end of the kill chain.
+  EXPECT_GT(insight.mean_relative_position, 0.9);
+  // Many successful attacks produced no critical alert at all.
+  EXPECT_GT(insight.incidents_without_critical, 100u);
+}
+
+TEST(Mining, RecoversCatalogExactly) {
+  const auto mined = mine_core_sequences(corpus().incidents);
+  ASSERT_EQ(mined.sequences.size(), 43u);
+  EXPECT_EQ(mined.sequences[0].name, "S1");
+  EXPECT_EQ(mined.sequences[0].count, 14u);
+  // Total mined incidents = corpus size.
+  std::size_t total = 0;
+  for (const auto& seq : mined.sequences) total += seq.count;
+  EXPECT_EQ(total, 228u);
+  // Counts are non-increasing (rank order).
+  for (std::size_t i = 1; i < mined.sequences.size(); ++i) {
+    EXPECT_GE(mined.sequences[i - 1].count, mined.sequences[i].count);
+  }
+  EXPECT_EQ(mined.min_length, 2u);
+  EXPECT_EQ(mined.max_length, 14u);
+}
+
+TEST(Mining, MotifPrevalenceIs60Percent) {
+  const auto mined = mine_core_sequences(corpus().incidents);
+  const auto motif_count = mined.containing(incidents::Catalog::motif());
+  EXPECT_EQ(motif_count, 137u);
+}
+
+TEST(Mining, LengthHistogramCoversAllSequences) {
+  const auto mined = mine_core_sequences(corpus().incidents);
+  const auto hist = length_histogram(mined);
+  std::size_t total = 0;
+  for (const auto& [length, count] : hist) {
+    EXPECT_GE(length, 2u);
+    EXPECT_LE(length, 14u);
+    total += count;
+  }
+  EXPECT_EQ(total, 43u);
+}
+
+TEST(Mining, EmptyInput) {
+  const auto mined = mine_core_sequences({});
+  EXPECT_TRUE(mined.sequences.empty());
+  EXPECT_EQ(mined.containing({A::kPortScan}), 0u);
+}
+
+}  // namespace
+}  // namespace at::analysis
+
+namespace at::analysis {
+namespace {
+
+TEST(TypeSetTest, InsertContainsSizeRoundTrip) {
+  TypeSet set;
+  EXPECT_EQ(set.size(), 0u);
+  set.insert(alerts::AlertType::kPortScan);
+  set.insert(alerts::AlertType::kExfilDnsTunnel);  // last enum value
+  set.insert(alerts::AlertType::kPortScan);        // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(alerts::AlertType::kPortScan));
+  EXPECT_FALSE(set.contains(alerts::AlertType::kLoginSuccess));
+  EXPECT_EQ(set.to_vector(),
+            (std::vector<alerts::AlertType>{alerts::AlertType::kPortScan,
+                                            alerts::AlertType::kExfilDnsTunnel}));
+}
+
+class TypeSetOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(TypeSetOracle, BitsetJaccardMatchesMergeJaccard) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 503 + 9);
+  auto random_set = [&rng] {
+    std::vector<alerts::AlertType> out;
+    for (std::size_t t = 0; t < alerts::kNumAlertTypes; ++t) {
+      if (rng.bernoulli(0.25)) out.push_back(static_cast<alerts::AlertType>(t));
+    }
+    return out;
+  };
+  const auto a = random_set();
+  const auto b = random_set();
+  EXPECT_DOUBLE_EQ(TypeSet::jaccard(TypeSet(a), TypeSet(b)), jaccard(a, b));
+  EXPECT_DOUBLE_EQ(TypeSet::jaccard(TypeSet{}, TypeSet{}), 1.0);
+  EXPECT_EQ(TypeSet(a).to_vector(), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, TypeSetOracle, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace at::analysis

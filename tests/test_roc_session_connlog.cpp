@@ -1,0 +1,190 @@
+// ROC analysis, session-keyed detection, and conn.log serialization.
+
+#include <gtest/gtest.h>
+
+#include "detect/roc.hpp"
+#include "detect/session_pipeline.hpp"
+#include "net/connlog.hpp"
+#include "viz/fig1.hpp"
+
+namespace at {
+namespace {
+
+const incidents::Corpus& corpus() {
+  static const incidents::Corpus c = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.02;
+    return incidents::CorpusGenerator(config).generate();
+  }();
+  return c;
+}
+
+// --- ROC ---
+
+TEST(RocTest, CurveShapeAndAuc) {
+  const auto split = detect::split_corpus(corpus());
+  const auto params = fg::learn_params(split.train);
+  std::vector<detect::Stream> attacks;
+  for (const auto& incident : split.test) attacks.push_back(detect::attack_stream(incident));
+  incidents::DailyNoiseModel noise;
+  const auto benign = detect::benign_streams(noise, 0, 20, 400);
+
+  const auto curve = detect::roc_factor_graph(params, attacks, benign, 25);
+  ASSERT_EQ(curve.points.size(), 26u);
+  // TPR is non-increasing as the threshold rises; rates live in [0,1].
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].tpr, 0.0);
+    EXPECT_LE(curve.points[i].tpr, 1.0);
+    EXPECT_GE(curve.points[i].fpr, 0.0);
+    EXPECT_LE(curve.points[i].fpr, 1.0);
+    if (i > 0) {
+      EXPECT_LE(curve.points[i].tpr, curve.points[i - 1].tpr + 1e-12);
+      EXPECT_LE(curve.points[i].fpr, curve.points[i - 1].fpr + 1e-12);
+    }
+  }
+  // Threshold 0 fires on everything.
+  EXPECT_DOUBLE_EQ(curve.points.front().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.front().fpr, 1.0);
+  // The trained model separates attack from benign almost perfectly.
+  EXPECT_GT(curve.auc, 0.95);
+}
+
+TEST(RocTest, UntrainedModelIsNoBetterThanChanceOnItsOwnScores) {
+  // Degenerate uniform model: scores collapse, AUC ~<= chance band.
+  incidents::Corpus empty;
+  const auto params = fg::learn_params(empty);
+  const auto split = detect::split_corpus(corpus());
+  std::vector<detect::Stream> attacks;
+  for (std::size_t i = 0; i < 20; ++i) {
+    attacks.push_back(detect::attack_stream(split.test[i]));
+  }
+  incidents::DailyNoiseModel noise;
+  const auto benign = detect::benign_streams(noise, 0, 20, 200);
+  const auto curve = detect::roc_factor_graph(params, attacks, benign, 25);
+  EXPECT_LT(curve.auc, 0.7);
+}
+
+TEST(RocTest, MaxScoreIsAPosterior) {
+  const auto params = fg::learn_params(corpus());
+  const auto stream = detect::attack_stream(corpus().incidents[0]);
+  const double score = detect::max_posterior_score(params, stream);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+// --- session pipeline ---
+
+TEST(SessionPipelineTest, AccountHoppingAcrossHostsIsOneDetection) {
+  const auto params = fg::learn_params(corpus());
+  detect::SessionPipeline pipeline([&params] {
+    return std::make_unique<detect::FactorGraphDetector>(params, 0.75);
+  });
+  // The motif spread across three hosts, all under one stolen account —
+  // host keying would fragment this; session keying must not.
+  const alerts::AlertType steps[] = {alerts::AlertType::kDownloadSensitive,
+                                     alerts::AlertType::kCompileSource,
+                                     alerts::AlertType::kLogTampering};
+  const char* hosts[] = {"a", "b", "c"};
+  std::optional<detect::SessionDetection> hit;
+  for (int i = 0; i < 3; ++i) {
+    alerts::Alert alert;
+    alert.ts = i * 100;
+    alert.type = steps[i];
+    alert.host = hosts[i];
+    alert.user = "stolen";
+    alert.src = net::Ipv4(9, 9, 9, 9);
+    if (auto detection = pipeline.on_alert(alert)) hit = detection;
+  }
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->account, "stolen");
+  const auto* session = pipeline.sessionizer().find(hit->session_id);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->hosts.size(), 3u);
+  EXPECT_EQ(pipeline.detections().size(), 1u);
+}
+
+TEST(SessionPipelineTest, SeparateAccountsSeparateDetectors) {
+  const auto params = fg::learn_params(corpus());
+  detect::SessionPipeline pipeline([&params] {
+    return std::make_unique<detect::FactorGraphDetector>(params, 0.75);
+  });
+  // Each account shows only inconclusive probing: neither session fires,
+  // and the two accounts are tracked independently.
+  for (int i = 0; i < 2; ++i) {
+    alerts::Alert alert;
+    alert.ts = i;
+    alert.type = i == 0 ? alerts::AlertType::kPortScan : alerts::AlertType::kSshBruteforce;
+    alert.host = "h";
+    alert.user = i == 0 ? "u1" : "u2";
+    EXPECT_FALSE(pipeline.on_alert(alert).has_value());
+  }
+  EXPECT_EQ(pipeline.sessionizer().sessions().size(), 2u);
+}
+
+TEST(SessionPipelineTest, FiresOncePerSession) {
+  const auto params = fg::learn_params(corpus());
+  detect::SessionPipeline pipeline([&params] {
+    return std::make_unique<detect::FactorGraphDetector>(params, 0.5);
+  });
+  alerts::Alert alert;
+  alert.user = "u";
+  alert.host = "h";
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    alert.ts = i;
+    alert.type = alerts::AlertType::kDownloadSensitive;
+    if (pipeline.on_alert(alert)) ++fires;
+  }
+  EXPECT_EQ(fires, 1);
+}
+
+// --- conn.log ---
+
+TEST(ConnLog, RoundTrip) {
+  net::Flow flow;
+  flow.ts = 1722470400;
+  flow.src = net::Ipv4(103, 102, 47, 9);
+  flow.src_port = 54321;
+  flow.dst = net::Ipv4(141, 142, 9, 9);
+  flow.dst_port = 5432;
+  flow.proto = net::Proto::kTcp;
+  flow.state = net::ConnState::kAttempt;
+  flow.bytes_out = 60;
+  const auto parsed = net::parse_conn_line(net::to_conn_line(flow));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ts, flow.ts);
+  EXPECT_EQ(parsed->src, flow.src);
+  EXPECT_EQ(parsed->dst_port, flow.dst_port);
+  EXPECT_EQ(parsed->state, flow.state);
+  EXPECT_EQ(parsed->bytes_out, 60u);
+}
+
+TEST(ConnLog, RejectsMalformed) {
+  EXPECT_FALSE(net::parse_conn_line("").has_value());
+  EXPECT_FALSE(net::parse_conn_line("# comment").has_value());
+  EXPECT_FALSE(net::parse_conn_line("1\t2\t3").has_value());
+  EXPECT_FALSE(
+      net::parse_conn_line("x\t1.1.1.1\t1\t2.2.2.2\t2\ttcp\tS0\t0\t0").has_value());
+  EXPECT_FALSE(
+      net::parse_conn_line("1\t1.1.1.1\t1\t2.2.2.2\t2\tquic\tS0\t0\t0").has_value());
+  EXPECT_FALSE(
+      net::parse_conn_line("1\t1.1.1.1\t1\t2.2.2.2\t2\ttcp\tXX\t0\t0").has_value());
+}
+
+TEST(ConnLog, Fig1FlowSampleRoundTrips) {
+  viz::Fig1Config config;
+  config.mass_scan_targets = 500;
+  config.other_scanners = 4;
+  config.other_scan_targets_total = 100;
+  config.legit_pairs = 50;
+  const auto data = viz::build_fig1(config);
+  const auto text = net::write_conn_log(data.flows);
+  const auto result = net::read_conn_log(text);
+  EXPECT_EQ(result.malformed, 0u);
+  ASSERT_EQ(result.flows.size(), data.flows.size());
+  EXPECT_EQ(result.flows[17].src, data.flows[17].src);
+  EXPECT_EQ(result.flows[17].ts, data.flows[17].ts);
+}
+
+}  // namespace
+}  // namespace at

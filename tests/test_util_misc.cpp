@@ -1,0 +1,161 @@
+// Time, string, log-domain, table, and thread-pool utilities.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "util/logdomain.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time_utils.hpp"
+
+namespace at::util {
+namespace {
+
+TEST(TimeUtils, EpochRoundTrip) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(civil_from_days(0), (CivilDate{1970, 1, 1}));
+}
+
+// Round-trip over the whole study period, sampled.
+class CivilRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CivilRoundTrip, DayRoundTrips) {
+  const std::int64_t day = GetParam();
+  const CivilDate date = civil_from_days(day);
+  EXPECT_EQ(days_from_civil(date), day);
+  EXPECT_GE(date.month, 1u);
+  EXPECT_LE(date.month, 12u);
+  EXPECT_GE(date.day, 1u);
+  EXPECT_LE(date.day, days_in_month(date.year, date.month));
+}
+
+INSTANTIATE_TEST_SUITE_P(StudyPeriod, CivilRoundTrip,
+                         ::testing::Values(11688, 12000, 13000, 15000, 16071, 17000, 18000,
+                                           19000, 19700, 20000, -1, -365, 0, 1));
+
+TEST(TimeUtils, KnownDates) {
+  // 2014-04-01 (the Heartbleed VRT example) and 2024-08-01 (Fig 1 sample).
+  EXPECT_EQ(format_date(parse_yyyymmdd("20140401")), "2014-04-01");
+  const SimTime fig1 = to_sim_time(CivilDateTime{{2024, 8, 1}, 0, 0, 0});
+  EXPECT_EQ(format_datetime(fig1), "2024-08-01 00:00:00");
+  EXPECT_EQ(format_yyyymmdd({2014, 4, 1}), "20140401");
+}
+
+TEST(TimeUtils, ParseRejectsGarbage) {
+  EXPECT_THROW((void)parse_yyyymmdd("2014"), std::invalid_argument);
+  EXPECT_THROW((void)parse_yyyymmdd("2014ab01"), std::invalid_argument);
+  EXPECT_THROW((void)parse_yyyymmdd("20141301"), std::invalid_argument);
+  EXPECT_THROW((void)parse_yyyymmdd("20140230"), std::invalid_argument);
+}
+
+TEST(TimeUtils, LeapYears) {
+  EXPECT_TRUE(is_leap_year(2024));
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2023));
+  EXPECT_EQ(days_in_month(2024, 2), 29u);
+  EXPECT_EQ(days_in_month(2023, 2), 28u);
+}
+
+TEST(TimeUtils, StartOfDayAndIndex) {
+  const SimTime noon = to_sim_time(CivilDateTime{{2020, 5, 17}, 12, 30, 0});
+  EXPECT_EQ(start_of_day(noon), to_sim_time(CivilDate{2020, 5, 17}));
+  EXPECT_EQ(day_index(noon), days_from_civil({2020, 5, 17}));
+}
+
+TEST(Strings, SplitAndJoin) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(split_ws("  a \t b\nc "), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_lower("WGet ABS.c"), "wget abs.c");
+}
+
+TEST(Strings, PredicatesAndReplace) {
+  EXPECT_TRUE(starts_with("alert_download", "alert_"));
+  EXPECT_FALSE(starts_with("al", "alert_"));
+  EXPECT_TRUE(ends_with("abs.c", ".c"));
+  EXPECT_TRUE(contains("wget http://x/abs.c", "http://"));
+  EXPECT_EQ(replace_all("http://a http://b", "http://", "hXXp://"), "hXXp://a hXXp://b");
+  EXPECT_EQ(replace_all("aaa", "", "x"), "aaa");
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_count(94238), "94,238");
+  EXPECT_EQ(fmt_count(5), "5");
+  EXPECT_EQ(fmt_count(1000000), "1,000,000");
+  EXPECT_EQ(fmt_bytes(30ULL << 40), "30.0 TB");
+  EXPECT_EQ(fmt_bytes(512), "512.0 B");
+}
+
+TEST(LogDomain, AddIsStable) {
+  EXPECT_NEAR(log_add(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_EQ(log_add(kLogZero, 1.5), 1.5);
+  EXPECT_EQ(log_add(1.5, kLogZero), 1.5);
+  // Huge magnitude difference must not overflow.
+  EXPECT_NEAR(log_add(0.0, -1000.0), 0.0, 1e-12);
+}
+
+TEST(LogDomain, SafeLogExp) {
+  EXPECT_EQ(safe_log(0.0), kLogZero);
+  EXPECT_EQ(safe_exp(kLogZero), 0.0);
+  EXPECT_NEAR(safe_exp(safe_log(0.25)), 0.25, 1e-12);
+}
+
+TEST(TextTableTest, RendersAligned) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const auto text = table.render();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTableTest, RejectsBadRows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.render_csv(), "x,y\n1,2\n");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace at::util

@@ -1,0 +1,140 @@
+// Statistics utilities: Welford accumulation, merging, quantiles, CDFs,
+// histograms, and the label counter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace at::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.5);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Cdf, MonotoneAndEndsAtOne) {
+  const std::vector<double> values = {3.0, 1.0, 2.0, 2.0, 5.0};
+  const auto cdf = empirical_cdf(values);
+  ASSERT_EQ(cdf.size(), 4u);  // distinct values
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  // 2.0 covers 3 of 5 samples.
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.6);
+}
+
+TEST(FractionAtOrBelow, Basic) {
+  const std::vector<double> values = {0.1, 0.2, 0.3, 0.9};
+  EXPECT_DOUBLE_EQ(fraction_at_or_below(values, 0.3), 0.75);
+  EXPECT_DOUBLE_EQ(fraction_at_or_below(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_at_or_below({}, 1.0), 0.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);
+  hist.add(9.9);
+  hist.add(-5.0);   // clamps into first bin
+  hist.add(100.0);  // clamps into last bin
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(4), 2u);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+}
+
+TEST(HistogramTest, AsciiRendersEveryBin) {
+  Histogram hist(0.0, 4.0, 4);
+  hist.add(1.0);
+  const auto art = hist.ascii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(LabelCounterTest, CountsAndSorts) {
+  LabelCounter counter;
+  counter.add("b");
+  counter.add("a", 3);
+  counter.add("b");
+  EXPECT_EQ(counter.count("a"), 3u);
+  EXPECT_EQ(counter.count("b"), 2u);
+  EXPECT_EQ(counter.count("missing"), 0u);
+  EXPECT_EQ(counter.total(), 5u);
+  EXPECT_EQ(counter.distinct(), 2u);
+  const auto sorted = counter.sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, "a");
+}
+
+TEST(LabelCounterTest, TieBreaksAlphabetically) {
+  LabelCounter counter;
+  counter.add("z");
+  counter.add("a");
+  const auto sorted = counter.sorted();
+  EXPECT_EQ(sorted[0].first, "a");
+}
+
+}  // namespace
+}  // namespace at::util

@@ -1,0 +1,206 @@
+// Graph model, Fig-1 reconstruction (exact node/edge counts), layout
+// sanity, and the exporters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "viz/export.hpp"
+#include "viz/fig1.hpp"
+#include "viz/layout.hpp"
+
+namespace at::viz {
+namespace {
+
+TEST(GraphTest, NodeDedupAndEdgeCoalescing) {
+  Graph graph;
+  const auto a = graph.node_for(net::Ipv4(1, 1, 1, 1), NodeRole::kLegitimate);
+  const auto a2 = graph.node_for(net::Ipv4(1, 1, 1, 1), NodeRole::kMassScanner);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(graph.nodes()[a].role, NodeRole::kLegitimate);  // role set on creation
+  const auto b = graph.node_for(net::Ipv4(2, 2, 2, 2), NodeRole::kLegitimate);
+  graph.add_edge(a, b);
+  graph.add_edge(a, b);  // duplicate
+  graph.add_edge(b, a);  // reverse is distinct (directed)
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.edge_count(), 2u);
+  EXPECT_THROW(graph.add_edge(a, 99), std::out_of_range);
+}
+
+TEST(GraphTest, DegreeAndMaxDegree) {
+  Graph graph;
+  const auto hub = graph.node_for(net::Ipv4(1, 0, 0, 0), NodeRole::kMassScanner);
+  for (std::uint8_t i = 1; i <= 10; ++i) {
+    const auto leaf = graph.node_for(net::Ipv4(2, 0, 0, i), NodeRole::kScanTarget);
+    graph.add_edge(hub, leaf);
+  }
+  EXPECT_EQ(graph.degree(hub), 10u);
+  EXPECT_EQ(graph.max_degree_node(), hub);
+  EXPECT_EQ(graph.count_role(NodeRole::kScanTarget), 10u);
+}
+
+TEST(Fig1Test, ExactPaperCounts) {
+  // "The graph contains 29,075 nodes and 27,336 edges."
+  const auto data = build_fig1();
+  EXPECT_EQ(data.graph.node_count(), 29'075u);
+  EXPECT_EQ(data.graph.edge_count(), 27'336u);
+  // "NCSA's black hole router recorded 26.85 million scans".
+  EXPECT_EQ(data.recorded_probes, 26'850'000u);
+  // "We sampled 10,000 most frequent scans from a mass scanner".
+  EXPECT_EQ(data.graph.count_role(NodeRole::kScanTarget), 10'000u);
+}
+
+TEST(Fig1Test, PartAIsTheCentralHub) {
+  const auto data = build_fig1();
+  EXPECT_EQ(data.graph.max_degree_node(), data.scanner_node);
+  EXPECT_EQ(data.graph.degree(data.scanner_node), 10'000u);
+  EXPECT_EQ(data.graph.nodes()[data.scanner_node].role, NodeRole::kMassScanner);
+  // The scanner's label is anonymized to its /16 prefix, like the paper's
+  // "103.102" annotation.
+  EXPECT_TRUE(data.graph.nodes()[data.scanner_node].label.starts_with("103.102."));
+}
+
+TEST(Fig1Test, PartBAttackPathExists) {
+  const auto data = build_fig1();
+  EXPECT_EQ(data.graph.count_role(NodeRole::kAttacker), 1u);
+  EXPECT_EQ(data.graph.count_role(NodeRole::kAttackVictim), 6u);
+  // The attack flows are established connections (it succeeded), starting
+  // at PostgreSQL port 5432.
+  bool saw_pg_entry = false;
+  for (const auto& flow : data.flows) {
+    if (flow.dst_port == net::ports::kPostgres &&
+        flow.state == net::ConnState::kEstablished) {
+      saw_pg_entry = true;
+    }
+  }
+  EXPECT_TRUE(saw_pg_entry);
+}
+
+TEST(Fig1Test, FlowSampleMatchesGraphScale) {
+  const auto data = build_fig1();
+  EXPECT_EQ(data.flows.size(), data.graph.edge_count());
+  // All flows happen within the one-hour window of 2024-08-01 00:00-01:00.
+  const auto start = util::to_sim_time(util::CivilDateTime{{2024, 8, 1}, 0, 0, 0});
+  for (const auto& flow : data.flows) {
+    EXPECT_GE(flow.ts, start);
+    EXPECT_LT(flow.ts, start + util::kHour);
+  }
+}
+
+TEST(Fig1Test, Deterministic) {
+  const auto a = build_fig1();
+  const auto b = build_fig1();
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  EXPECT_EQ(a.flows[0].ts, b.flows[0].ts);
+  EXPECT_EQ(a.flows.back().src, b.flows.back().src);
+}
+
+TEST(LayoutTest, ProducesFiniteSpreadCoordinates) {
+  Fig1Config config;
+  config.mass_scan_targets = 200;
+  config.other_scanners = 4;
+  config.other_scan_targets_total = 100;
+  config.legit_pairs = 50;
+  auto data = build_fig1(config);
+  LayoutOptions options;
+  options.iterations = 20;
+  const auto stats = run_layout(data.graph, options);
+  EXPECT_EQ(stats.iterations, 20u);
+  EXPECT_GT(stats.bounding_radius, 0.0);
+  for (const auto& node : data.graph.nodes()) {
+    EXPECT_TRUE(std::isfinite(node.x));
+    EXPECT_TRUE(std::isfinite(node.y));
+  }
+}
+
+TEST(LayoutTest, StarTargetsOrbitTheHub) {
+  // In a pure star the spring forces should keep leaf nodes much closer to
+  // the hub than to the layout's far corner.
+  Graph graph;
+  const auto hub = graph.node_for(net::Ipv4(1, 0, 0, 0), NodeRole::kMassScanner);
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    const auto leaf = graph.node_for(net::Ipv4(2, 0, static_cast<std::uint8_t>(i >> 8),
+                                               static_cast<std::uint8_t>(i & 0xff)),
+                                     NodeRole::kScanTarget);
+    graph.add_edge(hub, leaf);
+  }
+  LayoutOptions options;
+  options.iterations = 80;
+  run_layout(graph, options);
+  const auto& nodes = graph.nodes();
+  double mean_dist = 0.0;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const double dx = nodes[i].x - nodes[hub].x;
+    const double dy = nodes[i].y - nodes[hub].y;
+    mean_dist += std::sqrt(dx * dx + dy * dy);
+  }
+  mean_dist /= static_cast<double>(nodes.size() - 1);
+  // Leaves sit within a modest ring, not scattered over the whole area.
+  EXPECT_LT(mean_dist, std::sqrt(options.area) / 2.0);
+}
+
+TEST(LayoutTest, DeterministicForSeed) {
+  auto make = [] {
+    Graph graph;
+    const auto a = graph.node_for(net::Ipv4(1, 0, 0, 1), NodeRole::kLegitimate);
+    const auto b = graph.node_for(net::Ipv4(1, 0, 0, 2), NodeRole::kLegitimate);
+    graph.add_edge(a, b);
+    return graph;
+  };
+  auto g1 = make();
+  auto g2 = make();
+  run_layout(g1);
+  run_layout(g2);
+  EXPECT_DOUBLE_EQ(g1.nodes()[0].x, g2.nodes()[0].x);
+  EXPECT_DOUBLE_EQ(g1.nodes()[1].y, g2.nodes()[1].y);
+}
+
+TEST(LayoutTest, EmptyGraph) {
+  Graph graph;
+  const auto stats = run_layout(graph);
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(ExportTest, DotContainsNodesAndEdges) {
+  Graph graph;
+  const auto a = graph.node_for(net::Ipv4(103, 102, 1, 1), NodeRole::kMassScanner);
+  const auto b = graph.node_for(net::Ipv4(141, 142, 1, 1), NodeRole::kScanTarget);
+  graph.add_edge(a, b);
+  const auto dot = to_dot(graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("103.102.xxx.yyy"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("mass_scanner"), std::string::npos);
+}
+
+TEST(ExportTest, GexfWellFormedEnough) {
+  Graph graph;
+  const auto a = graph.node_for(net::Ipv4(1, 1, 1, 1), NodeRole::kLegitimate);
+  const auto b = graph.node_for(net::Ipv4(2, 2, 2, 2), NodeRole::kLegitimate);
+  graph.add_edge(a, b);
+  const auto gexf = to_gexf(graph);
+  EXPECT_NE(gexf.find("<gexf"), std::string::npos);
+  EXPECT_NE(gexf.find("</gexf>"), std::string::npos);
+  EXPECT_NE(gexf.find("<edge id=\"0\" source=\"0\" target=\"1\""), std::string::npos);
+}
+
+TEST(ExportTest, EdgeCsv) {
+  Graph graph;
+  const auto a = graph.node_for(net::Ipv4(1, 1, 1, 1), NodeRole::kLegitimate);
+  const auto b = graph.node_for(net::Ipv4(2, 2, 2, 2), NodeRole::kLegitimate);
+  graph.add_edge(a, b);
+  EXPECT_EQ(to_edge_csv(graph), "source,target\n1.1.xxx.yyy,2.2.xxx.yyy\n");
+}
+
+TEST(ExportTest, WriteFile) {
+  const std::string path = ::testing::TempDir() + "/at_viz_test.dot";
+  write_file(path, "digraph {}\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "digraph {}\n");
+  EXPECT_THROW(write_file("/nonexistent-dir/x.dot", "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace at::viz

@@ -1,0 +1,225 @@
+// VRT (snapshot builds, Heartbleed worked example, straw-man failure) and
+// the Black Hole Router (API, TTLs, scan classification).
+
+#include <gtest/gtest.h>
+
+#include "bhr/bhr.hpp"
+#include "vrt/builder.hpp"
+
+namespace at {
+namespace {
+
+// --- VRT ---
+
+TEST(SnapshotArchive, ReleaseTimeline) {
+  vrt::SnapshotArchive archive;
+  // The paper's example: just before 2014-04-01 the current Debian stable
+  // was wheezy (Debian 7, released 2013-05-04).
+  const auto release = archive.release_for({2014, 4, 1});
+  ASSERT_TRUE(release.has_value());
+  EXPECT_EQ(release->codename, "wheezy");
+  EXPECT_EQ(release->version, 7);
+  // Before the first release there is nothing.
+  EXPECT_FALSE(archive.release_for({2004, 1, 1}).has_value());
+  // Today's stable is bookworm.
+  EXPECT_EQ(archive.release_for({2024, 8, 1})->codename, "bookworm");
+}
+
+TEST(SnapshotArchive, VersionAtDate) {
+  vrt::SnapshotArchive archive;
+  const auto heartbleed = archive.version_at("openssl", {2014, 4, 1});
+  ASSERT_TRUE(heartbleed.has_value());
+  EXPECT_EQ(heartbleed->version, "1.0.1f");
+  EXPECT_EQ(heartbleed->cve, "CVE-2014-0160");
+  // After the fix date the patched version is served.
+  EXPECT_EQ(archive.version_at("openssl", {2014, 4, 8})->version, "1.0.1g");
+  // Before the snapshot era there is nothing.
+  EXPECT_FALSE(archive.version_at("openssl", {2004, 1, 1}).has_value());
+  EXPECT_FALSE(archive.version_at("no-such-pkg", {2015, 1, 1}).has_value());
+}
+
+TEST(ContainerBuilder, HeartbleedWorkedExample) {
+  // Paper Section IV-A: input 20140401 must produce a wheezy container
+  // with the vulnerable openssl 1.0.1f and a consistent dependency set.
+  vrt::SnapshotArchive archive;
+  vrt::ContainerBuilder builder(archive);
+  const auto result = builder.build("openssl", "20140401");
+  ASSERT_TRUE(result.success) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.distribution, "wheezy (Debian 7)");
+  ASSERT_FALSE(result.closure.empty());
+  EXPECT_EQ(result.closure.back().package, "openssl");
+  EXPECT_EQ(result.closure.back().version, "1.0.1f");
+  const auto cves = result.vulnerabilities();
+  ASSERT_EQ(cves.size(), 1u);
+  EXPECT_EQ(cves[0], "CVE-2014-0160");
+  // Dependencies resolve to their era versions.
+  bool saw_libc = false;
+  for (const auto& pkg : result.closure) {
+    if (pkg.package == "libc6") {
+      saw_libc = true;
+      EXPECT_EQ(pkg.version, "2.3");
+    }
+  }
+  EXPECT_TRUE(saw_libc);
+}
+
+TEST(ContainerBuilder, StrawManFailsOnDependencySkew) {
+  // The paper's argument: compiling an old vulnerable package on a current
+  // distribution fails because its era dependencies are gone.
+  vrt::SnapshotArchive archive;
+  vrt::ContainerBuilder builder(archive);
+  const auto result =
+      builder.build("openssl", "20140401", vrt::BuildStrategy::kStrawMan);
+  EXPECT_FALSE(result.success);
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_NE(result.errors[0].find("dependency skew"), std::string::npos);
+}
+
+TEST(ContainerBuilder, SnapshotSucceedsAcrossEra) {
+  // The tool works "at any point in the past (2005-present)".
+  vrt::SnapshotArchive archive;
+  vrt::ContainerBuilder builder(archive);
+  for (const char* date : {"20060101", "20120101", "20160101", "20200101", "20240101"}) {
+    const auto result = builder.build("openssl", date);
+    EXPECT_TRUE(result.success) << date;
+  }
+}
+
+TEST(ContainerBuilder, OtherVulnerabilities) {
+  vrt::SnapshotArchive archive;
+  vrt::ContainerBuilder builder(archive);
+  // Shellshock-era bash.
+  const auto bash = builder.build("bash", "20140901");
+  ASSERT_TRUE(bash.success);
+  EXPECT_EQ(bash.vulnerabilities(), std::vector<std::string>{"CVE-2014-6271"});
+  // The Struts RCE used in the Equifax breach (paper ref [17]).
+  const auto struts = builder.build("struts", "20170301");
+  ASSERT_TRUE(struts.success);
+  EXPECT_EQ(struts.vulnerabilities(), std::vector<std::string>{"CVE-2017-5638"});
+  // After the fix date the same build carries no CVE.
+  EXPECT_TRUE(builder.build("struts", "20170401").vulnerabilities().empty());
+}
+
+TEST(ContainerBuilder, InputValidation) {
+  vrt::SnapshotArchive archive;
+  vrt::ContainerBuilder builder(archive);
+  EXPECT_FALSE(builder.build("openssl", "not-a-date").success);
+  EXPECT_FALSE(builder.build("openssl", "20040101").success);  // pre-snapshot
+  EXPECT_FALSE(builder.build("no-such-pkg", "20150101").success);
+}
+
+// --- BHR ---
+
+TEST(BhrTest, BlockQueryUnblock) {
+  bhr::BlackHoleRouter router;
+  const net::Ipv4 bad(9, 9, 9, 9);
+  EXPECT_FALSE(router.is_blocked(bad, 0));
+  EXPECT_TRUE(router.block(bad, 100, 0, "mass scanner", "operator"));
+  EXPECT_TRUE(router.is_blocked(bad, 1'000'000));  // permanent
+  const auto entry = router.query(bad, 200);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->reason, "mass scanner");
+  EXPECT_EQ(entry->requested_by, "operator");
+  EXPECT_TRUE(router.unblock(bad, 300, "operator"));
+  EXPECT_FALSE(router.is_blocked(bad, 301));
+  EXPECT_FALSE(router.unblock(bad, 302, "operator"));
+}
+
+TEST(BhrTest, TtlExpiry) {
+  bhr::BlackHoleRouter router;
+  const net::Ipv4 bad(9, 9, 9, 9);
+  router.block(bad, 100, 50, "scan", "pipeline");
+  EXPECT_TRUE(router.is_blocked(bad, 149));
+  EXPECT_FALSE(router.is_blocked(bad, 150));
+  EXPECT_EQ(router.active_blocks(149), 1u);
+  EXPECT_EQ(router.active_blocks(150), 0u);
+  EXPECT_EQ(router.expire(200), 1u);
+  EXPECT_EQ(router.expire(200), 0u);
+}
+
+TEST(BhrTest, ReblockExtends) {
+  bhr::BlackHoleRouter router;
+  const net::Ipv4 bad(9, 9, 9, 9);
+  router.block(bad, 100, 50, "first", "p");
+  router.block(bad, 140, 50, "second", "p");
+  EXPECT_TRUE(router.is_blocked(bad, 170));
+  EXPECT_EQ(router.query(bad, 170)->reason, "second");
+}
+
+TEST(BhrTest, NeverBlocksProtectedSpace) {
+  bhr::BlackHoleRouter router;
+  const net::Ipv4 internal(141, 142, 5, 5);
+  EXPECT_FALSE(router.block(internal, 0, 0, "should not happen", "p"));
+  EXPECT_FALSE(router.is_blocked(internal, 1));
+  // The refusal is still audited.
+  ASSERT_EQ(router.audit_log().size(), 1u);
+  EXPECT_FALSE(router.audit_log()[0].ok);
+}
+
+TEST(BhrTest, FilterDropsBlockedTraffic) {
+  bhr::BlackHoleRouter router;
+  const net::Ipv4 bad(9, 9, 9, 9);
+  router.block(bad, 0, 0, "scan", "p");
+  net::Flow flow;
+  flow.ts = 10;
+  flow.src = bad;
+  EXPECT_TRUE(router.filter(flow));
+  flow.src = net::Ipv4(8, 8, 8, 8);
+  EXPECT_FALSE(router.filter(flow));
+  EXPECT_EQ(router.dropped_flows(), 1u);
+  EXPECT_EQ(router.passed_flows(), 1u);
+}
+
+TEST(BhrTest, AuditTrailRecordsEverything) {
+  bhr::BlackHoleRouter router;
+  router.block(net::Ipv4(1, 1, 1, 1), 0, 10, "a", "x");
+  router.unblock(net::Ipv4(1, 1, 1, 1), 5, "x");
+  ASSERT_EQ(router.audit_log().size(), 2u);
+  EXPECT_EQ(router.audit_log()[0].method, "block");
+  EXPECT_EQ(router.audit_log()[1].method, "unblock");
+  EXPECT_TRUE(router.audit_log()[0].ok);
+}
+
+TEST(ScanRecorderTest, CountsAndDistinctTargets) {
+  bhr::ScanRecorder recorder;
+  const net::Ipv4 scanner(9, 9, 9, 9);
+  net::Flow flow;
+  flow.src = scanner;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    flow.ts = i;
+    flow.dst = net::Ipv4(141, 142, 0, static_cast<std::uint8_t>(i % 50));
+    recorder.record(flow);
+  }
+  EXPECT_EQ(recorder.total_probes(), 100u);
+  EXPECT_EQ(recorder.distinct_sources(), 1u);
+  const auto top = recorder.top_scanners(5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].probes, 100u);
+  EXPECT_EQ(top[0].distinct_targets, 50u);  // exact bitmap over the /16
+  EXPECT_GT(top[0].rate_per_s(), 0.0);
+}
+
+TEST(ScanRecorderTest, MassScannerClassification) {
+  bhr::ScanRecorder recorder;
+  net::Flow flow;
+  // One mass scanner hits 200 distinct hosts; one ordinary client hits 2.
+  flow.src = net::Ipv4(9, 9, 9, 9);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    flow.dst = net::Ipv4(141, 142, static_cast<std::uint8_t>(i / 250),
+                         static_cast<std::uint8_t>(i % 250));
+    recorder.record(flow);
+  }
+  flow.src = net::Ipv4(8, 8, 8, 8);
+  flow.dst = net::Ipv4(141, 142, 0, 1);
+  recorder.record(flow);
+  flow.dst = net::Ipv4(141, 142, 0, 2);
+  recorder.record(flow);
+
+  const auto mass = recorder.mass_scanners(100);
+  ASSERT_EQ(mass.size(), 1u);
+  EXPECT_EQ(mass[0].source, net::Ipv4(9, 9, 9, 9));
+  EXPECT_EQ(recorder.mass_scanners(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace at

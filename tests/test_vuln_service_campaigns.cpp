@@ -1,0 +1,137 @@
+// VRT-backed vulnerable services and the Struts / SSH-keylogger campaign
+// scenarios, including the patched-build negative case and pipeline
+// entity eviction.
+
+#include <gtest/gtest.h>
+
+#include "replay/campaigns.hpp"
+#include "replay/ransomware.hpp"
+
+namespace at {
+namespace {
+
+const incidents::Corpus& training() {
+  static const incidents::Corpus corpus = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.02;
+    return incidents::CorpusGenerator(config).generate();
+  }();
+  return corpus;
+}
+
+struct CampaignFixture : public ::testing::Test {
+  void SetUp() override {
+    bed = std::make_unique<testbed::Testbed>(testbed::TestbedConfig{}, training());
+    bed->deploy(0);
+  }
+  std::unique_ptr<testbed::Testbed> bed;
+};
+
+TEST_F(CampaignFixture, VulnerableServiceFromVrtBuild) {
+  auto* service = bed->add_vulnerable_service("struts", "20170301", 0);
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->port(), 8080);
+  EXPECT_FALSE(service->build().vulnerabilities().empty());
+  // The service rides on a newly scaled VM inside the honeypot block.
+  EXPECT_TRUE(net::blocks::honeypot24().contains(service->address()));
+  EXPECT_EQ(bed->vms().instances().size(), 17u);
+}
+
+TEST_F(CampaignFixture, ExploitSucceedsOnlyOnVulnerableBuild) {
+  auto* vulnerable = bed->add_vulnerable_service("struts", "20170301", 0);
+  auto* patched = bed->add_vulnerable_service("struts", "20170401", 0);
+  ASSERT_NE(vulnerable, nullptr);
+  ASSERT_NE(patched, nullptr);
+  const net::Ipv4 attacker(5, 5, 5, 5);
+  EXPECT_TRUE(vulnerable->exploit(attacker, "CVE-2017-5638", 10).success);
+  const auto failed = patched->exploit(attacker, "CVE-2017-5638", 10);
+  EXPECT_FALSE(failed.success);
+  EXPECT_NE(failed.detail.find("patched"), std::string::npos);
+  EXPECT_EQ(patched->failed_exploits(), 1u);
+  // Payloads need a live shell.
+  EXPECT_TRUE(vulnerable->run_payload(attacker, "id", 20));
+  EXPECT_FALSE(patched->run_payload(attacker, "id", 20));
+  EXPECT_FALSE(vulnerable->run_payload(net::Ipv4(6, 6, 6, 6), "id", 20));
+}
+
+TEST_F(CampaignFixture, UnknownPackageOrBadDateReturnsNull) {
+  EXPECT_EQ(bed->add_vulnerable_service("no-such-pkg", "20170301", 0), nullptr);
+  EXPECT_EQ(bed->add_vulnerable_service("struts", "not-a-date", 0), nullptr);
+}
+
+TEST_F(CampaignFixture, StrutsCampaignIsDetectedBeforeTheMiner) {
+  replay::StrutsCampaign campaign;
+  std::vector<replay::Scenario*> scenarios{&campaign};
+  replay::run_scenarios(*bed, scenarios, 0);
+  EXPECT_TRUE(campaign.exploited());
+  const auto note = replay::first_notification_after(*bed, 0, "factor-graph");
+  ASSERT_TRUE(note.has_value());
+  // The page arrives before the sustained-miner critical alert would land
+  // (exploit + 120s), i.e. the attack is preempted.
+  EXPECT_GT(bed->pipeline().notifications().size(), 0u);
+}
+
+TEST_F(CampaignFixture, StrutsCampaignAgainstPatchedBuildStaysQuietish) {
+  replay::StrutsCampaign::Config config;
+  config.snapshot_date = "20180101";  // post-fix build
+  replay::StrutsCampaign campaign(config);
+  std::vector<replay::Scenario*> scenarios{&campaign};
+  replay::run_scenarios(*bed, scenarios, 0);
+  EXPECT_FALSE(campaign.exploited());
+  // No factor-graph page: probing alone is below the firing threshold.
+  EXPECT_FALSE(replay::first_notification_after(*bed, 0, "factor-graph").has_value());
+}
+
+TEST_F(CampaignFixture, KeyloggerCampaignDetected) {
+  replay::SshKeyloggerCampaign campaign;
+  std::vector<replay::Scenario*> scenarios{&campaign};
+  replay::run_scenarios(*bed, scenarios, 0);
+  const auto note = replay::first_notification_after(*bed, 0);
+  ASSERT_TRUE(note.has_value());
+  // Detection happens on the victim host's stream.
+  EXPECT_TRUE(note->entity.starts_with("host:"));
+}
+
+TEST(PipelineEviction, IdleEntitiesAreDropped) {
+  testbed::PipelineConfig config;
+  config.entity_idle_ttl = 100;
+  config.eviction_check_every = 1;
+  testbed::AlertPipeline pipeline(config, nullptr);
+  pipeline.add_detector("critical", [] {
+    return std::make_unique<detect::CriticalAlertDetector>();
+  });
+  alerts::Alert alert;
+  alert.type = alerts::AlertType::kFileDroppedTmp;
+  for (int i = 0; i < 50; ++i) {
+    alert.ts = i;
+    alert.host = "h" + std::to_string(i);
+    pipeline.on_alert(alert);
+  }
+  EXPECT_EQ(pipeline.tracked_entities(), 50u);
+  // A much later alert triggers eviction of everything idle.
+  alert.ts = 10'000;
+  alert.host = "fresh";
+  pipeline.on_alert(alert);
+  EXPECT_EQ(pipeline.tracked_entities(), 1u);
+  EXPECT_EQ(pipeline.evicted_entities(), 50u);
+}
+
+TEST(PipelineEviction, DisabledWhenTtlZero) {
+  testbed::PipelineConfig config;
+  config.entity_idle_ttl = 0;
+  config.eviction_check_every = 1;
+  testbed::AlertPipeline pipeline(config, nullptr);
+  alerts::Alert alert;
+  alert.type = alerts::AlertType::kFileDroppedTmp;
+  alert.host = "a";
+  alert.ts = 0;
+  pipeline.on_alert(alert);
+  alert.ts = 1'000'000'000;
+  alert.host = "b";
+  pipeline.on_alert(alert);
+  EXPECT_EQ(pipeline.tracked_entities(), 2u);
+  EXPECT_EQ(pipeline.evicted_entities(), 0u);
+}
+
+}  // namespace
+}  // namespace at
