@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bhr.dir/bench_bhr.cpp.o"
+  "CMakeFiles/bench_bhr.dir/bench_bhr.cpp.o.d"
+  "bench_bhr"
+  "bench_bhr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bhr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

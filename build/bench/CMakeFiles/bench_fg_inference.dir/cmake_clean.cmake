@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fg_inference.dir/bench_fg_inference.cpp.o"
+  "CMakeFiles/bench_fg_inference.dir/bench_fg_inference.cpp.o.d"
+  "bench_fg_inference"
+  "bench_fg_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fg_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

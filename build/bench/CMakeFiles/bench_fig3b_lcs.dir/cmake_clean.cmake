@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_lcs.dir/bench_fig3b_lcs.cpp.o"
+  "CMakeFiles/bench_fig3b_lcs.dir/bench_fig3b_lcs.cpp.o.d"
+  "bench_fig3b_lcs"
+  "bench_fig3b_lcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_lcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ransomware.dir/bench_fig5_ransomware.cpp.o"
+  "CMakeFiles/bench_fig5_ransomware.dir/bench_fig5_ransomware.cpp.o.d"
+  "bench_fig5_ransomware"
+  "bench_fig5_ransomware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ransomware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insights.dir/bench_insights.cpp.o"
+  "CMakeFiles/bench_insights.dir/bench_insights.cpp.o.d"
+  "bench_insights"
+  "bench_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

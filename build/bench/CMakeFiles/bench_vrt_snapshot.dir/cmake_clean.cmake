@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vrt_snapshot.dir/bench_vrt_snapshot.cpp.o"
+  "CMakeFiles/bench_vrt_snapshot.dir/bench_vrt_snapshot.cpp.o.d"
+  "bench_vrt_snapshot"
+  "bench_vrt_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vrt_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_forensics.dir/forensics.cpp.o"
+  "CMakeFiles/example_forensics.dir/forensics.cpp.o.d"
+  "example_forensics"
+  "example_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

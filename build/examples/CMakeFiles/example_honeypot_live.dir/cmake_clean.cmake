@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_honeypot_live.dir/honeypot_live.cpp.o"
+  "CMakeFiles/example_honeypot_live.dir/honeypot_live.cpp.o.d"
+  "example_honeypot_live"
+  "example_honeypot_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_honeypot_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/incident_mining.cpp" "examples/CMakeFiles/example_incident_mining.dir/incident_mining.cpp.o" "gcc" "examples/CMakeFiles/example_incident_mining.dir/incident_mining.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_incidents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_alerts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_vrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_bhr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incident_mining.dir/incident_mining.cpp.o"
+  "CMakeFiles/example_incident_mining.dir/incident_mining.cpp.o.d"
+  "example_incident_mining"
+  "example_incident_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incident_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

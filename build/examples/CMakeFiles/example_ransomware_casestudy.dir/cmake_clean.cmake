@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ransomware_casestudy.dir/ransomware_casestudy.cpp.o"
+  "CMakeFiles/example_ransomware_casestudy.dir/ransomware_casestudy.cpp.o.d"
+  "example_ransomware_casestudy"
+  "example_ransomware_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ransomware_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

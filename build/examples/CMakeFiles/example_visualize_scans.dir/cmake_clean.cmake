@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_visualize_scans.dir/visualize_scans.cpp.o"
+  "CMakeFiles/example_visualize_scans.dir/visualize_scans.cpp.o.d"
+  "example_visualize_scans"
+  "example_visualize_scans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_visualize_scans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vulnerable_container.dir/vulnerable_container.cpp.o"
+  "CMakeFiles/example_vulnerable_container.dir/vulnerable_container.cpp.o.d"
+  "example_vulnerable_container"
+  "example_vulnerable_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vulnerable_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

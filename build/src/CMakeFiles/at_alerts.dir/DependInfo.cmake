@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alerts/alert.cpp" "src/CMakeFiles/at_alerts.dir/alerts/alert.cpp.o" "gcc" "src/CMakeFiles/at_alerts.dir/alerts/alert.cpp.o.d"
+  "/root/repo/src/alerts/sanitizer.cpp" "src/CMakeFiles/at_alerts.dir/alerts/sanitizer.cpp.o" "gcc" "src/CMakeFiles/at_alerts.dir/alerts/sanitizer.cpp.o.d"
+  "/root/repo/src/alerts/symbolizer.cpp" "src/CMakeFiles/at_alerts.dir/alerts/symbolizer.cpp.o" "gcc" "src/CMakeFiles/at_alerts.dir/alerts/symbolizer.cpp.o.d"
+  "/root/repo/src/alerts/taxonomy.cpp" "src/CMakeFiles/at_alerts.dir/alerts/taxonomy.cpp.o" "gcc" "src/CMakeFiles/at_alerts.dir/alerts/taxonomy.cpp.o.d"
+  "/root/repo/src/alerts/zeeklog.cpp" "src/CMakeFiles/at_alerts.dir/alerts/zeeklog.cpp.o" "gcc" "src/CMakeFiles/at_alerts.dir/alerts/zeeklog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

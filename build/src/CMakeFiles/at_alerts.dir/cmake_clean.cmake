@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_alerts.dir/alerts/alert.cpp.o"
+  "CMakeFiles/at_alerts.dir/alerts/alert.cpp.o.d"
+  "CMakeFiles/at_alerts.dir/alerts/sanitizer.cpp.o"
+  "CMakeFiles/at_alerts.dir/alerts/sanitizer.cpp.o.d"
+  "CMakeFiles/at_alerts.dir/alerts/symbolizer.cpp.o"
+  "CMakeFiles/at_alerts.dir/alerts/symbolizer.cpp.o.d"
+  "CMakeFiles/at_alerts.dir/alerts/taxonomy.cpp.o"
+  "CMakeFiles/at_alerts.dir/alerts/taxonomy.cpp.o.d"
+  "CMakeFiles/at_alerts.dir/alerts/zeeklog.cpp.o"
+  "CMakeFiles/at_alerts.dir/alerts/zeeklog.cpp.o.d"
+  "libat_alerts.a"
+  "libat_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

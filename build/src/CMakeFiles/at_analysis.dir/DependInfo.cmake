@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/insights.cpp" "src/CMakeFiles/at_analysis.dir/analysis/insights.cpp.o" "gcc" "src/CMakeFiles/at_analysis.dir/analysis/insights.cpp.o.d"
+  "/root/repo/src/analysis/lift.cpp" "src/CMakeFiles/at_analysis.dir/analysis/lift.cpp.o" "gcc" "src/CMakeFiles/at_analysis.dir/analysis/lift.cpp.o.d"
+  "/root/repo/src/analysis/mining.cpp" "src/CMakeFiles/at_analysis.dir/analysis/mining.cpp.o" "gcc" "src/CMakeFiles/at_analysis.dir/analysis/mining.cpp.o.d"
+  "/root/repo/src/analysis/similarity.cpp" "src/CMakeFiles/at_analysis.dir/analysis/similarity.cpp.o" "gcc" "src/CMakeFiles/at_analysis.dir/analysis/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_incidents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_alerts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

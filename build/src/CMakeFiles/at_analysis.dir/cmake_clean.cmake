@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_analysis.dir/analysis/insights.cpp.o"
+  "CMakeFiles/at_analysis.dir/analysis/insights.cpp.o.d"
+  "CMakeFiles/at_analysis.dir/analysis/lift.cpp.o"
+  "CMakeFiles/at_analysis.dir/analysis/lift.cpp.o.d"
+  "CMakeFiles/at_analysis.dir/analysis/mining.cpp.o"
+  "CMakeFiles/at_analysis.dir/analysis/mining.cpp.o.d"
+  "CMakeFiles/at_analysis.dir/analysis/similarity.cpp.o"
+  "CMakeFiles/at_analysis.dir/analysis/similarity.cpp.o.d"
+  "libat_analysis.a"
+  "libat_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_bhr.dir/bhr/bhr.cpp.o"
+  "CMakeFiles/at_bhr.dir/bhr/bhr.cpp.o.d"
+  "libat_bhr.a"
+  "libat_bhr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_bhr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

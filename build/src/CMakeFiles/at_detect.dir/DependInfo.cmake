@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detector.cpp" "src/CMakeFiles/at_detect.dir/detect/detector.cpp.o" "gcc" "src/CMakeFiles/at_detect.dir/detect/detector.cpp.o.d"
+  "/root/repo/src/detect/eval.cpp" "src/CMakeFiles/at_detect.dir/detect/eval.cpp.o" "gcc" "src/CMakeFiles/at_detect.dir/detect/eval.cpp.o.d"
+  "/root/repo/src/detect/refinery.cpp" "src/CMakeFiles/at_detect.dir/detect/refinery.cpp.o" "gcc" "src/CMakeFiles/at_detect.dir/detect/refinery.cpp.o.d"
+  "/root/repo/src/detect/roc.cpp" "src/CMakeFiles/at_detect.dir/detect/roc.cpp.o" "gcc" "src/CMakeFiles/at_detect.dir/detect/roc.cpp.o.d"
+  "/root/repo/src/detect/session_pipeline.cpp" "src/CMakeFiles/at_detect.dir/detect/session_pipeline.cpp.o" "gcc" "src/CMakeFiles/at_detect.dir/detect/session_pipeline.cpp.o.d"
+  "/root/repo/src/detect/sessionizer.cpp" "src/CMakeFiles/at_detect.dir/detect/sessionizer.cpp.o" "gcc" "src/CMakeFiles/at_detect.dir/detect/sessionizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_incidents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_alerts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_detect.dir/detect/detector.cpp.o"
+  "CMakeFiles/at_detect.dir/detect/detector.cpp.o.d"
+  "CMakeFiles/at_detect.dir/detect/eval.cpp.o"
+  "CMakeFiles/at_detect.dir/detect/eval.cpp.o.d"
+  "CMakeFiles/at_detect.dir/detect/refinery.cpp.o"
+  "CMakeFiles/at_detect.dir/detect/refinery.cpp.o.d"
+  "CMakeFiles/at_detect.dir/detect/roc.cpp.o"
+  "CMakeFiles/at_detect.dir/detect/roc.cpp.o.d"
+  "CMakeFiles/at_detect.dir/detect/session_pipeline.cpp.o"
+  "CMakeFiles/at_detect.dir/detect/session_pipeline.cpp.o.d"
+  "CMakeFiles/at_detect.dir/detect/sessionizer.cpp.o"
+  "CMakeFiles/at_detect.dir/detect/sessionizer.cpp.o.d"
+  "libat_detect.a"
+  "libat_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

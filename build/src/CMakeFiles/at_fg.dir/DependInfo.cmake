@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fg/bp.cpp" "src/CMakeFiles/at_fg.dir/fg/bp.cpp.o" "gcc" "src/CMakeFiles/at_fg.dir/fg/bp.cpp.o.d"
+  "/root/repo/src/fg/graph.cpp" "src/CMakeFiles/at_fg.dir/fg/graph.cpp.o" "gcc" "src/CMakeFiles/at_fg.dir/fg/graph.cpp.o.d"
+  "/root/repo/src/fg/model.cpp" "src/CMakeFiles/at_fg.dir/fg/model.cpp.o" "gcc" "src/CMakeFiles/at_fg.dir/fg/model.cpp.o.d"
+  "/root/repo/src/fg/params_io.cpp" "src/CMakeFiles/at_fg.dir/fg/params_io.cpp.o" "gcc" "src/CMakeFiles/at_fg.dir/fg/params_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

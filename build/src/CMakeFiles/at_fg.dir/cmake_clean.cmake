@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_fg.dir/fg/bp.cpp.o"
+  "CMakeFiles/at_fg.dir/fg/bp.cpp.o.d"
+  "CMakeFiles/at_fg.dir/fg/graph.cpp.o"
+  "CMakeFiles/at_fg.dir/fg/graph.cpp.o.d"
+  "CMakeFiles/at_fg.dir/fg/model.cpp.o"
+  "CMakeFiles/at_fg.dir/fg/model.cpp.o.d"
+  "CMakeFiles/at_fg.dir/fg/params_io.cpp.o"
+  "CMakeFiles/at_fg.dir/fg/params_io.cpp.o.d"
+  "libat_fg.a"
+  "libat_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

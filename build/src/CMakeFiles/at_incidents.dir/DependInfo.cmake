@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/incidents/annotate.cpp" "src/CMakeFiles/at_incidents.dir/incidents/annotate.cpp.o" "gcc" "src/CMakeFiles/at_incidents.dir/incidents/annotate.cpp.o.d"
+  "/root/repo/src/incidents/catalog.cpp" "src/CMakeFiles/at_incidents.dir/incidents/catalog.cpp.o" "gcc" "src/CMakeFiles/at_incidents.dir/incidents/catalog.cpp.o.d"
+  "/root/repo/src/incidents/generator.cpp" "src/CMakeFiles/at_incidents.dir/incidents/generator.cpp.o" "gcc" "src/CMakeFiles/at_incidents.dir/incidents/generator.cpp.o.d"
+  "/root/repo/src/incidents/incident.cpp" "src/CMakeFiles/at_incidents.dir/incidents/incident.cpp.o" "gcc" "src/CMakeFiles/at_incidents.dir/incidents/incident.cpp.o.d"
+  "/root/repo/src/incidents/noise.cpp" "src/CMakeFiles/at_incidents.dir/incidents/noise.cpp.o" "gcc" "src/CMakeFiles/at_incidents.dir/incidents/noise.cpp.o.d"
+  "/root/repo/src/incidents/report.cpp" "src/CMakeFiles/at_incidents.dir/incidents/report.cpp.o" "gcc" "src/CMakeFiles/at_incidents.dir/incidents/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_alerts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_incidents.dir/incidents/annotate.cpp.o"
+  "CMakeFiles/at_incidents.dir/incidents/annotate.cpp.o.d"
+  "CMakeFiles/at_incidents.dir/incidents/catalog.cpp.o"
+  "CMakeFiles/at_incidents.dir/incidents/catalog.cpp.o.d"
+  "CMakeFiles/at_incidents.dir/incidents/generator.cpp.o"
+  "CMakeFiles/at_incidents.dir/incidents/generator.cpp.o.d"
+  "CMakeFiles/at_incidents.dir/incidents/incident.cpp.o"
+  "CMakeFiles/at_incidents.dir/incidents/incident.cpp.o.d"
+  "CMakeFiles/at_incidents.dir/incidents/noise.cpp.o"
+  "CMakeFiles/at_incidents.dir/incidents/noise.cpp.o.d"
+  "CMakeFiles/at_incidents.dir/incidents/report.cpp.o"
+  "CMakeFiles/at_incidents.dir/incidents/report.cpp.o.d"
+  "libat_incidents.a"
+  "libat_incidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_incidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitors/osquery_monitor.cpp" "src/CMakeFiles/at_monitors.dir/monitors/osquery_monitor.cpp.o" "gcc" "src/CMakeFiles/at_monitors.dir/monitors/osquery_monitor.cpp.o.d"
+  "/root/repo/src/monitors/rsyslog_monitor.cpp" "src/CMakeFiles/at_monitors.dir/monitors/rsyslog_monitor.cpp.o" "gcc" "src/CMakeFiles/at_monitors.dir/monitors/rsyslog_monitor.cpp.o.d"
+  "/root/repo/src/monitors/zeek_monitor.cpp" "src/CMakeFiles/at_monitors.dir/monitors/zeek_monitor.cpp.o" "gcc" "src/CMakeFiles/at_monitors.dir/monitors/zeek_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_alerts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

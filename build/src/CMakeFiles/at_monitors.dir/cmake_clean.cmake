@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_monitors.dir/monitors/osquery_monitor.cpp.o"
+  "CMakeFiles/at_monitors.dir/monitors/osquery_monitor.cpp.o.d"
+  "CMakeFiles/at_monitors.dir/monitors/rsyslog_monitor.cpp.o"
+  "CMakeFiles/at_monitors.dir/monitors/rsyslog_monitor.cpp.o.d"
+  "CMakeFiles/at_monitors.dir/monitors/zeek_monitor.cpp.o"
+  "CMakeFiles/at_monitors.dir/monitors/zeek_monitor.cpp.o.d"
+  "libat_monitors.a"
+  "libat_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

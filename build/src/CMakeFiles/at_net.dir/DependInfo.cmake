@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cidr.cpp" "src/CMakeFiles/at_net.dir/net/cidr.cpp.o" "gcc" "src/CMakeFiles/at_net.dir/net/cidr.cpp.o.d"
+  "/root/repo/src/net/connlog.cpp" "src/CMakeFiles/at_net.dir/net/connlog.cpp.o" "gcc" "src/CMakeFiles/at_net.dir/net/connlog.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/CMakeFiles/at_net.dir/net/flow.cpp.o" "gcc" "src/CMakeFiles/at_net.dir/net/flow.cpp.o.d"
+  "/root/repo/src/net/geo.cpp" "src/CMakeFiles/at_net.dir/net/geo.cpp.o" "gcc" "src/CMakeFiles/at_net.dir/net/geo.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/at_net.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/at_net.dir/net/ipv4.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

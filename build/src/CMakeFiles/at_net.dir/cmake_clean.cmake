@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_net.dir/net/cidr.cpp.o"
+  "CMakeFiles/at_net.dir/net/cidr.cpp.o.d"
+  "CMakeFiles/at_net.dir/net/connlog.cpp.o"
+  "CMakeFiles/at_net.dir/net/connlog.cpp.o.d"
+  "CMakeFiles/at_net.dir/net/flow.cpp.o"
+  "CMakeFiles/at_net.dir/net/flow.cpp.o.d"
+  "CMakeFiles/at_net.dir/net/geo.cpp.o"
+  "CMakeFiles/at_net.dir/net/geo.cpp.o.d"
+  "CMakeFiles/at_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/at_net.dir/net/ipv4.cpp.o.d"
+  "libat_net.a"
+  "libat_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

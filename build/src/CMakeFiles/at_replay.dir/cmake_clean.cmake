@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_replay.dir/replay/background.cpp.o"
+  "CMakeFiles/at_replay.dir/replay/background.cpp.o.d"
+  "CMakeFiles/at_replay.dir/replay/campaigns.cpp.o"
+  "CMakeFiles/at_replay.dir/replay/campaigns.cpp.o.d"
+  "CMakeFiles/at_replay.dir/replay/ransomware.cpp.o"
+  "CMakeFiles/at_replay.dir/replay/ransomware.cpp.o.d"
+  "CMakeFiles/at_replay.dir/replay/scenario.cpp.o"
+  "CMakeFiles/at_replay.dir/replay/scenario.cpp.o.d"
+  "libat_replay.a"
+  "libat_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

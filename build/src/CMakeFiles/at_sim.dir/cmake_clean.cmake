@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/at_sim.dir/sim/engine.cpp.o.d"
+  "libat_sim.a"
+  "libat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/autoscaler.cpp" "src/CMakeFiles/at_testbed.dir/testbed/autoscaler.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/autoscaler.cpp.o.d"
+  "/root/repo/src/testbed/correlator.cpp" "src/CMakeFiles/at_testbed.dir/testbed/correlator.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/correlator.cpp.o.d"
+  "/root/repo/src/testbed/credentials.cpp" "src/CMakeFiles/at_testbed.dir/testbed/credentials.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/credentials.cpp.o.d"
+  "/root/repo/src/testbed/lifecycle.cpp" "src/CMakeFiles/at_testbed.dir/testbed/lifecycle.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/lifecycle.cpp.o.d"
+  "/root/repo/src/testbed/pipeline.cpp" "src/CMakeFiles/at_testbed.dir/testbed/pipeline.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/pipeline.cpp.o.d"
+  "/root/repo/src/testbed/sandbox.cpp" "src/CMakeFiles/at_testbed.dir/testbed/sandbox.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/sandbox.cpp.o.d"
+  "/root/repo/src/testbed/services.cpp" "src/CMakeFiles/at_testbed.dir/testbed/services.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/services.cpp.o.d"
+  "/root/repo/src/testbed/ssh_auditor.cpp" "src/CMakeFiles/at_testbed.dir/testbed/ssh_auditor.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/ssh_auditor.cpp.o.d"
+  "/root/repo/src/testbed/testbed.cpp" "src/CMakeFiles/at_testbed.dir/testbed/testbed.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/testbed.cpp.o.d"
+  "/root/repo/src/testbed/vuln_service.cpp" "src/CMakeFiles/at_testbed.dir/testbed/vuln_service.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/vuln_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_bhr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_vrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_incidents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_alerts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_testbed.dir/testbed/autoscaler.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/autoscaler.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/correlator.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/correlator.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/credentials.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/credentials.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/lifecycle.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/lifecycle.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/pipeline.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/pipeline.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/sandbox.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/sandbox.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/services.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/services.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/ssh_auditor.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/ssh_auditor.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/testbed.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/testbed.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/vuln_service.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/vuln_service.cpp.o.d"
+  "libat_testbed.a"
+  "libat_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

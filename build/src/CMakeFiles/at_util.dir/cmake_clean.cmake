@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_util.dir/util/rng.cpp.o"
+  "CMakeFiles/at_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/at_util.dir/util/stats.cpp.o"
+  "CMakeFiles/at_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/at_util.dir/util/strings.cpp.o"
+  "CMakeFiles/at_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/at_util.dir/util/table.cpp.o"
+  "CMakeFiles/at_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/at_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/at_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/at_util.dir/util/time_utils.cpp.o"
+  "CMakeFiles/at_util.dir/util/time_utils.cpp.o.d"
+  "libat_util.a"
+  "libat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

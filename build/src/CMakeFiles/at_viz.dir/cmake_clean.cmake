@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_viz.dir/viz/export.cpp.o"
+  "CMakeFiles/at_viz.dir/viz/export.cpp.o.d"
+  "CMakeFiles/at_viz.dir/viz/fig1.cpp.o"
+  "CMakeFiles/at_viz.dir/viz/fig1.cpp.o.d"
+  "CMakeFiles/at_viz.dir/viz/graph.cpp.o"
+  "CMakeFiles/at_viz.dir/viz/graph.cpp.o.d"
+  "CMakeFiles/at_viz.dir/viz/layout.cpp.o"
+  "CMakeFiles/at_viz.dir/viz/layout.cpp.o.d"
+  "libat_viz.a"
+  "libat_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

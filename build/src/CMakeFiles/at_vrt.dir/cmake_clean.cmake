@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_vrt.dir/vrt/builder.cpp.o"
+  "CMakeFiles/at_vrt.dir/vrt/builder.cpp.o.d"
+  "CMakeFiles/at_vrt.dir/vrt/snapshot.cpp.o"
+  "CMakeFiles/at_vrt.dir/vrt/snapshot.cpp.o.d"
+  "libat_vrt.a"
+  "libat_vrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_vrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

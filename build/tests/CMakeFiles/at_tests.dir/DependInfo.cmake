@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alerts.cpp" "tests/CMakeFiles/at_tests.dir/test_alerts.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_alerts.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/at_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_detect.cpp" "tests/CMakeFiles/at_tests.dir/test_detect.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_detect.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/at_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_feedback_loop.cpp" "tests/CMakeFiles/at_tests.dir/test_feedback_loop.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_feedback_loop.cpp.o.d"
+  "/root/repo/tests/test_fg.cpp" "tests/CMakeFiles/at_tests.dir/test_fg.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_fg.cpp.o.d"
+  "/root/repo/tests/test_fg_entity.cpp" "tests/CMakeFiles/at_tests.dir/test_fg_entity.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_fg_entity.cpp.o.d"
+  "/root/repo/tests/test_geo_lift_scaling.cpp" "tests/CMakeFiles/at_tests.dir/test_geo_lift_scaling.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_geo_lift_scaling.cpp.o.d"
+  "/root/repo/tests/test_incidents.cpp" "tests/CMakeFiles/at_tests.dir/test_incidents.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_incidents.cpp.o.d"
+  "/root/repo/tests/test_monitors.cpp" "tests/CMakeFiles/at_tests.dir/test_monitors.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_monitors.cpp.o.d"
+  "/root/repo/tests/test_more_properties.cpp" "tests/CMakeFiles/at_tests.dir/test_more_properties.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_more_properties.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/at_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_params_io.cpp" "tests/CMakeFiles/at_tests.dir/test_params_io.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_params_io.cpp.o.d"
+  "/root/repo/tests/test_property_oracles.cpp" "tests/CMakeFiles/at_tests.dir/test_property_oracles.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_property_oracles.cpp.o.d"
+  "/root/repo/tests/test_replay.cpp" "tests/CMakeFiles/at_tests.dir/test_replay.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_replay.cpp.o.d"
+  "/root/repo/tests/test_roc_session_connlog.cpp" "tests/CMakeFiles/at_tests.dir/test_roc_session_connlog.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_roc_session_connlog.cpp.o.d"
+  "/root/repo/tests/test_sessionizer_decode.cpp" "tests/CMakeFiles/at_tests.dir/test_sessionizer_decode.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_sessionizer_decode.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/at_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_ssh_auditor_seeds.cpp" "tests/CMakeFiles/at_tests.dir/test_ssh_auditor_seeds.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_ssh_auditor_seeds.cpp.o.d"
+  "/root/repo/tests/test_testbed.cpp" "tests/CMakeFiles/at_tests.dir/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_testbed.cpp.o.d"
+  "/root/repo/tests/test_timing_rsyslog.cpp" "tests/CMakeFiles/at_tests.dir/test_timing_rsyslog.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_timing_rsyslog.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/at_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "tests/CMakeFiles/at_tests.dir/test_util_rng.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "tests/CMakeFiles/at_tests.dir/test_util_stats.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_util_stats.cpp.o.d"
+  "/root/repo/tests/test_viz.cpp" "tests/CMakeFiles/at_tests.dir/test_viz.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_viz.cpp.o.d"
+  "/root/repo/tests/test_vrt_bhr.cpp" "tests/CMakeFiles/at_tests.dir/test_vrt_bhr.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_vrt_bhr.cpp.o.d"
+  "/root/repo/tests/test_vuln_service_campaigns.cpp" "tests/CMakeFiles/at_tests.dir/test_vuln_service_campaigns.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_vuln_service_campaigns.cpp.o.d"
+  "/root/repo/tests/test_zeeklog_report.cpp" "tests/CMakeFiles/at_tests.dir/test_zeeklog_report.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_zeeklog_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/at_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_incidents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_alerts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_fg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_vrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_bhr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

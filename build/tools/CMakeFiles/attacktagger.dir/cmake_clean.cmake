@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacktagger.dir/attacktagger.cpp.o"
+  "CMakeFiles/attacktagger.dir/attacktagger.cpp.o.d"
+  "attacktagger"
+  "attacktagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacktagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

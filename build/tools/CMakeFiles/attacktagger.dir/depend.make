@@ -1,0 +1,2 @@
+# Empty dependencies file for attacktagger.
+# This may be replaced when dependencies are built.
