@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Run the benchmark suite and leave machine-readable BENCH_*.json files at
+# the repository root, one per binary — the perf trajectory the roadmap
+# tracks across PRs.
+#
+#   bench/run_benches.sh [build-dir]        # default build dir: ./build
+#
+# Configure + build first:
+#   cmake -B build -S . && cmake --build build -j
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+    echo "error: $bench_dir not found; build first (cmake -B build -S . && cmake --build build -j)" >&2
+    exit 1
+fi
+
+# The ingest bench is a standalone main with its own JSON emitter.
+if [ -x "$bench_dir/bench_ingest_pipeline" ]; then
+    echo "== bench_ingest_pipeline"
+    "$bench_dir/bench_ingest_pipeline" --out "$repo_root/BENCH_ingest.json"
+fi
+
+# Everything else is a google-benchmark binary; use its JSON reporter.
+for bench in "$bench_dir"/bench_*; do
+    [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    [ "$name" = "bench_ingest_pipeline" ] && continue
+    out="$repo_root/BENCH_${name#bench_}.json"
+    echo "== $name"
+    "$bench" --benchmark_out="$out" --benchmark_out_format=json \
+             --benchmark_min_time=0.2 >/dev/null
+done
+
+echo "wrote BENCH_*.json to $repo_root"

@@ -197,6 +197,6 @@ bench/CMakeFiles/bench_fig1_graph.dir/bench_fig1_graph.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/net/ipv4.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /root/repo/src/viz/fig1.hpp \
- /root/repo/src/net/flow.hpp /root/repo/src/util/time_utils.hpp \
- /root/repo/src/viz/layout.hpp
+ /usr/include/c++/12/array /usr/include/c++/12/optional \
+ /root/repo/src/viz/fig1.hpp /root/repo/src/net/flow.hpp \
+ /root/repo/src/util/time_utils.hpp /root/repo/src/viz/layout.hpp

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/testbed/pipeline.cpp" "src/CMakeFiles/at_testbed.dir/testbed/pipeline.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/pipeline.cpp.o.d"
   "/root/repo/src/testbed/sandbox.cpp" "src/CMakeFiles/at_testbed.dir/testbed/sandbox.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/sandbox.cpp.o.d"
   "/root/repo/src/testbed/services.cpp" "src/CMakeFiles/at_testbed.dir/testbed/services.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/services.cpp.o.d"
+  "/root/repo/src/testbed/sharded_pipeline.cpp" "src/CMakeFiles/at_testbed.dir/testbed/sharded_pipeline.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/sharded_pipeline.cpp.o.d"
   "/root/repo/src/testbed/ssh_auditor.cpp" "src/CMakeFiles/at_testbed.dir/testbed/ssh_auditor.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/ssh_auditor.cpp.o.d"
   "/root/repo/src/testbed/testbed.cpp" "src/CMakeFiles/at_testbed.dir/testbed/testbed.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/testbed.cpp.o.d"
   "/root/repo/src/testbed/vuln_service.cpp" "src/CMakeFiles/at_testbed.dir/testbed/vuln_service.cpp.o" "gcc" "src/CMakeFiles/at_testbed.dir/testbed/vuln_service.cpp.o.d"

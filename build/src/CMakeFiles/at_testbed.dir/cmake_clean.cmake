@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/at_testbed.dir/testbed/sandbox.cpp.o.d"
   "CMakeFiles/at_testbed.dir/testbed/services.cpp.o"
   "CMakeFiles/at_testbed.dir/testbed/services.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/testbed/sharded_pipeline.cpp.o"
+  "CMakeFiles/at_testbed.dir/testbed/sharded_pipeline.cpp.o.d"
   "CMakeFiles/at_testbed.dir/testbed/ssh_auditor.cpp.o"
   "CMakeFiles/at_testbed.dir/testbed/ssh_auditor.cpp.o.d"
   "CMakeFiles/at_testbed.dir/testbed/testbed.cpp.o"

@@ -137,5 +137,8 @@ src/CMakeFiles/at_testbed.dir/testbed/sandbox.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/flow.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /root/repo/src/net/flow.hpp \
  /root/repo/src/util/time_utils.hpp

@@ -137,6 +137,9 @@ src/CMakeFiles/at_viz.dir/viz/fig1.cpp.o: /root/repo/src/viz/fig1.cpp \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/util/time_utils.hpp /root/repo/src/viz/graph.hpp \
  /root/repo/src/net/cidr.hpp /root/repo/src/util/rng.hpp

@@ -25,6 +25,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_replay.cpp" "tests/CMakeFiles/at_tests.dir/test_replay.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_replay.cpp.o.d"
   "/root/repo/tests/test_roc_session_connlog.cpp" "tests/CMakeFiles/at_tests.dir/test_roc_session_connlog.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_roc_session_connlog.cpp.o.d"
   "/root/repo/tests/test_sessionizer_decode.cpp" "tests/CMakeFiles/at_tests.dir/test_sessionizer_decode.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_sessionizer_decode.cpp.o.d"
+  "/root/repo/tests/test_sharded_pipeline.cpp" "tests/CMakeFiles/at_tests.dir/test_sharded_pipeline.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_sharded_pipeline.cpp.o.d"
   "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/at_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_sim.cpp.o.d"
   "/root/repo/tests/test_ssh_auditor_seeds.cpp" "tests/CMakeFiles/at_tests.dir/test_ssh_auditor_seeds.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_ssh_auditor_seeds.cpp.o.d"
   "/root/repo/tests/test_testbed.cpp" "tests/CMakeFiles/at_tests.dir/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/at_tests.dir/test_testbed.cpp.o.d"

@@ -187,11 +187,11 @@ tools/CMakeFiles/attacktagger.dir/attacktagger.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/alerts/zeeklog.hpp \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/alerts/alert.hpp \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/alerts/taxonomy.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
@@ -210,8 +210,9 @@ tools/CMakeFiles/attacktagger.dir/attacktagger.cpp.o: \
  /root/repo/src/analysis/similarity.hpp /root/repo/src/util/stats.hpp \
  /root/repo/src/incidents/generator.hpp \
  /root/repo/src/incidents/catalog.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/detect/eval.hpp /root/repo/src/detect/detector.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/bhr/bhr.hpp /root/repo/src/net/cidr.hpp \
+ /root/repo/src/net/flow.hpp /root/repo/src/detect/eval.hpp \
+ /root/repo/src/detect/detector.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -252,19 +253,28 @@ tools/CMakeFiles/attacktagger.dir/attacktagger.cpp.o: \
  /root/repo/src/replay/scenario.hpp /root/repo/src/testbed/testbed.hpp \
  /root/repo/src/monitors/osquery_monitor.hpp \
  /root/repo/src/alerts/sanitizer.hpp /root/repo/src/alerts/symbolizer.hpp \
- /root/repo/src/monitors/events.hpp /root/repo/src/net/flow.hpp \
- /root/repo/src/monitors/monitor.hpp \
- /root/repo/src/monitors/zeek_monitor.hpp /root/repo/src/net/cidr.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/monitors/events.hpp /root/repo/src/monitors/monitor.hpp \
+ /root/repo/src/monitors/zeek_monitor.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/testbed/correlator.hpp \
  /root/repo/src/testbed/credentials.hpp \
  /root/repo/src/testbed/lifecycle.hpp /root/repo/src/testbed/pipeline.hpp \
- /root/repo/src/bhr/bhr.hpp /root/repo/src/testbed/sandbox.hpp \
- /root/repo/src/testbed/services.hpp \
+ /root/repo/src/testbed/sandbox.hpp /root/repo/src/testbed/services.hpp \
  /root/repo/src/testbed/ssh_auditor.hpp \
  /root/repo/src/testbed/vuln_service.hpp /root/repo/src/vrt/builder.hpp \
- /root/repo/src/vrt/snapshot.hpp /root/repo/src/util/strings.hpp \
+ /root/repo/src/vrt/snapshot.hpp \
+ /root/repo/src/testbed/sharded_pipeline.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/util/strings.hpp \
  /root/repo/src/viz/export.hpp /root/repo/src/viz/graph.hpp \
  /root/repo/src/viz/fig1.hpp /root/repo/src/viz/layout.hpp

@@ -10,7 +10,10 @@
 //
 // Metadata is key=value pairs joined with '|'; absent fields are '-'.
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "alerts/alert.hpp"
@@ -32,5 +35,50 @@ struct NoticeLogResult {
 };
 /// Parse a whole log (comments and blank lines are skipped silently).
 [[nodiscard]] NoticeLogResult read_notice_log(std::string_view text);
+
+/// Structure-of-arrays view of a parsed notice log. Every string column is
+/// a std::string_view into `arena()` — the log text retained by the batch —
+/// so parsing performs no per-field allocation and rows that the pipeline
+/// filters out are never materialized as owning Alerts. Columns are index-
+/// aligned; row i is well-formed by construction (malformed lines are only
+/// counted, exactly like read_notice_log).
+///
+/// The batch is movable: views chase the arena because std::string's heap
+/// buffer survives the move (any parseable row is far longer than the SSO
+/// capacity, and a row-less batch holds no views).
+class AlertBatch {
+ public:
+  std::vector<util::SimTime> ts;
+  std::vector<AlertType> type;
+  std::vector<Origin> origin;
+  std::vector<net::Ipv4> src;         ///< valid iff has_src[i]
+  std::vector<std::uint8_t> has_src;  ///< vector<bool> avoided on purpose
+  std::vector<std::string_view> host;  ///< "" where the field was '-'
+  std::vector<std::string_view> user;
+  /// Raw metadata field ('key=val|key=val'; "" where '-'). Pairs are split
+  /// lazily by materialize(); well-formedness was checked at parse time.
+  std::vector<std::string_view> metadata;
+  std::size_t malformed = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ts.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ts.empty(); }
+  [[nodiscard]] const std::string& arena() const noexcept { return arena_; }
+  [[nodiscard]] std::optional<net::Ipv4> src_at(std::size_t i) const {
+    return has_src[i] ? std::optional<net::Ipv4>(src[i]) : std::nullopt;
+  }
+
+  /// Build the owning Alert for row i — identical to what
+  /// parse_notice_line would have produced for the source line.
+  [[nodiscard]] Alert materialize(std::size_t i) const;
+
+ private:
+  friend AlertBatch parse_notice_batch(std::string text);
+  std::string arena_;
+};
+
+/// Zero-copy batch parse: takes ownership of the log text (move it in) and
+/// returns a column-oriented batch of string_views into it. Agrees line-for-
+/// line with parse_notice_line, including malformed/comment handling.
+[[nodiscard]] AlertBatch parse_notice_batch(std::string text);
 
 }  // namespace at::alerts

@@ -77,11 +77,16 @@ std::optional<Detection> RuleBasedDetector::observe(const alerts::Alert& alert,
 
 FactorGraphDetector::FactorGraphDetector(fg::ModelParams params, double threshold,
                                          alerts::AttackStage stage, bool use_timing)
-    : params_(std::move(params)),
-      threshold_(threshold),
+    : FactorGraphDetector(fg::compile_params(std::move(params)), threshold, stage,
+                          use_timing) {}
+
+FactorGraphDetector::FactorGraphDetector(std::shared_ptr<const fg::CompiledParams> compiled,
+                                         double threshold, alerts::AttackStage stage,
+                                         bool use_timing)
+    : threshold_(threshold),
       stage_(stage),
       use_timing_(use_timing),
-      filter_(params_) {}
+      filter_(std::move(compiled)) {}
 
 FactorGraphDetector FactorGraphDetector::train(const incidents::Corpus& training,
                                                double threshold, bool use_timing) {

@@ -104,6 +104,12 @@ class FactorGraphDetector final : public Detector {
   FactorGraphDetector(fg::ModelParams params, double threshold = 0.75,
                       alerts::AttackStage stage = alerts::AttackStage::kInProgress,
                       bool use_timing = false);
+  /// Shares pre-compiled tables: the cheap constructor for per-entity
+  /// fan-out in the alert pipelines (one detector per tracked entity).
+  explicit FactorGraphDetector(std::shared_ptr<const fg::CompiledParams> compiled,
+                               double threshold = 0.75,
+                               alerts::AttackStage stage = alerts::AttackStage::kInProgress,
+                               bool use_timing = false);
 
   /// Learn parameters from a training corpus and wrap them.
   static FactorGraphDetector train(const incidents::Corpus& training,
@@ -112,12 +118,11 @@ class FactorGraphDetector final : public Detector {
   [[nodiscard]] std::string name() const override {
     return use_timing_ ? "factor-graph-timed" : "factor-graph";
   }
-  [[nodiscard]] const fg::ModelParams& params() const noexcept { return params_; }
+  [[nodiscard]] const fg::ModelParams& params() const noexcept { return filter_.params(); }
   void reset() override;
   std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
 
  private:
-  fg::ModelParams params_;
   double threshold_;
   alerts::AttackStage stage_;
   bool use_timing_;

@@ -72,6 +72,13 @@ BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
 
   BpResult result;
   double delta = 0.0;
+  // Scratch buffers reused by every message update: the two inner loops
+  // used to allocate a fresh std::vector per edge per iteration, which
+  // dominated run time on small-cardinality graphs. assign() below never
+  // reallocates once the buffers reach the largest cardinality/arity.
+  std::vector<double> message;
+  std::vector<std::size_t> cards;
+  std::vector<std::size_t> idx;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     delta = 0.0;
 
@@ -79,7 +86,7 @@ BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
     for (VarId v = 0; v < num_vars; ++v) {
       const std::size_t card = graph.variable(v).cardinality;
       for (const auto& [f, k] : incident[v]) {
-        std::vector<double> message(card, 0.0);
+        message.assign(card, 0.0);
         for (const auto& [f2, k2] : incident[v]) {
           if (f2 == f && k2 == k) continue;
           for (std::size_t x = 0; x < card; ++x) message[x] += edges[f2][k2].to_var[x];
@@ -88,8 +95,8 @@ BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
         auto& slot = edges[f][k].to_factor;
         for (std::size_t x = 0; x < card; ++x) {
           delta = std::max(delta, std::abs(message[x] - slot[x]));
+          slot[x] = message[x];
         }
-        slot = std::move(message);
       }
     }
 
@@ -98,14 +105,14 @@ BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
       const auto& factor = graph.factor(f);
       const auto stride = graph.strides(f);
       const std::size_t arity = factor.scope.size();
-      std::vector<std::size_t> cards(arity);
+      cards.assign(arity, 0);
       for (std::size_t k = 0; k < arity; ++k) {
         cards[k] = graph.variable(factor.scope[k]).cardinality;
       }
       for (std::size_t k = 0; k < arity; ++k) {
-        std::vector<double> message(cards[k], kLogZero);
+        message.assign(cards[k], kLogZero);
         // Walk every table entry; accumulate into the target variable slot.
-        std::vector<std::size_t> idx(arity, 0);
+        idx.assign(arity, 0);
         for (std::size_t flat = 0; flat < factor.log_table.size(); ++flat) {
           double score = factor.log_table[flat];
           for (std::size_t j = 0; j < arity; ++j) {
@@ -130,8 +137,8 @@ BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
         }
         for (std::size_t x = 0; x < message.size(); ++x) {
           delta = std::max(delta, std::abs(message[x] - slot[x]));
+          slot[x] = message[x];
         }
-        slot = std::move(message);
       }
     }
 

@@ -108,7 +108,28 @@ FactorGraph build_chain(const ModelParams& params,
   return graph;
 }
 
-ForwardFilter::ForwardFilter(ModelParams params) : params_(std::move(params)) { reset(); }
+std::shared_ptr<const CompiledParams> compile_params(ModelParams params) {
+  auto compiled = std::make_shared<CompiledParams>();
+  compiled->params = std::move(params);
+  const ModelParams& p = compiled->params;
+  compiled->prior.reserve(p.log_prior.size());
+  for (const double v : p.log_prior) compiled->prior.push_back(util::safe_exp(v));
+  compiled->transition.reserve(p.log_transition.size());
+  for (const double v : p.log_transition) compiled->transition.push_back(util::safe_exp(v));
+  compiled->emission.reserve(p.log_emission.size());
+  for (const double v : p.log_emission) compiled->emission.push_back(util::safe_exp(v));
+  compiled->gap.reserve(p.log_gap.size());
+  for (const double v : p.log_gap) compiled->gap.push_back(util::safe_exp(v));
+  return compiled;
+}
+
+ForwardFilter::ForwardFilter(ModelParams params)
+    : ForwardFilter(compile_params(std::move(params))) {}
+
+ForwardFilter::ForwardFilter(std::shared_ptr<const CompiledParams> compiled)
+    : compiled_(std::move(compiled)) {
+  reset();
+}
 
 void ForwardFilter::reset() {
   belief_.assign(kStages, 0.0);
@@ -117,24 +138,25 @@ void ForwardFilter::reset() {
 
 const std::vector<double>& ForwardFilter::observe(alerts::AlertType type,
                                                   std::optional<GapBucket> gap) {
-  std::vector<double> next(kStages, 0.0);
+  // Same recurrence as before compilation, on the pre-exponentiated
+  // tables — factors and evaluation order are unchanged, so posteriors
+  // are bit-identical to the log-table implementation.
+  const CompiledParams& c = *compiled_;
+  const std::size_t t = static_cast<std::size_t>(type);
+  double next[kStages];
   if (count_ == 0) {
     for (std::size_t s = 0; s < kStages; ++s) {
-      next[s] = util::safe_exp(params_.log_prior[s]) *
-                util::safe_exp(params_.emission(static_cast<alerts::AttackStage>(s), type));
+      next[s] = c.prior[s] * c.emission[s * alerts::kNumAlertTypes + t];
     }
   } else {
     for (std::size_t s = 0; s < kStages; ++s) {
       double predicted = 0.0;
       for (std::size_t p = 0; p < kStages; ++p) {
-        predicted += belief_[p] *
-                     util::safe_exp(params_.transition(static_cast<alerts::AttackStage>(p),
-                                                        static_cast<alerts::AttackStage>(s)));
+        predicted += belief_[p] * c.transition[p * kStages + s];
       }
-      next[s] = predicted *
-                util::safe_exp(params_.emission(static_cast<alerts::AttackStage>(s), type));
-      if (gap && !params_.log_gap.empty()) {
-        next[s] *= util::safe_exp(params_.gap(static_cast<alerts::AttackStage>(s), *gap));
+      next[s] = predicted * c.emission[s * alerts::kNumAlertTypes + t];
+      if (gap && !c.gap.empty()) {
+        next[s] *= c.gap[s * kNumGapBuckets + static_cast<std::size_t>(*gap)];
       }
     }
   }
@@ -146,8 +168,7 @@ const std::vector<double>& ForwardFilter::observe(alerts::AlertType type,
     ++count_;
     return belief_;
   }
-  for (double& v : next) v /= total;
-  belief_ = std::move(next);
+  for (std::size_t s = 0; s < kStages; ++s) belief_[s] = next[s] / total;
   ++count_;
   return belief_;
 }

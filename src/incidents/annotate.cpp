@@ -12,17 +12,22 @@ bool ScanFilter::filterable(alerts::AlertType type) noexcept {
 }
 
 bool ScanFilter::keep(const alerts::Alert& alert) {
+  return keep(alert.type, alert.ts, alert.src, alert.host);
+}
+
+bool ScanFilter::keep(alerts::AlertType type, util::SimTime ts,
+                      const std::optional<net::Ipv4>& src, std::string_view host) {
   ++seen_;
-  if (!filterable(alert.type)) return true;
-  const std::uint64_t src = alert.src ? alert.src->value() : util::mix64(
-      std::hash<std::string>{}(alert.host));
-  const std::uint64_t key = (src << 8) ^ static_cast<std::uint64_t>(alert.type);
+  if (!filterable(type)) return true;
+  const std::uint64_t src_key =
+      src ? src->value() : util::mix64(std::hash<std::string_view>{}(host));
+  const std::uint64_t key = (src_key << 8) ^ static_cast<std::uint64_t>(type);
   const auto it = last_pass_.find(key);
-  if (it != last_pass_.end() && alert.ts - it->second < window_) {
+  if (it != last_pass_.end() && ts - it->second < window_) {
     ++dropped_;
     return false;
   }
-  last_pass_[key] = alert.ts;
+  last_pass_[key] = ts;
   return true;
 }
 

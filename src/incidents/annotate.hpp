@@ -26,6 +26,12 @@ class ScanFilter {
   /// Returns true if the alert should be kept (not a periodic repeat).
   [[nodiscard]] bool keep(const alerts::Alert& alert);
 
+  /// Allocation-free variant over batch-parsed columns; agrees with the
+  /// Alert overload bit-for-bit (std::hash of a string and of a view of
+  /// the same characters are guaranteed equal).
+  [[nodiscard]] bool keep(alerts::AlertType type, util::SimTime ts,
+                          const std::optional<net::Ipv4>& src, std::string_view host);
+
   [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 

@@ -7,21 +7,31 @@
 
 namespace at::net {
 
-Ipv4 Ipv4::parse(const std::string& text) {
-  const auto parts = util::split(text, '.');
-  if (parts.size() != 4) throw std::invalid_argument("Ipv4::parse: " + text);
+std::optional<Ipv4> Ipv4::try_parse(std::string_view text) noexcept {
   std::uint32_t value = 0;
-  for (const auto& part : parts) {
-    if (part.empty() || part.size() > 3) throw std::invalid_argument("Ipv4::parse: " + text);
+  std::size_t start = 0;
+  for (int part = 0; part < 4; ++part) {
+    const std::size_t dot = part < 3 ? text.find('.', start) : text.size();
+    if (dot == std::string_view::npos) return std::nullopt;
+    const std::size_t len = dot - start;
+    if (len == 0 || len > 3) return std::nullopt;
     int octet = 0;
-    for (const char c : part) {
-      if (c < '0' || c > '9') throw std::invalid_argument("Ipv4::parse: " + text);
+    for (std::size_t i = start; i < dot; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') return std::nullopt;
       octet = octet * 10 + (c - '0');
     }
-    if (octet > 255) throw std::invalid_argument("Ipv4::parse: " + text);
+    if (octet > 255) return std::nullopt;
     value = (value << 8) | static_cast<std::uint32_t>(octet);
+    start = dot + 1;
   }
   return Ipv4(value);
+}
+
+Ipv4 Ipv4::parse(const std::string& text) {
+  const auto parsed = try_parse(text);
+  if (!parsed) throw std::invalid_argument("Ipv4::parse: " + text);
+  return *parsed;
 }
 
 std::string Ipv4::str() const {

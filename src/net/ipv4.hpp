@@ -6,7 +6,9 @@
 #include <compare>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace at::net {
 
@@ -20,6 +22,9 @@ class Ipv4 {
 
   /// Parse dotted quad; throws std::invalid_argument on malformed input.
   static Ipv4 parse(const std::string& text);
+
+  /// Non-throwing, allocation-free variant for hot parse paths.
+  [[nodiscard]] static std::optional<Ipv4> try_parse(std::string_view text) noexcept;
 
   [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
   [[nodiscard]] constexpr std::uint8_t octet(unsigned i) const noexcept {

@@ -63,6 +63,11 @@ class AlertPipeline final : public alerts::AlertSink {
   [[nodiscard]] std::uint64_t evicted_entities() const noexcept { return evicted_; }
   [[nodiscard]] const incidents::ScanFilter& filter() const noexcept { return filter_; }
 
+  /// Demux key: one attack entity per substream (host first, then source
+  /// address, then user). Shared with ShardedAlertPipeline, whose shard
+  /// assignment must agree with this keying exactly.
+  [[nodiscard]] static std::string entity_key(const alerts::Alert& alert);
+
  private:
   struct EntityState {
     std::vector<std::unique_ptr<detect::Detector>> detectors;
@@ -76,7 +81,6 @@ class AlertPipeline final : public alerts::AlertSink {
 
   void maybe_evict(util::SimTime now);
 
-  [[nodiscard]] static std::string entity_key(const alerts::Alert& alert);
   EntityState& state_for(const std::string& key);
 
   PipelineConfig config_;

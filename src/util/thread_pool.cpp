@@ -37,18 +37,32 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body, std::size_t grain) {
+  run_chunked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+void ThreadPool::run_chunked(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t, std::size_t)>& body,
+                             std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t chunks = std::max<std::size_t>(
       1, std::min(workers_.size() * 4, (n + grain - 1) / std::max<std::size_t>(1, grain)));
+  if (chunks == 1 || workers_.size() == 1) {
+    // Nothing to share: run on the calling thread, skip the queue entirely.
+    body(begin, end);
+    return;
+  }
   const std::size_t chunk = (n + chunks - 1) / chunks;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    });
+    submit([lo, hi, &body] { body(lo, hi); });
   }
   wait_idle();
 }

@@ -39,7 +39,27 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body, std::size_t grain = 64);
 
+  /// Run body(lo, hi) over contiguous chunks of [begin, end) and wait.
+  /// The callable is type-erased once per call (not per chunk, and with no
+  /// per-index dispatch): workers invoke it with whole ranges, so the inner
+  /// loop is the caller's own code. Single-chunk work runs inline on the
+  /// calling thread with no queue round-trip.
+  template <typename RangeBody>
+  void parallel_for_chunked(std::size_t begin, std::size_t end, RangeBody&& body,
+                            std::size_t grain = 64) {
+    const std::function<void(std::size_t, std::size_t)> erased =
+        [&body](std::size_t lo, std::size_t hi) { body(lo, hi); };
+    run_chunked(begin, end, erased, grain);
+  }
+
  private:
+  /// Shared scheduler behind parallel_for / parallel_for_chunked; `body`
+  /// is captured by reference in every chunk task (it outlives them — the
+  /// call blocks until the pool drains).
+  void run_chunked(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   std::size_t grain);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;

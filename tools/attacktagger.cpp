@@ -7,8 +7,10 @@
 //       print the S1..S43 mining table and the four insights.
 //   attacktagger train   --out FILE [--seed N]
 //       learn factor-graph parameters and save them (versioned format).
-//   attacktagger detect  --model FILE --log FILE [--threshold P]
+//   attacktagger detect  --model FILE --log FILE [--threshold P] [--shards N]
 //       stream a notice log through per-entity detectors; print pages.
+//       With --shards N the log is batch-parsed (zero copy) and run through
+//       the sharded pipeline (scan filter + BHR blocking, N entity shards).
 //   attacktagger fig1    --out DIR
 //       build the Figure 1 graph, lay it out, export DOT/GEXF/CSV.
 //   attacktagger replay
@@ -25,11 +27,13 @@
 
 #include "alerts/zeeklog.hpp"
 #include "analysis/insights.hpp"
+#include "bhr/bhr.hpp"
 #include "detect/eval.hpp"
 #include "fg/params_io.hpp"
 #include "incidents/annotate.hpp"
 #include "incidents/report.hpp"
 #include "replay/ransomware.hpp"
+#include "testbed/sharded_pipeline.hpp"
 #include "util/strings.hpp"
 #include "viz/export.hpp"
 #include "viz/fig1.hpp"
@@ -135,7 +139,37 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const double threshold = std::stod(flag(flags, "threshold", "0.75"));
-  const auto log_text = read_file(flag(flags, "log", "notices.log"));
+  auto log_text = read_file(flag(flags, "log", "notices.log"));
+
+  const std::size_t shards = std::stoull(flag(flags, "shards", "0"));
+  if (shards > 0) {
+    // Batch path: zero-copy parse into the sharded pipeline, which adds
+    // the periodic-scan filter and BHR blocking the live testbed runs.
+    const auto batch = alerts::parse_notice_batch(std::move(log_text));
+    std::printf("loaded model; %zu notices (%zu malformed); %zu shards\n", batch.size(),
+                batch.malformed, shards);
+    testbed::ShardedPipelineConfig config;
+    config.shards = shards;
+    bhr::BlackHoleRouter router;
+    testbed::ShardedAlertPipeline pipeline(config, &router);
+    auto compiled = fg::compile_params(*params);
+    pipeline.add_detector("factor-graph", [compiled, threshold] {
+      return std::make_unique<detect::FactorGraphDetector>(compiled, threshold);
+    });
+    pipeline.ingest(batch);
+    pipeline.flush();
+    for (const auto& note : pipeline.notifications()) {
+      std::printf("PAGE %s entity=%s %s\n", util::format_datetime(note.ts).c_str(),
+                  note.entity.c_str(), note.reason.c_str());
+    }
+    std::printf("%llu kept of %llu alerts, %zu entities, %zu pages, %zu BHR calls\n",
+                static_cast<unsigned long long>(pipeline.alerts_after_filter()),
+                static_cast<unsigned long long>(pipeline.alerts_in()),
+                pipeline.tracked_entities(), pipeline.notifications().size(),
+                router.audit_log().size());
+    return 0;
+  }
+
   const auto log = alerts::read_notice_log(log_text);
   std::printf("loaded model; %zu notices (%zu malformed)\n", log.alerts.size(),
               log.malformed);
