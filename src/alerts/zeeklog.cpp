@@ -24,6 +24,25 @@ std::string escape(std::string_view value) {
   return out.empty() ? kEmpty : out;
 }
 
+/// std::stoll-compatible integer parse over a view: optional leading
+/// whitespace and sign, at least one digit, trailing garbage ignored,
+/// overflow rejected. Shared by parse_notice_line and parse_notice_batch,
+/// so their accept/reject behavior is identical by construction — and the
+/// historical stoll accept set is preserved without exceptions.
+std::optional<util::SimTime> parse_ts(std::string_view field) noexcept {
+  std::size_t i = 0;
+  while (i < field.size() && std::isspace(static_cast<unsigned char>(field[i]))) ++i;
+  if (i < field.size() && field[i] == '+') {
+    ++i;
+    if (i >= field.size() || field[i] < '0' || field[i] > '9') return std::nullopt;
+  }
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data() + i, field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr == field.data() + i) return std::nullopt;
+  return value;
+}
+
 }  // namespace
 
 std::string to_notice_line(const Alert& alert) {
@@ -52,11 +71,9 @@ std::optional<Alert> parse_notice_line(std::string_view line) {
   if (fields.size() != 7) return std::nullopt;
 
   Alert alert;
-  try {
-    alert.ts = std::stoll(fields[0]);
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  const auto ts = parse_ts(fields[0]);
+  if (!ts) return std::nullopt;
+  alert.ts = *ts;
   const auto type = from_symbol(fields[1]);
   if (!type) return std::nullopt;
   alert.type = *type;
@@ -95,24 +112,6 @@ std::string write_notice_log(const std::vector<Alert>& alerts) {
 }
 
 namespace {
-
-/// std::stoll-compatible integer parse over a view: optional leading
-/// whitespace and sign, at least one digit, trailing garbage ignored,
-/// overflow rejected. Keeps the batch parser's accept/reject behavior
-/// byte-identical to parse_notice_line's stoll call — without exceptions.
-std::optional<util::SimTime> parse_ts(std::string_view field) noexcept {
-  std::size_t i = 0;
-  while (i < field.size() && std::isspace(static_cast<unsigned char>(field[i]))) ++i;
-  if (i < field.size() && field[i] == '+') {
-    ++i;
-    if (i >= field.size() || field[i] < '0' || field[i] > '9') return std::nullopt;
-  }
-  long long value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(field.data() + i, field.data() + field.size(), value);
-  if (ec != std::errc{} || ptr == field.data() + i) return std::nullopt;
-  return value;
-}
 
 /// Split a trimmed line into exactly 7 tab-separated field views
 /// (util::split semantics: empty fields kept). Returns false when the

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace at::fg {
@@ -37,16 +38,11 @@ bool read_block(const std::vector<std::string>& lines, std::size_t& cursor,
   if (cursor >= lines.size()) return false;
   const auto header = util::split_ws(lines[cursor++]);
   if (header.size() != 2 || header[0] != name) return false;
-  std::size_t count = 0;
-  try {
-    count = std::stoul(header[1]);
-  } catch (const std::exception&) {
-    return false;
-  }
-  if (count != expected || cursor + count > lines.size()) return false;
+  const auto count = util::parse_num<std::size_t>(header[1]);
+  if (!count || *count != expected || cursor + *count > lines.size()) return false;
   out.clear();
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  out.reserve(*count);
+  for (std::size_t i = 0; i < *count; ++i) {
     const auto value = decode(std::string(util::trim(lines[cursor++])));
     if (!value) return false;
     out.push_back(*value);
@@ -77,9 +73,13 @@ std::optional<ModelParams> read_params(const std::string& text) {
   if (shape.size() != 4 || shape[0] != "stages" || shape[2] != "alert_types") {
     return std::nullopt;
   }
-  if (std::stoul(shape[1]) != alerts::kNumStages ||
-      std::stoul(shape[3]) != alerts::kNumAlertTypes) {
-    return std::nullopt;  // taxonomy mismatch: refuse to load
+  // parse_num instead of std::stoul: a non-numeric shape line used to
+  // escape as an uncaught std::invalid_argument from a function that
+  // promises nullopt on malformed input.
+  const auto stages = util::parse_num<std::size_t>(shape[1]);
+  const auto types = util::parse_num<std::size_t>(shape[3]);
+  if (!stages || !types || *stages != alerts::kNumStages || *types != alerts::kNumAlertTypes) {
+    return std::nullopt;  // malformed shape or taxonomy mismatch: refuse to load
   }
   ModelParams params;
   if (!read_block(lines, cursor, "prior", alerts::kNumStages, params.log_prior)) {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace at::incidents {
@@ -51,12 +52,10 @@ std::optional<ParsedReport> parse_report(const std::string& text) {
     const auto key = line.substr(0, colon);
     const std::string value{line.substr(colon + 2)};
     if (key == "incident-id") {
-      try {
-        parsed.id = static_cast<std::uint32_t>(std::stoul(value));
-        saw_id = true;
-      } catch (const std::exception&) {
-        return std::nullopt;
-      }
+      const auto id = util::parse_num<std::uint32_t>(value);
+      if (!id) return std::nullopt;
+      parsed.id = *id;
+      saw_id = true;
     } else if (key == "family") {
       parsed.family = value;
     } else if (key == "first-seen") {
@@ -73,7 +72,11 @@ std::optional<ParsedReport> parse_report(const std::string& text) {
     } else if (key == "compromised-hosts") {
       parsed.truth.compromised_hosts = util::split(value, ',');
     } else if (key == "core-alerts") {
-      parsed.core_alerts = std::stoul(value);
+      // A garbled count used to throw uncaught out of std::stoul; treat it
+      // as the whole report being malformed, like a bad incident-id.
+      const auto count = util::parse_num<std::size_t>(value);
+      if (!count) return std::nullopt;
+      parsed.core_alerts = *count;
     } else if (key == "damage-recorded") {
       parsed.damage_recorded = value == "yes";
     }

@@ -5,11 +5,17 @@
 // privilege may disable a monitor *on one host*, but cannot disable all
 // monitors; per-host tampering therefore silences that host's events on
 // the tampered monitor only.
+//
+// Monitors may emit from different threads (the sharded pipeline sink is
+// itself serialized), so the tamper set and counters are guarded by an
+// annotated mutex; the sink call happens outside the lock to keep the
+// lock order Monitor -> sink one-way.
 
 #include <string>
 #include <unordered_set>
 
 #include "alerts/alert.hpp"
+#include "util/annotated_mutex.hpp"
 
 namespace at::monitors {
 
@@ -24,13 +30,26 @@ class Monitor {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] alerts::Origin origin() const noexcept { return origin_; }
-  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
-  [[nodiscard]] std::uint64_t suppressed() const noexcept { return suppressed_; }
+  [[nodiscard]] std::uint64_t emitted() const {
+    util::LockGuard lock(mu_);
+    return emitted_;
+  }
+  [[nodiscard]] std::uint64_t suppressed() const {
+    util::LockGuard lock(mu_);
+    return suppressed_;
+  }
 
   /// Attacker tampers with this monitor on `host`; its events go dark.
-  void tamper(const std::string& host) { tampered_hosts_.insert(host); }
-  void restore(const std::string& host) { tampered_hosts_.erase(host); }
+  void tamper(const std::string& host) {
+    util::LockGuard lock(mu_);
+    tampered_hosts_.insert(host);
+  }
+  void restore(const std::string& host) {
+    util::LockGuard lock(mu_);
+    tampered_hosts_.erase(host);
+  }
   [[nodiscard]] bool tampered(const std::string& host) const {
+    util::LockGuard lock(mu_);
     return tampered_hosts_.contains(host);
   }
 
@@ -38,21 +57,25 @@ class Monitor {
   /// Emit unless the observing host has been tampered with.
   void emit(alerts::Alert alert) {
     alert.origin = origin_;
-    if (tampered(alert.host)) {
-      ++suppressed_;
-      return;
+    {
+      util::LockGuard lock(mu_);
+      if (tampered_hosts_.contains(alert.host)) {
+        ++suppressed_;
+        return;
+      }
+      ++emitted_;
     }
-    ++emitted_;
     sink_->on_alert(alert);
   }
 
  private:
-  std::string name_;
-  alerts::Origin origin_;
-  alerts::AlertSink* sink_;
-  std::unordered_set<std::string> tampered_hosts_;
-  std::uint64_t emitted_ = 0;
-  std::uint64_t suppressed_ = 0;
+  std::string name_ AT_NOT_GUARDED;        ///< immutable after ctor
+  alerts::Origin origin_ AT_NOT_GUARDED;   ///< immutable after ctor
+  alerts::AlertSink* sink_ AT_NOT_GUARDED; ///< immutable pointer; sink serializes itself
+  mutable util::Mutex mu_;
+  std::unordered_set<std::string> tampered_hosts_ AT_GUARDED_BY(mu_);
+  std::uint64_t emitted_ AT_GUARDED_BY(mu_) = 0;
+  std::uint64_t suppressed_ AT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace at::monitors

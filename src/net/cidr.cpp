@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace at::net {
@@ -20,9 +21,9 @@ Cidr::Cidr(Ipv4 base, unsigned prefix_len)
 Cidr Cidr::parse(const std::string& text) {
   const auto parts = util::split(text, '/');
   if (parts.size() != 2) throw std::invalid_argument("Cidr::parse: " + text);
-  const int len = std::stoi(parts[1]);
-  if (len < 0 || len > 32) throw std::invalid_argument("Cidr::parse: " + text);
-  return Cidr(Ipv4::parse(parts[0]), static_cast<unsigned>(len));
+  const auto len = util::parse_num<int>(parts[1]);
+  if (!len || *len < 0 || *len > 32) throw std::invalid_argument("Cidr::parse: " + text);
+  return Cidr(Ipv4::parse(parts[0]), static_cast<unsigned>(*len));
 }
 
 bool Cidr::contains(Ipv4 ip) const noexcept {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace at::net {
@@ -38,14 +39,22 @@ std::optional<Flow> parse_conn_line(std::string_view line) {
   const auto fields = util::split(trimmed, '\t');
   if (fields.size() != 9) return std::nullopt;
   Flow flow;
+  // Strict whole-field numeric parses: "22x" ports and negative byte
+  // counts (which std::stoul silently wrapped) are malformed now.
+  const auto ts = util::parse_num<long long>(fields[0]);
+  const auto src_port = util::parse_num<std::uint16_t>(fields[2]);
+  const auto dst_port = util::parse_num<std::uint16_t>(fields[4]);
+  const auto bytes_out = util::parse_num<std::uint64_t>(fields[7]);
+  const auto bytes_in = util::parse_num<std::uint64_t>(fields[8]);
+  if (!ts || !src_port || !dst_port || !bytes_out || !bytes_in) return std::nullopt;
+  flow.ts = *ts;
+  flow.src_port = *src_port;
+  flow.dst_port = *dst_port;
+  flow.bytes_out = *bytes_out;
+  flow.bytes_in = *bytes_in;
   try {
-    flow.ts = std::stoll(fields[0]);
     flow.src = Ipv4::parse(fields[1]);
-    flow.src_port = static_cast<std::uint16_t>(std::stoul(fields[2]));
     flow.dst = Ipv4::parse(fields[3]);
-    flow.dst_port = static_cast<std::uint16_t>(std::stoul(fields[4]));
-    flow.bytes_out = std::stoull(fields[7]);
-    flow.bytes_in = std::stoull(fields[8]);
   } catch (const std::exception&) {
     return std::nullopt;
   }

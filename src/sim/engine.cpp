@@ -1,11 +1,13 @@
 #include "sim/engine.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace at::sim {
 
 EventId Engine::schedule_at(util::SimTime when, Callback callback, std::string label) {
   (void)label;  // labels are advisory; kept in the API for tracing builds
+  util::LockGuard lock(mu_);
   if (when < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
   const EventId id = next_id_++;
   queue_.push(Item{when, next_seq_++, id});
@@ -14,10 +16,14 @@ EventId Engine::schedule_at(util::SimTime when, Callback callback, std::string l
 }
 
 EventId Engine::schedule_in(util::SimTime delay, Callback callback, std::string label) {
-  return schedule_at(now_ + delay, std::move(callback), std::move(label));
+  // now() takes its own lock; schedule_at re-locks. The gap is harmless:
+  // a concurrent driver can only move now_ forward, and schedule_at
+  // validates against the fresh value.
+  return schedule_at(now() + delay, std::move(callback), std::move(label));
 }
 
 bool Engine::cancel(EventId id) {
+  util::LockGuard lock(mu_);
   const auto it = callbacks_.find(id);
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
@@ -25,38 +31,43 @@ bool Engine::cancel(EventId id) {
   return true;
 }
 
-bool Engine::step() {
+bool Engine::pop_runnable(util::SimTime until, Callback& body) {
+  util::LockGuard lock(mu_);
   while (!queue_.empty()) {
     const Item item = queue_.top();
-    queue_.pop();
     const auto it = callbacks_.find(item.id);
     if (it == callbacks_.end()) {
       // Cancelled event: drop the tombstone.
+      queue_.pop();
       --cancelled_;
       continue;
     }
+    if (item.when > until) return false;
+    queue_.pop();
     now_ = item.when;
-    Callback body = std::move(it->second);
+    body = std::move(it->second);
     callbacks_.erase(it);
     ++executed_;
-    body(*this);
     return true;
   }
   return false;
 }
 
+bool Engine::step() {
+  Callback body;
+  if (!pop_runnable(std::numeric_limits<util::SimTime>::max(), body)) return false;
+  body(*this);  // mu_ released: callbacks re-enter schedule_at()/cancel()
+  return true;
+}
+
 std::uint64_t Engine::run_until(util::SimTime until) {
   std::uint64_t ran = 0;
-  while (!queue_.empty()) {
-    // Skip tombstones at the head so the time peek is accurate.
-    if (!callbacks_.contains(queue_.top().id)) {
-      queue_.pop();
-      --cancelled_;
-      continue;
-    }
-    if (queue_.top().when > until) break;
-    if (step()) ++ran;
+  Callback body;
+  while (pop_runnable(until, body)) {
+    body(*this);
+    ++ran;
   }
+  util::LockGuard lock(mu_);
   if (now_ < until) now_ = until;
   return ran;
 }
@@ -71,25 +82,38 @@ PeriodicTask::PeriodicTask(Engine& engine, util::SimTime period, Engine::Callbac
                            std::string label)
     : engine_(engine), period_(period), body_(std::move(body)), label_(std::move(label)) {
   if (period_ <= 0) throw std::invalid_argument("PeriodicTask: period must be positive");
+  util::LockGuard lock(mu_);
   arm();
 }
 
 PeriodicTask::~PeriodicTask() { stop(); }
 
 void PeriodicTask::stop() {
-  if (!running_) return;
-  running_ = false;
-  if (pending_ != 0) engine_.cancel(pending_);
-  pending_ = 0;
+  EventId pending = 0;
+  {
+    util::LockGuard lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    pending = pending_;
+    pending_ = 0;
+  }
+  // Engine lock is taken outside ours strictly as a convenience; the order
+  // PeriodicTask -> Engine would also be safe (callbacks run with the
+  // engine lock released).
+  if (pending != 0) engine_.cancel(pending);
 }
 
 void PeriodicTask::arm() {
   pending_ = engine_.schedule_in(
       period_,
       [this](Engine& engine) {
-        pending_ = 0;
-        if (!running_) return;
+        {
+          util::LockGuard lock(mu_);
+          pending_ = 0;
+          if (!running_) return;
+        }
         body_(engine);
+        util::LockGuard lock(mu_);
         if (running_) arm();
       },
       label_);

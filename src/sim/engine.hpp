@@ -3,6 +3,14 @@
 // scanner traffic, honeypot sessions, VM lifecycle timers, BHR TTL expiry,
 // scripted attack scenarios — runs as events on one shared engine so the
 // whole deployment is deterministic and replayable.
+//
+// Thread safety: queue state is guarded by an annotated mutex so worker
+// threads may schedule_at()/cancel() against an engine that another thread
+// is driving. The lock is *released* while an event body runs — callbacks
+// routinely re-enter schedule_at()/cancel() (PeriodicTask re-arms itself
+// from inside its own callback), and mu_ is non-recursive. Determinism is
+// unchanged for the single-driver case: only one run()/step() caller may
+// drive the engine at a time.
 
 #include <cstdint>
 #include <functional>
@@ -11,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/annotated_mutex.hpp"
 #include "util/time_utils.hpp"
 
 namespace at::sim {
@@ -23,9 +32,18 @@ class Engine {
 
   explicit Engine(util::SimTime start = 0) : now_(start) {}
 
-  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_; }
-  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  [[nodiscard]] util::SimTime now() const {
+    util::LockGuard lock(mu_);
+    return now_;
+  }
+  [[nodiscard]] std::size_t pending() const {
+    util::LockGuard lock(mu_);
+    return queue_.size() - cancelled_;
+  }
+  [[nodiscard]] std::uint64_t executed() const {
+    util::LockGuard lock(mu_);
+    return executed_;
+  }
 
   /// Schedule `callback` at absolute time `when` (>= now). Returns an id
   /// usable with cancel(). Ties run in scheduling order (stable).
@@ -55,18 +73,27 @@ class Engine {
     }
   };
 
-  util::SimTime now_;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::uint64_t executed_ = 0;
-  std::size_t cancelled_ = 0;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  /// Pop the next runnable event at time <= `until`, dropping cancelled
+  /// tombstones; advances now_ and executed_. Returns false when nothing
+  /// runs. The caller invokes `body` with mu_ released.
+  bool pop_runnable(util::SimTime until, Callback& body) AT_EXCLUDES(mu_);
+
+  mutable util::Mutex mu_;
+  util::SimTime now_ AT_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ AT_GUARDED_BY(mu_) = 0;
+  EventId next_id_ AT_GUARDED_BY(mu_) = 1;
+  std::uint64_t executed_ AT_GUARDED_BY(mu_) = 0;
+  std::size_t cancelled_ AT_GUARDED_BY(mu_) = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_ AT_GUARDED_BY(mu_);
   // Keyed by id; a queue entry whose id is absent here is a cancelled
   // tombstone and is dropped when it reaches the head.
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Callback> callbacks_ AT_GUARDED_BY(mu_);
 };
 
 /// Repeating event helper: schedules itself every `period` until stopped.
+/// stop() may race the engine driver from another thread; pending_/running_
+/// are guarded, and neither the body nor engine calls happen under mu_
+/// (lock order is PeriodicTask -> Engine, one-way).
 class PeriodicTask {
  public:
   PeriodicTask(Engine& engine, util::SimTime period, Engine::Callback body,
@@ -77,17 +104,21 @@ class PeriodicTask {
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   void stop();
-  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] bool running() const {
+    util::LockGuard lock(mu_);
+    return running_;
+  }
 
  private:
-  void arm();
+  void arm() AT_REQUIRES(mu_);
 
-  Engine& engine_;
-  util::SimTime period_;
-  Engine::Callback body_;
-  std::string label_;
-  EventId pending_ = 0;
-  bool running_ = true;
+  Engine& engine_ AT_NOT_GUARDED;       ///< internally synchronized
+  util::SimTime period_ AT_NOT_GUARDED; ///< immutable after ctor
+  Engine::Callback body_ AT_NOT_GUARDED;///< immutable after ctor; runs outside mu_
+  std::string label_ AT_NOT_GUARDED;    ///< immutable after ctor
+  mutable util::Mutex mu_;
+  EventId pending_ AT_GUARDED_BY(mu_) = 0;
+  bool running_ AT_GUARDED_BY(mu_) = true;
 };
 
 }  // namespace at::sim

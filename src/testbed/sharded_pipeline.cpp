@@ -36,6 +36,7 @@ ShardedAlertPipeline::ShardedAlertPipeline(ShardedPipelineConfig config,
 }
 
 void ShardedAlertPipeline::add_detector(std::string name, DetectorFactory factory) {
+  util::LockGuard lock(mu_);
   factories_.emplace_back(std::move(name), std::move(factory));
 }
 
@@ -76,21 +77,32 @@ bool ShardedAlertPipeline::route(std::string_view host, const std::optional<net:
 }
 
 void ShardedAlertPipeline::on_alert(const alerts::Alert& alert) {
+  util::LockGuard lock(mu_);
   pending_.push_back(alert);
-  if (pending_.size() >= config_.batch_size) flush();
+  if (pending_.size() >= config_.batch_size) flush_locked();
 }
 
 void ShardedAlertPipeline::flush() {
+  util::LockGuard lock(mu_);
+  flush_locked();
+}
+
+void ShardedAlertPipeline::flush_locked() {
   if (pending_.empty()) return;
-  // Swap out first: routing stores pointers into the buffer, and a
-  // re-entrant on_alert() must not grow it mid-drain.
+  // Swap out first: routing stores pointers into the buffer, which must
+  // not reallocate mid-drain.
   std::vector<alerts::Alert> batch;
   batch.swap(pending_);
-  ingest(std::span<const alerts::Alert>(batch));
+  ingest_locked(std::span<const alerts::Alert>(batch));
 }
 
 void ShardedAlertPipeline::ingest(std::span<const alerts::Alert> alerts) {
-  flush();
+  util::LockGuard lock(mu_);
+  ingest_locked(alerts);
+}
+
+void ShardedAlertPipeline::ingest_locked(std::span<const alerts::Alert> alerts) {
+  flush_locked();
   for (const auto& alert : alerts) {
     Op op;
     op.alert = &alert;
@@ -100,7 +112,12 @@ void ShardedAlertPipeline::ingest(std::span<const alerts::Alert> alerts) {
 }
 
 void ShardedAlertPipeline::ingest(const alerts::AlertBatch& batch) {
-  flush();
+  util::LockGuard lock(mu_);
+  ingest_locked(batch);
+}
+
+void ShardedAlertPipeline::ingest_locked(const alerts::AlertBatch& batch) {
+  flush_locked();
   for (std::size_t row = 0; row < batch.size(); ++row) {
     Op op;
     op.batch = &batch;
@@ -111,10 +128,11 @@ void ShardedAlertPipeline::ingest(const alerts::AlertBatch& batch) {
   drain();
 }
 
-void ShardedAlertPipeline::apply_checkpoints(Shard& shard, std::uint32_t epoch) {
+void ShardedAlertPipeline::apply_checkpoints(Shard& shard, std::uint32_t epoch,
+                                             const std::vector<util::SimTime>& checkpoints) const {
   const auto ttl = config_.pipeline.entity_idle_ttl;
   for (; shard.checkpoints_applied < epoch; ++shard.checkpoints_applied) {
-    const util::SimTime now = checkpoints_[shard.checkpoints_applied];
+    const util::SimTime now = checkpoints[shard.checkpoints_applied];
     for (auto it = shard.entities.begin(); it != shard.entities.end();) {
       if (now - it->second.last_seen > ttl) {
         it = shard.entities.erase(it);
@@ -126,13 +144,14 @@ void ShardedAlertPipeline::apply_checkpoints(Shard& shard, std::uint32_t epoch) 
   }
 }
 
-void ShardedAlertPipeline::process(Shard& shard, const alerts::Alert& alert, const Op& op) {
+void ShardedAlertPipeline::process(Shard& shard, const alerts::Alert& alert, const Op& op,
+                                   const Factories& factories) const {
   const std::string key = AlertPipeline::entity_key(alert);
   auto it = shard.entities.find(key);
   if (it == shard.entities.end()) {
     EntityState state;
-    state.detectors.reserve(factories_.size());
-    for (const auto& [name, factory] : factories_) state.detectors.push_back(factory());
+    state.detectors.reserve(factories.size());
+    for (const auto& [name, factory] : factories) state.detectors.push_back(factory());
     it = shard.entities.emplace(key, std::move(state)).first;
   }
   EntityState& state = it->second;
@@ -145,7 +164,7 @@ void ShardedAlertPipeline::process(Shard& shard, const alerts::Alert& alert, con
     Notification note;
     note.ts = alert.ts;
     note.entity = key;
-    note.detector = factories_[d].first;
+    note.detector = factories[d].first;
     note.reason = detection->reason;
     note.score = detection->score;
     note.source = alert.src ? alert.src : state.last_src;
@@ -156,33 +175,41 @@ void ShardedAlertPipeline::process(Shard& shard, const alerts::Alert& alert, con
       block.seq = op.seq;
       block.source = *shard.notes.back().second.source;
       block.ts = alert.ts;
-      block.reason = factories_[d].first + ": " + detection->reason;
+      block.reason = factories[d].first + ": " + detection->reason;
       shard.blocks.push_back(std::move(block));
     }
   }
 }
 
-void ShardedAlertPipeline::run_shard(Shard& shard) {
+void ShardedAlertPipeline::run_shard(Shard& shard, const std::vector<util::SimTime>& checkpoints,
+                                     const Factories& factories) const {
   for (const Op& op : shard.ops) {
-    apply_checkpoints(shard, op.epoch);
+    apply_checkpoints(shard, op.epoch, checkpoints);
     if (op.alert != nullptr) {
-      process(shard, *op.alert, op);
+      process(shard, *op.alert, op, factories);
     } else {
       const alerts::Alert alert = op.batch->materialize(op.row);
-      process(shard, alert, op);
+      process(shard, alert, op, factories);
     }
   }
   // Trailing checkpoints (after the shard's last op this drain) still
   // evict, exactly as the serial pipeline would have by this point.
-  apply_checkpoints(shard, static_cast<std::uint32_t>(checkpoints_.size()));
+  apply_checkpoints(shard, static_cast<std::uint32_t>(checkpoints.size()), checkpoints);
   shard.ops.clear();
 }
 
 void ShardedAlertPipeline::drain() {
+  // Hand the workers raw pointers/references captured under mu_: each
+  // worker mutates only the shards it is given (disjoint ranges) and reads
+  // the checkpoint/factory tables, which the coordinator — blocked in
+  // parallel_for_chunked until the pool drains — cannot mutate meanwhile.
+  Shard* const shards = shards_.data();
+  const std::vector<util::SimTime>& checkpoints = checkpoints_;
+  const Factories& factories = factories_;
   pool_.parallel_for_chunked(
       0, shards_.size(),
-      [this](std::size_t lo, std::size_t hi) {
-        for (std::size_t s = lo; s < hi; ++s) run_shard(shards_[s]);
+      [this, shards, &checkpoints, &factories](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) run_shard(shards[s], checkpoints, factories);
       },
       /*grain=*/1);
 
@@ -213,13 +240,15 @@ void ShardedAlertPipeline::drain() {
   }
 }
 
-std::size_t ShardedAlertPipeline::tracked_entities() const noexcept {
+std::size_t ShardedAlertPipeline::tracked_entities() const {
+  util::LockGuard lock(mu_);
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard.entities.size();
   return total;
 }
 
-std::uint64_t ShardedAlertPipeline::evicted_entities() const noexcept {
+std::uint64_t ShardedAlertPipeline::evicted_entities() const {
+  util::LockGuard lock(mu_);
   std::uint64_t total = 0;
   for (const auto& shard : shards_) total += shard.evicted;
   return total;

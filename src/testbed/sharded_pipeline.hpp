@@ -26,6 +26,16 @@
 //     shard, in parallel.
 // Call flush() before reading results; streaming on_alert() self-drains
 // every batch_size alerts.
+//
+// Thread safety: every public entry point takes mu_, so concurrent
+// monitors may push into one pipeline from different threads (ops
+// serialize; the shard fan-out inside a drain still runs lock-free on the
+// pool). Coordinator state is AT_GUARDED_BY(mu_); per-Shard state is
+// exclusively owned by the one worker draining it, with the handoff
+// ordered by the pool's own queue synchronization. Entry points are not
+// reentrant — a detector or router callback must not call back into the
+// pipeline (mu_ is non-recursive, so doing so deadlocks instead of
+// corrupting state).
 
 #include <cstdint>
 #include <memory>
@@ -36,6 +46,7 @@
 
 #include "alerts/zeeklog.hpp"
 #include "testbed/pipeline.hpp"
+#include "util/annotated_mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace at::testbed {
@@ -70,16 +81,32 @@ class ShardedAlertPipeline final : public alerts::AlertSink {
   /// Drain buffered alerts and merge shard outputs. Idempotent.
   void flush();
 
-  /// Merged notifications in global arrival order (flush() first).
-  [[nodiscard]] const std::vector<Notification>& notifications() const noexcept {
+  /// Merged notifications in global arrival order. flush() first, and keep
+  /// the pipeline quiescent while holding the reference (it aliases state
+  /// the next ingest mutates).
+  [[nodiscard]] const std::vector<Notification>& notifications() const {
+    util::LockGuard lock(mu_);
     return notifications_;
   }
-  [[nodiscard]] std::uint64_t alerts_in() const noexcept { return alerts_in_; }
-  [[nodiscard]] std::uint64_t alerts_after_filter() const noexcept { return alerts_kept_; }
-  [[nodiscard]] std::size_t tracked_entities() const noexcept;
-  [[nodiscard]] std::uint64_t evicted_entities() const noexcept;
-  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
-  [[nodiscard]] const incidents::ScanFilter& filter() const noexcept { return filter_; }
+  [[nodiscard]] std::uint64_t alerts_in() const {
+    util::LockGuard lock(mu_);
+    return alerts_in_;
+  }
+  [[nodiscard]] std::uint64_t alerts_after_filter() const {
+    util::LockGuard lock(mu_);
+    return alerts_kept_;
+  }
+  [[nodiscard]] std::size_t tracked_entities() const;
+  [[nodiscard]] std::uint64_t evicted_entities() const;
+  [[nodiscard]] std::size_t shard_count() const {
+    util::LockGuard lock(mu_);
+    return shards_.size();
+  }
+  /// Quiescence contract as notifications().
+  [[nodiscard]] const incidents::ScanFilter& filter() const {
+    util::LockGuard lock(mu_);
+    return filter_;
+  }
 
  private:
   /// Same shape as AlertPipeline::EntityState — detector instances plus
@@ -118,31 +145,46 @@ class ShardedAlertPipeline final : public alerts::AlertSink {
     std::uint64_t evicted = 0;
   };
 
+  using Factories = std::vector<std::pair<std::string, DetectorFactory>>;
+
   [[nodiscard]] std::size_t shard_of(std::string_view host,
                                      const std::optional<net::Ipv4>& src,
-                                     std::string_view user) const noexcept;
+                                     std::string_view user) const noexcept AT_REQUIRES(mu_);
   /// Coordinator step shared by all ingest paths: count, filter,
   /// checkpoint, route. Returns false when the alert was filtered out.
   bool route(std::string_view host, const std::optional<net::Ipv4>& src,
-             std::string_view user, alerts::AlertType type, util::SimTime ts, Op op);
-  void drain();
-  void run_shard(Shard& shard);
-  void process(Shard& shard, const alerts::Alert& alert, const Op& op);
-  void apply_checkpoints(Shard& shard, std::uint32_t epoch);
+             std::string_view user, alerts::AlertType type, util::SimTime ts, Op op)
+      AT_REQUIRES(mu_);
+  void flush_locked() AT_REQUIRES(mu_);
+  void ingest_locked(std::span<const alerts::Alert> alerts) AT_REQUIRES(mu_);
+  void ingest_locked(const alerts::AlertBatch& batch) AT_REQUIRES(mu_);
+  void drain() AT_REQUIRES(mu_);
+  // Worker-side shard body. Runs on pool threads *without* mu_: the shard
+  // is exclusively owned by the one worker draining it, and the shared
+  // inputs (checkpoints, factories) are passed by const reference so no
+  // guarded member is read off-lock. The coordinator blocks inside drain()
+  // for the pool to finish, so the references stay valid and unmutated.
+  void run_shard(Shard& shard, const std::vector<util::SimTime>& checkpoints,
+                 const Factories& factories) const;
+  void process(Shard& shard, const alerts::Alert& alert, const Op& op,
+               const Factories& factories) const;
+  void apply_checkpoints(Shard& shard, std::uint32_t epoch,
+                         const std::vector<util::SimTime>& checkpoints) const;
 
-  ShardedPipelineConfig config_;
-  bhr::BlackHoleRouter* router_;
-  incidents::ScanFilter filter_;
-  std::vector<std::pair<std::string, DetectorFactory>> factories_;
-  std::vector<Shard> shards_;
+  mutable util::Mutex mu_;
+  ShardedPipelineConfig config_ AT_NOT_GUARDED;  ///< immutable after ctor
+  bhr::BlackHoleRouter* router_ AT_NOT_GUARDED;  ///< immutable pointer; BHR is coordinator-only
+  incidents::ScanFilter filter_ AT_GUARDED_BY(mu_);
+  Factories factories_ AT_GUARDED_BY(mu_);
+  std::vector<Shard> shards_ AT_GUARDED_BY(mu_);
   /// Timestamps of global eviction checkpoints, in order; shards consume
   /// the suffix they have not applied yet.
-  std::vector<util::SimTime> checkpoints_;
-  std::vector<alerts::Alert> pending_;  ///< streaming on_alert() buffer
-  std::vector<Notification> notifications_;
-  util::ThreadPool pool_;
-  std::uint64_t alerts_in_ = 0;
-  std::uint64_t alerts_kept_ = 0;
+  std::vector<util::SimTime> checkpoints_ AT_GUARDED_BY(mu_);
+  std::vector<alerts::Alert> pending_ AT_GUARDED_BY(mu_);  ///< streaming on_alert() buffer
+  std::vector<Notification> notifications_ AT_GUARDED_BY(mu_);
+  util::ThreadPool pool_ AT_NOT_GUARDED;  ///< internally synchronized
+  std::uint64_t alerts_in_ AT_GUARDED_BY(mu_) = 0;
+  std::uint64_t alerts_kept_ AT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace at::testbed

@@ -1,0 +1,111 @@
+#pragma once
+// Clang -Wthread-safety capability annotations plus annotated wrappers for
+// std::mutex / lock_guard / condition_variable. Under Clang with
+// AT_WERROR_THREAD_SAFETY=ON, lock-discipline violations (touching an
+// AT_GUARDED_BY field without its mutex, unlocking a mutex you don't hold,
+// ...) are compile errors; under GCC every macro expands to nothing and the
+// wrappers cost exactly what the std types cost.
+//
+// Conventions (see docs/static-analysis.md for the full write-up):
+//   - Every mutex-guarded field is declared `T field_ AT_GUARDED_BY(mu_);`.
+//   - Private helpers that assume the lock is held take AT_REQUIRES(mu_).
+//   - Fields in a class that owns a util::Mutex but are deliberately NOT
+//     guarded by it (immutable after construction, owned by exactly one
+//     thread at a time, internally synchronized) carry AT_NOT_GUARDED with
+//     a comment saying which of those disciplines applies; the at_lint
+//     `guarded-by` rule treats the marker as an explicit opt-out.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AT_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+#define AT_CAPABILITY(x) AT_THREAD_ANNOTATION(capability(x))
+#define AT_SCOPED_CAPABILITY AT_THREAD_ANNOTATION(scoped_lockable)
+#define AT_GUARDED_BY(x) AT_THREAD_ANNOTATION(guarded_by(x))
+#define AT_PT_GUARDED_BY(x) AT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define AT_REQUIRES(...) AT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define AT_ACQUIRE(...) AT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define AT_RELEASE(...) AT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define AT_TRY_ACQUIRE(...) AT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define AT_EXCLUDES(...) AT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define AT_ASSERT_CAPABILITY(x) AT_THREAD_ANNOTATION(assert_capability(x))
+#define AT_RETURN_CAPABILITY(x) AT_THREAD_ANNOTATION(lock_returned(x))
+#define AT_NO_THREAD_SAFETY_ANALYSIS AT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marker (expands to nothing) for fields that share a class with a
+/// util::Mutex but are intentionally outside its footprint. at_lint's
+/// guarded-by rule requires either AT_GUARDED_BY or this marker on every
+/// such field, so the opt-out is visible at the declaration.
+#define AT_NOT_GUARDED
+
+namespace at::util {
+
+class CondVar;
+
+/// std::mutex with the capability attribute, so AT_GUARDED_BY(mu_) and
+/// AT_REQUIRES(mu_) resolve. Same contract as std::mutex: non-recursive,
+/// non-timed.
+class AT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AT_ACQUIRE() { mu_.lock(); }
+  void unlock() AT_RELEASE() { mu_.unlock(); }
+  bool try_lock() AT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over util::Mutex (std::lock_guard shape, annotated).
+class AT_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) AT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() AT_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over util::Mutex. wait() takes the *mutex*, not a
+/// unique_lock, and requires it held — callers keep the plain
+///   while (!predicate()) cv.wait(mu_);
+/// shape, which the thread-safety analysis can follow (predicate reads of
+/// guarded fields stay inside the locked scope; no lambda crosses the
+/// analysis boundary the way std::condition_variable::wait(lock, pred)
+/// does).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, and reacquire before returning.
+  void wait(Mutex& mu) AT_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back so the caller's LockGuard still
+    // performs the final unlock.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace at::util

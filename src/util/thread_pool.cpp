@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_task_.notify_all();
@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock lock(mutex_);
+    LockGuard lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -31,8 +31,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  LockGuard lock(mutex_);
+  while (in_flight_ != 0) cv_idle_.wait(mutex_);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -71,18 +71,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      LockGuard lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_task_.wait(mutex_);
+      if (tasks_.empty()) return;  // stopping_, nothing left to drain
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock lock(mutex_);
+      LockGuard lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

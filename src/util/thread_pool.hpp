@@ -6,14 +6,18 @@
 // pool gives them OpenMP-style static chunking with plain C++ threads so
 // the library has no compiler-pragma dependency. On a single-core host the
 // pool degrades to serial execution with no contention.
+//
+// All queue state is guarded by mutex_ and annotated for Clang
+// -Wthread-safety (see util/annotated_mutex.hpp); misuse of the lock
+// discipline is a compile error under AT_WERROR_THREAD_SAFETY=ON.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
 
 namespace at::util {
 
@@ -62,13 +66,15 @@ class ThreadPool {
 
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  /// Immutable after the constructor returns; worker threads only read it
+  /// to join in the destructor.
+  std::vector<std::thread> workers_ AT_NOT_GUARDED;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ AT_GUARDED_BY(mutex_);
+  CondVar cv_task_ AT_NOT_GUARDED;  ///< internally synchronized
+  CondVar cv_idle_ AT_NOT_GUARDED;  ///< internally synchronized
+  std::size_t in_flight_ AT_GUARDED_BY(mutex_) = 0;
+  bool stopping_ AT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace at::util

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace at::util {
 
 std::int64_t days_from_civil(const CivilDate& date) noexcept {
@@ -57,10 +59,12 @@ CivilDate parse_yyyymmdd(const std::string& text) {
   for (const char c : text) {
     if (c < '0' || c > '9') throw std::invalid_argument("parse_yyyymmdd: non-digit: " + text);
   }
+  const std::string_view digits = text;
   CivilDate date;
-  date.year = std::stoi(text.substr(0, 4));
-  date.month = static_cast<unsigned>(std::stoi(text.substr(4, 2)));
-  date.day = static_cast<unsigned>(std::stoi(text.substr(6, 2)));
+  // The all-digits check above makes these parses infallible.
+  date.year = *parse_num<int>(digits.substr(0, 4));
+  date.month = *parse_num<unsigned>(digits.substr(4, 2));
+  date.day = *parse_num<unsigned>(digits.substr(6, 2));
   if (date.month < 1 || date.month > 12 || date.day < 1 ||
       date.day > days_in_month(date.year, date.month)) {
     throw std::invalid_argument("parse_yyyymmdd: invalid date: " + text);

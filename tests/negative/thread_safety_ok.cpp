@@ -1,0 +1,32 @@
+// Compile-PASS twin of thread_safety_violation.cpp (clang only): the same
+// shape with correct lock discipline must compile cleanly, proving the
+// -Wthread-safety flags are active and not just rejecting everything.
+
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    at::util::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  [[nodiscard]] long value() const {
+    at::util::LockGuard lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable at::util::Mutex mu_;
+  long value_ AT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return counter.value() == 1 ? 0 : 1;
+}

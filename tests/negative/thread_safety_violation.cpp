@@ -1,0 +1,35 @@
+// Compile-FAIL fixture (clang only; registered as a WILL_FAIL ctest).
+// Writes a guarded field without holding its mutex and unlocks a mutex it
+// never acquired — both must be rejected under -Werror=thread-safety. If
+// this file ever compiles, the annotation layer has rotted.
+//
+// Excluded from at_lint's scan (tests/negative/) because being wrong is
+// its job.
+
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    ++value_;  // BAD: guarded write, no lock held
+  }
+
+  void unlock_without_lock() {
+    mu_.unlock();  // BAD: releasing a capability we do not hold
+  }
+
+ private:
+  at::util::Mutex mu_;
+  long value_ AT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_unlocked();
+  counter.unlock_without_lock();
+  return 0;
+}

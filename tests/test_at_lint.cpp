@@ -1,0 +1,331 @@
+// Unit tests for the at_lint rule engine (tools/at_lint). Each rule gets a
+// positive case (a violation it must catch) and a negative case (idiomatic
+// code it must NOT flag), exercised over in-memory SourceFile sets so the
+// tests are hermetic — no filesystem scanning involved.
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "at_lint/lint.hpp"
+
+namespace at::lint {
+namespace {
+
+std::vector<SourceFile> one(std::string path, std::string content) {
+  std::vector<SourceFile> files;
+  files.push_back({std::move(path), std::move(content)});
+  return files;
+}
+
+bool has_rule(const std::vector<Violation>& vs, std::string_view rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+// ---------------------------------------------------------------- strip_code
+
+TEST(AtLintStrip, RemovesLineAndBlockComments) {
+  const std::string out =
+      strip_code("int a; // rand()\nint b; /* strtok */ int c;\n");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("strtok"), std::string::npos);
+  EXPECT_NE(out.find("int c;"), std::string::npos);
+}
+
+TEST(AtLintStrip, BlanksStringAndCharLiterals) {
+  const std::string out = strip_code("call(\"rand()\", 'x');\n");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("call("), std::string::npos);
+}
+
+TEST(AtLintStrip, HandlesRawStrings) {
+  const std::string out = strip_code("auto s = R\"(rand() \" unbalanced)\"; f();\n");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("f();"), std::string::npos);
+}
+
+TEST(AtLintStrip, PreservesNewlinesForLineNumbers) {
+  const std::string src = "a\n/* x\ny */\nb\n";
+  const std::string out = strip_code(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(AtLintStrip, ApostropheAfterIdentifierIsNotCharLiteral) {
+  // Digit separators (1'000'000) must not open a char literal and swallow
+  // the rest of the file.
+  const std::string out = strip_code("int n = 1'000'000; rand();\n");
+  EXPECT_NE(out.find("rand"), std::string::npos);
+}
+
+// -------------------------------------------------------------- banned-call
+
+TEST(AtLintBanned, FlagsRandInSrc) {
+  const auto vs = check_banned_calls(one("src/x.cpp", "int v = rand();\n"));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "banned-call");
+  EXPECT_EQ(vs[0].line, 1u);
+}
+
+TEST(AtLintBanned, IgnoresRandOutsideSrc) {
+  EXPECT_TRUE(check_banned_calls(one("bench/x.cpp", "int v = rand();\n")).empty());
+}
+
+TEST(AtLintBanned, IgnoresIdentifiersContainingRand) {
+  const auto vs = check_banned_calls(
+      one("src/x.cpp", "int my_rand(); int v = my_rand(); int strand(int);\n"));
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(AtLintBanned, FlagsRawExpOnlyInFg) {
+  EXPECT_FALSE(check_banned_calls(one("src/fg/x.cpp", "double d = exp(z);\n")).empty());
+  EXPECT_TRUE(check_banned_calls(one("src/net/x.cpp", "double d = exp(z);\n")).empty());
+}
+
+TEST(AtLintBanned, FlagsStoiOutsideTry) {
+  const auto vs = check_banned_calls(one("src/x.cpp", "int v = std::stoi(s);\n"));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_NE(vs[0].message.find("std::stoi"), std::string::npos);
+}
+
+TEST(AtLintBanned, AllowsStoiInsideTry) {
+  const std::string src =
+      "int f(const std::string& s) {\n"
+      "  try {\n"
+      "    return std::stoi(s);\n"
+      "  } catch (...) {\n"
+      "    return 0;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(check_banned_calls(one("src/x.cpp", src)).empty());
+}
+
+TEST(AtLintBanned, TryBlockEndsAtItsBrace) {
+  const std::string src =
+      "int f(const std::string& s) {\n"
+      "  try { g(); } catch (...) {}\n"
+      "  return std::stoi(s);\n"  // outside the try again
+      "}\n";
+  const auto vs = check_banned_calls(one("src/x.cpp", src));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 3u);
+}
+
+TEST(AtLintBanned, IgnoresCommentedCalls) {
+  EXPECT_TRUE(check_banned_calls(one("src/x.cpp", "// rand() is banned\n")).empty());
+}
+
+// -------------------------------------------------------------- pragma-once
+
+TEST(AtLintPragma, FlagsHeaderWithoutPragmaOnce) {
+  const auto vs = check_pragma_once(one("src/x.hpp", "#include <vector>\n"));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "pragma-once");
+}
+
+TEST(AtLintPragma, AcceptsPragmaOnceAfterComment) {
+  EXPECT_TRUE(check_pragma_once(
+                  one("src/x.hpp", "// banner\n\n#pragma once\n#include <vector>\n"))
+                  .empty());
+}
+
+TEST(AtLintPragma, IgnoresCppFiles) {
+  EXPECT_TRUE(check_pragma_once(one("src/x.cpp", "int x;\n")).empty());
+}
+
+// ------------------------------------------------------------ include-cycle
+
+TEST(AtLintCycle, FlagsTwoFileCycle) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/a.hpp", "#pragma once\n#include \"b.hpp\"\n"});
+  files.push_back({"src/b.hpp", "#pragma once\n#include \"a.hpp\"\n"});
+  const auto vs = check_include_cycles(files);
+  ASSERT_FALSE(vs.empty());
+  EXPECT_EQ(vs[0].rule, "include-cycle");
+  EXPECT_NE(vs[0].message.find("a.hpp"), std::string::npos);
+  EXPECT_NE(vs[0].message.find("b.hpp"), std::string::npos);
+}
+
+TEST(AtLintCycle, AcceptsDag) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/a.hpp", "#pragma once\n#include \"b.hpp\"\n#include \"c.hpp\"\n"});
+  files.push_back({"src/b.hpp", "#pragma once\n#include \"c.hpp\"\n"});
+  files.push_back({"src/c.hpp", "#pragma once\n"});
+  EXPECT_TRUE(check_include_cycles(files).empty());
+}
+
+TEST(AtLintCycle, IgnoresAngleIncludesAndUnknownFiles) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/a.hpp",
+                   "#pragma once\n#include <vector>\n#include \"not_scanned.hpp\"\n"});
+  EXPECT_TRUE(check_include_cycles(files).empty());
+}
+
+// ----------------------------------------------------------- raw-new-delete
+
+TEST(AtLintNewDelete, FlagsNakedNewInSrc) {
+  const auto vs = check_raw_new_delete(one("src/x.cpp", "auto* p = new int(3);\n"));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "raw-new-delete");
+}
+
+TEST(AtLintNewDelete, FlagsNakedDelete) {
+  EXPECT_FALSE(check_raw_new_delete(one("src/x.cpp", "delete ptr;\n")).empty());
+}
+
+TEST(AtLintNewDelete, AllowsUtilAndNonSrc) {
+  EXPECT_TRUE(check_raw_new_delete(one("src/util/x.cpp", "auto* p = new int;\n")).empty());
+  EXPECT_TRUE(check_raw_new_delete(one("tests/x.cpp", "auto* p = new int;\n")).empty());
+}
+
+TEST(AtLintNewDelete, AllowsDeletedFunctionsAndOperatorNew) {
+  const std::string src =
+      "struct S {\n"
+      "  S(const S&) = delete;\n"
+      "  void* operator new(std::size_t);\n"
+      "  void operator delete(void*);\n"
+      "};\n";
+  EXPECT_TRUE(check_raw_new_delete(one("src/x.hpp", src)).empty());
+}
+
+// --------------------------------------------------------------- guarded-by
+
+TEST(AtLintGuarded, FlagsUnannotatedWriteUnderLock) {
+  const std::string src =
+      "class C {\n"
+      " public:\n"
+      "  void add() {\n"
+      "    util::LockGuard lock(mu_);\n"
+      "    count_ += 1;\n"
+      "  }\n"
+      " private:\n"
+      "  util::Mutex mu_;\n"
+      "  long count_ = 0;\n"  // written under lock, no AT_GUARDED_BY
+      "};\n";
+  const auto vs = check_guarded_by(one("src/x.hpp", src));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "guarded-by");
+  EXPECT_NE(vs[0].message.find("count_"), std::string::npos);
+}
+
+TEST(AtLintGuarded, AcceptsAnnotatedField) {
+  const std::string src =
+      "class C {\n"
+      " public:\n"
+      "  void add() {\n"
+      "    util::LockGuard lock(mu_);\n"
+      "    count_ += 1;\n"
+      "  }\n"
+      " private:\n"
+      "  util::Mutex mu_;\n"
+      "  long count_ AT_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(check_guarded_by(one("src/x.hpp", src)).empty());
+}
+
+TEST(AtLintGuarded, AcceptsNotGuardedOptOut) {
+  const std::string src =
+      "class C {\n"
+      "  void poke() {\n"
+      "    util::LockGuard lock(mu_);\n"
+      "    scratch_ = 1;\n"
+      "  }\n"
+      "  util::Mutex mu_;\n"
+      "  int scratch_ AT_NOT_GUARDED = 0;\n"
+      "};\n";
+  EXPECT_TRUE(check_guarded_by(one("src/x.hpp", src)).empty());
+}
+
+TEST(AtLintGuarded, FindsDeclarationInSiblingHeader) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/c.hpp",
+                   "#pragma once\nclass C {\n  util::Mutex mu_;\n"
+                   "  long count_ AT_GUARDED_BY(mu_) = 0;\n};\n"});
+  files.push_back({"src/c.cpp",
+                   "#include \"c.hpp\"\nvoid C::add() {\n"
+                   "  util::LockGuard lock(mu_);\n  count_ += 1;\n}\n"});
+  EXPECT_TRUE(check_guarded_by(files).empty());
+}
+
+TEST(AtLintGuarded, IgnoresWritesOutsideLockScope) {
+  const std::string src =
+      "class C {\n"
+      "  void init() { count_ = 0; }\n"  // no lock held: clang's job, not ours
+      "  long count_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(check_guarded_by(one("src/x.hpp", src)).empty());
+}
+
+TEST(AtLintGuarded, IgnoresLocalsWithoutTrailingUnderscore) {
+  const std::string src =
+      "class C {\n"
+      "  void add() {\n"
+      "    util::LockGuard lock(mu_);\n"
+      "    int local = 0;\n"
+      "    local += 1;\n"
+      "  }\n"
+      "  util::Mutex mu_;\n"
+      "};\n";
+  EXPECT_TRUE(check_guarded_by(one("src/x.hpp", src)).empty());
+}
+
+// ---------------------------------------------------------------- allowlist
+
+TEST(AtLintAllowlist, SuppressesMatchingViolation) {
+  const auto allow =
+      Allowlist::parse("# comment\nbanned-call src/x.cpp rand()\n");
+  EXPECT_EQ(allow.size(), 1u);
+  const auto vs =
+      run_all(one("src/x.cpp", "#include \"x.hpp\"\nint v = rand();\n"), allow);
+  EXPECT_FALSE(has_rule(vs, "banned-call"));
+}
+
+TEST(AtLintAllowlist, TokenMustMatchExcerpt) {
+  const auto allow = Allowlist::parse("banned-call src/x.cpp strtok(\n");
+  const auto vs = run_all(one("src/x.cpp", "int v = rand();\n"), allow);
+  EXPECT_TRUE(has_rule(vs, "banned-call"));
+}
+
+TEST(AtLintAllowlist, WildcardFileMatchesEverything) {
+  const auto allow = Allowlist::parse("banned-call * rand\n");
+  const auto vs = run_all(one("src/deep/nested/x.cpp", "int v = rand();\n"), allow);
+  EXPECT_FALSE(has_rule(vs, "banned-call"));
+}
+
+// --------------------------------------------------------------- header TUs
+
+TEST(AtLintHeaderTus, GeneratesOnePerSrcHeader) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/util/thing.hpp", "#pragma once\n"});
+  files.push_back({"src/net/wire.hpp", "#pragma once\n"});
+  files.push_back({"src/net/wire.cpp", "#include \"net/wire.hpp\"\n"});
+  files.push_back({"tools/at_lint/lint.hpp", "#pragma once\n"});  // not src/
+  const auto tus = generate_header_tus(files);
+  ASSERT_EQ(tus.size(), 2u);
+  const auto util_tu = std::find_if(tus.begin(), tus.end(), [](const HeaderTu& tu) {
+    return tu.name.find("util_thing") != std::string::npos;
+  });
+  ASSERT_NE(util_tu, tus.end());
+  EXPECT_NE(util_tu->name.find("tu_util_thing"), std::string::npos);
+  EXPECT_NE(util_tu->content.find("#include \"util/thing.hpp\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------ run_all
+
+TEST(AtLintRunAll, AggregatesAndSortsAcrossRules) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/z.hpp", "int raw = rand();\n"});  // pragma-once + banned
+  const auto vs = run_all(files, Allowlist::parse(""));
+  EXPECT_TRUE(has_rule(vs, "pragma-once"));
+  EXPECT_TRUE(has_rule(vs, "banned-call"));
+  EXPECT_TRUE(std::is_sorted(vs.begin(), vs.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  }));
+}
+
+}  // namespace
+}  // namespace at::lint

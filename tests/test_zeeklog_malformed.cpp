@@ -1,0 +1,169 @@
+// Hostile-input tests for the Zeek notice-log parsers: embedded NUL bytes,
+// overlong fields, and non-UTF-8 byte sequences. The parsers must never
+// crash or throw on arbitrary bytes, and parse_notice_line /
+// parse_notice_batch must agree line-for-line on what counts as malformed
+// (the batch path is the zero-copy twin of the scalar path).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alerts/zeeklog.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using at::alerts::AlertBatch;
+using at::alerts::parse_notice_batch;
+using at::alerts::parse_notice_line;
+
+const std::string kValidLine = "1730259852\talert_port_scan\tpg-3\troot\t194.145.0.1\tzeek\t-";
+
+// Scalar and batch parsers must agree on every line of `text`.
+void expect_parity(const std::string& text) {
+  std::size_t scalar_ok = 0;
+  std::size_t scalar_malformed = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string_view line(text.data() + start,
+                                (end == std::string::npos ? text.size() : end) - start);
+    if (end == std::string::npos && line.empty()) break;
+    // Blank (after trim) and comment lines are skipped silently by both
+    // parsers; everything else is either a row or a malformed count.
+    const auto trimmed = at::util::trim(line);
+    if (!trimmed.empty() && trimmed.front() != '#') {
+      if (parse_notice_line(line).has_value()) {
+        ++scalar_ok;
+      } else {
+        ++scalar_malformed;
+      }
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+
+  const AlertBatch batch = parse_notice_batch(std::string(text));
+  EXPECT_EQ(batch.size(), scalar_ok);
+  EXPECT_EQ(batch.malformed, scalar_malformed);
+}
+
+TEST(ZeeklogMalformed, EmbeddedNulInField) {
+  std::string line = kValidLine;
+  line[line.find("pg-3") + 1] = '\0';  // host becomes "p\0-3"
+  // A NUL is just a byte: the line still has 7 tab-separated fields and all
+  // typed fields (ts/type/src/origin) are intact, so it must parse — and
+  // the host must round-trip all 4 bytes, not stop at the NUL.
+  const auto parsed = parse_notice_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->host.size(), 4u);
+  EXPECT_EQ(parsed->host[1], '\0');
+}
+
+TEST(ZeeklogMalformed, NulInNumericFieldFollowsStollAcceptSet) {
+  // parse_ts deliberately preserves the historical std::stoll accept set
+  // (see zeeklog.cpp): digits followed by junk parse as the digits...
+  std::string trailing = kValidLine;
+  trailing[3] = '\0';  // ts "173\0 259852"
+  const auto parsed = parse_notice_line(trailing);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ts, 173);
+
+  // ...but junk before any digit is malformed.
+  std::string leading = kValidLine;
+  leading[0] = '\0';  // ts "\0 730259852"
+  EXPECT_FALSE(parse_notice_line(leading).has_value());
+  expect_parity(trailing + "\n" + leading + "\n");
+}
+
+TEST(ZeeklogMalformed, NulBytesKeepBatchParity) {
+  std::string text = kValidLine + "\n";
+  std::string nul_host = kValidLine;
+  nul_host[nul_host.find("pg-3")] = '\0';
+  text += nul_host + "\n";
+  std::string nul_ts = kValidLine;
+  nul_ts[0] = '\0';
+  text += nul_ts + "\n";
+  expect_parity(text);
+}
+
+TEST(ZeeklogMalformed, OverlongFieldParsesWithoutTruncation) {
+  // ~1 MiB user field: nothing in the format caps field length, so the
+  // parser must carry it through rather than crash, truncate, or reject.
+  const std::string big(1u << 20, 'u');
+  const std::string line =
+      "1730259852\talert_port_scan\tpg-3\t" + big + "\t194.145.0.1\tzeek\t-";
+  const auto parsed = parse_notice_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->user.size(), big.size());
+
+  AlertBatch batch = parse_notice_batch(line + "\n");
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.user[0].size(), big.size());
+  EXPECT_EQ(batch.materialize(0).user, parsed->user);
+}
+
+TEST(ZeeklogMalformed, OverlongNumericFieldIsMalformedNotCrash) {
+  // A 1 MiB run of digits overflows any integer type; both parsers must
+  // reject the line instead of throwing or wrapping.
+  const std::string digits(1u << 20, '9');
+  const std::string line =
+      digits + "\talert_port_scan\tpg-3\troot\t194.145.0.1\tzeek\t-";
+  EXPECT_FALSE(parse_notice_line(line).has_value());
+  const AlertBatch batch = parse_notice_batch(line + "\n");
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_EQ(batch.malformed, 1u);
+}
+
+TEST(ZeeklogMalformed, NonUtf8BytesInTextFieldsSurvive) {
+  // Invalid UTF-8 (lone continuation bytes, overlong encodings, 0xFF): the
+  // format is byte-oriented, so these must pass through text fields intact.
+  const std::string junk = "\x80\xbf\xc0\xaf\xfe\xff";
+  const std::string line =
+      "1730259852\talert_port_scan\t" + junk + "\t" + junk + "\t-\tzeek\tk=" + junk;
+  const auto parsed = parse_notice_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->host, junk);
+  EXPECT_EQ(parsed->user, junk);
+
+  AlertBatch batch = parse_notice_batch(line + "\n");
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.host[0], junk);
+  EXPECT_EQ(batch.materialize(0).host, parsed->host);
+}
+
+TEST(ZeeklogMalformed, NonUtf8BytesInTypedFieldsAreMalformed) {
+  std::string bad_type = kValidLine;
+  bad_type.replace(bad_type.find("alert_port_scan"), 5, "\xff\xfe\xfd\xfc\xfb");
+  EXPECT_FALSE(parse_notice_line(bad_type).has_value());
+
+  std::string bad_src = kValidLine;
+  bad_src.replace(bad_src.find("194.145.0.1"), 3, "\xc0\xc1\xf5");
+  EXPECT_FALSE(parse_notice_line(bad_src).has_value());
+
+  expect_parity(bad_type + "\n" + bad_src + "\n" + kValidLine + "\n");
+}
+
+TEST(ZeeklogMalformed, MixedHostileLogKeepsParityAndCounts) {
+  std::string text;
+  text += "#separator \\t\n";
+  text += kValidLine + "\n";
+  text += "\xff\xff\xff\n";                       // pure garbage
+  text += std::string(64, '\t') + "\n";           // tabs only: blank after trim
+  text += "1730259852\talert_port_scan\n";        // too few fields
+  std::string over = kValidLine + "\textra\tfields";
+  text += over + "\n";                            // too many fields
+  std::string nul = kValidLine;
+  nul[nul.size() - 1] = '\0';                     // metadata "\0": pair has no '='
+  text += nul + "\n";
+  text += kValidLine + "\n";
+  expect_parity(text);
+
+  const AlertBatch batch = parse_notice_batch(std::string(text));
+  EXPECT_EQ(batch.size(), 2u);      // only the two pristine lines
+  EXPECT_EQ(batch.malformed, 4u);   // garbage, under-split, over-split, bad meta
+}
+
+}  // namespace

@@ -1,0 +1,608 @@
+#include "at_lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <functional>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace at::lint {
+
+namespace {
+
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// 1-based line number of byte offset `pos`.
+std::size_t line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(std::min(pos, text.size())), '\n'));
+}
+
+/// The trimmed source line containing byte offset `pos` of `raw`.
+std::string excerpt_at(std::string_view raw, std::size_t pos) {
+  pos = std::min(pos, raw.size());
+  std::size_t begin = raw.rfind('\n', pos == 0 ? 0 : pos - 1);
+  begin = begin == std::string_view::npos ? 0 : begin + 1;
+  std::size_t end = raw.find('\n', pos);
+  if (end == std::string_view::npos) end = raw.size();
+  return std::string(trim(raw.substr(begin, end - begin)));
+}
+
+/// True when `text[pos..]` starts the identifier `token` with identifier
+/// boundaries on both sides.
+bool token_at(std::string_view text, std::size_t pos, std::string_view token) {
+  if (pos + token.size() > text.size()) return false;
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  const std::size_t after = pos + token.size();
+  return after >= text.size() || !ident_char(text[after]);
+}
+
+std::size_t skip_ws(std::string_view text, std::size_t pos) {
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  return pos;
+}
+
+/// Last non-whitespace byte strictly before `pos`, or '\0'.
+char prev_nonspace(std::string_view text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) return text[pos];
+  }
+  return '\0';
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Violation make_violation(std::string rule, const SourceFile& file, std::size_t pos,
+                         std::string message) {
+  Violation v;
+  v.rule = std::move(rule);
+  v.file = file.path;
+  v.line = line_of(file.content, pos);
+  v.message = std::move(message);
+  v.excerpt = excerpt_at(file.content, pos);
+  return v;
+}
+
+}  // namespace
+
+std::string strip_code(std::string_view source) {
+  std::string out(source);
+  enum class State { kNormal, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kNormal;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kNormal:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' && (i == 0 || !ident_char(source[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t p = i + 2;
+          raw_delim.clear();
+          while (p < source.size() && source[p] != '(') raw_delim += source[p++];
+          raw_delim = ")" + raw_delim + "\"";
+          out[i] = ' ';
+          state = State::kRaw;
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'' && (i == 0 || !ident_char(source[i - 1]))) {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kNormal;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kNormal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kNormal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kNormal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kNormal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> check_banned_calls(const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  static constexpr std::array<std::string_view, 3> kBanned = {"rand", "strtok", "gmtime"};
+  static constexpr std::array<std::string_view, 8> kSto = {
+      "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold"};
+  for (const auto& file : files) {
+    if (!starts_with(file.path, "src/")) continue;
+    const std::string stripped = strip_code(file.content);
+    // Brace-matched try tracking: a std::sto* call is fine inside a try
+    // block (its throw is the error path); naked calls are the bug class
+    // this rule exists for (see params_io/report fixes in PR 2).
+    std::vector<char> block_is_try;
+    std::size_t try_depth = 0;
+    bool pending_try = false;
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+      const char c = stripped[i];
+      if (c == '{') {
+        block_is_try.push_back(pending_try ? 1 : 0);
+        if (pending_try) ++try_depth;
+        pending_try = false;
+        continue;
+      }
+      if (c == '}') {
+        if (!block_is_try.empty()) {
+          if (block_is_try.back() != 0) --try_depth;
+          block_is_try.pop_back();
+        }
+        continue;
+      }
+      if (!ident_char(c) || (i > 0 && ident_char(stripped[i - 1]))) continue;
+      // At the start of an identifier.
+      if (token_at(stripped, i, "try")) {
+        pending_try = true;
+        continue;
+      }
+      const auto called = [&](std::string_view name) {
+        return token_at(stripped, i, name) &&
+               skip_ws(stripped, i + name.size()) < stripped.size() &&
+               stripped[skip_ws(stripped, i + name.size())] == '(';
+      };
+      for (const auto name : kBanned) {
+        if (called(name)) {
+          out.push_back(make_violation(
+              "banned-call", file, i,
+              std::string(name) + "() is banned in src/ (non-reentrant or non-deterministic; "
+                                  "use util::Rng / util::strings / util::time_utils)"));
+        }
+      }
+      if (starts_with(file.path, "src/fg/") && called("exp")) {
+        out.push_back(make_violation(
+            "banned-call", file, i,
+            "raw exp() in the fg hot path; use fg::CompiledParams pre-exponentiated "
+            "tables or util::logdomain"));
+      }
+      for (const auto name : kSto) {
+        if (called(name) && try_depth == 0) {
+          out.push_back(make_violation(
+              "banned-call", file, i,
+              "std::" + std::string(name) + " outside try: malformed input escapes as an "
+                                            "uncaught exception; use util::parse_num"));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> check_pragma_once(const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const auto& file : files) {
+    if (!ends_with(file.path, ".hpp")) continue;
+    const std::string stripped = strip_code(file.content);
+    const auto lines = split_lines(stripped);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const auto line = trim(lines[i]);
+      if (line.empty()) continue;
+      if (!starts_with(line, "#pragma") || line.find("once") == std::string_view::npos) {
+        Violation v;
+        v.rule = "pragma-once";
+        v.file = file.path;
+        v.line = i + 1;
+        v.message = "header does not start with #pragma once";
+        v.excerpt = std::string(line);
+        out.push_back(std::move(v));
+      }
+      break;  // only the first non-blank code line matters
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> check_include_cycles(const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  std::unordered_map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < files.size(); ++i) index.emplace(files[i].path, i);
+
+  const auto resolve = [&](const std::string& includer,
+                           const std::string& inc) -> std::ptrdiff_t {
+    // Quoted includes are rooted at the module root (src/, tools/, ...),
+    // matching the CMake include dirs; fall back to includer-relative.
+    static constexpr std::array<std::string_view, 5> kRoots = {"src/", "tools/", "bench/",
+                                                               "tests/", ""};
+    for (const auto root : kRoots) {
+      const auto it = index.find(std::string(root) + inc);
+      if (it != index.end()) return static_cast<std::ptrdiff_t>(it->second);
+    }
+    const std::size_t slash = includer.rfind('/');
+    if (slash != std::string::npos) {
+      const auto it = index.find(includer.substr(0, slash + 1) + inc);
+      if (it != index.end()) return static_cast<std::ptrdiff_t>(it->second);
+    }
+    return -1;  // system / third-party header: not part of the graph
+  };
+
+  std::vector<std::vector<std::size_t>> adj(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const auto line : split_lines(files[i].content)) {
+      const auto t = trim(line);
+      if (!starts_with(t, "#include")) continue;
+      const std::size_t open = t.find('"');
+      if (open == std::string_view::npos) continue;  // <...> includes are external
+      const std::size_t close = t.find('"', open + 1);
+      if (close == std::string_view::npos) continue;
+      const auto target = resolve(files[i].path, std::string(t.substr(open + 1, close - open - 1)));
+      if (target >= 0) adj[i].push_back(static_cast<std::size_t>(target));
+    }
+  }
+
+  // Iterative three-color DFS; report each back edge once as a cycle.
+  enum : char { kWhite, kGray, kBlack };
+  std::vector<char> color(files.size(), kWhite);
+  std::vector<std::size_t> stack_path;
+  const std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+    color[u] = kGray;
+    stack_path.push_back(u);
+    for (const std::size_t v : adj[u]) {
+      if (color[v] == kWhite) {
+        dfs(v);
+      } else if (color[v] == kGray) {
+        std::string msg = "include cycle: ";
+        const auto begin = std::find(stack_path.begin(), stack_path.end(), v);
+        for (auto it = begin; it != stack_path.end(); ++it) msg += files[*it].path + " -> ";
+        msg += files[v].path;
+        Violation viol;
+        viol.rule = "include-cycle";
+        viol.file = files[u].path;
+        viol.line = 1;
+        viol.message = std::move(msg);
+        viol.excerpt = files[v].path;
+        out.push_back(std::move(viol));
+      }
+    }
+    stack_path.pop_back();
+    color[u] = kBlack;
+  };
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (color[i] == kWhite) dfs(i);
+  }
+  return out;
+}
+
+std::vector<Violation> check_raw_new_delete(const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const auto& file : files) {
+    if (!starts_with(file.path, "src/") || starts_with(file.path, "src/util/")) continue;
+    const std::string stripped = strip_code(file.content);
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+      if (!ident_char(stripped[i]) || (i > 0 && ident_char(stripped[i - 1]))) continue;
+      const bool is_new = token_at(stripped, i, "new");
+      const bool is_delete = token_at(stripped, i, "delete");
+      if (!is_new && !is_delete) continue;
+      const char prev = prev_nonspace(stripped, i);
+      if (is_delete && prev == '=') continue;  // `= delete;` declaration
+      // `operator new` / `operator delete` overloads are declarations.
+      std::size_t p = i;
+      while (p > 0 && std::isspace(static_cast<unsigned char>(stripped[p - 1]))) --p;
+      std::size_t q = p;
+      while (q > 0 && ident_char(stripped[q - 1])) --q;
+      if (p - q == 8 && stripped.compare(q, 8, "operator") == 0) continue;
+      out.push_back(make_violation(
+          "raw-new-delete", file, i,
+          std::string(is_new ? "new" : "delete") +
+              " outside src/util/: own memory via std::unique_ptr/containers"));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Mutating member-function suffixes for the guarded-by write heuristic.
+bool mutating_method(std::string_view name) {
+  static const std::unordered_set<std::string_view> kMethods = {
+      "push_back", "emplace_back", "emplace", "pop_back", "pop",    "push",
+      "clear",     "insert",       "erase",   "assign",   "resize", "reserve",
+      "swap",      "merge",        "extract"};
+  return kMethods.contains(name);
+}
+
+struct Write {
+  std::string name;
+  std::size_t pos;
+};
+
+/// Member writes (`x_ = ...`, `++x_`, `x_.push_back(...)`, ...) between
+/// `begin` and the close of the brace scope containing `begin`.
+std::vector<Write> writes_in_scope(std::string_view stripped, std::size_t begin) {
+  std::vector<Write> out;
+  int depth = 0;
+  for (std::size_t i = begin; i < stripped.size(); ++i) {
+    const char c = stripped[i];
+    if (c == '{') {
+      ++depth;
+      continue;
+    }
+    if (c == '}') {
+      if (--depth < 0) break;  // left the scope the LockGuard lives in
+      continue;
+    }
+    if (!ident_char(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (i > 0 && ident_char(stripped[i - 1]))) {
+      continue;
+    }
+    std::size_t end = i;
+    while (end < stripped.size() && ident_char(stripped[end])) ++end;
+    if (stripped[end - 1] != '_') {
+      i = end - 1;
+      continue;
+    }
+    const std::string name(stripped.substr(i, end - i));
+    bool write = false;
+    // Prefix increment/decrement.
+    const char prev = prev_nonspace(stripped, i);
+    if (prev == '+' || prev == '-') {
+      const std::size_t p = stripped.rfind(prev == '+' ? "++" : "--", i);
+      if (p != std::string::npos && skip_ws(stripped, p + 2) == i) write = true;
+    }
+    std::size_t after = skip_ws(stripped, end);
+    if (!write && after < stripped.size()) {
+      const char a = stripped[after];
+      const char b = after + 1 < stripped.size() ? stripped[after + 1] : '\0';
+      if (a == '=' && b != '=') write = true;
+      if ((a == '+' || a == '-' || a == '*' || a == '/' || a == '%' || a == '|' ||
+           a == '&' || a == '^') &&
+          b == '=') {
+        write = true;
+      }
+      if ((a == '+' && b == '+') || (a == '-' && b == '-')) write = true;
+      if (a == '.') {
+        std::size_t m = skip_ws(stripped, after + 1);
+        std::size_t mend = m;
+        while (mend < stripped.size() && ident_char(stripped[mend])) ++mend;
+        if (mend > m && mend < stripped.size() &&
+            stripped[skip_ws(stripped, mend)] == '(' &&
+            mutating_method(stripped.substr(m, mend - m))) {
+          write = true;
+        }
+      }
+    }
+    if (write) out.push_back({name, i});
+    i = end - 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Violation> check_guarded_by(const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  std::unordered_map<std::string, const SourceFile*> by_path;
+  for (const auto& file : files) by_path.emplace(file.path, &file);
+
+  for (const auto& file : files) {
+    if (!starts_with(file.path, "src/")) continue;
+    const std::string stripped = strip_code(file.content);
+    // Candidate declaration homes: this file, plus the sibling header for
+    // a .cpp.
+    std::vector<const SourceFile*> homes = {&file};
+    if (ends_with(file.path, ".cpp")) {
+      const std::string sibling = file.path.substr(0, file.path.size() - 4) + ".hpp";
+      const auto it = by_path.find(sibling);
+      if (it != by_path.end()) homes.push_back(it->second);
+    }
+    const auto annotated = [&](const std::string& name) -> int {
+      // 1 = annotated, 0 = declared without annotation, -1 = not found.
+      bool found = false;
+      for (const SourceFile* home : homes) {
+        for (const auto line : split_lines(home->content)) {
+          std::size_t pos = 0;
+          bool has_token = false;
+          while ((pos = line.find(name, pos)) != std::string_view::npos) {
+            const bool lb = pos == 0 || !ident_char(line[pos - 1]);
+            const bool rb = pos + name.size() >= line.size() ||
+                            !ident_char(line[pos + name.size()]);
+            if (lb && rb) {
+              has_token = true;
+              break;
+            }
+            ++pos;
+          }
+          if (!has_token) continue;
+          found = true;
+          if (line.find("AT_GUARDED_BY") != std::string_view::npos ||
+              line.find("AT_NOT_GUARDED") != std::string_view::npos) {
+            return 1;
+          }
+        }
+      }
+      return found ? 0 : -1;
+    };
+
+    std::size_t pos = 0;
+    while ((pos = stripped.find("LockGuard", pos)) != std::string_view::npos) {
+      if (!token_at(stripped, pos, "LockGuard")) {
+        ++pos;
+        continue;
+      }
+      // `LockGuard name(mutex);` — writes between here and the end of the
+      // enclosing block happen with `mutex` held.
+      std::size_t cursor = skip_ws(stripped, pos + 9);
+      std::size_t name_end = cursor;
+      while (name_end < stripped.size() && ident_char(stripped[name_end])) ++name_end;
+      if (name_end == cursor || stripped[skip_ws(stripped, name_end)] != '(') {
+        pos += 9;
+        continue;
+      }
+      for (const auto& write : writes_in_scope(stripped, skip_ws(stripped, name_end))) {
+        if (annotated(write.name) == 0) {
+          out.push_back(make_violation(
+              "guarded-by", file, write.pos,
+              write.name + " is written under a held util::LockGuard but its declaration "
+                           "has neither AT_GUARDED_BY nor AT_NOT_GUARDED"));
+        }
+      }
+      pos = name_end;
+    }
+  }
+  // A field written under several locks reports once per declaration.
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.message) < std::tie(b.file, b.line, b.message);
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Violation& a, const Violation& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<HeaderTu> generate_header_tus(const std::vector<SourceFile>& files) {
+  std::vector<HeaderTu> out;
+  for (const auto& file : files) {
+    if (!starts_with(file.path, "src/") || !ends_with(file.path, ".hpp")) continue;
+    const std::string rel = file.path.substr(4);
+    std::string name = "tu_" + rel.substr(0, rel.size() - 4) + ".cpp";
+    std::replace(name.begin(), name.end(), '/', '_');
+    HeaderTu tu;
+    tu.name = std::move(name);
+    tu.content = "// generated by at_lint --write-header-tus; compiling this TU proves\n"
+                 "// the header is self-contained (includes what it uses).\n"
+                 "#include \"" +
+                 rel + "\"\n";
+    out.push_back(std::move(tu));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeaderTu& a, const HeaderTu& b) { return a.name < b.name; });
+  return out;
+}
+
+Allowlist Allowlist::parse(std::string_view text) {
+  Allowlist allow;
+  for (const auto raw_line : split_lines(text)) {
+    auto line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    AllowEntry entry;
+    const auto take_word = [&line]() {
+      std::size_t end = 0;
+      while (end < line.size() && !std::isspace(static_cast<unsigned char>(line[end]))) ++end;
+      const auto word = line.substr(0, end);
+      line = trim(line.substr(end));
+      return std::string(word);
+    };
+    entry.rule = take_word();
+    entry.file = take_word();
+    entry.token = std::string(line);  // rest of line, may contain spaces
+    if (!entry.rule.empty() && !entry.file.empty()) allow.entries_.push_back(std::move(entry));
+  }
+  return allow;
+}
+
+bool Allowlist::allows(const Violation& violation) const {
+  for (const auto& entry : entries_) {
+    if (entry.rule != "*" && entry.rule != violation.rule) continue;
+    if (entry.file != "*" && entry.file != violation.file) continue;
+    if (!entry.token.empty() && violation.excerpt.find(entry.token) == std::string::npos) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::vector<Violation> run_all(const std::vector<SourceFile>& files, const Allowlist& allow) {
+  std::vector<Violation> all;
+  for (auto&& batch : {check_banned_calls(files), check_pragma_once(files),
+                       check_include_cycles(files), check_raw_new_delete(files),
+                       check_guarded_by(files)}) {
+    for (const auto& v : batch) {
+      if (!allow.allows(v)) all.push_back(v);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return all;
+}
+
+}  // namespace at::lint

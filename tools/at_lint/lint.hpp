@@ -1,0 +1,92 @@
+#pragma once
+// at_lint — repo-native invariant checker. A deliberately dependency-free
+// (no libclang) line/token-level analyzer that turns the project's written
+// conventions into machine-checked rules over src/, tools/, bench/ and
+// tests/. It complements, not replaces, Clang -Wthread-safety: the
+// compiler checks lock discipline inside one TU; at_lint checks the
+// repo-shaped invariants a compiler has no opinion on (banned calls,
+// include cycles, annotation coverage, ownership conventions).
+//
+// Rules (docs/static-analysis.md documents how to add one):
+//   banned-call      rand/strtok/gmtime anywhere in src/; std::sto* outside
+//                    a try block; raw exp() in src/fg/ hot paths (PR 1
+//                    pre-exponentiates instead).
+//   pragma-once      every .hpp starts with #pragma once.
+//   include-cycle    the quoted-include graph over the scanned files is a
+//                    DAG.
+//   raw-new-delete   no naked new/delete outside src/util/ (owning types
+//                    live behind util/ or std smart pointers).
+//   guarded-by       a field written inside a util::LockGuard scope must be
+//                    declared with AT_GUARDED_BY (or carry AT_NOT_GUARDED)
+//                    in the same file or the sibling header.
+//
+// Exceptions go in tools/at_lint/allowlist.txt with an in-file
+// justification; entries match (rule, file, excerpt-substring).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace at::lint {
+
+/// One scanned file. `path` is repo-relative with '/' separators (rules
+/// dispatch on prefixes like "src/fg/"); `content` is the raw bytes.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Violation {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;  ///< 1-based
+  std::string message;
+  std::string excerpt;  ///< trimmed source line, for allowlist matching
+};
+
+/// Allowlist entry: `rule<TAB or spaces>file<TAB or spaces>token...`.
+/// Empty token matches any violation of (rule, file); otherwise the
+/// violation's excerpt must contain the token. '#' starts a comment.
+struct AllowEntry {
+  std::string rule;
+  std::string file;
+  std::string token;
+};
+
+class Allowlist {
+ public:
+  static Allowlist parse(std::string_view text);
+
+  [[nodiscard]] bool allows(const Violation& violation) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<AllowEntry> entries_;
+};
+
+/// Replace comment and string/char-literal bytes with spaces (newlines
+/// preserved), so token rules never fire on prose or literals. Handles //,
+/// /* */, "...", '...', and R"...(...)..." raw strings.
+[[nodiscard]] std::string strip_code(std::string_view source);
+
+[[nodiscard]] std::vector<Violation> check_banned_calls(const std::vector<SourceFile>& files);
+[[nodiscard]] std::vector<Violation> check_pragma_once(const std::vector<SourceFile>& files);
+[[nodiscard]] std::vector<Violation> check_include_cycles(const std::vector<SourceFile>& files);
+[[nodiscard]] std::vector<Violation> check_raw_new_delete(const std::vector<SourceFile>& files);
+[[nodiscard]] std::vector<Violation> check_guarded_by(const std::vector<SourceFile>& files);
+
+/// Header self-containment: one generated TU per src/**.hpp that includes
+/// only that header. Compiling them (the CMake `lint` target does) proves
+/// every header includes what it uses.
+struct HeaderTu {
+  std::string name;     ///< e.g. "tu_util_thread_pool.cpp"
+  std::string content;  ///< "#include \"util/thread_pool.hpp\"\n"
+};
+[[nodiscard]] std::vector<HeaderTu> generate_header_tus(const std::vector<SourceFile>& files);
+
+/// Run every rule and drop allowlisted findings.
+[[nodiscard]] std::vector<Violation> run_all(const std::vector<SourceFile>& files,
+                                             const Allowlist& allow);
+
+}  // namespace at::lint

@@ -1,0 +1,122 @@
+// at_lint CLI. Scans src/ tools/ bench/ tests/ under --root (default: cwd),
+// runs every rule, prints violations as `file:line: [rule] message`, and
+// exits nonzero when any survive the allowlist. With --write-header-tus it
+// instead emits one single-include TU per src/**.hpp into the given
+// directory (the CMake `lint` target compiles them to prove header
+// self-containment).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "at_lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Repo-relative path with '/' separators.
+std::string rel_path(const fs::path& root, const fs::path& file) {
+  std::string out = fs::relative(file, root).generic_string();
+  return out;
+}
+
+bool lintable(const fs::path& path) {
+  const auto ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: at_lint [--root DIR] [--allowlist FILE] [--write-header-tus DIR]\n"
+               "  scans src/ tools/ bench/ tests/ below --root (default '.');\n"
+               "  tests/negative/ (compile-fail fixtures) is excluded.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path allowlist_path;
+  fs::path tu_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--write-header-tus" && i + 1 < argc) {
+      tu_dir = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  std::vector<at::lint::SourceFile> files;
+  for (const char* dir : {"src", "tools", "bench", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      const std::string rel = rel_path(root, entry.path());
+      // Deliberately mis-locked compile-fail fixtures are not shipped code.
+      if (rel.rfind("tests/negative/", 0) == 0) continue;
+      files.push_back({rel, read_file(entry.path())});
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "at_lint: no .cpp/.hpp files under %s\n", root.string().c_str());
+    return 2;
+  }
+
+  if (!tu_dir.empty()) {
+    fs::create_directories(tu_dir);
+    const auto tus = at::lint::generate_header_tus(files);
+    for (const auto& tu : tus) {
+      // Rewrite only on change so the build does not recompile every TU
+      // after every lint run.
+      const fs::path out_path = tu_dir / tu.name;
+      if (fs::exists(out_path) && read_file(out_path) == tu.content) continue;
+      std::ofstream out(out_path, std::ios::binary);
+      out << tu.content;
+    }
+    std::printf("at_lint: wrote %zu header TUs to %s\n", tus.size(),
+                tu_dir.string().c_str());
+    return 0;
+  }
+
+  at::lint::Allowlist allow;
+  if (!allowlist_path.empty()) {
+    if (!fs::exists(allowlist_path)) {
+      std::fprintf(stderr, "at_lint: allowlist not found: %s\n",
+                   allowlist_path.string().c_str());
+      return 2;
+    }
+    allow = at::lint::Allowlist::parse(read_file(allowlist_path));
+  }
+
+  const auto violations = at::lint::run_all(files, allow);
+  for (const auto& v : violations) {
+    std::printf("%s:%zu: [%s] %s\n    %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str(), v.excerpt.c_str());
+  }
+  if (violations.empty()) {
+    std::printf("at_lint: %zu files clean (%zu allowlist entries)\n", files.size(),
+                allow.size());
+    return 0;
+  }
+  std::printf("at_lint: %zu violation(s)\n", violations.size());
+  return 1;
+}

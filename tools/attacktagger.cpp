@@ -34,6 +34,7 @@
 #include "incidents/report.hpp"
 #include "replay/ransomware.hpp"
 #include "testbed/sharded_pipeline.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 #include "viz/export.hpp"
 #include "viz/fig1.hpp"
@@ -59,6 +60,27 @@ std::string flag(const std::map<std::string, std::string>& flags, const std::str
   return it == flags.end() ? fallback : it->second;
 }
 
+/// Numeric flag with a usage error instead of the uncaught std::sto*
+/// exception a typo used to produce.
+template <typename T>
+T num_flag(const std::map<std::string, std::string>& flags, const std::string& key,
+           const std::string& fallback) {
+  const std::string text = flag(flags, key, fallback);
+  std::optional<T> value;
+  if constexpr (std::is_floating_point_v<T>) {
+    const auto parsed = util::parse_double(text);
+    if (parsed) value = static_cast<T>(*parsed);
+  } else {
+    value = util::parse_num<T>(text);
+  }
+  if (!value) {
+    std::fprintf(stderr, "attacktagger: --%s expects a number, got '%s'\n", key.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return *value;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
@@ -69,8 +91,8 @@ std::string read_file(const std::string& path) {
 
 incidents::Corpus make_corpus(const std::map<std::string, std::string>& flags) {
   incidents::CorpusConfig config;
-  config.seed = std::stoull(flag(flags, "seed", "42"));
-  config.repetition_scale = std::stod(flag(flags, "scale", "0.05"));
+  config.seed = num_flag<std::uint64_t>(flags, "seed", "42");
+  config.repetition_scale = num_flag<double>(flags, "scale", "0.05");
   return incidents::CorpusGenerator(config).generate();
 }
 
@@ -138,10 +160,10 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "error: model file is not a valid attacktagger model\n");
     return 1;
   }
-  const double threshold = std::stod(flag(flags, "threshold", "0.75"));
+  const double threshold = num_flag<double>(flags, "threshold", "0.75");
   auto log_text = read_file(flag(flags, "log", "notices.log"));
 
-  const std::size_t shards = std::stoull(flag(flags, "shards", "0"));
+  const std::size_t shards = num_flag<std::size_t>(flags, "shards", "0");
   if (shards > 0) {
     // Batch path: zero-copy parse into the sharded pipeline, which adds
     // the periodic-scan filter and BHR blocking the live testbed runs.
@@ -199,7 +221,7 @@ int cmd_fig1(const std::map<std::string, std::string>& flags) {
   std::filesystem::create_directories(out_dir);
   auto data = viz::build_fig1();
   viz::LayoutOptions options;
-  options.iterations = std::stoul(flag(flags, "iterations", "60"));
+  options.iterations = num_flag<std::size_t>(flags, "iterations", "60");
   viz::run_layout(data.graph, options);
   viz::write_file(out_dir + "/fig1.dot", viz::to_dot(data.graph, true));
   viz::write_file(out_dir + "/fig1.gexf", viz::to_gexf(data.graph));

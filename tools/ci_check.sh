@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Pre-PR gate: run this from the repo root before opening a PR. It fails on
+# ANY compiler warning (AT_WERROR plus a belt-and-braces log scan), any
+# at_lint violation (including the header self-containment TUs), any ctest
+# failure, and — in the sanitizer stage — any ASan/UBSan report from the
+# parser-facing unit tests (the zeeklog + factor-graph suites, the code
+# most exposed to hostile input).
+#
+# Usage: tools/ci_check.sh [--skip-sanitizers]
+#
+# Stages:
+#   1. configure + build   build-ci/        -Wall -Wextra -Werror (AT_WERROR=ON)
+#   2. lint                cmake --target lint (header TUs + at_lint sweep)
+#   3. ctest               full suite, parallel
+#   4. sanitizers          build-asan/      AT_SANITIZE=address,undefined,
+#                          then the zeeklog/fg gtest suites under ASan+UBSan
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZERS=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
+    *) echo "usage: tools/ci_check.sh [--skip-sanitizers]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+fail() { echo "ci_check: FAIL: $*" >&2; exit 1; }
+
+echo "=== [1/4] configure + build (warnings are errors) ==="
+cmake -B build-ci -S . -DAT_WERROR=ON > /dev/null
+BUILD_LOG="$(mktemp)"
+trap 'rm -f "$BUILD_LOG"' EXIT
+if ! cmake --build build-ci -j "$JOBS" 2>&1 | tee "$BUILD_LOG"; then
+  fail "build failed"
+fi
+# -Werror already promotes warnings, but scan the log too so nothing that
+# slips past (e.g. linker or CMake warnings) rides through silently.
+if grep -iE "warning[ :]" "$BUILD_LOG" > /dev/null; then
+  grep -inE "warning[ :]" "$BUILD_LOG" >&2
+  fail "build log contains warnings"
+fi
+
+echo "=== [2/4] lint (header TUs + at_lint sweep) ==="
+cmake --build build-ci --target lint -j "$JOBS" || fail "lint"
+
+echo "=== [3/4] ctest ==="
+ctest --test-dir build-ci --output-on-failure -j "$JOBS" || fail "ctest"
+
+if [[ "$SKIP_SANITIZERS" == "1" ]]; then
+  echo "=== [4/4] sanitizers: SKIPPED (--skip-sanitizers) ==="
+else
+  echo "=== [4/4] ASan+UBSan: zeeklog + factor-graph unit tests ==="
+  cmake -B build-asan -S . -DAT_SANITIZE=address,undefined \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build build-asan -j "$JOBS" --target at_tests > /dev/null \
+    || fail "sanitizer build"
+  # halt_on_error makes any UBSan diagnostic fatal so it fails the gate
+  # instead of scrolling past; detect_leaks exercises the arena/string_view
+  # ownership story in AlertBatch.
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tests/at_tests \
+      --gtest_filter='ZeekLog*:ZeeklogMalformed*:BpTest*:ChainTest*:EnumerateTest*:FactorGraphTest*:ModelTest*' \
+    || fail "sanitized tests"
+fi
+
+echo "ci_check: OK"
