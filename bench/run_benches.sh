@@ -18,10 +18,16 @@ if [ ! -d "$bench_dir" ]; then
     exit 1
 fi
 
-# The ingest bench is a standalone main with its own JSON emitter.
+# The ingest and sim-engine benches are standalone mains with their own
+# JSON emitters (the sim bench also exits nonzero if the timing wheel's
+# execution order ever diverges from the seed heap).
 if [ -x "$bench_dir/bench_ingest_pipeline" ]; then
     echo "== bench_ingest_pipeline"
     "$bench_dir/bench_ingest_pipeline" --out "$repo_root/BENCH_ingest.json"
+fi
+if [ -x "$bench_dir/bench_sim_engine" ]; then
+    echo "== bench_sim_engine"
+    "$bench_dir/bench_sim_engine" --out "$repo_root/BENCH_sim.json"
 fi
 
 # Everything else is a google-benchmark binary; use its JSON reporter.
@@ -29,6 +35,7 @@ for bench in "$bench_dir"/bench_*; do
     [ -x "$bench" ] || continue
     name=$(basename "$bench")
     [ "$name" = "bench_ingest_pipeline" ] && continue
+    [ "$name" = "bench_sim_engine" ] && continue
     out="$repo_root/BENCH_${name#bench_}.json"
     echo "== $name"
     "$bench" --benchmark_out="$out" --benchmark_out_format=json \

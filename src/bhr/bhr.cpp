@@ -1,21 +1,59 @@
 #include "bhr/bhr.hpp"
 
 #include <algorithm>
-#include <bit>
 
 namespace at::bhr {
+
+namespace {
+
+/// Max-order for std::*_heap → the vector front is the earliest expiry.
+struct ExpiresLater {
+  template <typename Item>
+  bool operator()(const Item& a, const Item& b) const noexcept {
+    return a.expires_at > b.expires_at;
+  }
+};
+
+}  // namespace
+
+bool BlackHoleRouter::expiry_item_live(const ExpiryItem& item) const {
+  const auto it = blocks_.find(item.ip);
+  return it != blocks_.end() && it->second.stamp == item.stamp;
+}
+
+void BlackHoleRouter::expiry_push(ExpiryItem item) {
+  expiry_.push_back(item);
+  std::push_heap(expiry_.begin(), expiry_.end(), ExpiresLater{});
+}
+
+void BlackHoleRouter::expiry_compact() {
+  // Stale items (re-blocked or unblocked entries) accumulate only in the
+  // heap; drop them once they outnumber the block table.
+  std::size_t kept = 0;
+  for (const ExpiryItem& item : expiry_) {
+    if (expiry_item_live(item)) expiry_[kept++] = item;
+  }
+  expiry_.resize(kept);
+  std::make_heap(expiry_.begin(), expiry_.end(), ExpiresLater{});
+}
 
 bool BlackHoleRouter::block(net::Ipv4 source, util::SimTime now, util::SimTime ttl,
                             std::string reason, std::string client) {
   const bool internal = protected_.contains(source);
   audit_.push_back({now, "block", source, client, !internal});
   if (internal) return false;  // never blackhole the protected network
-  BlockEntry& entry = blocks_[source.value()];
+  Stored& stored = blocks_[source.value()];
+  BlockEntry& entry = stored.entry;
   entry.source = source;
   entry.blocked_at = now;
   entry.expires_at = ttl > 0 ? now + ttl : 0;
   entry.reason = std::move(reason);
   entry.requested_by = std::move(client);
+  stored.stamp = ++next_stamp_;
+  if (entry.expires_at != 0) {
+    expiry_push({entry.expires_at, stored.stamp, source.value()});
+    if (expiry_.size() > 2 * blocks_.size() + 64) expiry_compact();
+  }
   return true;
 }
 
@@ -28,22 +66,24 @@ bool BlackHoleRouter::unblock(net::Ipv4 source, util::SimTime now, std::string c
 bool BlackHoleRouter::is_blocked(net::Ipv4 source, util::SimTime now) const {
   const auto it = blocks_.find(source.value());
   if (it == blocks_.end()) return false;
-  return it->second.expires_at == 0 || it->second.expires_at > now;
+  const BlockEntry& entry = it->second.entry;
+  return entry.expires_at == 0 || entry.expires_at > now;
 }
 
 std::optional<BlockEntry> BlackHoleRouter::query(net::Ipv4 source, util::SimTime now) const {
   if (!is_blocked(source, now)) return std::nullopt;
-  return blocks_.at(source.value());
+  return blocks_.at(source.value()).entry;
 }
 
 std::size_t BlackHoleRouter::expire(util::SimTime now) {
   std::size_t removed = 0;
-  for (auto it = blocks_.begin(); it != blocks_.end();) {
-    if (it->second.expires_at != 0 && it->second.expires_at <= now) {
-      it = blocks_.erase(it);
+  while (!expiry_.empty() && expiry_.front().expires_at <= now) {
+    std::pop_heap(expiry_.begin(), expiry_.end(), ExpiresLater{});
+    const ExpiryItem item = expiry_.back();
+    expiry_.pop_back();
+    if (expiry_item_live(item)) {
+      blocks_.erase(item.ip);
       ++removed;
-    } else {
-      ++it;
     }
   }
   return removed;
@@ -59,11 +99,25 @@ bool BlackHoleRouter::filter(const net::Flow& flow) {
 }
 
 std::size_t BlackHoleRouter::active_blocks(util::SimTime now) const {
-  std::size_t count = 0;
-  for (const auto& [key, entry] : blocks_) {
-    if (entry.expires_at == 0 || entry.expires_at > now) ++count;
+  // Count already-expired-but-unreaped entries by walking only the heap
+  // prefix with expires_at <= now (children of a later node are later —
+  // the DFS is bounded by the expired population, not the table size).
+  // Stamp-matching heap items are unique per live entry, so no entry is
+  // counted twice.
+  std::size_t expired = 0;
+  std::vector<std::size_t> stack;
+  if (!expiry_.empty() && expiry_.front().expires_at <= now) stack.push_back(0);
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    if (expiry_item_live(expiry_[i])) ++expired;
+    for (const std::size_t child : {2 * i + 1, 2 * i + 2}) {
+      if (child < expiry_.size() && expiry_[child].expires_at <= now) {
+        stack.push_back(child);
+      }
+    }
   }
-  return count;
+  return blocks_.size() - expired;
 }
 
 void ScanRecorder::record(const net::Flow& flow) {
@@ -72,13 +126,27 @@ void ScanRecorder::record(const net::Flow& flow) {
   if (state.profile.probes == 0) {
     state.profile.source = flow.src;
     state.profile.first_seen = flow.ts;
-    // Exact bitmap over the /16 host space: the low 16 bits of the target
-    // address index one of 65,536 bits (1024 words).
-    state.target_bits.assign(1024, 0);
   }
   ++state.profile.probes;
   state.profile.last_seen = std::max(state.profile.last_seen, flow.ts);
-  const std::uint32_t host = flow.dst.value() & 0xffffu;
+  const auto host = static_cast<std::uint16_t>(flow.dst.value() & 0xffffu);
+  if (!state.promoted) {
+    const auto* begin = state.small_targets.data();
+    const auto* end = begin + state.small_count;
+    if (std::find(begin, end, host) != end) return;  // already counted
+    if (state.small_count < State::kSmallTargets) {
+      state.small_targets[state.small_count++] = host;
+      ++state.profile.distinct_targets;
+      return;
+    }
+    // 17th distinct target: graduate to the exact /16 bitmap.
+    state.target_bits.assign(1024, 0);
+    for (const std::uint16_t seen : state.small_targets) {
+      state.target_bits[seen >> 6] |= 1ULL << (seen & 63u);
+    }
+    state.promoted = true;
+    ++promoted_;
+  }
   auto& word = state.target_bits[host >> 6];
   const std::uint64_t bit = 1ULL << (host & 63u);
   if ((word & bit) == 0) {

@@ -8,6 +8,7 @@
 // audited API, plus a scan recorder that classifies mass scanners by the
 // breadth and rate of their probing.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -49,7 +50,9 @@ class BlackHoleRouter {
   [[nodiscard]] bool is_blocked(net::Ipv4 source, util::SimTime now) const;
   [[nodiscard]] std::optional<BlockEntry> query(net::Ipv4 source, util::SimTime now) const;
 
-  /// Drop expired entries; returns how many were removed.
+  /// Drop expired entries; returns how many were removed. O(expired ·
+  /// log n) via the expiry min-heap — a tick with nothing to reap costs
+  /// one heap-top peek, not a scan of every block.
   std::size_t expire(util::SimTime now);
 
   /// --- traffic-plane hook: returns true when the flow is dropped ---
@@ -63,8 +66,30 @@ class BlackHoleRouter {
   [[nodiscard]] const net::Cidr& protected_block() const noexcept { return protected_; }
 
  private:
+  // TTL bookkeeping: every block() stamps the entry; TTL'd blocks also push
+  // an {expires_at, stamp, ip} item onto a min-heap. Re-block/unblock make
+  // the old heap item stale (stamp mismatch) — lazy deletion, reconciled
+  // when the item surfaces in expire() or during compaction. A heap item
+  // whose stamp matches the live entry always refers to a TTL'd block
+  // (permanent blocks never push), so no extra flag is needed.
+  struct Stored {
+    BlockEntry entry;
+    std::uint64_t stamp = 0;
+  };
+  struct ExpiryItem {
+    util::SimTime expires_at = 0;
+    std::uint64_t stamp = 0;
+    std::uint32_t ip = 0;
+  };
+
+  [[nodiscard]] bool expiry_item_live(const ExpiryItem& item) const;
+  void expiry_push(ExpiryItem item);
+  void expiry_compact();
+
   net::Cidr protected_ = net::blocks::ncsa16();
-  std::unordered_map<std::uint32_t, BlockEntry> blocks_;
+  std::unordered_map<std::uint32_t, Stored> blocks_;
+  std::vector<ExpiryItem> expiry_;  ///< min-heap by expires_at
+  std::uint64_t next_stamp_ = 0;
   std::vector<ApiCall> audit_;
   std::uint64_t dropped_ = 0;
   std::uint64_t passed_ = 0;
@@ -95,15 +120,28 @@ class ScanRecorder {
   /// Sources probing at least `min_targets` distinct internal hosts.
   [[nodiscard]] std::vector<ScannerProfile> mass_scanners(std::uint64_t min_targets) const;
 
+  /// Sources that graduated from the inline small-set to the full /16
+  /// bitmap (diagnostics for the hybrid representation).
+  [[nodiscard]] std::size_t promoted_sources() const noexcept { return promoted_; }
+
  private:
+  /// Hybrid distinct-target tracking. The Zipf tail of the 26.85M-probe
+  /// Fig-1 regime is dominated by sources that touch only a handful of
+  /// hosts; giving each of them the full 8 KiB /16 bitmap up front costs
+  /// hundreds of MB. Targets live in a 16-entry inline array until the
+  /// 17th distinct host, then promote to the exact bitmap (low 16 bits of
+  /// the target address index one of 65,536 bits).
   struct State {
+    static constexpr std::size_t kSmallTargets = 16;
     ScannerProfile profile;
-    // Distinct-target estimation: exact set is too large at 26.85M probes;
-    // we use a 1024-bucket linear-count sketch per source.
-    std::vector<std::uint64_t> target_bits;
+    std::array<std::uint16_t, kSmallTargets> small_targets{};
+    std::uint8_t small_count = 0;
+    bool promoted = false;
+    std::vector<std::uint64_t> target_bits;  ///< 1024 words once promoted
   };
   std::unordered_map<std::uint32_t, State> per_source_;
   std::uint64_t total_ = 0;
+  std::size_t promoted_ = 0;
 };
 
 }  // namespace at::bhr

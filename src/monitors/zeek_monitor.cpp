@@ -44,9 +44,12 @@ void ZeekMonitor::on_flow(const net::Flow& flow) {
 
   if (inbound) {
     auto& state = sources_[flow.src.value()];
-    if (state.times.empty()) state.window_start = flow.ts;
+    if (!state.seen) {
+      state.seen = true;
+      state.window_start = flow.ts;
+    }
     roll_window(state, flow.ts);
-    state.times.push_back(flow.ts);
+    state.last_seen = flow.ts;
     state.destinations.insert(flow.dst.value());
     state.ports.insert(flow.dst_port);
 
@@ -124,6 +127,29 @@ void ZeekMonitor::on_flow(const net::Flow& flow) {
     }
     check_beacon(flow);
   }
+}
+
+std::size_t ZeekMonitor::prune_idle(util::SimTime now) {
+  std::size_t dropped = 0;
+  for (auto it = sources_.begin(); it != sources_.end();) {
+    if (now - it->second.last_seen > config_.window) {
+      it = sources_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  const util::SimTime pair_idle = kPairIdleWindows * config_.window;
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    const PairState& pair = it->second;
+    if (!pair.arrivals.empty() && now - pair.arrivals.back() > pair_idle) {
+      it = pairs_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 void ZeekMonitor::check_beacon(const net::Flow& flow) {

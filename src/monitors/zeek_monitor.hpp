@@ -50,6 +50,25 @@ class ZeekMonitor final : public Monitor {
   /// Number of flows processed.
   [[nodiscard]] std::uint64_t flows_seen() const noexcept { return flows_seen_; }
 
+  /// Drop per-source window state idle for more than one window and beacon
+  /// pair state idle for more than kPairIdleWindows windows; returns how
+  /// many entries were dropped. Source eviction is invisible to detection:
+  /// an evicted source's next flow rebuilds exactly the state roll_window
+  /// would have produced. Pair eviction forgets beacons whose period
+  /// exceeds kPairIdleWindows * window — an explicit bound, since beacon
+  /// arrival history is otherwise retained forever. Wired to the testbed's
+  /// maintenance events so hour-long replays don't accumulate one entry
+  /// per Internet-wide scanner.
+  std::size_t prune_idle(util::SimTime now);
+
+  /// Per-source window states currently tracked (for tests/benches).
+  [[nodiscard]] std::size_t tracked_sources() const noexcept { return sources_.size(); }
+  /// (src,dst) beacon states currently tracked.
+  [[nodiscard]] std::size_t tracked_pairs() const noexcept { return pairs_.size(); }
+
+  /// Pair state is pruned after this many windows of inactivity.
+  static constexpr util::SimTime kPairIdleWindows = 8;
+
   /// Name an internal address (for host= fields); defaults to the dotted quad.
   void set_host_name(net::Ipv4 addr, std::string name);
 
@@ -60,11 +79,12 @@ class ZeekMonitor final : public Monitor {
 
  private:
   struct SourceState {
-    std::vector<util::SimTime> times;                 // recent activity times
     std::unordered_set<std::uint32_t> destinations;   // distinct dsts in window
     std::unordered_set<std::uint32_t> ports;          // distinct dst ports in window
     std::size_t ssh_failures = 0;
     util::SimTime window_start = 0;
+    util::SimTime last_seen = 0;
+    bool seen = false;                                // first-flow initialization
     bool address_scan_reported = false;
     bool port_scan_reported = false;
     bool bruteforce_reported = false;

@@ -1,0 +1,136 @@
+#pragma once
+// Small-buffer-optimized event callback storage for the discrete-event
+// engine. The seed engine kept one std::function<void(Engine&)> per pending
+// event in an unordered_map — at millions of events/sec the per-event heap
+// allocation (any capture list beyond two pointers spills out of
+// std::function's internal buffer) dominated schedule_at(). CallbackSlot
+// stores any callable up to kInlineSize bytes directly inside the event
+// slab slot; larger or throwing-move callables degrade to exactly the seed
+// behavior by wrapping in a std::function that itself sits in the inline
+// buffer. Engine::stats() counts both populations so benches can verify
+// the inline path actually covers the real callers.
+//
+// The placement new here is the slab-allocator construction path; it is
+// allowlisted for at_lint's raw-new-delete rule (see
+// tools/at_lint/allowlist.txt) — ownership never leaves the slot, and
+// reset()/relocation always run the matching destructor.
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace at::sim {
+
+class Engine;
+
+namespace detail {
+
+class CallbackSlot {
+ public:
+  /// Inline capacity: fits the engine's real capture lists (replay
+  /// scenarios capture a testbed pointer plus a couple of scalars) and the
+  /// std::function fallback object itself.
+  static constexpr std::size_t kInlineSize = 48;
+
+  CallbackSlot() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, CallbackSlot>, int> = 0>
+  explicit CallbackSlot(F&& fn) {
+    emplace(std::forward<F>(fn));
+  }
+
+  CallbackSlot(CallbackSlot&& other) noexcept { move_from(other); }
+  CallbackSlot& operator=(CallbackSlot&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  CallbackSlot(const CallbackSlot&) = delete;
+  CallbackSlot& operator=(const CallbackSlot&) = delete;
+  ~CallbackSlot() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+  /// True when the callable overflowed the inline buffer and went through
+  /// the std::function fallback (the seed allocation path).
+  [[nodiscard]] bool boxed() const noexcept { return boxed_; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) ops_->destroy(&buf_);
+      ops_ = nullptr;
+      boxed_ = false;
+    }
+  }
+
+  void operator()(Engine& engine) { ops_->invoke(&buf_, engine); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj, Engine& engine);
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* obj) noexcept;
+    bool trivial;  ///< relocation is a memcpy and destruction is a no-op
+  };
+
+  template <typename F>
+  struct OpsFor {
+    static void invoke(void* obj, Engine& engine) { (*static_cast<F*>(obj))(engine); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void destroy(void* obj) noexcept { static_cast<F*>(obj)->~F(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy,
+                             std::is_trivially_copyable_v<F> &&
+                                 std::is_trivially_destructible_v<F>};
+  };
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= kInlineSize &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(&buf_)) Decayed(std::forward<F>(fn));
+      ops_ = &OpsFor<Decayed>::ops;
+    } else {
+      using Boxed = std::function<void(Engine&)>;
+      static_assert(sizeof(Boxed) <= kInlineSize &&
+                        std::is_nothrow_move_constructible_v<Boxed>,
+                    "std::function fallback must fit the inline buffer");
+      ::new (static_cast<void*>(&buf_)) Boxed(std::forward<F>(fn));
+      ops_ = &OpsFor<Boxed>::ops;
+      boxed_ = true;
+    }
+  }
+
+  void move_from(CallbackSlot& other) noexcept {
+    ops_ = other.ops_;
+    boxed_ = other.boxed_;
+    if (ops_ != nullptr) {
+      if (ops_->trivial) {
+        // Slot moves happen twice per event (into the slab, out at pop);
+        // for trivially copyable callables a whole-buffer copy beats the
+        // indirect relocate call and the compiler inlines it away.
+        std::memcpy(&buf_, &other.buf_, kInlineSize);
+      } else {
+        ops_->relocate(&other.buf_, &buf_);
+      }
+      other.ops_ = nullptr;
+      other.boxed_ = false;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+  bool boxed_ = false;
+};
+
+}  // namespace detail
+}  // namespace at::sim

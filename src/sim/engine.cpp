@@ -1,81 +1,155 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
 namespace at::sim {
 
-EventId Engine::schedule_at(util::SimTime when, Callback callback, std::string label) {
-  (void)label;  // labels are advisory; kept in the API for tracing builds
+EventId Engine::schedule_slot(util::SimTime when, detail::CallbackSlot&& slot,
+                              std::string_view label) {
+  const bool boxed = slot.boxed();
   util::LockGuard lock(mu_);
-  if (when < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
-  const EventId id = next_id_++;
-  queue_.push(Item{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(callback));
+  if (when < queue_.floor_time()) {
+    throw std::invalid_argument("Engine::schedule_at: time in the past");
+  }
+  const EventId id = queue_.schedule(when, std::move(slot));
+  if (boxed) {
+    ++boxed_callbacks_;
+  } else {
+    ++inline_callbacks_;
+  }
+  if (trace_capacity_ != 0) trace_push(when, id, 's', label);
   return id;
-}
-
-EventId Engine::schedule_in(util::SimTime delay, Callback callback, std::string label) {
-  // now() takes its own lock; schedule_at re-locks. The gap is harmless:
-  // a concurrent driver can only move now_ forward, and schedule_at
-  // validates against the fresh value.
-  return schedule_at(now() + delay, std::move(callback), std::move(label));
 }
 
 bool Engine::cancel(EventId id) {
   util::LockGuard lock(mu_);
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  ++cancelled_;
+  util::SimTime when = 0;
+  if (!queue_.cancel(id, &when)) {
+    ++cancel_misses_;
+    return false;
+  }
+  if (trace_capacity_ != 0) trace_push(when, id, 'c', {});
   return true;
 }
 
-bool Engine::pop_runnable(util::SimTime until, Callback& body) {
-  util::LockGuard lock(mu_);
-  while (!queue_.empty()) {
-    const Item item = queue_.top();
-    const auto it = callbacks_.find(item.id);
-    if (it == callbacks_.end()) {
-      // Cancelled event: drop the tombstone.
-      queue_.pop();
-      --cancelled_;
-      continue;
-    }
-    if (item.when > until) return false;
-    queue_.pop();
-    now_ = item.when;
-    body = std::move(it->second);
-    callbacks_.erase(it);
-    ++executed_;
-    return true;
+bool Engine::pop_runnable(util::SimTime until, detail::CallbackSlot& body) {
+  util::SimTime fired_at = 0;
+  EventId id = 0;
+  {
+    util::LockGuard lock(mu_);
+    if (!queue_.pop_due(until, body, fired_at, id)) return false;
+    if (trace_capacity_ != 0) trace_push(fired_at, id, 'x', {});
   }
-  return false;
+  // Publish the clock after releasing mu_ so now() readers never contend
+  // with schedulers. Relaxed is enough: only this drain loop writes — which
+  // also makes the load+store increment safe (no RMW needed).
+  now_.store(fired_at, std::memory_order_relaxed);
+  executed_.store(executed_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  return true;
 }
 
 bool Engine::step() {
-  Callback body;
+  detail::CallbackSlot body;
   if (!pop_runnable(std::numeric_limits<util::SimTime>::max(), body)) return false;
-  body(*this);  // mu_ released: callbacks re-enter schedule_at()/cancel()
+  body(*this);  // locks released: callbacks re-enter schedule_at()/cancel()
   return true;
 }
 
 std::uint64_t Engine::run_until(util::SimTime until) {
   std::uint64_t ran = 0;
-  Callback body;
+  detail::CallbackSlot body;
   while (pop_runnable(until, body)) {
     body(*this);
+    body.reset();
     ++ran;
   }
-  util::LockGuard lock(mu_);
-  if (now_ < until) now_ = until;
+  {
+    util::LockGuard lock(mu_);
+    queue_.advance_floor(until);
+  }
+  if (now_.load(std::memory_order_relaxed) < until) {
+    now_.store(until, std::memory_order_relaxed);
+  }
   return ran;
 }
 
 std::uint64_t Engine::run() {
   std::uint64_t ran = 0;
-  while (step()) ++ran;
+  detail::CallbackSlot body;
+  while (pop_runnable(std::numeric_limits<util::SimTime>::max(), body)) {
+    body(*this);
+    body.reset();
+    ++ran;
+  }
   return ran;
+}
+
+Engine::Stats Engine::stats() const {
+  Stats out;
+  {
+    util::LockGuard lock(mu_);
+    const detail::TimerQueue::Counters& c = queue_.counters();
+    out.scheduled = c.scheduled;
+    out.cancelled = c.cancelled;
+    out.wheel_events = c.wheel_events;
+    out.overflow_events = c.overflow_events;
+    out.rebases = c.rebases;
+    out.max_pending = c.max_pending;
+    out.pending = queue_.live();
+    out.cancel_misses = cancel_misses_;
+    out.inline_callbacks = inline_callbacks_;
+    out.boxed_callbacks = boxed_callbacks_;
+  }
+  out.executed = executed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Engine::enable_trace(std::size_t capacity) {
+  util::LockGuard lock(mu_);
+  trace_capacity_ = capacity;
+  trace_ring_.assign(capacity, TraceEntry{});
+  trace_next_ = 0;
+  trace_size_ = 0;
+}
+
+void Engine::disable_trace() {
+  util::LockGuard lock(mu_);
+  trace_capacity_ = 0;
+  trace_next_ = 0;
+  trace_size_ = 0;
+  trace_ring_.clear();
+  trace_ring_.shrink_to_fit();
+}
+
+std::vector<Engine::TraceEntry> Engine::trace() const {
+  util::LockGuard lock(mu_);
+  std::vector<TraceEntry> out;
+  out.reserve(trace_size_);
+  if (trace_size_ != 0) {
+    const std::size_t start =
+        (trace_next_ + trace_capacity_ - trace_size_) % trace_capacity_;
+    for (std::size_t i = 0; i < trace_size_; ++i) {
+      out.push_back(trace_ring_[(start + i) % trace_capacity_]);
+    }
+  }
+  return out;
+}
+
+void Engine::trace_push(util::SimTime when, EventId id, char kind,
+                        std::string_view label) {
+  TraceEntry& entry = trace_ring_[trace_next_];
+  entry.when = when;
+  entry.id = id;
+  entry.kind = kind;
+  const std::size_t n = std::min(label.size(), TraceEntry::kLabelBytes - 1);
+  if (n != 0) std::memcpy(entry.label, label.data(), n);
+  entry.label[n] = '\0';
+  trace_next_ = (trace_next_ + 1) % trace_capacity_;
+  if (trace_size_ < trace_capacity_) ++trace_size_;
 }
 
 PeriodicTask::PeriodicTask(Engine& engine, util::SimTime period, Engine::Callback body,

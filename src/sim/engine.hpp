@@ -4,54 +4,97 @@
 // scripted attack scenarios — runs as events on one shared engine so the
 // whole deployment is deterministic and replayable.
 //
-// Thread safety: queue state is guarded by an annotated mutex so worker
-// threads may schedule_at()/cancel() against an engine that another thread
-// is driving. The lock is *released* while an event body runs — callbacks
-// routinely re-enter schedule_at()/cancel() (PeriodicTask re-arms itself
-// from inside its own callback), and mu_ is non-recursive. Determinism is
-// unchanged for the single-driver case: only one run()/step() caller may
-// drive the engine at a time.
+// The scheduler core is a calendar timing wheel over slab-allocated event
+// slots (sim/timing_wheel.hpp): near events land in one-tick buckets,
+// far-future events in an overflow heap, cancellation is a generation
+// check plus an O(1) unlink, and callbacks up to 48 bytes are stored
+// inline in the slot (sim/callback_slot.hpp) instead of a heap-allocated
+// std::function. Execution order is (when, seq) — byte-identical to the
+// binary-heap engine this replaced; tests/test_sim_oracle.cpp holds the
+// two against each other over randomized traces.
+//
+// Thread safety: mu_ guards the timer queue (schedule/cancel/pop and the
+// trace ring); the now_/executed_ mirror that observers read is a pair of
+// relaxed atomics written only by the drain loop, so now() — called twice
+// by a typical callback while sizing its next delay — is one load and
+// never contends with another worker's schedule_at(). The queue lock is
+// *released* while an event body runs: callbacks routinely re-enter
+// schedule_at()/cancel() (PeriodicTask re-arms itself from inside its own
+// callback), and mu_ is non-recursive. Determinism is unchanged for the
+// single-driver case: only one run()/step() caller may drive the engine
+// at a time.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "sim/callback_slot.hpp"
+#include "sim/timing_wheel.hpp"
 #include "util/annotated_mutex.hpp"
 #include "util/time_utils.hpp"
 
 namespace at::sim {
 
-using EventId = std::uint64_t;
-
 class Engine {
  public:
   using Callback = std::function<void(Engine&)>;
 
-  explicit Engine(util::SimTime start = 0) : now_(start) {}
+  /// Monotonic counters for benches and tests; see stats().
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t cancel_misses = 0;      ///< cancel() calls that found nothing
+    std::uint64_t inline_callbacks = 0;   ///< callables stored in the 48-byte slot
+    std::uint64_t boxed_callbacks = 0;    ///< callables boxed via std::function
+    std::uint64_t wheel_events = 0;       ///< events bucketed directly
+    std::uint64_t overflow_events = 0;    ///< events routed via the far heap
+    std::uint64_t rebases = 0;            ///< wheel window re-bases
+    std::size_t pending = 0;              ///< live events right now
+    std::size_t max_pending = 0;          ///< high-water mark of live events
+  };
+
+  /// One record in the opt-in trace ring (see enable_trace()).
+  struct TraceEntry {
+    static constexpr std::size_t kLabelBytes = 40;
+    util::SimTime when = 0;    ///< the event's deadline
+    EventId id = 0;
+    char kind = 0;             ///< 's' scheduled, 'x' executed, 'c' cancelled
+    char label[kLabelBytes] = {};  ///< NUL-terminated, truncated; 's' only
+  };
+
+  explicit Engine(util::SimTime start = 0) : now_(start), queue_(start) {}
 
   [[nodiscard]] util::SimTime now() const {
-    util::LockGuard lock(mu_);
-    return now_;
+    return now_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::size_t pending() const {
+  [[nodiscard]] std::size_t pending() const AT_EXCLUDES(mu_) {
     util::LockGuard lock(mu_);
-    return queue_.size() - cancelled_;
+    return queue_.live();
   }
   [[nodiscard]] std::uint64_t executed() const {
-    util::LockGuard lock(mu_);
-    return executed_;
+    return executed_.load(std::memory_order_relaxed);
   }
 
-  /// Schedule `callback` at absolute time `when` (>= now). Returns an id
-  /// usable with cancel(). Ties run in scheduling order (stable).
-  EventId schedule_at(util::SimTime when, Callback callback, std::string label = {});
+  /// Schedule `fn` at absolute time `when` (>= now). Returns an id usable
+  /// with cancel(). Ties run in scheduling order (stable). `label` is
+  /// recorded only when the trace ring is enabled; it is not retained
+  /// otherwise and costs nothing.
+  template <typename F>
+  EventId schedule_at(util::SimTime when, F&& fn, std::string_view label = {}) {
+    return schedule_slot(when, detail::CallbackSlot(std::forward<F>(fn)), label);
+  }
   /// Schedule at now + delay.
-  EventId schedule_in(util::SimTime delay, Callback callback, std::string label = {});
+  template <typename F>
+  EventId schedule_in(util::SimTime delay, F&& fn, std::string_view label = {}) {
+    return schedule_slot(now() + delay, detail::CallbackSlot(std::forward<F>(fn)),
+                         label);
+  }
   /// Cancel a pending event; returns false if already run/cancelled.
-  bool cancel(EventId id);
+  bool cancel(EventId id) AT_EXCLUDES(mu_);
 
   /// Run until the queue drains or `until` is passed (events at t > until
   /// stay queued). Returns the number of events executed.
@@ -61,33 +104,46 @@ class Engine {
   /// Execute exactly one event if any is pending; returns whether one ran.
   bool step();
 
- private:
-  struct Item {
-    util::SimTime when;
-    std::uint64_t seq;
-    EventId id;
-    // Ordered min-first by (when, seq) for deterministic tie-breaking.
-    bool operator>(const Item& other) const noexcept {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
-  };
+  /// Snapshot of the engine's counters (the queue counters are coherent
+  /// under mu_; executed is read separately and may trail pending by the
+  /// event in flight).
+  [[nodiscard]] Stats stats() const AT_EXCLUDES(mu_);
 
-  /// Pop the next runnable event at time <= `until`, dropping cancelled
-  /// tombstones; advances now_ and executed_. Returns false when nothing
-  /// runs. The caller invokes `body` with mu_ released.
-  bool pop_runnable(util::SimTime until, Callback& body) AT_EXCLUDES(mu_);
+  /// Keep the last `capacity` schedule/execute/cancel records in a fixed
+  /// ring. Off by default; when off, labels are dropped at the call site
+  /// and the only cost on the hot path is one predictable branch.
+  void enable_trace(std::size_t capacity) AT_EXCLUDES(mu_);
+  void disable_trace() AT_EXCLUDES(mu_);
+  /// Ring contents, oldest first.
+  [[nodiscard]] std::vector<TraceEntry> trace() const AT_EXCLUDES(mu_);
+
+ private:
+  EventId schedule_slot(util::SimTime when, detail::CallbackSlot&& slot,
+                        std::string_view label) AT_EXCLUDES(mu_);
+
+  /// Pop the next runnable event at time <= `until`; advances the queue
+  /// floor and then the published clock. Returns false when nothing runs.
+  /// The caller invokes `body` with the lock released.
+  bool pop_runnable(util::SimTime until, detail::CallbackSlot& body) AT_EXCLUDES(mu_);
+
+  void trace_push(util::SimTime when, EventId id, char kind, std::string_view label)
+      AT_REQUIRES(mu_);
+
+  // Published clock: written only by the drain loop (single driver),
+  // relaxed-read by everyone else. Observers that need the clock coherent
+  // with queue state must go through stats().
+  std::atomic<util::SimTime> now_ AT_NOT_GUARDED;
+  std::atomic<std::uint64_t> executed_ AT_NOT_GUARDED{0};
 
   mutable util::Mutex mu_;
-  util::SimTime now_ AT_GUARDED_BY(mu_);
-  std::uint64_t next_seq_ AT_GUARDED_BY(mu_) = 0;
-  EventId next_id_ AT_GUARDED_BY(mu_) = 1;
-  std::uint64_t executed_ AT_GUARDED_BY(mu_) = 0;
-  std::size_t cancelled_ AT_GUARDED_BY(mu_) = 0;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_ AT_GUARDED_BY(mu_);
-  // Keyed by id; a queue entry whose id is absent here is a cancelled
-  // tombstone and is dropped when it reaches the head.
-  std::unordered_map<EventId, Callback> callbacks_ AT_GUARDED_BY(mu_);
+  detail::TimerQueue queue_ AT_GUARDED_BY(mu_);
+  std::uint64_t cancel_misses_ AT_GUARDED_BY(mu_) = 0;
+  std::uint64_t inline_callbacks_ AT_GUARDED_BY(mu_) = 0;
+  std::uint64_t boxed_callbacks_ AT_GUARDED_BY(mu_) = 0;
+  std::size_t trace_capacity_ AT_GUARDED_BY(mu_) = 0;
+  std::size_t trace_next_ AT_GUARDED_BY(mu_) = 0;
+  std::size_t trace_size_ AT_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEntry> trace_ring_ AT_GUARDED_BY(mu_);
 };
 
 /// Repeating event helper: schedules itself every `period` until stopped.

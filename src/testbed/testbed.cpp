@@ -83,6 +83,24 @@ bool Testbed::inject_flow(const net::Flow& flow) {
   return delivered;
 }
 
+void Testbed::schedule_maintenance(util::SimTime period, util::SimTime until) {
+  if (period <= 0) return;
+  const util::SimTime first = engine_.now() + period;
+  if (first > until) return;
+  engine_.schedule_at(
+      first,
+      [this, period, until](sim::Engine& engine) {
+        ++maintenance_.ticks;
+        maintenance_.blocks_expired += router_.expire(engine.now());
+        maintenance_.monitor_state_pruned += zeek_->prune_idle(engine.now());
+        // Re-arm as a chain event so the chain dies at `until` and run()
+        // can drain.
+        const util::SimTime next = engine.now() + period;
+        if (next <= until) schedule_maintenance(period, until);
+      },
+      "testbed.maintenance");
+}
+
 VulnerableService* Testbed::add_vulnerable_service(const std::string& package,
                                                    const std::string& yyyymmdd,
                                                    util::SimTime now) {

@@ -77,6 +77,23 @@ class Testbed {
   /// dropped at the BHR.
   bool inject_flow(const net::Flow& flow);
 
+  /// Counters from the periodic maintenance events (see below).
+  struct MaintenanceStats {
+    std::uint64_t ticks = 0;             ///< maintenance events that ran
+    std::uint64_t blocks_expired = 0;    ///< BHR entries reaped
+    std::uint64_t monitor_state_pruned = 0;  ///< Zeek source/pair entries dropped
+  };
+
+  /// Schedule a bounded chain of "testbed.maintenance" events, one every
+  /// `period` from now+period through `until`, each reaping expired BHR
+  /// blocks and pruning idle Zeek window state. A bounded chain rather
+  /// than a PeriodicTask so scenarios that drain the engine with run()
+  /// still terminate. Call again to extend coverage past `until`.
+  void schedule_maintenance(util::SimTime period, util::SimTime until);
+  [[nodiscard]] const MaintenanceStats& maintenance_stats() const noexcept {
+    return maintenance_;
+  }
+
   /// Hooks handed to honeypot services (monitor fan-in).
   [[nodiscard]] ServiceHooks hooks();
 
@@ -97,6 +114,7 @@ class Testbed {
   std::vector<std::unique_ptr<PostgresHoneypot>> postgres_;
   std::vector<std::unique_ptr<SshHoneypot>> ssh_;
   std::vector<std::unique_ptr<VulnerableService>> services_;
+  MaintenanceStats maintenance_;
 };
 
 }  // namespace at::testbed

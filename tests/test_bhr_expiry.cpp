@@ -1,0 +1,186 @@
+// Property tests for the BHR expiry min-heap and the hybrid scan
+// recorder.
+//
+// The heap replaces O(all blocks) scans in expire()/active_blocks() with
+// lazy-deleted {expires_at, stamp, ip} items; a naive model (map of
+// expiry times, full scan each query) is the oracle. Random traces mix
+// TTL'd blocks, permanent blocks, re-blocks that extend or shorten TTLs
+// (staling the old heap item), unblocks, and out-of-order expire() ticks.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bhr/bhr.hpp"
+#include "util/rng.hpp"
+
+namespace at {
+namespace {
+
+net::Ipv4 external_ip(std::uint32_t n) {
+  // 203.x.y.z — safely outside the protected /16.
+  return net::Ipv4(203, static_cast<std::uint8_t>(n >> 16),
+                   static_cast<std::uint8_t>(n >> 8), static_cast<std::uint8_t>(n));
+}
+
+// Naive reference: ip -> (expires_at, permanent?) with full-scan queries.
+class NaiveBlockModel {
+ public:
+  void block(std::uint32_t ip, util::SimTime now, util::SimTime ttl) {
+    table_[ip] = ttl > 0 ? now + ttl : 0;
+  }
+  bool unblock(std::uint32_t ip) { return table_.erase(ip) > 0; }
+  std::size_t expire(util::SimTime now) {
+    std::size_t removed = 0;
+    for (auto it = table_.begin(); it != table_.end();) {
+      if (it->second != 0 && it->second <= now) {
+        it = table_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+  [[nodiscard]] std::size_t active(util::SimTime now) const {
+    std::size_t count = 0;
+    for (const auto& [ip, expiry] : table_) {
+      if (expiry == 0 || expiry > now) ++count;
+    }
+    return count;
+  }
+  [[nodiscard]] bool is_blocked(std::uint32_t ip, util::SimTime now) const {
+    const auto it = table_.find(ip);
+    return it != table_.end() && (it->second == 0 || it->second > now);
+  }
+
+ private:
+  std::map<std::uint32_t, util::SimTime> table_;
+};
+
+class BhrExpiryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BhrExpiryProperty, HeapMatchesNaiveModelOnRandomTraces) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503 + 7);
+  bhr::BlackHoleRouter router;
+  NaiveBlockModel model;
+  util::SimTime now = 0;
+  constexpr std::uint32_t kPopulation = 300;
+
+  for (int step = 0; step < 4000; ++step) {
+    now += rng.uniform_int(0, 30);
+    const auto ip = static_cast<std::uint32_t>(rng.uniform_int(0, kPopulation - 1));
+    const auto roll = rng.uniform_int(0, 99);
+    if (roll < 55) {
+      // TTL'd block; frequent re-blocks of the same small population make
+      // most heap items stale (the lazy-deletion stress).
+      const util::SimTime ttl = rng.uniform_int(1, 200);
+      router.block(external_ip(ip), now, ttl, "scan", "test");
+      model.block(ip, now, ttl);
+    } else if (roll < 62) {
+      router.block(external_ip(ip), now, 0, "manual", "test");  // permanent
+      model.block(ip, now, 0);
+    } else if (roll < 75) {
+      EXPECT_EQ(router.unblock(external_ip(ip), now, "test"), model.unblock(ip));
+    } else if (roll < 90) {
+      EXPECT_EQ(router.expire(now), model.expire(now));
+    }
+    EXPECT_EQ(router.is_blocked(external_ip(ip), now), model.is_blocked(ip, now));
+    if (step % 16 == 0) {
+      EXPECT_EQ(router.active_blocks(now), model.active(now)) << "step " << step;
+    }
+  }
+  // Final reconciliation: everything TTL'd eventually expires.
+  now += 100000;
+  EXPECT_EQ(router.expire(now), model.expire(now));
+  EXPECT_EQ(router.active_blocks(now), model.active(now));
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, BhrExpiryProperty, ::testing::Range(0, 8));
+
+TEST(BhrExpiry, ReblockExtendsAndOldHeapItemGoesStale) {
+  bhr::BlackHoleRouter router;
+  const net::Ipv4 ip = external_ip(1);
+  ASSERT_TRUE(router.block(ip, 0, 10, "a", "t"));
+  ASSERT_TRUE(router.block(ip, 5, 100, "b", "t"));  // extends to 105
+  // The original item surfaces at t=10 but is stale — nothing expires.
+  EXPECT_EQ(router.expire(10), 0u);
+  EXPECT_TRUE(router.is_blocked(ip, 10));
+  EXPECT_EQ(router.active_blocks(10), 1u);
+  EXPECT_EQ(router.expire(105), 1u);
+  EXPECT_FALSE(router.is_blocked(ip, 105));
+}
+
+TEST(BhrExpiry, PermanentBlocksNeverExpire) {
+  bhr::BlackHoleRouter router;
+  ASSERT_TRUE(router.block(external_ip(1), 0, 0, "perm", "t"));
+  ASSERT_TRUE(router.block(external_ip(2), 0, 50, "ttl", "t"));
+  EXPECT_EQ(router.expire(1000000), 1u);
+  EXPECT_EQ(router.active_blocks(1000000), 1u);
+  EXPECT_TRUE(router.is_blocked(external_ip(1), 1000000));
+}
+
+// --- hybrid scan recorder ------------------------------------------------
+
+net::Flow probe(std::uint32_t src, std::uint16_t host, util::SimTime ts) {
+  net::Flow flow;
+  flow.ts = ts;
+  flow.src = external_ip(src);
+  flow.dst = net::blocks::ncsa16().host(host);
+  flow.dst_port = 22;
+  flow.state = net::ConnState::kAttempt;
+  return flow;
+}
+
+TEST(ScanRecorderHybrid, SmallSetCountsExactlyAndDoesNotPromote) {
+  bhr::ScanRecorder recorder;
+  // 16 distinct targets, each probed twice, in interleaved order.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint16_t h = 100; h < 116; ++h) {
+      recorder.record(probe(1, h, pass));
+    }
+  }
+  EXPECT_EQ(recorder.promoted_sources(), 0u);
+  const auto top = recorder.top_scanners(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].probes, 32u);
+  EXPECT_EQ(top[0].distinct_targets, 16u);
+}
+
+TEST(ScanRecorderHybrid, PromotionAtSeventeenthTargetKeepsExactCounts) {
+  bhr::ScanRecorder recorder;
+  util::Rng rng(99);
+  // Reference distinct-set per source.
+  std::map<std::uint32_t, std::vector<bool>> seen;
+  std::map<std::uint32_t, std::size_t> distinct;
+  for (int i = 0; i < 20000; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.uniform_int(0, 4));
+    const auto host = static_cast<std::uint16_t>(rng.uniform_int(1, 4000));
+    recorder.record(probe(src, host, i));
+    auto& bits = seen[src];
+    if (bits.empty()) bits.resize(65536, false);
+    if (!bits[host]) {
+      bits[host] = true;
+      ++distinct[src];
+    }
+  }
+  EXPECT_EQ(recorder.promoted_sources(), 5u);  // all five crossed 16 targets
+  for (const auto& profile : recorder.top_scanners(10)) {
+    EXPECT_EQ(profile.distinct_targets, distinct[profile.source.value() & 0xffffffu])
+        << profile.source.str();
+  }
+}
+
+TEST(ScanRecorderHybrid, OneProbeSourcesStayInline) {
+  bhr::ScanRecorder recorder;
+  for (std::uint32_t src = 0; src < 5000; ++src) {
+    recorder.record(probe(src, static_cast<std::uint16_t>(src & 0xfff), 1));
+  }
+  EXPECT_EQ(recorder.distinct_sources(), 5000u);
+  EXPECT_EQ(recorder.promoted_sources(), 0u);
+}
+
+}  // namespace
+}  // namespace at

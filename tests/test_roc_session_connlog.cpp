@@ -115,7 +115,13 @@ TEST(SessionPipelineTest, SeparateAccountsSeparateDetectors) {
     alert.ts = i;
     alert.type = i == 0 ? alerts::AlertType::kPortScan : alerts::AlertType::kSshBruteforce;
     alert.host = "h";
-    alert.user = i == 0 ? "u1" : "u2";
+    // Not a ternary char* pick: that form trips a GCC 12 -O3
+    // -Wmaybe-uninitialized false positive inside the string SSO buffer.
+    if (i == 0) {
+      alert.user = "u1";
+    } else {
+      alert.user = "u2";
+    }
     EXPECT_FALSE(pipeline.on_alert(alert).has_value());
   }
   EXPECT_EQ(pipeline.sessionizer().sessions().size(), 2u);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <string>
+
 #include "sim/engine.hpp"
 
 namespace at::sim {
@@ -108,6 +112,154 @@ TEST(PeriodicTaskTest, SelfStopInsideCallback) {
 TEST(PeriodicTaskTest, RejectsNonPositivePeriod) {
   Engine engine;
   EXPECT_THROW(PeriodicTask(engine, 0, [](Engine&) {}), std::invalid_argument);
+}
+
+TEST(Engine, StatsCountSchedulesExecutionsAndCancels) {
+  Engine engine;
+  const auto id1 = engine.schedule_at(10, [](Engine&) {});
+  engine.schedule_at(20, [](Engine&) {});
+  engine.schedule_at(100000, [](Engine&) {});  // far future -> overflow heap
+  EXPECT_TRUE(engine.cancel(id1));
+  EXPECT_FALSE(engine.cancel(id1));
+  engine.run();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.scheduled, 3u);
+  EXPECT_EQ(stats.executed, 2u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.cancel_misses, 1u);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.max_pending, 3u);
+  EXPECT_EQ(stats.overflow_events, 1u);
+  EXPECT_EQ(stats.wheel_events, 2u);
+  EXPECT_EQ(stats.inline_callbacks, 3u);
+  EXPECT_EQ(stats.boxed_callbacks, 0u);
+}
+
+TEST(Engine, LargeCaptureListsAreBoxedAndStillRun) {
+  Engine engine;
+  // 64 bytes of captured state overflows the 48-byte inline slot.
+  std::array<std::uint64_t, 8> payload{};
+  payload.fill(7);
+  std::uint64_t sum = 0;
+  auto* out = &sum;
+  engine.schedule_at(5, [payload, out](Engine&) {
+    for (const auto v : payload) *out += v;
+  });
+  engine.run();
+  EXPECT_EQ(sum, 56u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.boxed_callbacks, 1u);
+  EXPECT_EQ(stats.inline_callbacks, 0u);
+}
+
+TEST(Engine, CancelFarFutureOverflowEvent) {
+  Engine engine;
+  bool fired = false;
+  const auto id = engine.schedule_at(1000000, [&](Engine&) { fired = true; });
+  engine.schedule_at(10, [](Engine&) {});
+  EXPECT_EQ(engine.pending(), 2u);
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.now(), 10);  // the dead far event never drives the clock
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+TEST(Engine, CancelOfInFlightEventReportsFalse) {
+  Engine engine;
+  EventId self = 0;
+  bool cancel_result = true;
+  self = engine.schedule_at(10, [&](Engine& e) { cancel_result = e.cancel(self); });
+  engine.run();
+  EXPECT_FALSE(cancel_result);  // already executing == already consumed
+}
+
+TEST(Engine, EventIdsAreNeverReusedAcrossSlotRecycling) {
+  Engine engine;
+  const auto id1 = engine.schedule_at(1, [](Engine&) {});
+  engine.run();
+  const auto id2 = engine.schedule_at(2, [](Engine&) {});  // recycles the slot
+  EXPECT_NE(id1, id2);
+  EXPECT_NE(id2, 0u);  // 0 stays a null sentinel (PeriodicTask relies on it)
+  EXPECT_FALSE(engine.cancel(id1));  // the stale handle must not hit id2
+  EXPECT_TRUE(engine.cancel(id2));
+}
+
+TEST(Engine, TraceRingRecordsLabeledLifecycle) {
+  Engine engine;
+  engine.enable_trace(8);
+  const auto id1 = engine.schedule_at(10, [](Engine&) {}, "alpha");
+  const auto id2 = engine.schedule_at(20, [](Engine&) {}, "beta");
+  engine.cancel(id2);
+  engine.run();
+  const auto entries = engine.trace();
+  ASSERT_EQ(entries.size(), 4u);  // s(alpha), s(beta), c(beta), x(alpha)
+  EXPECT_EQ(entries[0].kind, 's');
+  EXPECT_STREQ(entries[0].label, "alpha");
+  EXPECT_EQ(entries[0].id, id1);
+  EXPECT_EQ(entries[1].kind, 's');
+  EXPECT_STREQ(entries[1].label, "beta");
+  EXPECT_EQ(entries[2].kind, 'c');
+  EXPECT_EQ(entries[2].id, id2);
+  EXPECT_EQ(entries[2].when, 20);  // cancel records the event's deadline
+  EXPECT_EQ(entries[3].kind, 'x');
+  EXPECT_EQ(entries[3].id, id1);
+  EXPECT_EQ(entries[3].when, 10);
+}
+
+TEST(Engine, TraceRingWrapsAndDisableClears) {
+  Engine engine;
+  engine.enable_trace(4);
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(i + 1, [](Engine&) {}, "ev");
+  }
+  auto entries = engine.trace();
+  ASSERT_EQ(entries.size(), 4u);  // only the last four survive
+  EXPECT_EQ(entries.front().when, 7);
+  EXPECT_EQ(entries.back().when, 10);
+  engine.disable_trace();
+  EXPECT_TRUE(engine.trace().empty());
+  engine.schedule_at(100, [](Engine&) {}, "after");  // dropped: trace is off
+  EXPECT_TRUE(engine.trace().empty());
+  engine.run();
+}
+
+TEST(Engine, TraceLabelsAreTruncatedNotOverrun) {
+  Engine engine;
+  engine.enable_trace(2);
+  const std::string longlabel(200, 'x');
+  engine.schedule_at(1, [](Engine&) {}, longlabel);
+  const auto entries = engine.trace();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(std::string(entries[0].label).size(), Engine::TraceEntry::kLabelBytes - 1);
+  engine.run();
+}
+
+TEST(PeriodicTaskTest, StopThenReArmWithFreshTask) {
+  Engine engine;
+  int first = 0;
+  int second = 0;
+  auto task = std::make_unique<PeriodicTask>(engine, 10, [&](Engine&) { ++first; });
+  engine.run_until(35);
+  task->stop();
+  EXPECT_FALSE(task->running());
+  EXPECT_EQ(engine.pending(), 0u);  // the armed event was cancelled
+  task = std::make_unique<PeriodicTask>(engine, 7, [&](Engine&) { ++second; });
+  engine.run_until(100);
+  EXPECT_EQ(first, 3);   // 10, 20, 30
+  EXPECT_EQ(second, 9);  // 42, 49, ..., 98
+  task->stop();
+}
+
+TEST(PeriodicTaskTest, StopFromSeparateCallbackCancelsArmedEvent) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, 10, [&](Engine&) { ++fires; });
+  engine.schedule_at(25, [&](Engine&) { task.stop(); });
+  engine.run();  // must terminate: no armed event survives the stop
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(engine.pending(), 0u);
 }
 
 TEST(Engine, DeterministicAcrossRuns) {

@@ -303,6 +303,41 @@ TEST(TestbedTest, DeployWiresEverything) {
   }
 }
 
+TEST(TestbedTest, MaintenanceChainReapsBlocksAndPrunesMonitorState) {
+  TestbedConfig config;
+  Testbed bed(config, training());
+  bed.deploy(0);
+  auto& engine = bed.engine();
+
+  // One TTL'd block plus inbound probes that create Zeek window state.
+  const net::Ipv4 scanner(198, 51, 100, 7);
+  ASSERT_TRUE(bed.router().block(scanner, 0, 120, "scan", "test"));
+  const net::Ipv4 prober(198, 51, 100, 8);
+  for (int i = 0; i < 5; ++i) {
+    net::Flow flow;
+    flow.ts = i;
+    flow.src = prober;
+    flow.dst = bed.postgres().front()->address();
+    flow.src_port = 40000;
+    flow.dst_port = static_cast<std::uint16_t>(8000 + i);
+    flow.state = net::ConnState::kAttempt;
+    bed.inject_flow(flow);
+  }
+  EXPECT_GE(bed.zeek().tracked_sources(), 1u);
+
+  bed.schedule_maintenance(60, 600);
+  engine.run();  // bounded chain: run() must drain and terminate
+
+  const auto& stats = bed.maintenance_stats();
+  EXPECT_EQ(stats.ticks, 10u);  // t = 60, 120, ..., 600
+  EXPECT_EQ(stats.blocks_expired, 1u);  // the TTL'd block, reaped at t=120
+  EXPECT_GE(stats.monitor_state_pruned, 1u);
+  EXPECT_EQ(bed.zeek().tracked_sources(), 0u);
+  EXPECT_FALSE(bed.router().is_blocked(scanner, engine.now()));
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.now(), 600);
+}
+
 TEST(TestbedTest, InjectFlowPathways) {
   TestbedConfig config;
   Testbed bed(config, training());
