@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "alerts/alert.hpp"
+#include "alerts/taxonomy.hpp"
 #include "incidents/generator.hpp"
 
 namespace at::analysis {

@@ -173,8 +173,13 @@ std::vector<ScannerProfile> ScanRecorder::mass_scanners(std::uint64_t min_target
   for (const auto& [key, state] : per_source_) {
     if (state.profile.distinct_targets >= min_targets) out.push_back(state.profile);
   }
+  // Tie-break on source so equal-count scanners don't surface in
+  // unordered_map iteration order (nondeterministic across runs).
   std::sort(out.begin(), out.end(), [](const ScannerProfile& a, const ScannerProfile& b) {
-    return a.distinct_targets > b.distinct_targets;
+    if (a.distinct_targets != b.distinct_targets) {
+      return a.distinct_targets > b.distinct_targets;
+    }
+    return a.source < b.source;
   });
   return out;
 }

@@ -19,6 +19,7 @@
 
 #include "alerts/alert.hpp"
 #include "fg/model.hpp"
+#include "incidents/incident.hpp"
 
 namespace at::detect {
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "detect/detector.hpp"
+#include "incidents/generator.hpp"
+#include "incidents/incident.hpp"
 #include "incidents/noise.hpp"
 #include "util/stats.hpp"
 

@@ -1,3 +1,4 @@
+#include "alerts/taxonomy.hpp"
 #include "detect/refinery.hpp"
 
 #include <algorithm>

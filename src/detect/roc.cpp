@@ -1,3 +1,4 @@
+#include "alerts/taxonomy.hpp"
 #include "detect/roc.hpp"
 
 #include <algorithm>

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "detect/eval.hpp"
+#include "fg/model.hpp"
 
 namespace at::detect {
 

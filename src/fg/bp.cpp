@@ -33,6 +33,9 @@ std::vector<double> to_distribution(const std::vector<double>& log_belief) {
   }
   double total = 0.0;
   for (std::size_t i = 0; i < log_belief.size(); ++i) {
+    // at_lint: allow(banned-call) — this exp() IS the posterior readout
+    // (log-belief → linear probability, once per readout, not per
+    // observation); hot-path exps go through CompiledParams' tables.
     out[i] = std::exp(log_belief[i] - peak);
     total += out[i];
   }

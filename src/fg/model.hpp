@@ -16,6 +16,7 @@
 #include "fg/bp.hpp"
 #include "fg/graph.hpp"
 #include "incidents/generator.hpp"
+#include "util/time_utils.hpp"
 
 namespace at::fg {
 

@@ -1,3 +1,4 @@
+#include "alerts/taxonomy.hpp"
 #include "monitors/osquery_monitor.hpp"
 
 #include "util/strings.hpp"

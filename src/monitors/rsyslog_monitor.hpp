@@ -8,6 +8,7 @@
 #include "alerts/sanitizer.hpp"
 #include "alerts/symbolizer.hpp"
 #include "monitors/monitor.hpp"
+#include "util/time_utils.hpp"
 
 namespace at::monitors {
 

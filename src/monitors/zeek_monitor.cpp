@@ -1,3 +1,4 @@
+#include "alerts/taxonomy.hpp"
 #include "monitors/zeek_monitor.hpp"
 
 #include <cmath>

@@ -1,6 +1,8 @@
+#include "net/flow.hpp"
 #include "replay/background.hpp"
 
 #include "net/cidr.hpp"
+#include "sim/engine.hpp"
 
 namespace at::replay {
 

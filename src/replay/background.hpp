@@ -4,8 +4,10 @@
 // Struts vulnerability scanner, and legitimate client traffic. These are
 // what make preemption hard — the pipeline must stay quiet on all of them.
 
+#include "net/ipv4.hpp"
 #include "replay/scenario.hpp"
 #include "util/rng.hpp"
+#include "util/time_utils.hpp"
 
 namespace at::replay {
 

@@ -1,4 +1,7 @@
+#include "net/flow.hpp"
 #include "replay/campaigns.hpp"
+#include "sim/engine.hpp"
+#include "testbed/vuln_service.hpp"
 
 namespace at::replay {
 

@@ -10,7 +10,9 @@
 //     install, credential capture (a critical alert) — the attack class
 //     the testbed's SSH honeypot predecessor (CAUDIT) targeted.
 
+#include "net/ipv4.hpp"
 #include "replay/scenario.hpp"
+#include "util/time_utils.hpp"
 
 namespace at::replay {
 

@@ -1,4 +1,6 @@
+#include "net/flow.hpp"
 #include "replay/ransomware.hpp"
+#include "sim/engine.hpp"
 
 namespace at::replay {
 

@@ -17,7 +17,10 @@
 #include <optional>
 #include <unordered_set>
 
+#include "net/ipv4.hpp"
 #include "replay/scenario.hpp"
+#include "testbed/pipeline.hpp"
+#include "util/time_utils.hpp"
 
 namespace at::replay {
 

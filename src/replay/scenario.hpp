@@ -9,6 +9,7 @@
 #include <string>
 
 #include "testbed/testbed.hpp"
+#include "util/time_utils.hpp"
 
 namespace at::replay {
 

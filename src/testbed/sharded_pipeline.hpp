@@ -44,10 +44,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "alerts/taxonomy.hpp"
 #include "alerts/zeeklog.hpp"
+#include "net/ipv4.hpp"
 #include "testbed/pipeline.hpp"
 #include "util/annotated_mutex.hpp"
 #include "util/thread_pool.hpp"
+#include "util/time_utils.hpp"
 
 namespace at::testbed {
 

@@ -1,6 +1,7 @@
 #include "testbed/testbed.hpp"
 
 #include "fg/model.hpp"
+#include "vrt/snapshot.hpp"
 
 namespace at::testbed {
 

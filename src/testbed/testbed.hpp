@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "incidents/generator.hpp"
 #include "monitors/osquery_monitor.hpp"
 #include "monitors/zeek_monitor.hpp"
 #include "sim/engine.hpp"

@@ -8,7 +8,9 @@
 
 #include <string>
 
+#include "net/ipv4.hpp"
 #include "testbed/services.hpp"
+#include "util/time_utils.hpp"
 #include "vrt/builder.hpp"
 
 namespace at::testbed {

@@ -37,6 +37,16 @@
 #define AT_RETURN_CAPABILITY(x) AT_THREAD_ANNOTATION(lock_returned(x))
 #define AT_NO_THREAD_SAFETY_ANALYSIS AT_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/// Lock-ordering hints on a mutex declaration:
+///   util::Mutex mu_ AT_ACQUIRED_BEFORE(other_mu_);
+/// declares that whenever both are held, mu_ is taken first. Clang feeds the
+/// attribute to -Wthread-safety-beta's ordering analysis; at_lint's
+/// lock-order rule adds the same edge to its acquisition graph and reports
+/// any cycle (a potential deadlock) across the whole repo, including
+/// orderings Clang cannot see because the acquisitions span TUs.
+#define AT_ACQUIRED_BEFORE(...) AT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define AT_ACQUIRED_AFTER(...) AT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
 /// Marker (expands to nothing) for fields that share a class with a
 /// util::Mutex but are intentionally outside its footprint. at_lint's
 /// guarded-by rule requires either AT_GUARDED_BY or this marker on every

@@ -1,0 +1,15 @@
+// at_lint negative fixture: iterating an unordered_map into push_back with
+// no post-loop sort and no ordered sink. Fed to the engine under a src/
+// path by test_at_lint.cpp; the determinism rule MUST flag line 12.
+// (tests/negative/ is excluded from real scans, so this never trips CI.)
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> names(const std::unordered_map<int, std::string>& m) {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : m) {
+    out.push_back(v);
+  }
+  return out;
+}

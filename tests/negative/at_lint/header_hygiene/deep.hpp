@@ -1,0 +1,4 @@
+#pragma once
+struct DeepType {
+  int value = 0;
+};

@@ -1,0 +1,5 @@
+#pragma once
+#include "fix/deep.hpp"
+struct MiddleType {
+  DeepType inner;
+};

@@ -1,0 +1,5 @@
+#pragma once
+#include "fix/middle.hpp"
+struct OuterType {
+  MiddleType payload;
+};

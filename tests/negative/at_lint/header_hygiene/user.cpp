@@ -1,0 +1,9 @@
+#include "fix/outer.hpp"
+
+// MiddleType is 2 hops away (accepted re-export idiom); DeepType is 3 hops
+// away and MUST be flagged.
+int read(const OuterType& o) {
+  MiddleType copy = o.payload;
+  DeepType leaf = copy.inner;
+  return leaf.value;
+}

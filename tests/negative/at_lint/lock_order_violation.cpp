@@ -1,0 +1,20 @@
+// at_lint negative fixture: two functions acquire the same pair of mutexes
+// in opposite orders — the classic AB/BA deadlock. Fed to the engine under
+// a src/ path by test_at_lint.cpp; the lock-order rule MUST report a cycle
+// between a_mu_ and b_mu_.
+#include "util/annotated_mutex.hpp"
+
+struct TwoLocks {
+  at::util::Mutex a_mu_;
+  at::util::Mutex b_mu_;
+
+  void forward() {
+    at::util::LockGuard la(a_mu_);
+    at::util::LockGuard lb(b_mu_);  // a_mu_ -> b_mu_
+  }
+
+  void backward() {
+    at::util::LockGuard lb(b_mu_);
+    at::util::LockGuard la(a_mu_);  // b_mu_ -> a_mu_: cycle
+  }
+};

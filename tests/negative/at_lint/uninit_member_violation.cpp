@@ -1,0 +1,11 @@
+// at_lint negative fixture: the constructor initializes one scalar field in
+// its init-list and leaves the other (and a raw pointer) untouched — no
+// default initializers, no opaque calls. Fed to the engine under a src/
+// path by test_at_lint.cpp; uninit-member MUST flag count_ and next_.
+struct Node {
+  explicit Node(int id) : id_(id) {}
+
+  int id_;
+  int count_;   // never assigned
+  Node* next_;  // never assigned
+};

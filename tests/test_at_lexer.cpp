@@ -1,0 +1,239 @@
+// Token-level lexer tests (tools/at_lint/lexer.hpp). The lexer is the
+// foundation every v2 rule stands on, so the torture cases live here: raw
+// strings with custom delimiters, comment-markers inside literals, line
+// continuations inside macros, digit separators, and non-UTF8 bytes — the
+// same malformed-input tolerance bar tests/test_zeeklog_malformed.cpp sets
+// for the log parser.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "at_lint/lexer.hpp"
+
+namespace at::lint {
+namespace {
+
+std::vector<std::string> idents(const TokenStream& ts) {
+  std::vector<std::string> out;
+  for (const auto& t : ts.tokens) {
+    if (t.kind == TokKind::kIdent) out.push_back(t.text);
+  }
+  return out;
+}
+
+bool has_ident(const TokenStream& ts, std::string_view name) {
+  const auto ids = idents(ts);
+  return std::find(ids.begin(), ids.end(), name) != ids.end();
+}
+
+const Token* find_text(const TokenStream& ts, std::string_view text) {
+  for (const auto& t : ts.tokens) {
+    if (t.text == text) return &t;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------------- basics
+
+TEST(AtLexer, TokenizesKindsAndLines) {
+  const auto ts = lex("int x = 42;\ncall(\"s\", 'c');\n");
+  const Token* x = find_text(ts, "x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->kind, TokKind::kIdent);
+  EXPECT_EQ(x->line, 1u);
+  const Token* n = find_text(ts, "42");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->kind, TokKind::kNumber);
+  const Token* s = find_text(ts, "s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, TokKind::kString);
+  EXPECT_EQ(s->line, 2u);
+  const Token* c = find_text(ts, "c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, TokKind::kChar);
+}
+
+TEST(AtLexer, MultiCharPunctuatorsAreGreedy) {
+  const auto ts = lex("a <<= b; c->d; e <=> f; x ||= y;\n");
+  EXPECT_NE(find_text(ts, "<<="), nullptr);
+  EXPECT_NE(find_text(ts, "->"), nullptr);
+  // `<=>` lexes as `<=` then `>` (no C++20 spaceship in the table — rules
+  // never dispatch on it); `||=` as `||` `=`.
+  EXPECT_NE(find_text(ts, "<="), nullptr);
+  EXPECT_NE(find_text(ts, "||"), nullptr);
+}
+
+// ----------------------------------------------------------------- comments
+
+TEST(AtLexer, CommentMarkersInsideStringsStayStrings) {
+  const auto ts = lex("auto u = \"http://example.com\"; auto v = \"/* no */\";\n");
+  EXPECT_TRUE(ts.comments.empty());
+  EXPECT_NE(find_text(ts, "http://example.com"), nullptr);
+  EXPECT_NE(find_text(ts, "/* no */"), nullptr);
+}
+
+TEST(AtLexer, BlockCommentOpenersDoNotNest) {
+  // `/* /* */` closes at the FIRST `*/` (C++ block comments don't nest);
+  // the trailing `ok();` must lex as code.
+  const auto ts = lex("/* /* inner */ ok();\n");
+  ASSERT_EQ(ts.comments.size(), 1u);
+  EXPECT_NE(ts.comments[0].text.find("/* inner"), std::string::npos);
+  EXPECT_TRUE(has_ident(ts, "ok"));
+}
+
+TEST(AtLexer, LineCommentCapturesTextAndOwnLineBit) {
+  const auto ts = lex("int a;  // trailing note\n// standalone note\nint b;\n");
+  ASSERT_EQ(ts.comments.size(), 2u);
+  EXPECT_FALSE(ts.comments[0].own_line);
+  EXPECT_NE(ts.comments[0].text.find("trailing note"), std::string::npos);
+  EXPECT_TRUE(ts.comments[1].own_line);
+  EXPECT_EQ(ts.comments[1].line, 2u);
+}
+
+TEST(AtLexer, MultiLineBlockCommentTracksEndLine) {
+  const auto ts = lex("/* one\n   two\n   three */\nint a;\n");
+  ASSERT_EQ(ts.comments.size(), 1u);
+  EXPECT_EQ(ts.comments[0].line, 1u);
+  EXPECT_EQ(ts.comments[0].end_line, 3u);
+  const Token* a = find_text(ts, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->line, 4u);
+}
+
+// -------------------------------------------------------------- raw strings
+
+TEST(AtLexer, RawStringWithCustomDelimiter) {
+  // The inner `)"` must NOT close a delimited raw string.
+  const auto ts = lex("auto s = R\"zz(quote )\" inside)zz\"; f();\n");
+  const Token* s = find_text(ts, "quote )\" inside");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, TokKind::kString);
+  EXPECT_TRUE(has_ident(ts, "f"));
+}
+
+TEST(AtLexer, RawStringSwallowsCommentMarkersAndNewlines) {
+  const auto ts = lex("auto s = R\"(line1 // not a comment\nline2 /* still not */)\";\ng();\n");
+  EXPECT_TRUE(ts.comments.empty());
+  EXPECT_TRUE(has_ident(ts, "g"));
+  const Token* g = find_text(ts, "g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->line, 3u);  // the newline inside the raw string counted
+}
+
+TEST(AtLexer, EncodingPrefixedStringsAreStrings) {
+  const auto ts = lex("auto a = u8\"x\"; auto b = L\"y\"; auto c = LR\"(z)\";\n");
+  for (const char* text : {"x", "y", "z"}) {
+    const Token* t = find_text(ts, text);
+    ASSERT_NE(t, nullptr) << text;
+    EXPECT_EQ(t->kind, TokKind::kString) << text;
+  }
+  // The prefixes must not survive as identifiers.
+  EXPECT_FALSE(has_ident(ts, "u8"));
+  EXPECT_FALSE(has_ident(ts, "LR"));
+}
+
+// --------------------------------------------------- splices / preprocessor
+
+TEST(AtLexer, LineContinuationInsideMacroBody) {
+  const std::string src =
+      "#define ADD(a, b) \\\n"
+      "  ((a) + \\\n"
+      "   (b))\n"
+      "int after;\n";
+  const auto ts = lex(src);
+  const Token* def = find_text(ts, "define");
+  ASSERT_NE(def, nullptr);
+  EXPECT_TRUE(def->in_pp);
+  // Every token of the continued macro body is still marked in_pp...
+  const Token* b = find_text(ts, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->in_pp);
+  // ...and the first token after the macro is not.
+  const Token* after = find_text(ts, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_FALSE(after->in_pp);
+  EXPECT_EQ(after->line, 4u);  // spliced lines still advance the counter
+}
+
+TEST(AtLexer, SpliceInsideIdentifierJoinsIt) {
+  const auto ts = lex("int con\\\ntinued = 1;\n");
+  EXPECT_TRUE(has_ident(ts, "continued"));
+}
+
+TEST(AtLexer, SpliceExtendsLineComment) {
+  // A line comment ending in a backslash swallows the next line too.
+  const auto ts = lex("// note \\\nstill comment\nint real;\n");
+  ASSERT_EQ(ts.comments.size(), 1u);
+  EXPECT_NE(ts.comments[0].text.find("still comment"), std::string::npos);
+  EXPECT_TRUE(has_ident(ts, "real"));
+  EXPECT_FALSE(has_ident(ts, "still"));
+}
+
+TEST(AtLexer, AngleIncludeBecomesHeaderName) {
+  const auto ts = lex("#include <vector>\n#include \"util/x.hpp\"\nint a = b < c > d;\n");
+  const Token* vec = find_text(ts, "vector");
+  ASSERT_NE(vec, nullptr);
+  EXPECT_EQ(vec->kind, TokKind::kHeaderName);
+  const Token* quoted = find_text(ts, "util/x.hpp");
+  ASSERT_NE(quoted, nullptr);
+  EXPECT_EQ(quoted->kind, TokKind::kString);
+  // Ordinary comparisons are NOT header names.
+  const Token* b = find_text(ts, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->kind, TokKind::kIdent);
+}
+
+// ---------------------------------------------------------------- numerics
+
+TEST(AtLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  const auto ts = lex("int n = 1'000'000; rand();\n");
+  const Token* n = find_text(ts, "1'000'000");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->kind, TokKind::kNumber);
+  EXPECT_TRUE(has_ident(ts, "rand"));
+}
+
+TEST(AtLexer, SignedExponentsStayOneNumber) {
+  const auto ts = lex("double a = 1.5e+9; double b = 0x1p-3;\n");
+  EXPECT_NE(find_text(ts, "1.5e+9"), nullptr);
+  EXPECT_NE(find_text(ts, "0x1p-3"), nullptr);
+}
+
+// ------------------------------------------------------------ error paths
+
+TEST(AtLexer, NonUtf8BytesDegradeToPunctAndResync) {
+  std::string src = "int before;\n";
+  src += static_cast<char>(0xC3);
+  src += static_cast<char>(0x28);  // invalid UTF-8 pair
+  src += "\nint after;\n";
+  const auto ts = lex(src);
+  EXPECT_TRUE(has_ident(ts, "before"));
+  EXPECT_TRUE(has_ident(ts, "after"));
+  const Token* after = find_text(ts, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 3u);
+}
+
+TEST(AtLexer, UnterminatedStringStopsAtNewline) {
+  const auto ts = lex("auto s = \"never closed\nint next;\n");
+  EXPECT_TRUE(has_ident(ts, "next"));
+}
+
+TEST(AtLexer, UnterminatedBlockCommentConsumesRestWithoutCrash) {
+  const auto ts = lex("int a;\n/* runs off the end\nint b;\n");
+  EXPECT_TRUE(has_ident(ts, "a"));
+  EXPECT_FALSE(has_ident(ts, "b"));
+  ASSERT_EQ(ts.comments.size(), 1u);
+}
+
+TEST(AtLexer, EmptyInputYieldsNothing) {
+  const auto ts = lex("");
+  EXPECT_TRUE(ts.tokens.empty());
+  EXPECT_TRUE(ts.comments.empty());
+}
+
+}  // namespace
+}  // namespace at::lint

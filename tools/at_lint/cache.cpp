@@ -1,0 +1,171 @@
+#include "at_lint/cache.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace at::lint {
+
+namespace {
+
+// Record kinds, one per line: F starts a file entry, V/E/L/D/U/S attach to
+// the most recent F. Fields are '\x1f'-separated; newlines inside stored
+// strings are escaped as "\x1e" (neither byte occurs in source text the
+// repo lints — both are stripped defensively on write).
+constexpr char kSep = '\x1f';
+constexpr std::string_view kMagic = "at_lint-cache";
+constexpr int kFormat = 1;
+
+std::string clean(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c != '\n' && c != kSep) out += c;
+  }
+  return out;
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = line.find(sep, start);
+    if (end == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+std::uint64_t to_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+Cache Cache::deserialize(std::string_view text) {
+  Cache cache;
+  FileAnalysis* current = nullptr;
+  std::size_t start = 0;
+  bool header_ok = false;
+  bool first = true;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const auto fields = split(line, kSep);
+    if (first) {
+      first = false;
+      // Header: magic, format, engine salt. Any mismatch → cold cache.
+      header_ok = fields.size() == 3 && fields[0] == kMagic &&
+                  to_u64(fields[1]) == static_cast<std::uint64_t>(kFormat) &&
+                  to_u64(fields[2]) == engine_salt();
+      if (!header_ok) return cache;
+      continue;
+    }
+    if (!header_ok || fields.empty()) continue;
+    const std::string_view tag = fields[0];
+    if (tag == "F" && fields.size() == 3) {
+      FileAnalysis entry;
+      entry.path = std::string(fields[1]);
+      entry.key = to_u64(fields[2]);
+      entry.from_cache = true;
+      current = &(cache.entries_[entry.path] = std::move(entry));
+    } else if (current == nullptr) {
+      continue;
+    } else if (tag == "V" && fields.size() == 6) {
+      Violation v;
+      v.rule = std::string(fields[1]);
+      v.file = std::string(fields[2]);
+      v.line = to_u64(fields[3]);
+      v.message = std::string(fields[4]);
+      v.excerpt = std::string(fields[5]);
+      current->violations.push_back(std::move(v));
+    } else if (tag == "E" && fields.size() == 2) {
+      current->facts.quoted_includes.emplace_back(fields[1]);
+    } else if (tag == "L" && fields.size() == 4) {
+      current->facts.lock_edges.push_back(
+          {std::string(fields[1]), std::string(fields[2]),
+           static_cast<std::uint32_t>(to_u64(fields[3]))});
+    } else if (tag == "D" && fields.size() == 2) {
+      current->facts.declared_types.emplace_back(fields[1]);
+    } else if (tag == "U" && fields.size() == 3) {
+      current->facts.used_types.push_back(
+          {std::string(fields[1]), static_cast<std::uint32_t>(to_u64(fields[2]))});
+    } else if (tag == "S" && fields.size() == 3) {
+      current->facts.suppressions.push_back(
+          {std::string(fields[1]), static_cast<std::uint32_t>(to_u64(fields[2]))});
+    }
+  }
+  return cache;
+}
+
+std::string Cache::serialize() const {
+  std::vector<const FileAnalysis*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& [_, entry] : entries_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FileAnalysis* a, const FileAnalysis* b) { return a->path < b->path; });
+
+  std::ostringstream out;
+  out << kMagic << kSep << kFormat << kSep << engine_salt() << '\n';
+  for (const FileAnalysis* entry : sorted) {
+    out << 'F' << kSep << clean(entry->path) << kSep << entry->key << '\n';
+    for (const auto& v : entry->violations) {
+      out << 'V' << kSep << clean(v.rule) << kSep << clean(v.file) << kSep << v.line
+          << kSep << clean(v.message) << kSep << clean(v.excerpt) << '\n';
+    }
+    for (const auto& inc : entry->facts.quoted_includes) {
+      out << 'E' << kSep << clean(inc) << '\n';
+    }
+    for (const auto& edge : entry->facts.lock_edges) {
+      out << 'L' << kSep << clean(edge.first) << kSep << clean(edge.second) << kSep
+          << edge.line << '\n';
+    }
+    for (const auto& type : entry->facts.declared_types) {
+      out << 'D' << kSep << clean(type) << '\n';
+    }
+    for (const auto& use : entry->facts.used_types) {
+      out << 'U' << kSep << clean(use.name) << kSep << use.line << '\n';
+    }
+    for (const auto& s : entry->facts.suppressions) {
+      out << 'S' << kSep << clean(s.rule) << kSep << s.line << '\n';
+    }
+  }
+  return out.str();
+}
+
+const FileAnalysis* Cache::lookup(const std::string& path, std::uint64_t key) const {
+  const auto it = entries_.find(path);
+  if (it == entries_.end() || it->second.key != key) return nullptr;
+  return &it->second;
+}
+
+void Cache::store(const FileAnalysis& analysis) { entries_[analysis.path] = analysis; }
+
+Cache Cache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Cache{};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize(buffer.str());
+}
+
+bool Cache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << serialize();
+  return static_cast<bool>(out);
+}
+
+}  // namespace at::lint

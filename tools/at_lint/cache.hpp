@@ -1,0 +1,50 @@
+#pragma once
+// Incremental analysis cache. One entry per file, keyed by the FNV-1a hash
+// of (engine version, file bytes, sibling-header bytes) computed by the
+// engine — so touching a file, its paired header, or any rule implementation
+// invalidates exactly the entries it must. Entries hold the post-inline-
+// suppression / pre-allowlist violations plus the FileFacts the project-wide
+// rules consume, which is everything a warm run needs: 0 files re-lexed,
+// allowlist edits never invalidate anything.
+//
+// On-disk format is a versioned line-oriented text file (field separator
+// '\x1f' — never appears in source excerpts we store) written with sorted
+// paths so identical states serialize to identical bytes.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "at_lint/lint.hpp"
+
+namespace at::lint {
+
+class Cache {
+ public:
+  /// Parse serialized cache text. Entries whose recorded engine salt does
+  /// not match the running engine are dropped wholesale.
+  static Cache deserialize(std::string_view text);
+
+  /// Deterministic text form of every entry (sorted by path).
+  [[nodiscard]] std::string serialize() const;
+
+  /// The entry for `path` when its key matches, else nullptr.
+  [[nodiscard]] const FileAnalysis* lookup(const std::string& path,
+                                           std::uint64_t key) const;
+
+  /// Insert or replace the entry for `analysis.path`.
+  void store(const FileAnalysis& analysis);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Convenience: load from / save to `path`. load() returns an empty cache
+  /// when the file is missing or unreadable (a cold start, not an error).
+  static Cache load(const std::string& path);
+  [[nodiscard]] bool save(const std::string& path) const;
+
+ private:
+  std::unordered_map<std::string, FileAnalysis> entries_;
+};
+
+}  // namespace at::lint

@@ -1,0 +1,1125 @@
+// The nine at_lint rules, each a Check subclass over the token stream (see
+// lexer.hpp). Heuristics prefer false negatives over false positives — a
+// noisy linter gets deleted, a quiet one gets trusted. Every rule dispatches
+// on repo-relative path prefixes; tests/negative/ never reaches here (the
+// CLI excludes it).
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "at_lint/lint.hpp"
+#include "at_lint/token_util.hpp"
+
+namespace at::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Violation make(std::string rule, const SourceFile& file, std::size_t line,
+               std::string message) {
+  Violation v;
+  v.rule = std::move(rule);
+  v.file = file.path;
+  v.line = line;
+  v.message = std::move(message);
+  v.excerpt = line_excerpt(file.content, line);
+  return v;
+}
+
+void dedup(std::vector<Violation>& out) {
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Violation& a, const Violation& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            out.end());
+}
+
+// ------------------------------------------------------------- banned-call
+
+class BannedCallCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "banned-call"; }
+  std::string_view summary() const noexcept override {
+    return "rand/strtok/gmtime are banned in src/; std::sto* must sit inside a try "
+           "block; raw exp() is banned in src/fg/ hot paths";
+  }
+
+  void file(const FileCtx& ctx, std::vector<Violation>& out) const override {
+    if (!starts_with(ctx.file.path, "src/")) return;
+    static constexpr std::array<std::string_view, 3> kBanned = {"rand", "strtok", "gmtime"};
+    static constexpr std::array<std::string_view, 8> kSto = {
+        "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold"};
+    const Tokens& toks = ctx.tokens.tokens;
+    const bool in_fg = starts_with(ctx.file.path, "src/fg/");
+
+    std::vector<char> block_is_try;
+    std::size_t try_depth = 0;
+    bool pending_try = false;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") {
+          block_is_try.push_back(pending_try ? 1 : 0);
+          if (pending_try) ++try_depth;
+          pending_try = false;
+        } else if (t.text == "}" && !block_is_try.empty()) {
+          if (block_is_try.back() != 0) --try_depth;
+          block_is_try.pop_back();
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "try") {
+        pending_try = true;
+        continue;
+      }
+      if (!tok::is_punct(toks, i + 1, "(")) continue;
+      for (const auto banned : kBanned) {
+        if (t.text == banned) {
+          out.push_back(make(
+              "banned-call", ctx.file, t.line,
+              std::string(banned) + "() is banned in src/ (non-reentrant or "
+                                    "non-deterministic; use util::Rng / util::strings / "
+                                    "util::time_utils)"));
+        }
+      }
+      if (in_fg && t.text == "exp") {
+        out.push_back(make("banned-call", ctx.file, t.line,
+                           "raw exp() in the fg hot path; use fg::CompiledParams "
+                           "pre-exponentiated tables or util::logdomain"));
+      }
+      if (try_depth == 0) {
+        for (const auto sto : kSto) {
+          if (t.text == sto) {
+            out.push_back(make("banned-call", ctx.file, t.line,
+                               "std::" + std::string(sto) +
+                                   " outside try: malformed input escapes as an uncaught "
+                                   "exception; use util::parse_num"));
+          }
+        }
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------- pragma-once
+
+class PragmaOnceCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "pragma-once"; }
+  std::string_view summary() const noexcept override {
+    return "every .hpp starts with #pragma once";
+  }
+
+  void file(const FileCtx& ctx, std::vector<Violation>& out) const override {
+    if (!ends_with(ctx.file.path, ".hpp")) return;
+    const Tokens& toks = ctx.tokens.tokens;
+    if (toks.empty()) return;
+    const bool ok = tok::is_punct(toks, 0, "#") && tok::is_ident(toks, 1, "pragma") &&
+                    tok::is_ident(toks, 2, "once");
+    if (!ok) {
+      out.push_back(make("pragma-once", ctx.file, toks[0].line,
+                         "header does not start with #pragma once"));
+    }
+  }
+};
+
+// ------------------------------------------------------- include resolution
+
+/// Quoted includes are rooted at the module root (src/, tools/, ...),
+/// matching the CMake include dirs; fall back to includer-relative.
+std::ptrdiff_t resolve_include(const std::unordered_map<std::string, std::size_t>& index,
+                               const std::string& includer, const std::string& inc) {
+  static constexpr std::array<std::string_view, 5> kRoots = {"src/", "tools/", "bench/",
+                                                             "tests/", ""};
+  for (const auto root : kRoots) {
+    const auto it = index.find(std::string(root) + inc);
+    if (it != index.end()) return static_cast<std::ptrdiff_t>(it->second);
+  }
+  const std::size_t slash = includer.rfind('/');
+  if (slash != std::string::npos) {
+    const auto it = index.find(includer.substr(0, slash + 1) + inc);
+    if (it != index.end()) return static_cast<std::ptrdiff_t>(it->second);
+  }
+  return -1;  // system / third-party header: not part of the graph
+}
+
+// ----------------------------------------------------------- include-cycle
+
+class IncludeCycleCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "include-cycle"; }
+  std::string_view summary() const noexcept override {
+    return "the quoted-include graph over the scanned files is a DAG";
+  }
+
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    const auto& files = ctx.files;
+    std::unordered_map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < files.size(); ++i) index.emplace(files[i].path, i);
+
+    std::vector<std::vector<std::size_t>> adj(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      for (const auto& inc : files[i].facts.quoted_includes) {
+        const auto target = resolve_include(index, files[i].path, inc);
+        if (target >= 0) adj[i].push_back(static_cast<std::size_t>(target));
+      }
+    }
+
+    // Iterative three-color DFS; report each back edge once as a cycle.
+    enum : char { kWhite, kGray, kBlack };
+    std::vector<char> color(files.size(), kWhite);
+    std::vector<std::size_t> stack_path;
+    struct Frame {
+      std::size_t node;
+      std::size_t next = 0;
+    };
+    for (std::size_t start = 0; start < files.size(); ++start) {
+      if (color[start] != kWhite) continue;
+      std::vector<Frame> stack{{start}};
+      color[start] = kGray;
+      stack_path.push_back(start);
+      while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.next >= adj[frame.node].size()) {
+          color[frame.node] = kBlack;
+          stack_path.pop_back();
+          stack.pop_back();
+          continue;
+        }
+        const std::size_t v = adj[frame.node][frame.next++];
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          stack_path.push_back(v);
+          stack.push_back({v});
+        } else if (color[v] == kGray) {
+          std::string msg = "include cycle: ";
+          const auto begin = std::find(stack_path.begin(), stack_path.end(), v);
+          for (auto it = begin; it != stack_path.end(); ++it) {
+            msg += files[*it].path + " -> ";
+          }
+          msg += files[v].path;
+          Violation viol;
+          viol.rule = "include-cycle";
+          viol.file = files[frame.node].path;
+          viol.line = 1;
+          viol.message = std::move(msg);
+          viol.excerpt = files[v].path;
+          out.push_back(std::move(viol));
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------- raw-new-delete
+
+class RawNewDeleteCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "raw-new-delete"; }
+  std::string_view summary() const noexcept override {
+    return "no naked new/delete outside src/util/ (placement new into owned storage "
+           "is exempt)";
+  }
+
+  void file(const FileCtx& ctx, std::vector<Violation>& out) const override {
+    if (!starts_with(ctx.file.path, "src/") || starts_with(ctx.file.path, "src/util/")) {
+      return;
+    }
+    const Tokens& toks = ctx.tokens.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || t.in_pp) continue;
+      const bool is_new = t.text == "new";
+      const bool is_delete = t.text == "delete";
+      if (!is_new && !is_delete) continue;
+      if (i > 0 && tok::is_ident(toks, i - 1, "operator")) continue;  // overload decl
+      if (is_delete && i > 0 && tok::is_punct(toks, i - 1, "=")) continue;  // = delete
+      // Placement new constructs into storage the caller already owns
+      // (e.g. src/sim/callback_slot.hpp's inline buffer); ownership never
+      // transfers, so it is not the leak class this rule exists for.
+      if (is_new && tok::is_punct(toks, i + 1, "(")) continue;
+      out.push_back(make("raw-new-delete", ctx.file, t.line,
+                         std::string(is_new ? "new" : "delete") +
+                             " outside src/util/: own memory via std::unique_ptr/containers"));
+    }
+  }
+};
+
+// --------------------------------------------------------------- guarded-by
+
+bool mutating_method(std::string_view name) {
+  static const std::unordered_set<std::string_view> kMethods = {
+      "push_back", "emplace_back", "emplace", "pop_back", "pop",    "push",
+      "clear",     "insert",       "erase",   "assign",   "resize", "reserve",
+      "swap",      "merge",        "extract"};
+  return kMethods.contains(name);
+}
+
+bool member_name(std::string_view text) {
+  return text.size() >= 2 && text.back() == '_' &&
+         std::isdigit(static_cast<unsigned char>(text.front())) == 0;
+}
+
+class GuardedByCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "guarded-by"; }
+  std::string_view summary() const noexcept override {
+    return "a field written inside a util::LockGuard scope is declared with "
+           "AT_GUARDED_BY or AT_NOT_GUARDED";
+  }
+
+  void file(const FileCtx& ctx, std::vector<Violation>& out) const override {
+    if (!starts_with(ctx.file.path, "src/")) return;
+    const Tokens& toks = ctx.tokens.tokens;
+
+    // A field counts as annotated when some line of this file or the
+    // sibling header mentions it together with AT_GUARDED_BY/AT_NOT_GUARDED
+    // (declaration lines carry the annotation by convention).
+    std::unordered_set<std::string> annotated;
+    const auto harvest = [&annotated](const TokenStream* stream) {
+      if (stream == nullptr) return;
+      const Tokens& ts = stream->tokens;
+      std::size_t i = 0;
+      while (i < ts.size()) {
+        const std::uint32_t line = ts[i].line;
+        std::size_t end = i;
+        bool has_marker = false;
+        while (end < ts.size() && ts[end].line == line) {
+          if (ts[end].kind == TokKind::kIdent &&
+              (ts[end].text == "AT_GUARDED_BY" || ts[end].text == "AT_NOT_GUARDED")) {
+            has_marker = true;
+          }
+          ++end;
+        }
+        if (has_marker) {
+          for (std::size_t k = i; k < end; ++k) {
+            if (ts[k].kind == TokKind::kIdent && member_name(ts[k].text)) {
+              annotated.insert(ts[k].text);
+            }
+          }
+        }
+        i = end;
+      }
+    };
+    harvest(&ctx.tokens);
+    harvest(ctx.sibling_tokens);
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!tok::is_ident(toks, i, "LockGuard")) continue;
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent) ++j;
+      if (!tok::is_punct(toks, j, "(")) continue;
+      const std::size_t close = tok::match_forward(toks, j, "(", ")");
+      if (close == tok::kNpos) continue;
+      // Writes between the acquisition and the close of the enclosing
+      // brace scope happen with the mutex held.
+      int depth = 0;
+      for (std::size_t k = close + 1; k < toks.size(); ++k) {
+        const Token& t = toks[k];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "{") ++depth;
+          if (t.text == "}" && --depth < 0) break;
+          continue;
+        }
+        if (t.kind != TokKind::kIdent || !member_name(t.text)) continue;
+        bool write = false;
+        // Both arms must already be string_views: a `string : const char*`
+        // ternary materializes a std::string temporary and the view dangles.
+        const std::string_view next =
+            k + 1 < toks.size() ? std::string_view(toks[k + 1].text) : std::string_view();
+        const std::string_view prev =
+            k > 0 ? std::string_view(toks[k - 1].text) : std::string_view();
+        static constexpr std::array<std::string_view, 8> kCompound = {
+            "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^="};
+        if (next == "=") write = true;
+        if (std::find(kCompound.begin(), kCompound.end(), next) != kCompound.end()) {
+          write = true;
+        }
+        if (next == "++" || next == "--" || prev == "++" || prev == "--") write = true;
+        if (next == "." && k + 3 < toks.size() && toks[k + 2].kind == TokKind::kIdent &&
+            tok::is_punct(toks, k + 3, "(") && mutating_method(toks[k + 2].text)) {
+          write = true;
+        }
+        if (write && !annotated.contains(t.text)) {
+          out.push_back(make(
+              "guarded-by", ctx.file, t.line,
+              t.text + " is written under a held util::LockGuard but its declaration "
+                       "has neither AT_GUARDED_BY nor AT_NOT_GUARDED"));
+        }
+      }
+      i = close;
+    }
+    dedup(out);
+  }
+};
+
+// ------------------------------------------------------------- determinism
+
+/// Declared-variable harvesting for the determinism rule: which identifiers
+/// are unordered containers, ordered containers, floats, or strings.
+struct DeclSets {
+  std::unordered_set<std::string> unordered;  // vars (and aliases) of unordered type
+  std::unordered_set<std::string> ordered;    // vars of std::map/std::set/...
+  std::unordered_set<std::string> floats;     // double/float vars
+  std::unordered_set<std::string> strings;    // std::string vars
+};
+
+bool unordered_type(std::string_view text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+bool ordered_container_type(std::string_view text) {
+  return text == "map" || text == "set" || text == "multimap" || text == "multiset" ||
+         text == "priority_queue";
+}
+
+void harvest_decls(const TokenStream* stream, DeclSets& sets) {
+  if (stream == nullptr) return;
+  const Tokens& toks = stream->tokens;
+  const auto var_after_type = [&toks](std::size_t type_end) -> std::string {
+    std::size_t j = type_end;
+    while (tok::is_punct(toks, j, "*") || tok::is_punct(toks, j, "&") ||
+           tok::is_punct(toks, j, "&&") || tok::is_ident(toks, j, "const")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) return std::string();
+    static constexpr std::array<std::string_view, 7> kEnders = {";", "=", "{", "(",
+                                                                ",", ")", ":"};
+    const std::string_view after =
+        j + 1 < toks.size() ? std::string_view(toks[j + 1].text) : std::string_view(";");
+    for (const auto e : kEnders) {
+      if (after == e) return toks[j].text;
+    }
+    return std::string();
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    // `using Alias = ...unordered_map<...>...;` makes Alias an unordered
+    // type; declarations `Alias x` are caught by the alias branch below.
+    if (t.text == "using" && i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
+        tok::is_punct(toks, i + 2, "=")) {
+      for (std::size_t k = i + 3; k < toks.size() && !tok::is_punct(toks, k, ";"); ++k) {
+        if (toks[k].kind == TokKind::kIdent && unordered_type(toks[k].text)) {
+          sets.unordered.insert(toks[i + 1].text);
+          break;
+        }
+      }
+      continue;
+    }
+    const bool is_unordered = unordered_type(t.text);
+    const bool is_ordered = ordered_container_type(t.text);
+    const bool is_alias = sets.unordered.contains(t.text);
+    if (is_unordered || is_ordered) {
+      std::size_t type_end = i + 1;
+      if (tok::is_punct(toks, i + 1, "<")) {
+        const std::size_t close = tok::skip_template_args(toks, i + 1);
+        if (close == tok::kNpos) continue;
+        type_end = close + 1;
+      }
+      const std::string var = var_after_type(type_end);
+      if (!var.empty()) (is_unordered ? sets.unordered : sets.ordered).insert(var);
+      continue;
+    }
+    if (is_alias && i + 1 < toks.size() && toks[i + 1].kind == TokKind::kIdent) {
+      const std::string var = var_after_type(i + 1);
+      if (!var.empty()) sets.unordered.insert(var);
+      continue;
+    }
+    if (t.text == "double" || t.text == "float") {
+      const std::string var = var_after_type(i + 1);
+      if (!var.empty()) sets.floats.insert(var);
+    }
+    if (t.text == "string" || t.text == "ostringstream" || t.text == "stringstream") {
+      const std::string var = var_after_type(i + 1);
+      if (!var.empty()) sets.strings.insert(var);
+    }
+  }
+}
+
+class DeterminismCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "determinism"; }
+  std::string_view summary() const noexcept override {
+    return "no unordered-container iteration feeding an order-sensitive sink; no "
+           "std::random_device/system_clock/std::time outside src/util/{rng,time_utils}";
+  }
+
+  void file(const FileCtx& ctx, std::vector<Violation>& out) const override {
+    if (!starts_with(ctx.file.path, "src/")) return;
+    if (starts_with(ctx.file.path, "src/util/rng") ||
+        starts_with(ctx.file.path, "src/util/time_utils")) {
+      return;  // the blessed wrappers themselves
+    }
+    const Tokens& toks = ctx.tokens.tokens;
+
+    // Part 1: nondeterministic sources.
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || t.in_pp) continue;
+      if (t.text == "random_device") {
+        out.push_back(make("determinism", ctx.file, t.line,
+                           "std::random_device is nondeterministic; seed util::Rng from "
+                           "configuration instead"));
+      } else if (t.text == "system_clock") {
+        out.push_back(make("determinism", ctx.file, t.line,
+                           "wall-clock reads break replayability; use util::time_utils or "
+                           "the sim clock"));
+      } else if (t.text == "time" && i >= 2 && tok::is_punct(toks, i - 1, "::") &&
+                 tok::is_ident(toks, i - 2, "std") && tok::is_punct(toks, i + 1, "(")) {
+        out.push_back(make("determinism", ctx.file, t.line,
+                           "std::time() reads the wall clock; use util::time_utils or the "
+                           "sim clock"));
+      }
+    }
+
+    // Part 2: unordered iteration feeding an order-sensitive sink.
+    DeclSets sets;
+    harvest_decls(&ctx.tokens, sets);
+    harvest_decls(ctx.sibling_tokens, sets);
+    if (sets.unordered.empty()) return;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!tok::is_ident(toks, i, "for") || !tok::is_punct(toks, i + 1, "(")) continue;
+      const std::size_t close = tok::match_forward(toks, i + 1, "(", ")");
+      if (close == tok::kNpos) continue;
+
+      // Range-for over an unordered variable, or a classic iterator loop
+      // calling .begin() on one.
+      std::size_t colon = tok::kNpos;
+      int depth = 0;
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (tok::is_punct(toks, k, "(") || tok::is_punct(toks, k, "[")) ++depth;
+        if (tok::is_punct(toks, k, ")") || tok::is_punct(toks, k, "]")) --depth;
+        if (depth == 0 && tok::is_punct(toks, k, ":")) {
+          colon = k;
+          break;
+        }
+      }
+      std::string range_var;
+      const std::size_t expr_begin = colon == tok::kNpos ? i + 2 : colon + 1;
+      for (std::size_t k = expr_begin; k < close; ++k) {
+        if (toks[k].kind != TokKind::kIdent || !sets.unordered.contains(toks[k].text)) {
+          continue;
+        }
+        if (colon != tok::kNpos) {
+          range_var = toks[k].text;
+          break;
+        }
+        // Classic loop: require `var.begin(` / `var.cbegin(` in the header.
+        if (tok::is_punct(toks, k + 1, ".") &&
+            (tok::is_ident(toks, k + 2, "begin") || tok::is_ident(toks, k + 2, "cbegin"))) {
+          range_var = toks[k].text;
+          break;
+        }
+      }
+      if (range_var.empty()) continue;
+
+      std::size_t body_begin = close + 1;
+      std::size_t body_end;
+      if (tok::is_punct(toks, body_begin, "{")) {
+        body_end = tok::match_forward(toks, body_begin, "{", "}");
+        if (body_end == tok::kNpos) continue;
+      } else {
+        body_end = body_begin;
+        while (body_end < toks.size() && !tok::is_punct(toks, body_end, ";")) ++body_end;
+      }
+
+      struct Sink {
+        std::string var;
+        std::uint32_t line;
+        std::string what;
+      };
+      std::vector<Sink> sinks;
+      for (std::size_t k = body_begin; k < body_end; ++k) {
+        const Token& t = toks[k];
+        if (t.kind == TokKind::kIdent && tok::is_punct(toks, k + 1, ".") &&
+            k + 2 < toks.size() && toks[k + 2].kind == TokKind::kIdent &&
+            tok::is_punct(toks, k + 3, "(")) {
+          const std::string_view method = toks[k + 2].text;
+          if ((method == "push_back" || method == "emplace_back" || method == "append") &&
+              !sets.ordered.contains(t.text)) {
+            sinks.push_back({t.text, t.line, "." + std::string(method) + "()"});
+          }
+        }
+        if (t.kind == TokKind::kPunct && t.text == "<<") {
+          const bool shiftish = (k > 0 && toks[k - 1].kind == TokKind::kNumber) ||
+                                (k + 1 < toks.size() &&
+                                 toks[k + 1].kind == TokKind::kNumber);
+          if (!shiftish) {
+            // Leftmost identifier of the << chain names the stream.
+            std::size_t lhs = k;
+            while (lhs > 0 && (toks[lhs - 1].kind == TokKind::kIdent ||
+                               toks[lhs - 1].kind == TokKind::kString ||
+                               tok::is_punct(toks, lhs - 1, "<<") ||
+                               tok::is_punct(toks, lhs - 1, ".") ||
+                               tok::is_punct(toks, lhs - 1, "::"))) {
+              --lhs;
+            }
+            const std::string var =
+                toks[lhs].kind == TokKind::kIdent ? toks[lhs].text : std::string("stream");
+            sinks.push_back({var, t.line, "stream <<"});
+          }
+        }
+        if (t.kind == TokKind::kIdent && k + 1 < toks.size() &&
+            tok::is_punct(toks, k + 1, "+=") &&
+            (sets.floats.contains(t.text) || sets.strings.contains(t.text))) {
+          sinks.push_back({t.text, t.line, "+= accumulation"});
+        }
+      }
+      if (sinks.empty()) continue;
+
+      // Escape hatch: the sink is sorted right after the loop (within the
+      // enclosing scope), which restores a canonical order.
+      std::unordered_set<std::string> sorted_later;
+      int escape_depth = 0;
+      const std::size_t horizon = std::min(toks.size(), body_end + 512);
+      for (std::size_t k = body_end + 1; k < horizon; ++k) {
+        if (tok::is_punct(toks, k, "{")) ++escape_depth;
+        if (tok::is_punct(toks, k, "}") && --escape_depth < 0) break;
+        if (toks[k].kind == TokKind::kIdent &&
+            (toks[k].text == "sort" || toks[k].text == "stable_sort")) {
+          const std::size_t open = k + 1;
+          if (tok::is_punct(toks, open, "(")) {
+            const std::size_t end = tok::match_forward(toks, open, "(", ")");
+            if (end == tok::kNpos) continue;
+            for (std::size_t m = open; m < end; ++m) {
+              if (toks[m].kind == TokKind::kIdent) sorted_later.insert(toks[m].text);
+            }
+          }
+        }
+      }
+      for (const auto& sink : sinks) {
+        if (sorted_later.contains(sink.var)) continue;
+        out.push_back(make(
+            "determinism", ctx.file, sink.line,
+            "iteration over unordered container '" + range_var +
+                "' feeds order-sensitive sink '" + sink.var + "' (" + sink.what +
+                "); iterate a sorted view, use an ordered sink, or sort the result"));
+      }
+      i = close;
+    }
+    dedup(out);
+  }
+};
+
+// -------------------------------------------------------------- lock-order
+
+class LockOrderCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "lock-order"; }
+  std::string_view summary() const noexcept override {
+    return "the LockGuard acquisition graph (nested scopes + AT_ACQUIRED_* hints) "
+           "is cycle-free";
+  }
+
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    struct Attribution {
+      std::string file;
+      std::uint32_t line = 0;
+    };
+    std::map<std::string, std::set<std::string>> adj;  // ordered: stable reports
+    std::map<std::pair<std::string, std::string>, Attribution> where;
+    for (const auto& fa : ctx.files) {
+      for (const auto& edge : fa.facts.lock_edges) {
+        adj[edge.first].insert(edge.second);
+        adj.try_emplace(edge.second);
+        where.try_emplace({edge.first, edge.second}, Attribution{fa.path, edge.line});
+      }
+    }
+
+    // DFS from every node; report each cycle once, canonicalized to start
+    // at its lexicographically smallest member.
+    std::set<std::string> reported;
+    enum : char { kWhite, kGray, kBlack };
+    std::map<std::string, char> color;
+    for (const auto& [node, _] : adj) color[node] = kWhite;
+    std::vector<std::string> path;
+
+    const std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+      color[u] = kGray;
+      path.push_back(u);
+      for (const auto& v : adj[u]) {
+        if (color[v] == kWhite) {
+          dfs(v);
+        } else if (color[v] == kGray) {
+          const auto begin = std::find(path.begin(), path.end(), v);
+          std::vector<std::string> cycle(begin, path.end());
+          const auto smallest = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), smallest, cycle.end());
+          std::string canon;
+          for (const auto& m : cycle) canon += m + "|";
+          if (!reported.insert(canon).second) continue;
+          std::string chain;
+          for (const auto& m : cycle) chain += m + " -> ";
+          chain += cycle.front();
+          const Attribution& attr = where[{path.back(), v}];
+          Violation viol;
+          viol.rule = "lock-order";
+          viol.file = attr.file;
+          viol.line = attr.line;
+          viol.message =
+              "potential deadlock: lock acquisition cycle " + chain +
+              " (from nested util::LockGuard scopes and AT_ACQUIRED_BEFORE/AFTER hints)";
+          viol.excerpt = chain;
+          out.push_back(std::move(viol));
+        }
+      }
+      path.pop_back();
+      color[u] = kBlack;
+    };
+    for (const auto& [node, _] : adj) {
+      if (color[node] == kWhite) dfs(node);
+    }
+  }
+};
+
+// ----------------------------------------------------------- header-hygiene
+
+class HeaderHygieneCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "header-hygiene"; }
+  std::string_view summary() const noexcept override {
+    return "a src/ file naming a type declared by a project header it reaches only "
+           "through a deep transitive chain (3+ hops) must include that header "
+           "directly";
+  }
+
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    const auto& files = ctx.files;
+    std::unordered_map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < files.size(); ++i) index.emplace(files[i].path, i);
+
+    // Who declares what, among src/ headers. Ambiguous names (declared by
+    // several headers) are skipped — attribution would be guesswork.
+    std::unordered_map<std::string, std::vector<std::size_t>> declared_by;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (!starts_with(files[i].path, "src/") || !ends_with(files[i].path, ".hpp")) {
+        continue;
+      }
+      for (const auto& type : files[i].facts.declared_types) {
+        declared_by[type].push_back(i);
+      }
+    }
+
+    std::vector<std::vector<std::size_t>> adj(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      for (const auto& inc : files[i].facts.quoted_includes) {
+        const auto target = resolve_include(index, files[i].path, inc);
+        if (target >= 0) adj[i].push_back(static_cast<std::size_t>(target));
+      }
+    }
+
+    for (std::size_t f = 0; f < files.size(); ++f) {
+      if (!starts_with(files[f].path, "src/")) continue;
+      if (adj[f].empty()) continue;
+      // BFS include-distance from this file. A type provided by a direct
+      // include or by one level of re-export (the repo's "vocabulary
+      // header" idiom, e.g. alert.hpp re-exporting taxonomy.hpp) is fine;
+      // only chains of 3+ hops are fragile enough to flag. A .cpp counts
+      // its paired header as part of itself (IWYU convention), so the
+      // header's own includes start at distance 1.
+      std::unordered_map<std::size_t, std::size_t> dist;
+      std::vector<std::size_t> frontier;
+      for (const std::size_t d : adj[f]) {
+        if (dist.emplace(d, 1).second) frontier.push_back(d);
+      }
+      const std::string sib = sibling_header_path(files[f].path);
+      const auto sib_it = sib.empty() ? index.end() : index.find(sib);
+      if (sib_it != index.end()) {
+        dist[sib_it->second] = 0;
+        for (const std::size_t d : adj[sib_it->second]) {
+          if (dist.emplace(d, 1).second) frontier.push_back(d);
+        }
+      }
+      std::size_t level = 1;
+      while (!frontier.empty()) {
+        ++level;
+        std::vector<std::size_t> next;
+        for (const std::size_t u : frontier) {
+          for (const std::size_t v : adj[u]) {
+            if (dist.emplace(v, level).second) next.push_back(v);
+          }
+        }
+        frontier = std::move(next);
+      }
+
+      std::unordered_set<std::string> satisfied(files[f].facts.declared_types.begin(),
+                                                files[f].facts.declared_types.end());
+      for (const auto& [node, d] : dist) {
+        if (d > 2) continue;
+        for (const auto& type : files[node].facts.declared_types) satisfied.insert(type);
+      }
+
+      for (const auto& use : files[f].facts.used_types) {
+        if (satisfied.contains(use.name)) continue;
+        const auto decl = declared_by.find(use.name);
+        if (decl == declared_by.end() || decl->second.size() != 1) continue;
+        const std::size_t h = decl->second.front();
+        if (h == f) continue;
+        const auto reach = dist.find(h);
+        if (reach == dist.end() || reach->second <= 2) continue;
+        Violation v;
+        v.rule = "header-hygiene";
+        v.file = files[f].path;
+        v.line = use.line;
+        v.message = "uses '" + use.name + "' declared in " + files[h].path +
+                    " but reaches it only transitively; #include \"" +
+                    files[h].path.substr(4) + "\" directly";
+        v.excerpt = use.name;
+        out.push_back(std::move(v));
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------ uninit-member
+
+class UninitMemberCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "uninit-member"; }
+  std::string_view summary() const noexcept override {
+    return "a constructor must not leave a scalar/pointer field with no default "
+           "initializer unassigned";
+  }
+
+  void file(const FileCtx& ctx, std::vector<Violation>& out) const override {
+    if (!starts_with(ctx.file.path, "src/") && !starts_with(ctx.file.path, "tools/")) {
+      return;
+    }
+    analyze_stream(ctx.tokens.tokens, ctx.file, /*classes_only_from_sibling=*/nullptr, out);
+    if (ctx.sibling_tokens != nullptr) {
+      // Classes declared in the sibling header whose constructors are
+      // defined out-of-line in this .cpp.
+      analyze_stream(ctx.tokens.tokens, ctx.file, &ctx.sibling_tokens->tokens, out);
+    }
+    dedup(out);
+  }
+
+ private:
+  struct Field {
+    std::string name;
+    std::uint32_t line = 0;
+  };
+  struct Ctor {
+    std::uint32_t line = 0;
+    bool defaulted = false;
+    bool skip = false;  // copy/move/deleted/delegating/opaque/unseen body
+    std::unordered_set<std::string> inited;
+  };
+  struct ClassInfo {
+    std::string name;
+    std::vector<Field> uninit_fields;
+    std::vector<Ctor> ctors;
+    bool any_ctor_decl = false;
+  };
+
+  static bool scalar_type(std::string_view text) {
+    static const std::unordered_set<std::string_view> kScalar = {
+        "bool",          "char",     "short",    "int",      "long",     "unsigned",
+        "signed",        "float",    "double",   "size_t",   "ssize_t",  "ptrdiff_t",
+        "int8_t",        "int16_t",  "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
+        "uint32_t",      "uint64_t", "intptr_t", "uintptr_t", "char8_t", "char16_t",
+        "char32_t",      "wchar_t"};
+    return kScalar.contains(text);
+  }
+
+  /// Parse the class definitions in `class_toks` (defaults to `toks`) and
+  /// evaluate their constructors; out-of-line `X::X(...)` definitions are
+  /// read from `toks`. When `sibling_classes` is set, ONLY out-of-line
+  /// constructors are evaluated (the sibling's in-class ones are covered
+  /// when the sibling is analyzed as its own file).
+  void analyze_stream(const Tokens& toks, const SourceFile& file,
+                      const Tokens* sibling_classes, std::vector<Violation>& out) const {
+    const Tokens& class_toks = sibling_classes != nullptr ? *sibling_classes : toks;
+    std::vector<ClassInfo> classes = parse_classes(class_toks, sibling_classes != nullptr);
+    if (classes.empty()) return;
+    std::unordered_map<std::string, ClassInfo*> by_name;
+    for (auto& c : classes) by_name.emplace(c.name, &c);
+
+    // Out-of-line constructor definitions in this file.
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !tok::is_punct(toks, i + 1, "::") ||
+          !tok::is_ident(toks, i + 2, toks[i].text) || !tok::is_punct(toks, i + 3, "(")) {
+        continue;
+      }
+      const auto it = by_name.find(toks[i].text);
+      if (it == by_name.end()) continue;
+      Ctor ctor = parse_ctor(toks, i + 2, i + 3, it->first);
+      if (ctor.line != 0) it->second->ctors.push_back(std::move(ctor));
+    }
+
+    for (const auto& c : classes) {
+      if (c.uninit_fields.empty()) continue;
+      for (const auto& ctor : c.ctors) {
+        if (ctor.skip) continue;
+        for (const auto& field : c.uninit_fields) {
+          if (ctor.inited.contains(field.name)) continue;
+          const std::uint32_t line = sibling_classes != nullptr ? ctor.line : field.line;
+          out.push_back(make(
+              "uninit-member", file, line,
+              "constructor " + c.name + "::" + c.name + " (line " +
+                  std::to_string(ctor.line) + ") leaves scalar/pointer field '" +
+                  field.name + "' uninitialized and it has no default initializer"));
+        }
+      }
+    }
+  }
+
+  /// Parse `Name(params) [: init-list] {body}` with the name token at
+  /// `name_idx` and `(` at `open_idx`. Returns line 0 when it is a
+  /// declaration only (no body here).
+  Ctor parse_ctor(const Tokens& toks, std::size_t name_idx, std::size_t open_idx,
+                  const std::string& class_name) const {
+    Ctor ctor;
+    const std::size_t params_close = tok::match_forward(toks, open_idx, "(", ")");
+    if (params_close == tok::kNpos) return ctor;
+    // Copy/move constructors get memberwise semantics — skip.
+    for (std::size_t k = open_idx + 1; k < params_close; ++k) {
+      if (tok::is_ident(toks, k, class_name)) {
+        ctor.skip = true;
+        break;
+      }
+    }
+    std::size_t j = params_close + 1;
+    while (tok::is_ident(toks, j, "noexcept") || tok::is_ident(toks, j, "explicit")) ++j;
+    if (tok::is_punct(toks, j, "(")) {  // noexcept(...)
+      const std::size_t c = tok::match_forward(toks, j, "(", ")");
+      if (c == tok::kNpos) return ctor;
+      j = c + 1;
+    }
+    if (tok::is_punct(toks, j, "=")) {
+      if (tok::is_ident(toks, j + 1, "default")) {
+        ctor.line = toks[name_idx].line;
+        ctor.defaulted = true;  // initializes nothing the fields don't
+        return ctor;
+      }
+      ctor.skip = true;  // = delete
+      ctor.line = toks[name_idx].line;
+      return ctor;
+    }
+    if (tok::is_punct(toks, j, ":")) {
+      ++j;
+      while (j < toks.size()) {
+        if (toks[j].kind == TokKind::kIdent) {
+          const std::string member = toks[j].text;
+          std::size_t g = j + 1;
+          // Qualified base-class names (ns::Base<T>) — skip to the group.
+          while (tok::is_punct(toks, g, "::") ||
+                 (g < toks.size() && toks[g].kind == TokKind::kIdent)) {
+            ++g;
+          }
+          if (tok::is_punct(toks, g, "<")) {
+            const std::size_t c = tok::skip_template_args(toks, g);
+            if (c == tok::kNpos) return ctor;
+            g = c + 1;
+          }
+          if (tok::is_punct(toks, g, "(") || tok::is_punct(toks, g, "{")) {
+            const bool paren = toks[g].text == "(";
+            const std::size_t c =
+                tok::match_forward(toks, g, paren ? "(" : "{", paren ? ")" : "}");
+            if (c == tok::kNpos) return ctor;
+            if (member == class_name) ctor.skip = true;  // delegating
+            ctor.inited.insert(member);
+            j = c + 1;
+            if (tok::is_punct(toks, j, ",")) {
+              ++j;
+              continue;
+            }
+          }
+        }
+        break;
+      }
+    }
+    if (!tok::is_punct(toks, j, "{")) return ctor;  // declaration only
+    const std::size_t body_close = tok::match_forward(toks, j, "{", "}");
+    if (body_close == tok::kNpos) return ctor;
+    ctor.line = toks[name_idx].line;
+    for (std::size_t k = j + 1; k < body_close; ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      const std::string_view next =
+          k + 1 < toks.size() ? std::string_view(toks[k + 1].text) : std::string_view();
+      if (next == "=" || next == "+=" || next == "-=" || next == "|=" || next == "&=") {
+        ctor.inited.insert(toks[k].text);
+        continue;
+      }
+      // Any call could initialize fields behind our back: treat the
+      // constructor as opaque (prefer false negatives).
+      static const std::unordered_set<std::string_view> kNotCalls = {
+          "if",          "for",         "while",       "switch",           "return",
+          "sizeof",      "static_cast", "const_cast",  "reinterpret_cast", "assert",
+          "dynamic_cast"};
+      if (next == "(" && !kNotCalls.contains(toks[k].text)) {
+        ctor.skip = true;
+        break;
+      }
+    }
+    return ctor;
+  }
+
+  std::vector<ClassInfo> parse_classes(const Tokens& toks, bool decls_only) const {
+    std::vector<ClassInfo> out;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!tok::is_ident(toks, i, "class") && !tok::is_ident(toks, i, "struct")) continue;
+      std::size_t j = i + 1;
+      std::string name;
+      while (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+        if (toks[j].text == "final") break;
+        name = toks[j].text;
+        ++j;
+      }
+      if (name.empty()) continue;
+      while (tok::is_ident(toks, j, "final")) ++j;
+      // Base clause: scan to the body's '{' (a ';' first means fwd decl).
+      while (j < toks.size() && !tok::is_punct(toks, j, "{") && !tok::is_punct(toks, j, ";")) {
+        ++j;
+      }
+      if (!tok::is_punct(toks, j, "{")) continue;
+      const std::size_t body_close = tok::match_forward(toks, j, "{", "}");
+      if (body_close == tok::kNpos) continue;
+
+      ClassInfo info;
+      info.name = name;
+      parse_body(toks, j, body_close, decls_only, info);
+      out.push_back(std::move(info));
+      // Nested classes are re-discovered by the outer scan naturally.
+    }
+    return out;
+  }
+
+  void parse_body(const Tokens& toks, std::size_t body_open, std::size_t body_close,
+                  bool decls_only, ClassInfo& info) const {
+    int depth = 0;
+    bool stmt_start = true;
+    for (std::size_t k = body_open + 1; k < body_close; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") ++depth;
+        if (t.text == "}") --depth;
+        if (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ":") {
+          stmt_start = true;
+        }
+        continue;
+      }
+      if (depth != 0 || t.kind != TokKind::kIdent || !stmt_start) continue;
+      stmt_start = false;
+
+      // `explicit` is transparent: the constructor name follows it.
+      if (t.text == "explicit") {
+        stmt_start = true;
+        continue;
+      }
+
+      // Constructor?
+      if (t.text == info.name && tok::is_punct(toks, k + 1, "(")) {
+        info.any_ctor_decl = true;
+        if (!decls_only) {
+          Ctor ctor = parse_ctor(toks, k, k + 1, info.name);
+          if (ctor.line != 0) info.ctors.push_back(std::move(ctor));
+        }
+        // Skip past the parameter list so params aren't parsed as fields.
+        const std::size_t c = tok::match_forward(toks, k + 1, "(", ")");
+        if (c != tok::kNpos) k = c;
+        continue;
+      }
+
+      // Scalar/pointer field without an initializer?
+      std::size_t j = k;
+      bool skip_decl = false;
+      while (j < body_close && toks[j].kind == TokKind::kIdent &&
+             (toks[j].text == "const" || toks[j].text == "constexpr" ||
+              toks[j].text == "static" || toks[j].text == "inline" ||
+              toks[j].text == "mutable" || toks[j].text == "volatile")) {
+        if (toks[j].text != "mutable" && toks[j].text != "volatile") skip_decl = true;
+        ++j;
+      }
+      if (skip_decl) continue;
+      if (tok::is_ident(toks, j, "std") && tok::is_punct(toks, j + 1, "::")) j += 2;
+      bool scalar = false;
+      while (j < body_close && toks[j].kind == TokKind::kIdent && scalar_type(toks[j].text)) {
+        scalar = true;
+        ++j;
+      }
+      bool pointer = false;
+      if (!scalar) {
+        // `Type* name;` — a handful of type tokens then one-or-more '*'.
+        std::size_t steps = 0;
+        std::size_t p = j;
+        while (p < body_close && steps < 8 &&
+               (toks[p].kind == TokKind::kIdent || tok::is_punct(toks, p, "::"))) {
+          ++p;
+          ++steps;
+        }
+        if (tok::is_punct(toks, p, "<")) {
+          const std::size_t c = tok::skip_template_args(toks, p);
+          if (c != tok::kNpos) p = c + 1;
+        }
+        if (p > j && tok::is_punct(toks, p, "*")) {
+          pointer = true;
+          j = p;
+        }
+      }
+      if (!scalar && !pointer) continue;
+      while (tok::is_punct(toks, j, "*")) {
+        pointer = true;
+        ++j;
+      }
+      if (j >= body_close || toks[j].kind != TokKind::kIdent) continue;
+      const std::string field_name = toks[j].text;
+      const std::string_view after =
+          j + 1 < body_close ? std::string_view(toks[j + 1].text) : std::string_view(";");
+      if (after == ";") {
+        info.uninit_fields.push_back({field_name, toks[j].line});
+      }
+      // `= ...` / `{...}` initializers, functions `(`, bitfields `:`,
+      // arrays `[` — all skipped (initialized, not a field, or out of
+      // scope for this heuristic).
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<const Check*>& registry() {
+  static const BannedCallCheck banned;
+  static const PragmaOnceCheck pragma_once;
+  static const IncludeCycleCheck include_cycle;
+  static const RawNewDeleteCheck raw_new_delete;
+  static const GuardedByCheck guarded_by;
+  static const DeterminismCheck determinism;
+  static const LockOrderCheck lock_order;
+  static const HeaderHygieneCheck header_hygiene;
+  static const UninitMemberCheck uninit_member;
+  static const std::vector<const Check*> checks = {
+      &banned,      &pragma_once, &include_cycle,  &raw_new_delete, &guarded_by,
+      &determinism, &lock_order,  &header_hygiene, &uninit_member};
+  return checks;
+}
+
+}  // namespace at::lint

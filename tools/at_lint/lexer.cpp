@@ -1,0 +1,311 @@
+#include "at_lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace at::lint {
+
+namespace {
+
+bool ident_start(unsigned char c) noexcept {
+  return std::isalpha(c) != 0 || c == '_';
+}
+
+bool ident_char(unsigned char c) noexcept {
+  return std::isalnum(c) != 0 || c == '_';
+}
+
+// Multi-char punctuators, longest first so greedy matching is correct.
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "...", "<<=", ">>=", "->*", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  TokenStream run() {
+    while (i_ < src_.size()) {
+      skip_splices();
+      if (i_ >= src_.size()) break;
+      const unsigned char c = at(0);
+      if (c == '\n') {
+        ++i_;
+        ++line_;
+        in_pp_ = false;
+        continue;
+      }
+      if (std::isspace(c) != 0) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && at(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && at(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '"') {
+        string_literal(TokKind::kString);
+        continue;
+      }
+      if (c == '\'') {
+        string_literal(TokKind::kChar);
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(c) != 0 || (c == '.' && std::isdigit(at(1)) != 0)) {
+        number();
+        continue;
+      }
+      if (c == '#' && last_code_line_ != line_) in_pp_ = true;
+      if (c == '<' && in_pp_ && header_name_position()) {
+        header_name();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  unsigned char at(std::size_t k) const noexcept {
+    return i_ + k < src_.size() ? static_cast<unsigned char>(src_[i_ + k]) : '\0';
+  }
+
+  /// Length of a backslash-newline splice at i_+k (0 if none).
+  std::size_t splice_len(std::size_t k) const noexcept {
+    if (at(k) != '\\') return 0;
+    if (at(k + 1) == '\n') return 2;
+    if (at(k + 1) == '\r' && at(k + 2) == '\n') return 3;
+    return 0;
+  }
+
+  void skip_splices() {
+    std::size_t n = 0;
+    while ((n = splice_len(0)) != 0) {
+      i_ += n;
+      ++line_;
+    }
+  }
+
+  Token start(TokKind kind) const {
+    Token tok;
+    tok.kind = kind;
+    tok.line = line_;
+    tok.offset = static_cast<std::uint32_t>(i_);
+    tok.in_pp = in_pp_;
+    return tok;
+  }
+
+  void push(Token tok) {
+    last_code_line_ = line_;
+    out_.tokens.push_back(std::move(tok));
+  }
+
+  void line_comment() {
+    Comment comment;
+    comment.line = line_;
+    comment.own_line = last_code_line_ != line_;
+    i_ += 2;
+    while (i_ < src_.size()) {
+      skip_splices();  // a continuation extends the comment to the next line
+      if (i_ >= src_.size() || at(0) == '\n') break;
+      comment.text += static_cast<char>(at(0));
+      ++i_;
+    }
+    comment.end_line = line_;
+    out_.comments.push_back(std::move(comment));
+  }
+
+  void block_comment() {
+    Comment comment;
+    comment.line = line_;
+    comment.own_line = last_code_line_ != line_;
+    i_ += 2;
+    while (i_ < src_.size() && !(at(0) == '*' && at(1) == '/')) {
+      if (at(0) == '\n') ++line_;
+      comment.text += static_cast<char>(at(0));
+      ++i_;
+    }
+    i_ += i_ < src_.size() ? 2 : 0;  // consume the closing */
+    comment.end_line = line_;
+    out_.comments.push_back(std::move(comment));
+  }
+
+  /// "..." or '...' with escapes; unterminated literals end at the line
+  /// break (error tolerance for malformed input, never desyncs past it).
+  void string_literal(TokKind kind) {
+    Token tok = start(kind);
+    const char quote = static_cast<char>(at(0));
+    ++i_;
+    while (i_ < src_.size()) {
+      skip_splices();
+      const unsigned char c = at(0);
+      if (c == '\0' && i_ >= src_.size()) break;
+      if (c == static_cast<unsigned char>(quote)) {
+        ++i_;
+        break;
+      }
+      if (c == '\n') break;  // unterminated
+      if (c == '\\') {
+        tok.text += static_cast<char>(c);
+        ++i_;
+        if (i_ < src_.size() && at(0) != '\n') {
+          tok.text += static_cast<char>(at(0));
+          ++i_;
+        }
+        continue;
+      }
+      tok.text += static_cast<char>(c);
+      ++i_;
+    }
+    push(std::move(tok));
+  }
+
+  /// R"delim( ... )delim" — no escape or splice processing inside, custom
+  /// delimiter up to 16 chars per the standard.
+  void raw_string(std::uint32_t start_line, std::uint32_t start_offset) {
+    Token tok;
+    tok.kind = TokKind::kString;
+    tok.line = start_line;
+    tok.offset = start_offset;
+    tok.in_pp = in_pp_;
+    ++i_;  // opening quote
+    std::string delim;
+    while (i_ < src_.size() && at(0) != '(' && delim.size() <= 16) {
+      delim += static_cast<char>(at(0));
+      ++i_;
+    }
+    if (i_ < src_.size()) ++i_;  // opening paren
+    const std::string close = ")" + delim + "\"";
+    while (i_ < src_.size()) {
+      if (src_.compare(i_, close.size(), close) == 0) {
+        i_ += close.size();
+        break;
+      }
+      if (at(0) == '\n') ++line_;
+      tok.text += static_cast<char>(at(0));
+      ++i_;
+    }
+    push(std::move(tok));
+  }
+
+  void identifier() {
+    Token tok = start(TokKind::kIdent);
+    while (i_ < src_.size()) {
+      skip_splices();
+      if (!ident_char(at(0))) break;
+      tok.text += static_cast<char>(at(0));
+      ++i_;
+    }
+    // Encoding prefix directly attached to a literal?
+    static constexpr std::array<std::string_view, 5> kRawPrefix = {"R", "LR", "uR", "UR",
+                                                                   "u8R"};
+    static constexpr std::array<std::string_view, 4> kPrefix = {"u8", "u", "U", "L"};
+    if (at(0) == '"') {
+      for (const auto p : kRawPrefix) {
+        if (tok.text == p) {
+          raw_string(tok.line, tok.offset);
+          return;
+        }
+      }
+      for (const auto p : kPrefix) {
+        if (tok.text == p) {
+          string_literal(TokKind::kString);
+          return;
+        }
+      }
+    }
+    if (at(0) == '\'') {
+      for (const auto p : kPrefix) {
+        if (tok.text == p) {
+          string_literal(TokKind::kChar);
+          return;
+        }
+      }
+    }
+    push(std::move(tok));
+  }
+
+  /// pp-number: digits, identifier chars, digit separators, '.', and
+  /// signed exponents. Deliberately permissive (1'000'000, 0x1p-3, 1.5e+9).
+  void number() {
+    Token tok = start(TokKind::kNumber);
+    while (i_ < src_.size()) {
+      skip_splices();
+      const unsigned char c = at(0);
+      if (ident_char(c) || c == '.' || c == '\'') {
+        tok.text += static_cast<char>(c);
+        ++i_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !tok.text.empty()) {
+        const char e = tok.text.back();
+        if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+          tok.text += static_cast<char>(c);
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    push(std::move(tok));
+  }
+
+  /// True at a '<' that opens `#include <...>`.
+  bool header_name_position() const {
+    const auto& toks = out_.tokens;
+    if (toks.size() < 2) return false;
+    const Token& a = toks[toks.size() - 2];
+    const Token& b = toks[toks.size() - 1];
+    return a.in_pp && b.in_pp && a.text == "#" &&
+           (b.text == "include" || b.text == "include_next");
+  }
+
+  void header_name() {
+    Token tok = start(TokKind::kHeaderName);
+    ++i_;  // '<'
+    while (i_ < src_.size() && at(0) != '>' && at(0) != '\n') {
+      tok.text += static_cast<char>(at(0));
+      ++i_;
+    }
+    if (i_ < src_.size() && at(0) == '>') ++i_;
+    push(std::move(tok));
+  }
+
+  void punct() {
+    Token tok = start(TokKind::kPunct);
+    for (const auto p : kPuncts) {
+      if (src_.compare(i_, p.size(), p) == 0) {
+        tok.text = std::string(p);
+        i_ += p.size();
+        push(std::move(tok));
+        return;
+      }
+    }
+    // Single byte — including stray non-UTF8 bytes, which degrade to
+    // one-byte punctuation and keep the stream synchronized.
+    tok.text = std::string(1, static_cast<char>(at(0)));
+    ++i_;
+    push(std::move(tok));
+  }
+
+  std::string_view src_;
+  std::size_t i_ = 0;
+  std::uint32_t line_ = 1;
+  bool in_pp_ = false;
+  std::uint32_t last_code_line_ = 0;
+  TokenStream out_;
+};
+
+}  // namespace
+
+TokenStream lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace at::lint

@@ -1,0 +1,68 @@
+#pragma once
+// at_lint's C++ lexer. Dependency-free (no libclang): a single pass over the
+// raw bytes producing a token stream with comments carried out-of-band, so
+// every rule operates on real tokens instead of substrings — a `rand` inside
+// a string literal or a `new` inside a comment can no longer fire a rule.
+//
+// What it understands (and tests/test_at_lexer.cpp exercises):
+//   - // and /* */ comments, including /* /* */ (block comments do not nest
+//     in C++; the first */ closes) and // inside string literals.
+//   - "...", '...' (with escapes), encoding prefixes (u8, u, U, L), and raw
+//     strings R"delim(...)delim" with arbitrary custom delimiters.
+//   - Backslash-newline line continuations anywhere, including inside
+//     identifiers, // comments, and #define bodies; physical line numbers
+//     are preserved for reporting.
+//   - Preprocessor directives: every token on a directive's (logical) line
+//     is flagged in_pp, and `#include <...>` header-names lex as one
+//     kHeaderName token instead of a `<` expression.
+//   - pp-number digit separators (1'000'000) — the ' does not open a char
+//     literal.
+//   - Arbitrary non-UTF8 bytes degrade to single-byte punctuation tokens;
+//     the lexer never desynchronizes or reads out of bounds.
+//
+// The lexer is intentionally not a preprocessor: macros are not expanded and
+// token text is the spliced spelling (continuations removed).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace at::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,       ///< identifier or keyword (no keyword table; rules match text)
+  kNumber,      ///< pp-number, including separators and float exponents
+  kString,      ///< string literal; text is the body without quotes/prefix
+  kChar,        ///< character literal; text is the body without quotes
+  kHeaderName,  ///< <...> after #include; text is the body without brackets
+  kPunct,       ///< operator/punctuator, multi-char ops lexed greedily
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::uint32_t line = 0;    ///< 1-based physical line of the first byte
+  std::uint32_t offset = 0;  ///< byte offset of the first byte in the source
+  bool in_pp = false;        ///< part of a preprocessor directive line
+  std::string text;          ///< spelling (splices removed; literals: body only)
+};
+
+/// Comments are not tokens: rules never see them, but the engine scans them
+/// for `at_lint: allow(<rule>)` inline suppressions.
+struct Comment {
+  std::uint32_t line = 0;      ///< line of the opening // or /*
+  std::uint32_t end_line = 0;  ///< line of the final byte (== line for //)
+  bool own_line = false;       ///< no code token precedes it on `line`
+  std::string text;            ///< body without the comment markers
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lex `source` (raw file bytes). Never throws on malformed input —
+/// unterminated literals and stray bytes produce best-effort tokens.
+[[nodiscard]] TokenStream lex(std::string_view source);
+
+}  // namespace at::lint

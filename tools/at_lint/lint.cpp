@@ -1,20 +1,25 @@
 #include "at_lint/lint.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cctype>
-#include <functional>
+#include <chrono>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "at_lint/cache.hpp"
+#include "at_lint/token_util.hpp"
+#include "util/thread_pool.hpp"
 
 namespace at::lint {
 
 namespace {
 
-bool ident_char(char c) noexcept {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
+/// Bump whenever any rule's behavior changes: the string feeds engine_salt(),
+/// which keys the incremental cache, so every entry self-invalidates.
+constexpr std::string_view kEngineVersion =
+    "at_lint-v2.1:banned-call,pragma-once,include-cycle,raw-new-delete,guarded-by,"
+    "determinism,lock-order,header-hygiene,uninit-member";
 
 std::string_view trim(std::string_view text) {
   while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
@@ -26,522 +31,530 @@ std::string_view trim(std::string_view text) {
   return text;
 }
 
-std::vector<std::string_view> split_lines(std::string_view text) {
-  std::vector<std::string_view> lines;
+bool all_macro_case(std::string_view name) {
+  for (const char c : name) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- facts
+
+void extract_includes(const TokenStream& ts, FileFacts& facts) {
+  const auto& toks = ts.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (tok::is_punct(toks, i, "#") && toks[i].in_pp && tok::is_ident(toks, i + 1, "include") &&
+        toks[i + 2].kind == TokKind::kString) {
+      facts.quoted_includes.push_back(toks[i + 2].text);
+    }
+  }
+}
+
+void extract_lock_edges(const TokenStream& ts, FileFacts& facts) {
+  const auto& toks = ts.tokens;
+  struct Held {
+    std::string expr;  // empty = lambda barrier
+    int depth = 0;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        ++depth;
+      } else if (t.text == "}") {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      } else if (t.text == "[") {
+        // A lambda body defers execution: acquisitions inside it are NOT
+        // nested under the enclosing scope's guards. Push a barrier.
+        const std::size_t body = tok::lambda_body(toks, i);
+        if (body != tok::kNpos) {
+          i = body;  // jump to the body's '{' (no braces occur in between)
+          ++depth;
+          held.push_back({std::string(), depth});
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "LockGuard") {
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent) ++j;  // guard name
+      if (!tok::is_punct(toks, j, "(") && !tok::is_punct(toks, j, "{")) continue;
+      const bool paren = toks[j].text == "(";
+      const std::size_t close = tok::match_forward(toks, j, paren ? "(" : "{", paren ? ")" : "}");
+      if (close == tok::kNpos) continue;
+      const std::string expr = tok::spelling(toks, j + 1, close);
+      if (expr.empty()) continue;
+      for (auto it = held.rbegin(); it != held.rend(); ++it) {
+        if (it->expr.empty()) break;  // lambda barrier
+        facts.lock_edges.push_back({it->expr, expr, t.line});
+      }
+      held.push_back({expr, depth});
+      i = close;
+      continue;
+    }
+    // in_pp skips the macro's own #define line in annotated_mutex.hpp.
+    const bool before = t.text == "AT_ACQUIRED_BEFORE" && !t.in_pp;
+    const bool after = t.text == "AT_ACQUIRED_AFTER" && !t.in_pp;
+    if (before || after) {
+      if (!tok::is_punct(toks, i + 1, "(")) continue;
+      const std::size_t close = tok::match_forward(toks, i + 1, "(", ")");
+      if (close == tok::kNpos) continue;
+      // The annotated mutex is the nearest identifier before the macro.
+      std::string self;
+      for (std::size_t k = i; k-- > 0;) {
+        if (toks[k].kind == TokKind::kIdent) {
+          self = toks[k].text;
+          break;
+        }
+      }
+      if (self.empty()) continue;
+      // Split the argument list on top-level commas.
+      std::size_t arg_begin = i + 2;
+      std::size_t d = 0;
+      for (std::size_t k = i + 2; k <= close; ++k) {
+        const bool end = k == close;
+        if (tok::is_punct(toks, k, "(")) ++d;
+        if (tok::is_punct(toks, k, ")") && !end) --d;
+        if (end || (d == 0 && tok::is_punct(toks, k, ","))) {
+          const std::string arg = tok::spelling(toks, arg_begin, k);
+          if (!arg.empty()) {
+            if (before) {
+              facts.lock_edges.push_back({self, arg, t.line});
+            } else {
+              facts.lock_edges.push_back({arg, self, t.line});
+            }
+          }
+          arg_begin = k + 1;
+        }
+      }
+      i = close;
+    }
+  }
+}
+
+void extract_types(const TokenStream& ts, FileFacts& facts) {
+  const auto& toks = ts.tokens;
+  std::unordered_set<std::string> declared;
+  std::unordered_set<std::string> used;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "class" || t.text == "struct" || t.text == "enum") {
+      std::size_t j = i + 1;
+      if (t.text == "enum" &&
+          (tok::is_ident(toks, j, "class") || tok::is_ident(toks, j, "struct"))) {
+        ++j;
+      }
+      // Collect idents (macro markers like AT_SCOPED_CAPABILITY ride between
+      // the keyword and the name); the last one before `{`/`:`/`final` is
+      // the name. Anything else first means fwd-decl / template param.
+      std::string name;
+      while (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+        if (toks[j].text == "final") break;
+        name = toks[j].text;
+        ++j;
+      }
+      if (!name.empty() &&
+          (tok::is_punct(toks, j, "{") || tok::is_punct(toks, j, ":") ||
+           tok::is_ident(toks, j, "final"))) {
+        declared.insert(name);
+      }
+      i = j > i ? j - 1 : i;
+      continue;
+    }
+    if (t.text == "using" && i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
+        tok::is_punct(toks, i + 2, "=")) {
+      declared.insert(toks[i + 1].text);
+      i += 2;
+      continue;
+    }
+    // Capitalized use (project type names are CamelCase; macros are
+    // SHOUTING_CASE and skipped).
+    const char first = t.text.front();
+    if (std::isupper(static_cast<unsigned char>(first)) != 0 && t.text.size() >= 3 &&
+        !all_macro_case(t.text) && !t.in_pp) {
+      const bool decl_pos =
+          i > 0 && (tok::is_ident(toks, i - 1, "class") || tok::is_ident(toks, i - 1, "struct") ||
+                    tok::is_ident(toks, i - 1, "enum") || tok::is_ident(toks, i - 1, "typename"));
+      if (!decl_pos && used.insert(t.text).second) {
+        facts.used_types.push_back({t.text, t.line});
+      }
+    }
+  }
+  facts.declared_types.assign(declared.begin(), declared.end());
+  std::sort(facts.declared_types.begin(), facts.declared_types.end());
+}
+
+/// `// at_lint: allow(rule1, rule2) — justification` suppresses those rules
+/// on the comment's line, or — when the comment stands alone — on the next
+/// line that carries code.
+void extract_suppressions(const TokenStream& ts, FileFacts& facts) {
+  for (const Comment& comment : ts.comments) {
+    const std::size_t tag = comment.text.find("at_lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t allow = comment.text.find("allow", tag);
+    if (allow == std::string::npos) continue;
+    const std::size_t open = comment.text.find('(', allow);
+    const std::size_t close = comment.text.find(')', open == std::string::npos ? 0 : open);
+    if (open == std::string::npos || close == std::string::npos) continue;
+
+    std::uint32_t target = comment.line;
+    if (comment.own_line) {
+      // A standalone comment applies to the next line that carries code
+      // (code trailing a block comment's closing line counts as that line).
+      std::uint32_t next = 0;
+      bool code_on_end_line = false;
+      for (const Token& t : ts.tokens) {
+        if (t.line == comment.end_line) code_on_end_line = true;
+        if (t.line > comment.end_line && (next == 0 || t.line < next)) next = t.line;
+      }
+      if (code_on_end_line) {
+        target = comment.end_line;
+      } else if (next != 0) {
+        target = next;
+      }
+    }
+    std::string_view args(comment.text);
+    args = args.substr(open + 1, close - open - 1);
+    while (!args.empty()) {
+      const std::size_t comma = args.find(',');
+      const std::string_view rule = trim(args.substr(0, comma));
+      if (!rule.empty()) facts.suppressions.push_back({std::string(rule), target});
+      if (comma == std::string_view::npos) break;
+      args.remove_prefix(comma + 1);
+    }
+  }
+}
+
+bool suppressed(const FileFacts& facts, const Violation& v) {
+  for (const auto& s : facts.suppressions) {
+    if (s.line == v.line && (s.rule == "*" || s.rule == v.rule)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- helpers
+
+void Check::file(const FileCtx&, std::vector<Violation>&) const {}
+void Check::project(const ProjectCtx&, std::vector<Violation>&) const {}
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) noexcept {
+  std::uint64_t hash = seed;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t engine_salt() noexcept { return fnv1a(kEngineVersion); }
+
+std::string line_excerpt(std::string_view content, std::size_t line) {
+  std::size_t start = 0;
+  for (std::size_t n = 1; n < line && start < content.size(); ++n) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) return std::string();
+    start = nl + 1;
+  }
+  std::size_t end = content.find('\n', start);
+  if (end == std::string_view::npos) end = content.size();
+  return std::string(trim(content.substr(start, end - start)));
+}
+
+std::string sibling_header_path(std::string_view path) {
+  if (path.size() < 4 || path.substr(path.size() - 4) != ".cpp") return std::string();
+  return std::string(path.substr(0, path.size() - 4)) + ".hpp";
+}
+
+FileAnalysis analyze_file(const SourceFile& file, const TokenStream& tokens,
+                          const SourceFile* sibling, const TokenStream* sibling_tokens) {
+  FileAnalysis out;
+  out.path = file.path;
+  extract_includes(tokens, out.facts);
+  extract_lock_edges(tokens, out.facts);
+  extract_types(tokens, out.facts);
+  extract_suppressions(tokens, out.facts);
+
+  FileCtx ctx{file, tokens, sibling, sibling_tokens};
+  std::vector<Violation> found;
+  for (const Check* check : registry()) check->file(ctx, found);
+  for (auto& v : found) {
+    if (!suppressed(out.facts, v)) out.violations.push_back(std::move(v));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- allowlist
+
+Allowlist Allowlist::parse(std::string_view text) {
+  Allowlist allow;
   std::size_t start = 0;
   while (start <= text.size()) {
     std::size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
-    lines.push_back(text.substr(start, end - start));
-    if (end == text.size()) break;
+    auto line = trim(text.substr(start, end - start));
     start = end + 1;
-  }
-  return lines;
-}
-
-/// 1-based line number of byte offset `pos`.
-std::size_t line_of(std::string_view text, std::size_t pos) {
-  return 1 + static_cast<std::size_t>(std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(std::min(pos, text.size())), '\n'));
-}
-
-/// The trimmed source line containing byte offset `pos` of `raw`.
-std::string excerpt_at(std::string_view raw, std::size_t pos) {
-  pos = std::min(pos, raw.size());
-  std::size_t begin = raw.rfind('\n', pos == 0 ? 0 : pos - 1);
-  begin = begin == std::string_view::npos ? 0 : begin + 1;
-  std::size_t end = raw.find('\n', pos);
-  if (end == std::string_view::npos) end = raw.size();
-  return std::string(trim(raw.substr(begin, end - begin)));
-}
-
-/// True when `text[pos..]` starts the identifier `token` with identifier
-/// boundaries on both sides.
-bool token_at(std::string_view text, std::size_t pos, std::string_view token) {
-  if (pos + token.size() > text.size()) return false;
-  if (text.compare(pos, token.size(), token) != 0) return false;
-  if (pos > 0 && ident_char(text[pos - 1])) return false;
-  const std::size_t after = pos + token.size();
-  return after >= text.size() || !ident_char(text[after]);
-}
-
-std::size_t skip_ws(std::string_view text, std::size_t pos) {
-  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
-  return pos;
-}
-
-/// Last non-whitespace byte strictly before `pos`, or '\0'.
-char prev_nonspace(std::string_view text, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (!std::isspace(static_cast<unsigned char>(text[pos]))) return text[pos];
-  }
-  return '\0';
-}
-
-bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() && text.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool ends_with(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-Violation make_violation(std::string rule, const SourceFile& file, std::size_t pos,
-                         std::string message) {
-  Violation v;
-  v.rule = std::move(rule);
-  v.file = file.path;
-  v.line = line_of(file.content, pos);
-  v.message = std::move(message);
-  v.excerpt = excerpt_at(file.content, pos);
-  return v;
-}
-
-}  // namespace
-
-std::string strip_code(std::string_view source) {
-  std::string out(source);
-  enum class State { kNormal, kLine, kBlock, kString, kChar, kRaw };
-  State state = State::kNormal;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (std::size_t i = 0; i < source.size(); ++i) {
-    const char c = source[i];
-    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
-    switch (state) {
-      case State::kNormal:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        } else if (c == 'R' && next == '"' && (i == 0 || !ident_char(source[i - 1]))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t p = i + 2;
-          raw_delim.clear();
-          while (p < source.size() && source[p] != '(') raw_delim += source[p++];
-          raw_delim = ")" + raw_delim + "\"";
-          out[i] = ' ';
-          state = State::kRaw;
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'' && (i == 0 || !ident_char(source[i - 1]))) {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kNormal;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kNormal;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          out[i] = ' ';
-          state = State::kNormal;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          out[i] = ' ';
-          state = State::kNormal;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRaw:
-        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
-          i += raw_delim.size() - 1;
-          state = State::kNormal;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
+    if (line.empty() || line.front() == '#') {
+      if (end == text.size()) break;
+      continue;
     }
+    AllowEntry entry;
+    const auto take_word = [&line]() {
+      std::size_t word_end = 0;
+      while (word_end < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[word_end])) == 0) {
+        ++word_end;
+      }
+      const auto word = line.substr(0, word_end);
+      line = trim(line.substr(word_end));
+      return std::string(word);
+    };
+    entry.rule = take_word();
+    entry.file = take_word();
+    entry.token = std::string(line);  // rest of line, may contain spaces
+    if (!entry.rule.empty() && !entry.file.empty()) allow.entries_.push_back(std::move(entry));
+    if (end == text.size()) break;
   }
-  return out;
-}
-
-std::vector<Violation> check_banned_calls(const std::vector<SourceFile>& files) {
-  std::vector<Violation> out;
-  static constexpr std::array<std::string_view, 3> kBanned = {"rand", "strtok", "gmtime"};
-  static constexpr std::array<std::string_view, 8> kSto = {
-      "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold"};
-  for (const auto& file : files) {
-    if (!starts_with(file.path, "src/")) continue;
-    const std::string stripped = strip_code(file.content);
-    // Brace-matched try tracking: a std::sto* call is fine inside a try
-    // block (its throw is the error path); naked calls are the bug class
-    // this rule exists for (see params_io/report fixes in PR 2).
-    std::vector<char> block_is_try;
-    std::size_t try_depth = 0;
-    bool pending_try = false;
-    for (std::size_t i = 0; i < stripped.size(); ++i) {
-      const char c = stripped[i];
-      if (c == '{') {
-        block_is_try.push_back(pending_try ? 1 : 0);
-        if (pending_try) ++try_depth;
-        pending_try = false;
-        continue;
-      }
-      if (c == '}') {
-        if (!block_is_try.empty()) {
-          if (block_is_try.back() != 0) --try_depth;
-          block_is_try.pop_back();
-        }
-        continue;
-      }
-      if (!ident_char(c) || (i > 0 && ident_char(stripped[i - 1]))) continue;
-      // At the start of an identifier.
-      if (token_at(stripped, i, "try")) {
-        pending_try = true;
-        continue;
-      }
-      const auto called = [&](std::string_view name) {
-        return token_at(stripped, i, name) &&
-               skip_ws(stripped, i + name.size()) < stripped.size() &&
-               stripped[skip_ws(stripped, i + name.size())] == '(';
-      };
-      for (const auto name : kBanned) {
-        if (called(name)) {
-          out.push_back(make_violation(
-              "banned-call", file, i,
-              std::string(name) + "() is banned in src/ (non-reentrant or non-deterministic; "
-                                  "use util::Rng / util::strings / util::time_utils)"));
-        }
-      }
-      if (starts_with(file.path, "src/fg/") && called("exp")) {
-        out.push_back(make_violation(
-            "banned-call", file, i,
-            "raw exp() in the fg hot path; use fg::CompiledParams pre-exponentiated "
-            "tables or util::logdomain"));
-      }
-      for (const auto name : kSto) {
-        if (called(name) && try_depth == 0) {
-          out.push_back(make_violation(
-              "banned-call", file, i,
-              "std::" + std::string(name) + " outside try: malformed input escapes as an "
-                                            "uncaught exception; use util::parse_num"));
-        }
-      }
-    }
-  }
-  return out;
-}
-
-std::vector<Violation> check_pragma_once(const std::vector<SourceFile>& files) {
-  std::vector<Violation> out;
-  for (const auto& file : files) {
-    if (!ends_with(file.path, ".hpp")) continue;
-    const std::string stripped = strip_code(file.content);
-    const auto lines = split_lines(stripped);
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const auto line = trim(lines[i]);
-      if (line.empty()) continue;
-      if (!starts_with(line, "#pragma") || line.find("once") == std::string_view::npos) {
-        Violation v;
-        v.rule = "pragma-once";
-        v.file = file.path;
-        v.line = i + 1;
-        v.message = "header does not start with #pragma once";
-        v.excerpt = std::string(line);
-        out.push_back(std::move(v));
-      }
-      break;  // only the first non-blank code line matters
-    }
-  }
-  return out;
-}
-
-std::vector<Violation> check_include_cycles(const std::vector<SourceFile>& files) {
-  std::vector<Violation> out;
-  std::unordered_map<std::string, std::size_t> index;
-  for (std::size_t i = 0; i < files.size(); ++i) index.emplace(files[i].path, i);
-
-  const auto resolve = [&](const std::string& includer,
-                           const std::string& inc) -> std::ptrdiff_t {
-    // Quoted includes are rooted at the module root (src/, tools/, ...),
-    // matching the CMake include dirs; fall back to includer-relative.
-    static constexpr std::array<std::string_view, 5> kRoots = {"src/", "tools/", "bench/",
-                                                               "tests/", ""};
-    for (const auto root : kRoots) {
-      const auto it = index.find(std::string(root) + inc);
-      if (it != index.end()) return static_cast<std::ptrdiff_t>(it->second);
-    }
-    const std::size_t slash = includer.rfind('/');
-    if (slash != std::string::npos) {
-      const auto it = index.find(includer.substr(0, slash + 1) + inc);
-      if (it != index.end()) return static_cast<std::ptrdiff_t>(it->second);
-    }
-    return -1;  // system / third-party header: not part of the graph
-  };
-
-  std::vector<std::vector<std::size_t>> adj(files.size());
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    for (const auto line : split_lines(files[i].content)) {
-      const auto t = trim(line);
-      if (!starts_with(t, "#include")) continue;
-      const std::size_t open = t.find('"');
-      if (open == std::string_view::npos) continue;  // <...> includes are external
-      const std::size_t close = t.find('"', open + 1);
-      if (close == std::string_view::npos) continue;
-      const auto target = resolve(files[i].path, std::string(t.substr(open + 1, close - open - 1)));
-      if (target >= 0) adj[i].push_back(static_cast<std::size_t>(target));
-    }
-  }
-
-  // Iterative three-color DFS; report each back edge once as a cycle.
-  enum : char { kWhite, kGray, kBlack };
-  std::vector<char> color(files.size(), kWhite);
-  std::vector<std::size_t> stack_path;
-  const std::function<void(std::size_t)> dfs = [&](std::size_t u) {
-    color[u] = kGray;
-    stack_path.push_back(u);
-    for (const std::size_t v : adj[u]) {
-      if (color[v] == kWhite) {
-        dfs(v);
-      } else if (color[v] == kGray) {
-        std::string msg = "include cycle: ";
-        const auto begin = std::find(stack_path.begin(), stack_path.end(), v);
-        for (auto it = begin; it != stack_path.end(); ++it) msg += files[*it].path + " -> ";
-        msg += files[v].path;
-        Violation viol;
-        viol.rule = "include-cycle";
-        viol.file = files[u].path;
-        viol.line = 1;
-        viol.message = std::move(msg);
-        viol.excerpt = files[v].path;
-        out.push_back(std::move(viol));
-      }
-    }
-    stack_path.pop_back();
-    color[u] = kBlack;
-  };
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    if (color[i] == kWhite) dfs(i);
-  }
-  return out;
-}
-
-std::vector<Violation> check_raw_new_delete(const std::vector<SourceFile>& files) {
-  std::vector<Violation> out;
-  for (const auto& file : files) {
-    if (!starts_with(file.path, "src/") || starts_with(file.path, "src/util/")) continue;
-    const std::string stripped = strip_code(file.content);
-    for (std::size_t i = 0; i < stripped.size(); ++i) {
-      if (!ident_char(stripped[i]) || (i > 0 && ident_char(stripped[i - 1]))) continue;
-      const bool is_new = token_at(stripped, i, "new");
-      const bool is_delete = token_at(stripped, i, "delete");
-      if (!is_new && !is_delete) continue;
-      const char prev = prev_nonspace(stripped, i);
-      if (is_delete && prev == '=') continue;  // `= delete;` declaration
-      // `operator new` / `operator delete` overloads are declarations.
-      std::size_t p = i;
-      while (p > 0 && std::isspace(static_cast<unsigned char>(stripped[p - 1]))) --p;
-      std::size_t q = p;
-      while (q > 0 && ident_char(stripped[q - 1])) --q;
-      if (p - q == 8 && stripped.compare(q, 8, "operator") == 0) continue;
-      out.push_back(make_violation(
-          "raw-new-delete", file, i,
-          std::string(is_new ? "new" : "delete") +
-              " outside src/util/: own memory via std::unique_ptr/containers"));
-    }
-  }
-  return out;
+  return allow;
 }
 
 namespace {
 
-/// Mutating member-function suffixes for the guarded-by write heuristic.
-bool mutating_method(std::string_view name) {
-  static const std::unordered_set<std::string_view> kMethods = {
-      "push_back", "emplace_back", "emplace", "pop_back", "pop",    "push",
-      "clear",     "insert",       "erase",   "assign",   "resize", "reserve",
-      "swap",      "merge",        "extract"};
-  return kMethods.contains(name);
-}
-
-struct Write {
-  std::string name;
-  std::size_t pos;
-};
-
-/// Member writes (`x_ = ...`, `++x_`, `x_.push_back(...)`, ...) between
-/// `begin` and the close of the brace scope containing `begin`.
-std::vector<Write> writes_in_scope(std::string_view stripped, std::size_t begin) {
-  std::vector<Write> out;
-  int depth = 0;
-  for (std::size_t i = begin; i < stripped.size(); ++i) {
-    const char c = stripped[i];
-    if (c == '{') {
-      ++depth;
-      continue;
-    }
-    if (c == '}') {
-      if (--depth < 0) break;  // left the scope the LockGuard lives in
-      continue;
-    }
-    if (!ident_char(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
-        (i > 0 && ident_char(stripped[i - 1]))) {
-      continue;
-    }
-    std::size_t end = i;
-    while (end < stripped.size() && ident_char(stripped[end])) ++end;
-    if (stripped[end - 1] != '_') {
-      i = end - 1;
-      continue;
-    }
-    const std::string name(stripped.substr(i, end - i));
-    bool write = false;
-    // Prefix increment/decrement.
-    const char prev = prev_nonspace(stripped, i);
-    if (prev == '+' || prev == '-') {
-      const std::size_t p = stripped.rfind(prev == '+' ? "++" : "--", i);
-      if (p != std::string::npos && skip_ws(stripped, p + 2) == i) write = true;
-    }
-    std::size_t after = skip_ws(stripped, end);
-    if (!write && after < stripped.size()) {
-      const char a = stripped[after];
-      const char b = after + 1 < stripped.size() ? stripped[after + 1] : '\0';
-      if (a == '=' && b != '=') write = true;
-      if ((a == '+' || a == '-' || a == '*' || a == '/' || a == '%' || a == '|' ||
-           a == '&' || a == '^') &&
-          b == '=') {
-        write = true;
-      }
-      if ((a == '+' && b == '+') || (a == '-' && b == '-')) write = true;
-      if (a == '.') {
-        std::size_t m = skip_ws(stripped, after + 1);
-        std::size_t mend = m;
-        while (mend < stripped.size() && ident_char(stripped[mend])) ++mend;
-        if (mend > m && mend < stripped.size() &&
-            stripped[skip_ws(stripped, mend)] == '(' &&
-            mutating_method(stripped.substr(m, mend - m))) {
-          write = true;
-        }
-      }
-    }
-    if (write) out.push_back({name, i});
-    i = end - 1;
-  }
-  return out;
+bool entry_matches(const AllowEntry& entry, const Violation& violation) {
+  if (entry.rule != "*" && entry.rule != violation.rule) return false;
+  if (entry.file != "*" && entry.file != violation.file) return false;
+  return entry.token.empty() ||
+         violation.excerpt.find(entry.token) != std::string::npos;
 }
 
 }  // namespace
 
-std::vector<Violation> check_guarded_by(const std::vector<SourceFile>& files) {
-  std::vector<Violation> out;
-  std::unordered_map<std::string, const SourceFile*> by_path;
-  for (const auto& file : files) by_path.emplace(file.path, &file);
+bool Allowlist::allows(const Violation& violation) const {
+  for (const auto& entry : entries_) {
+    if (entry_matches(entry, violation)) return true;
+  }
+  return false;
+}
 
-  for (const auto& file : files) {
-    if (!starts_with(file.path, "src/")) continue;
-    const std::string stripped = strip_code(file.content);
-    // Candidate declaration homes: this file, plus the sibling header for
-    // a .cpp.
-    std::vector<const SourceFile*> homes = {&file};
-    if (ends_with(file.path, ".cpp")) {
-      const std::string sibling = file.path.substr(0, file.path.size() - 4) + ".hpp";
-      const auto it = by_path.find(sibling);
-      if (it != by_path.end()) homes.push_back(it->second);
-    }
-    const auto annotated = [&](const std::string& name) -> int {
-      // 1 = annotated, 0 = declared without annotation, -1 = not found.
-      bool found = false;
-      for (const SourceFile* home : homes) {
-        for (const auto line : split_lines(home->content)) {
-          std::size_t pos = 0;
-          bool has_token = false;
-          while ((pos = line.find(name, pos)) != std::string_view::npos) {
-            const bool lb = pos == 0 || !ident_char(line[pos - 1]);
-            const bool rb = pos + name.size() >= line.size() ||
-                            !ident_char(line[pos + name.size()]);
-            if (lb && rb) {
-              has_token = true;
-              break;
-            }
-            ++pos;
-          }
-          if (!has_token) continue;
-          found = true;
-          if (line.find("AT_GUARDED_BY") != std::string_view::npos ||
-              line.find("AT_NOT_GUARDED") != std::string_view::npos) {
-            return 1;
-          }
-        }
-      }
-      return found ? 0 : -1;
-    };
-
-    std::size_t pos = 0;
-    while ((pos = stripped.find("LockGuard", pos)) != std::string_view::npos) {
-      if (!token_at(stripped, pos, "LockGuard")) {
-        ++pos;
-        continue;
-      }
-      // `LockGuard name(mutex);` — writes between here and the end of the
-      // enclosing block happen with `mutex` held.
-      std::size_t cursor = skip_ws(stripped, pos + 9);
-      std::size_t name_end = cursor;
-      while (name_end < stripped.size() && ident_char(stripped[name_end])) ++name_end;
-      if (name_end == cursor || stripped[skip_ws(stripped, name_end)] != '(') {
-        pos += 9;
-        continue;
-      }
-      for (const auto& write : writes_in_scope(stripped, skip_ws(stripped, name_end))) {
-        if (annotated(write.name) == 0) {
-          out.push_back(make_violation(
-              "guarded-by", file, write.pos,
-              write.name + " is written under a held util::LockGuard but its declaration "
-                           "has neither AT_GUARDED_BY nor AT_NOT_GUARDED"));
-        }
-      }
-      pos = name_end;
+std::vector<std::size_t> Allowlist::match_counts(
+    const std::vector<Violation>& violations) const {
+  std::vector<std::size_t> counts(entries_.size(), 0);
+  for (const auto& v : violations) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entry_matches(entries_[i], v)) ++counts[i];
     }
   }
-  // A field written under several locks reports once per declaration.
-  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
-    return std::tie(a.file, a.line, a.message) < std::tie(b.file, b.line, b.message);
+  return counts;
+}
+
+// ---------------------------------------------------------------- engine
+
+RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+
+  RunResult result;
+  result.stats.files = files.size();
+  const std::size_t n = files.size();
+
+  std::unordered_map<std::string_view, std::size_t> by_path;
+  by_path.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) by_path.emplace(files[i].path, i);
+
+  // Sibling pairing + cache keys. A .cpp's key covers its header's bytes
+  // too, because guarded-by/determinism read declarations from the sibling.
+  std::vector<const SourceFile*> sibling(n, nullptr);
+  std::vector<std::uint64_t> keys(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string sib = sibling_header_path(files[i].path);
+    if (!sib.empty()) {
+      const auto it = by_path.find(std::string_view(sib));
+      if (it != by_path.end()) sibling[i] = &files[it->second];
+    }
+    std::uint64_t key = fnv1a(files[i].content, engine_salt());
+    if (sibling[i] != nullptr) key = fnv1a(sibling[i]->content, key ^ 0x9e3779b97f4a7c15ULL);
+    keys[i] = key;
+  }
+
+  std::vector<FileAnalysis> analyses(n);
+  std::vector<char> miss(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FileAnalysis* hit =
+        opts.cache != nullptr ? opts.cache->lookup(files[i].path, keys[i]) : nullptr;
+    if (hit != nullptr) {
+      analyses[i] = *hit;
+      analyses[i].from_cache = true;
+      ++result.stats.cache_hits;
+    } else {
+      miss[i] = 1;
+    }
+  }
+
+  // Lex misses plus any header a missed .cpp pairs with (its tokens feed
+  // sibling-aware rules even when the header itself is a cache hit).
+  std::vector<char> need_lex = miss;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (miss[i] == 0 || sibling[i] == nullptr) continue;
+    const auto it = by_path.find(std::string_view(sibling[i]->path));
+    if (it != by_path.end()) need_lex[it->second] = 1;
+  }
+
+  std::vector<TokenStream> streams(n);
+  const auto for_each = [&](const std::function<void(std::size_t)>& body) {
+    if (opts.pool != nullptr) {
+      opts.pool->parallel_for(0, n, body, /*grain=*/1);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    }
+  };
+  for_each([&](std::size_t i) {
+    if (need_lex[i] != 0) streams[i] = lex(files[i].content);
   });
-  out.erase(std::unique(out.begin(), out.end(),
-                        [](const Violation& a, const Violation& b) {
-                          return a.file == b.file && a.line == b.line &&
-                                 a.message == b.message;
-                        }),
-            out.end());
+  for_each([&](std::size_t i) {
+    if (miss[i] == 0) return;
+    const TokenStream* sib_stream = nullptr;
+    if (sibling[i] != nullptr) {
+      const auto it = by_path.find(std::string_view(sibling[i]->path));
+      if (it != by_path.end()) sib_stream = &streams[it->second];
+    }
+    analyses[i] = analyze_file(files[i], streams[i], sibling[i], sib_stream);
+    analyses[i].key = keys[i];
+  });
+  result.stats.analyzed = static_cast<std::size_t>(
+      std::count(miss.begin(), miss.end(), static_cast<char>(1)));
+  if (opts.cache != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (miss[i] != 0) opts.cache->store(analyses[i]);
+    }
+  }
+  const auto t1 = Clock::now();
+
+  // Project-wide rules always run (cheap: they consume facts, not tokens).
+  ProjectCtx project_ctx{analyses};
+  std::vector<Violation> project_violations;
+  for (const Check* check : registry()) check->project(project_ctx, project_violations);
+
+  std::unordered_map<std::string_view, const FileFacts*> facts_of;
+  for (const auto& a : analyses) facts_of.emplace(a.path, &a.facts);
+  for (auto& v : project_violations) {
+    const auto it = facts_of.find(std::string_view(v.file));
+    if (it != facts_of.end() && suppressed(*it->second, v)) continue;
+    result.raw.push_back(std::move(v));
+  }
+  for (const auto& a : analyses) {
+    result.raw.insert(result.raw.end(), a.violations.begin(), a.violations.end());
+  }
+  const auto order = [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  };
+  std::sort(result.raw.begin(), result.raw.end(), order);
+  result.stats.raw_violations = result.raw.size();
+
+  for (const auto& v : result.raw) {
+    if (opts.allow != nullptr && opts.allow->allows(v)) {
+      ++result.stats.allowlisted;
+      continue;
+    }
+    result.violations.push_back(v);
+  }
+  const auto t2 = Clock::now();
+  result.stats.analyze_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.stats.project_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  return result;
+}
+
+std::vector<Violation> run_check(std::string_view rule, const std::vector<SourceFile>& files) {
+  const Check* target = nullptr;
+  for (const Check* check : registry()) {
+    if (check->name() == rule) target = check;
+  }
+  if (target == nullptr) return {};
+
+  std::unordered_map<std::string_view, std::size_t> by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) by_path.emplace(files[i].path, i);
+  std::vector<TokenStream> streams(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) streams[i] = lex(files[i].content);
+
+  std::vector<FileAnalysis> analyses(files.size());
+  std::vector<Violation> out;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const SourceFile* sib = nullptr;
+    const TokenStream* sib_stream = nullptr;
+    const std::string sib_path = sibling_header_path(files[i].path);
+    const auto it = by_path.find(std::string_view(sib_path));
+    if (!sib_path.empty() && it != by_path.end()) {
+      sib = &files[it->second];
+      sib_stream = &streams[it->second];
+    }
+    FileAnalysis a;
+    a.path = files[i].path;
+    extract_includes(streams[i], a.facts);
+    extract_lock_edges(streams[i], a.facts);
+    extract_types(streams[i], a.facts);
+    extract_suppressions(streams[i], a.facts);
+    FileCtx ctx{files[i], streams[i], sib, sib_stream};
+    std::vector<Violation> found;
+    target->file(ctx, found);
+    for (auto& v : found) {
+      if (!suppressed(a.facts, v)) out.push_back(std::move(v));
+    }
+    analyses[i] = std::move(a);
+  }
+  ProjectCtx ctx{analyses};
+  std::vector<Violation> project_found;
+  target->project(ctx, project_found);
+  std::unordered_map<std::string_view, const FileFacts*> facts_of;
+  for (const auto& a : analyses) facts_of.emplace(a.path, &a.facts);
+  for (auto& v : project_found) {
+    const auto it = facts_of.find(std::string_view(v.file));
+    if (it != facts_of.end() && suppressed(*it->second, v)) continue;
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
   return out;
+}
+
+std::vector<Violation> check_banned_calls(const std::vector<SourceFile>& files) {
+  return run_check("banned-call", files);
+}
+std::vector<Violation> check_pragma_once(const std::vector<SourceFile>& files) {
+  return run_check("pragma-once", files);
+}
+std::vector<Violation> check_include_cycles(const std::vector<SourceFile>& files) {
+  return run_check("include-cycle", files);
+}
+std::vector<Violation> check_raw_new_delete(const std::vector<SourceFile>& files) {
+  return run_check("raw-new-delete", files);
+}
+std::vector<Violation> check_guarded_by(const std::vector<SourceFile>& files) {
+  return run_check("guarded-by", files);
+}
+
+std::vector<Violation> run_all(const std::vector<SourceFile>& files, const Allowlist& allow) {
+  RunOptions opts;
+  opts.allow = &allow;
+  return run(files, opts).violations;
 }
 
 std::vector<HeaderTu> generate_header_tus(const std::vector<SourceFile>& files) {
   std::vector<HeaderTu> out;
   for (const auto& file : files) {
-    if (!starts_with(file.path, "src/") || !ends_with(file.path, ".hpp")) continue;
-    const std::string rel = file.path.substr(4);
+    const std::string_view path = file.path;
+    if (path.rfind("src/", 0) != 0 || path.size() < 4 ||
+        path.substr(path.size() - 4) != ".hpp") {
+      continue;
+    }
+    const std::string rel(path.substr(4));
     std::string name = "tu_" + rel.substr(0, rel.size() - 4) + ".cpp";
     std::replace(name.begin(), name.end(), '/', '_');
     HeaderTu tu;
@@ -555,54 +568,6 @@ std::vector<HeaderTu> generate_header_tus(const std::vector<SourceFile>& files) 
   std::sort(out.begin(), out.end(),
             [](const HeaderTu& a, const HeaderTu& b) { return a.name < b.name; });
   return out;
-}
-
-Allowlist Allowlist::parse(std::string_view text) {
-  Allowlist allow;
-  for (const auto raw_line : split_lines(text)) {
-    auto line = trim(raw_line);
-    if (line.empty() || line.front() == '#') continue;
-    AllowEntry entry;
-    const auto take_word = [&line]() {
-      std::size_t end = 0;
-      while (end < line.size() && !std::isspace(static_cast<unsigned char>(line[end]))) ++end;
-      const auto word = line.substr(0, end);
-      line = trim(line.substr(end));
-      return std::string(word);
-    };
-    entry.rule = take_word();
-    entry.file = take_word();
-    entry.token = std::string(line);  // rest of line, may contain spaces
-    if (!entry.rule.empty() && !entry.file.empty()) allow.entries_.push_back(std::move(entry));
-  }
-  return allow;
-}
-
-bool Allowlist::allows(const Violation& violation) const {
-  for (const auto& entry : entries_) {
-    if (entry.rule != "*" && entry.rule != violation.rule) continue;
-    if (entry.file != "*" && entry.file != violation.file) continue;
-    if (!entry.token.empty() && violation.excerpt.find(entry.token) == std::string::npos) {
-      continue;
-    }
-    return true;
-  }
-  return false;
-}
-
-std::vector<Violation> run_all(const std::vector<SourceFile>& files, const Allowlist& allow) {
-  std::vector<Violation> all;
-  for (auto&& batch : {check_banned_calls(files), check_pragma_once(files),
-                       check_include_cycles(files), check_raw_new_delete(files),
-                       check_guarded_by(files)}) {
-    for (const auto& v : batch) {
-      if (!allow.allows(v)) all.push_back(v);
-    }
-  }
-  std::sort(all.begin(), all.end(), [](const Violation& a, const Violation& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-  });
-  return all;
 }
 
 }  // namespace at::lint

@@ -1,32 +1,59 @@
 #pragma once
-// at_lint — repo-native invariant checker. A deliberately dependency-free
-// (no libclang) line/token-level analyzer that turns the project's written
+// at_lint v2 — repo-native invariant checker. A dependency-free (no
+// libclang) token-level analysis engine that turns the project's written
 // conventions into machine-checked rules over src/, tools/, bench/ and
-// tests/. It complements, not replaces, Clang -Wthread-safety: the
-// compiler checks lock discipline inside one TU; at_lint checks the
-// repo-shaped invariants a compiler has no opinion on (banned calls,
-// include cycles, annotation coverage, ownership conventions).
+// tests/. It complements, not replaces, Clang -Wthread-safety: the compiler
+// checks lock discipline inside one TU; at_lint checks the repo-shaped
+// invariants a compiler has no opinion on.
 //
-// Rules (docs/static-analysis.md documents how to add one):
-//   banned-call      rand/strtok/gmtime anywhere in src/; std::sto* outside
-//                    a try block; raw exp() in src/fg/ hot paths (PR 1
-//                    pre-exponentiates instead).
-//   pragma-once      every .hpp starts with #pragma once.
-//   include-cycle    the quoted-include graph over the scanned files is a
-//                    DAG.
-//   raw-new-delete   no naked new/delete outside src/util/ (owning types
-//                    live behind util/ or std smart pointers).
-//   guarded-by       a field written inside a util::LockGuard scope must be
-//                    declared with AT_GUARDED_BY (or carry AT_NOT_GUARDED)
-//                    in the same file or the sibling header.
+// Architecture (docs/static-analysis.md has the full write-up):
+//   lexer.hpp    — C++ lexer: comments, literals (incl. raw strings),
+//                  line continuations, preprocessor lines → TokenStream.
+//   lint.hpp/cpp — engine: per-file fact extraction, inline suppressions,
+//                  Check registry, allowlist, incremental-cache plumbing.
+//   checks.cpp   — the nine rules, each a Check subclass.
+//   sarif.hpp    — SARIF 2.1.0 JSON for CI code-scanning annotation.
+//   cache.hpp    — content-hash incremental cache (warm runs re-analyze
+//                  only changed files).
 //
-// Exceptions go in tools/at_lint/allowlist.txt with an in-file
-// justification; entries match (rule, file, excerpt-substring).
+// Rules:
+//   banned-call     rand/strtok/gmtime anywhere in src/; std::sto* outside
+//                   a try block; raw exp() in src/fg/ hot paths.
+//   pragma-once     every .hpp starts with #pragma once.
+//   include-cycle   the quoted-include graph over the scanned files is a DAG.
+//   raw-new-delete  no naked new/delete outside src/util/ (placement new
+//                   into owned storage is allowed).
+//   guarded-by      a field written inside a util::LockGuard scope must be
+//                   declared with AT_GUARDED_BY (or AT_NOT_GUARDED).
+//   determinism     no iteration over std::unordered_{map,set} feeding an
+//                   order-sensitive sink (push_back/stream/float +=) in
+//                   src/ (ordered sinks and post-loop sorts are escape
+//                   hatches); no std::random_device / system_clock /
+//                   std::time outside src/util/rng + src/util/time_utils.
+//   lock-order      the util::LockGuard acquisition graph (nested scopes +
+//                   AT_ACQUIRED_{BEFORE,AFTER} hints) is cycle-free.
+//   header-hygiene  a src/ file naming a type declared by a project header
+//                   it reaches only transitively must include that header
+//                   directly (self-containment TUs cover the converse).
+//   uninit-member   a constructor must not leave a scalar/pointer field
+//                   with no default initializer unassigned.
+//
+// Suppressing a finding (both forms need a written justification):
+//   - inline: // at_lint: allow(rule[,rule]) — <why>   (same line, or the
+//     next code line when the comment stands alone)
+//   - tools/at_lint/allowlist.txt: `rule file excerpt-substring` lines.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "at_lint/lexer.hpp"
+
+namespace at::util {
+class ThreadPool;
+}
 
 namespace at::lint {
 
@@ -45,9 +72,82 @@ struct Violation {
   std::string excerpt;  ///< trimmed source line, for allowlist matching
 };
 
-/// Allowlist entry: `rule<TAB or spaces>file<TAB or spaces>token...`.
-/// Empty token matches any violation of (rule, file); otherwise the
-/// violation's excerpt must contain the token. '#' starts a comment.
+/// Per-file facts the project-wide checks consume. Extracted once per file
+/// (or restored from the incremental cache without re-lexing).
+struct FileFacts {
+  std::vector<std::string> quoted_includes;  ///< #include "..." as written
+
+  /// `first` held while `second` is acquired (nested LockGuard scopes), or
+  /// an AT_ACQUIRED_BEFORE/AFTER hint edge. Mutex names are normalized
+  /// argument spellings ("mu_", "shard.mu_").
+  struct LockEdge {
+    std::string first;
+    std::string second;
+    std::uint32_t line = 0;
+  };
+  std::vector<LockEdge> lock_edges;
+
+  /// Type names this file defines (class/struct/enum definitions and
+  /// top-level `using X = ...;` aliases). Used by header-hygiene.
+  std::vector<std::string> declared_types;
+
+  /// Capitalized identifiers used, with first-use line (header-hygiene).
+  struct UsedType {
+    std::string name;
+    std::uint32_t line = 0;
+  };
+  std::vector<UsedType> used_types;
+
+  /// Inline suppressions: (rule or "*", target line).
+  struct Suppression {
+    std::string rule;
+    std::uint32_t line = 0;
+  };
+  std::vector<Suppression> suppressions;
+};
+
+/// Result of analyzing one file: per-file-rule violations (inline
+/// suppressions already applied; allowlist is applied later so editing it
+/// never invalidates the cache) plus the facts for project-wide rules.
+struct FileAnalysis {
+  std::string path;
+  std::uint64_t key = 0;  ///< content+sibling+engine-version hash
+  bool from_cache = false;
+  std::vector<Violation> violations;
+  FileFacts facts;
+};
+
+/// Context handed to per-file rules.
+struct FileCtx {
+  const SourceFile& file;
+  const TokenStream& tokens;
+  const SourceFile* sibling = nullptr;  ///< header paired with a .cpp
+  const TokenStream* sibling_tokens = nullptr;
+};
+
+/// Context handed to project-wide rules after every file is analyzed.
+struct ProjectCtx {
+  const std::vector<FileAnalysis>& files;
+};
+
+/// A rule. Implementations live in checks.cpp and register via registry().
+/// Per-file work goes in file() (parallelized, cached); cross-file work
+/// goes in project() (always runs, consumes FileFacts only).
+class Check {
+ public:
+  virtual ~Check() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view summary() const noexcept = 0;
+  virtual void file(const FileCtx& ctx, std::vector<Violation>& out) const;
+  virtual void project(const ProjectCtx& ctx, std::vector<Violation>& out) const;
+};
+
+/// All nine checks, in stable registration order.
+[[nodiscard]] const std::vector<const Check*>& registry();
+
+/// Allowlist entry: `rule<spaces>file<spaces>token...`. Empty token matches
+/// any violation of (rule, file); otherwise the violation's excerpt must
+/// contain the token. '#' starts a comment.
 struct AllowEntry {
   std::string rule;
   std::string file;
@@ -60,21 +160,59 @@ class Allowlist {
 
   [[nodiscard]] bool allows(const Violation& violation) const;
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<AllowEntry>& entries() const noexcept { return entries_; }
+
+  /// Per-entry match counts over `violations` (pre-allowlist). An entry
+  /// with count 0 is stale: the code it excused no longer trips the rule.
+  [[nodiscard]] std::vector<std::size_t> match_counts(
+      const std::vector<Violation>& violations) const;
 
  private:
   std::vector<AllowEntry> entries_;
 };
 
-/// Replace comment and string/char-literal bytes with spaces (newlines
-/// preserved), so token rules never fire on prose or literals. Handles //,
-/// /* */, "...", '...', and R"...(...)..." raw strings.
-[[nodiscard]] std::string strip_code(std::string_view source);
+class Cache;  // cache.hpp
 
+struct RunStats {
+  std::size_t files = 0;
+  std::size_t cache_hits = 0;
+  std::size_t analyzed = 0;          ///< lexed + rule-checked this run
+  std::size_t raw_violations = 0;    ///< pre-allowlist (post inline suppression)
+  std::size_t allowlisted = 0;
+  double analyze_ms = 0.0;  ///< per-file phase (lex + file rules)
+  double project_ms = 0.0;  ///< project rules + merge + sort
+};
+
+struct RunOptions {
+  const Allowlist* allow = nullptr;     ///< optional
+  Cache* cache = nullptr;               ///< optional incremental cache
+  util::ThreadPool* pool = nullptr;     ///< optional parallel per-file phase
+};
+
+struct RunResult {
+  std::vector<Violation> violations;  ///< post-allowlist, sorted
+  std::vector<Violation> raw;         ///< pre-allowlist, sorted (stale check)
+  RunStats stats;
+};
+
+/// Run every registered check over `files`.
+[[nodiscard]] RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts);
+
+/// Run a single rule by name over `files` (tests and focused tooling).
+[[nodiscard]] std::vector<Violation> run_check(std::string_view rule,
+                                               const std::vector<SourceFile>& files);
+
+/// Convenience single-rule wrappers (unit-test surface, stable across the
+/// v1 line-scanner → v2 token-engine rewrite).
 [[nodiscard]] std::vector<Violation> check_banned_calls(const std::vector<SourceFile>& files);
 [[nodiscard]] std::vector<Violation> check_pragma_once(const std::vector<SourceFile>& files);
 [[nodiscard]] std::vector<Violation> check_include_cycles(const std::vector<SourceFile>& files);
 [[nodiscard]] std::vector<Violation> check_raw_new_delete(const std::vector<SourceFile>& files);
 [[nodiscard]] std::vector<Violation> check_guarded_by(const std::vector<SourceFile>& files);
+
+/// Run every rule and drop allowlisted findings (serial, uncached).
+[[nodiscard]] std::vector<Violation> run_all(const std::vector<SourceFile>& files,
+                                             const Allowlist& allow);
 
 /// Header self-containment: one generated TU per src/**.hpp that includes
 /// only that header. Compiling them (the CMake `lint` target does) proves
@@ -85,8 +223,25 @@ struct HeaderTu {
 };
 [[nodiscard]] std::vector<HeaderTu> generate_header_tus(const std::vector<SourceFile>& files);
 
-/// Run every rule and drop allowlisted findings.
-[[nodiscard]] std::vector<Violation> run_all(const std::vector<SourceFile>& files,
-                                             const Allowlist& allow);
+// ---- engine internals shared by checks.cpp / cache.cpp / tests ----
+
+/// FNV-1a 64 over `data`.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view data, std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept;
+
+/// Engine fingerprint: mixes a version string that MUST be bumped whenever
+/// a rule's behavior changes, so stale cache entries self-invalidate.
+[[nodiscard]] std::uint64_t engine_salt() noexcept;
+
+/// Analyze one file (lex → per-file rules → inline suppressions → facts).
+/// `sibling` is the paired header for a .cpp, when scanned.
+[[nodiscard]] FileAnalysis analyze_file(const SourceFile& file, const TokenStream& tokens,
+                                        const SourceFile* sibling,
+                                        const TokenStream* sibling_tokens);
+
+/// The trimmed source line containing 1-based `line` of `content`.
+[[nodiscard]] std::string line_excerpt(std::string_view content, std::size_t line);
+
+/// Path of the sibling header a .cpp pairs with ("src/a/b.cpp" → "src/a/b.hpp").
+[[nodiscard]] std::string sibling_header_path(std::string_view path);
 
 }  // namespace at::lint

@@ -1,19 +1,39 @@
 // at_lint CLI. Scans src/ tools/ bench/ tests/ under --root (default: cwd),
 // runs every rule, prints violations as `file:line: [rule] message`, and
-// exits nonzero when any survive the allowlist. With --write-header-tus it
-// instead emits one single-include TU per src/**.hpp into the given
-// directory (the CMake `lint` target compiles them to prove header
-// self-containment).
+// exits nonzero when any survive the allowlist.
+//
+//   --root DIR              repo root to scan (default '.')
+//   --allowlist FILE        allowlist entries (rule file excerpt-substring)
+//   --check-stale-allowlist fail (exit 1) when an allowlist entry matches
+//                           nothing — the code it excused no longer trips
+//   --cache FILE            incremental cache; warm runs re-analyze only
+//                           changed files (default: off)
+//   --no-cache              ignore --cache (force a cold run)
+//   --jobs N                per-file analysis threads (default: hardware
+//                           concurrency; 1 = serial)
+//   --sarif FILE            also write findings as SARIF 2.1.0 JSON
+//   --stats                 print timing / cache-hit / suppression summary
+//   --write-header-tus DIR  instead emit one single-include TU per
+//                           src/**.hpp (the CMake `lint` target compiles
+//                           them to prove header self-containment)
+//
+// tests/negative/ (deliberately-broken fixtures) is always excluded.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "at_lint/cache.hpp"
 #include "at_lint/lint.hpp"
+#include "at_lint/sarif.hpp"
+#include "util/parse.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fs = std::filesystem;
 
@@ -28,8 +48,7 @@ std::string read_file(const fs::path& path) {
 
 /// Repo-relative path with '/' separators.
 std::string rel_path(const fs::path& root, const fs::path& file) {
-  std::string out = fs::relative(file, root).generic_string();
-  return out;
+  return fs::relative(file, root).generic_string();
 }
 
 bool lintable(const fs::path& path) {
@@ -39,7 +58,9 @@ bool lintable(const fs::path& path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: at_lint [--root DIR] [--allowlist FILE] [--write-header-tus DIR]\n"
+               "usage: at_lint [--root DIR] [--allowlist FILE] [--check-stale-allowlist]\n"
+               "               [--cache FILE] [--no-cache] [--jobs N] [--sarif FILE]\n"
+               "               [--stats] [--write-header-tus DIR]\n"
                "  scans src/ tools/ bench/ tests/ below --root (default '.');\n"
                "  tests/negative/ (compile-fail fixtures) is excluded.\n");
   return 2;
@@ -51,6 +72,13 @@ int main(int argc, char** argv) {
   fs::path root = ".";
   fs::path allowlist_path;
   fs::path tu_dir;
+  fs::path cache_path;
+  fs::path sarif_path;
+  bool no_cache = false;
+  bool stats = false;
+  bool check_stale = false;
+  std::size_t jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -59,6 +87,20 @@ int main(int argc, char** argv) {
       allowlist_path = argv[++i];
     } else if (arg == "--write-header-tus" && i + 1 < argc) {
       tu_dir = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      const auto n = at::util::parse_num<std::size_t>(argv[++i]);
+      if (!n.has_value() || *n == 0) return usage();
+      jobs = *n;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--check-stale-allowlist") {
+      check_stale = true;
     } else {
       return usage();
     }
@@ -71,11 +113,17 @@ int main(int argc, char** argv) {
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file() || !lintable(entry.path())) continue;
       const std::string rel = rel_path(root, entry.path());
-      // Deliberately mis-locked compile-fail fixtures are not shipped code.
+      // Deliberately broken lint fixtures are not shipped code.
       if (rel.rfind("tests/negative/", 0) == 0) continue;
       files.push_back({rel, read_file(entry.path())});
     }
   }
+  // Directory iteration order is filesystem-dependent; sort so output,
+  // cache bytes, and header-TU emission are reproducible.
+  std::sort(files.begin(), files.end(),
+            [](const at::lint::SourceFile& a, const at::lint::SourceFile& b) {
+              return a.path < b.path;
+            });
   if (files.empty()) {
     std::fprintf(stderr, "at_lint: no .cpp/.hpp files under %s\n", root.string().c_str());
     return 2;
@@ -107,16 +155,62 @@ int main(int argc, char** argv) {
     allow = at::lint::Allowlist::parse(read_file(allowlist_path));
   }
 
-  const auto violations = at::lint::run_all(files, allow);
-  for (const auto& v : violations) {
+  at::lint::Cache cache;
+  const bool use_cache = !cache_path.empty() && !no_cache;
+  if (use_cache) cache = at::lint::Cache::load(cache_path.string());
+
+  at::util::ThreadPool pool(jobs);
+  at::lint::RunOptions opts;
+  opts.allow = &allow;
+  opts.cache = use_cache ? &cache : nullptr;
+  opts.pool = jobs > 1 ? &pool : nullptr;
+  const at::lint::RunResult result = at::lint::run(files, opts);
+
+  if (use_cache && !cache.save(cache_path.string())) {
+    std::fprintf(stderr, "at_lint: warning: could not write cache %s\n",
+                 cache_path.string().c_str());
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary | std::ios::trunc);
+    out << at::lint::to_sarif(result.violations);
+    if (!out) {
+      std::fprintf(stderr, "at_lint: cannot write SARIF to %s\n",
+                   sarif_path.string().c_str());
+      return 2;
+    }
+  }
+
+  for (const auto& v : result.violations) {
     std::printf("%s:%zu: [%s] %s\n    %s\n", v.file.c_str(), v.line, v.rule.c_str(),
                 v.message.c_str(), v.excerpt.c_str());
   }
-  if (violations.empty()) {
+
+  int exit_code = result.violations.empty() ? 0 : 1;
+  if (check_stale) {
+    const auto counts = allow.match_counts(result.raw);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] != 0) continue;
+      const auto& e = allow.entries()[i];
+      std::printf("at_lint: stale allowlist entry (matches nothing): %s %s %s\n",
+                  e.rule.c_str(), e.file.c_str(), e.token.c_str());
+      exit_code = 1;
+    }
+  }
+
+  if (stats) {
+    const auto& s = result.stats;
+    std::printf(
+        "at_lint: %zu files | %zu cache hits, %zu analyzed | "
+        "%zu raw, %zu allowlisted, %zu reported | "
+        "analyze %.1f ms, project %.1f ms (jobs=%zu)\n",
+        s.files, s.cache_hits, s.analyzed, s.raw_violations, s.allowlisted,
+        result.violations.size(), s.analyze_ms, s.project_ms, jobs);
+  }
+  if (exit_code == 0) {
     std::printf("at_lint: %zu files clean (%zu allowlist entries)\n", files.size(),
                 allow.size());
-    return 0;
+  } else if (!result.violations.empty()) {
+    std::printf("at_lint: %zu violation(s)\n", result.violations.size());
   }
-  std::printf("at_lint: %zu violation(s)\n", violations.size());
-  return 1;
+  return exit_code;
 }

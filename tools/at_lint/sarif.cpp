@@ -1,0 +1,71 @@
+#include "at_lint/sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace at::lint {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_sarif(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  out << R"({"$schema":"https://json.schemastore.org/sarif-2.1.0.json",)"
+      << R"("version":"2.1.0","runs":[{"tool":{"driver":{)"
+      << R"("name":"at_lint","informationUri":"docs/static-analysis.md",)"
+      << R"("version":"2.0.0","rules":[)";
+  bool first = true;
+  for (const Check* check : registry()) {
+    if (!first) out << ',';
+    first = false;
+    out << R"({"id":")" << json_escape(check->name()) << R"(",)"
+        << R"("shortDescription":{"text":")" << json_escape(check->summary())
+        << R"("}})";
+  }
+  out << R"(]}},"results":[)";
+  first = true;
+  for (const Violation& v : violations) {
+    if (!first) out << ',';
+    first = false;
+    out << R"({"ruleId":")" << json_escape(v.rule) << R"(",)"
+        << R"("level":"error","message":{"text":")" << json_escape(v.message)
+        << R"("},"locations":[{"physicalLocation":{)"
+        << R"("artifactLocation":{"uri":")" << json_escape(v.file)
+        << R"(","uriBaseId":"SRCROOT"},)"
+        << R"("region":{"startLine":)" << (v.line == 0 ? 1 : v.line) << "}}}]}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+}  // namespace at::lint

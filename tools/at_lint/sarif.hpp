@@ -1,0 +1,20 @@
+#pragma once
+// SARIF 2.1.0 serialization of lint findings, the interchange format GitHub
+// code-scanning ingests to annotate PRs. One run, one driver ("at_lint"),
+// one reportingDescriptor per registered rule, one result per violation.
+
+#include <string>
+#include <vector>
+
+#include "at_lint/lint.hpp"
+
+namespace at::lint {
+
+/// Minified SARIF 2.1.0 document for `violations`. Deterministic: rules in
+/// registry order, results in the (already sorted) input order.
+[[nodiscard]] std::string to_sarif(const std::vector<Violation>& violations);
+
+/// JSON string escaping per RFC 8259 (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace at::lint

@@ -1,0 +1,115 @@
+#pragma once
+// Small token-cursor helpers shared by the engine (lint.cpp) and the rules
+// (checks.cpp). All functions are bounds-tolerant: out-of-range indices and
+// unbalanced input return kNpos instead of walking off the stream, so rules
+// degrade to false negatives on malformed code (never crashes, never FPs).
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "at_lint/lexer.hpp"
+
+namespace at::lint::tok {
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+inline bool is(const std::vector<Token>& toks, std::size_t i, std::string_view text) {
+  return i < toks.size() && toks[i].text == text;
+}
+
+inline bool is_ident(const std::vector<Token>& toks, std::size_t i, std::string_view text) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdent && toks[i].text == text;
+}
+
+inline bool is_punct(const std::vector<Token>& toks, std::size_t i, std::string_view text) {
+  return i < toks.size() && toks[i].kind == TokKind::kPunct && toks[i].text == text;
+}
+
+/// Index of the matching `close` for the `open` punct at `open_idx`
+/// (which must be the opener), or kNpos when unbalanced.
+inline std::size_t match_forward(const std::vector<Token>& toks, std::size_t open_idx,
+                                 std::string_view open, std::string_view close) {
+  if (!is_punct(toks, open_idx, open)) return kNpos;
+  std::size_t depth = 0;
+  for (std::size_t i = open_idx; i < toks.size(); ++i) {
+    if (is_punct(toks, i, open)) ++depth;
+    if (is_punct(toks, i, close) && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+/// Skip a template argument list whose `<` is at `open_idx`; returns the
+/// index of the closing `>` (counting `>>` as two closers), or kNpos when
+/// this `<` is a comparison rather than an argument list (heuristic: hitting
+/// `;`, `{`, or `}` first, or running 256 tokens without closing).
+inline std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t open_idx) {
+  if (!is_punct(toks, open_idx, "<")) return kNpos;
+  std::size_t depth = 0;
+  const std::size_t limit = open_idx + 256 < toks.size() ? open_idx + 256 : toks.size();
+  for (std::size_t i = open_idx; i < limit; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    if (t.text == ">" && --depth == 0) return i;
+    if (t.text == ">>") {
+      if (depth <= 2) return i;
+      depth -= 2;
+    }
+    if (t.text == ";" || t.text == "{" || t.text == "}") return kNpos;
+  }
+  return kNpos;
+}
+
+/// For a lambda introducer `[` at `i`, the index of its body's `{`; kNpos
+/// when `i` is not a lambda (subscript, attribute that leads nowhere, ...).
+inline std::size_t lambda_body(const std::vector<Token>& toks, std::size_t i) {
+  if (!is_punct(toks, i, "[")) return kNpos;
+  if (i > 0) {
+    const Token& prev = toks[i - 1];
+    const bool subscript = prev.kind == TokKind::kIdent || prev.kind == TokKind::kNumber ||
+                           prev.kind == TokKind::kString ||
+                           (prev.kind == TokKind::kPunct &&
+                            (prev.text == ")" || prev.text == "]"));
+    if (subscript) return kNpos;
+  }
+  const std::size_t close = match_forward(toks, i, "[", "]");
+  if (close == kNpos) return kNpos;
+  std::size_t j = close + 1;
+  if (is_punct(toks, j, "(")) {
+    const std::size_t params_close = match_forward(toks, j, "(", ")");
+    if (params_close == kNpos) return kNpos;
+    j = params_close + 1;
+  }
+  // Specifiers / trailing return type before the body, bounded so a
+  // misidentified attribute can't scan far.
+  for (std::size_t steps = 0; steps < 24 && j < toks.size(); ++steps, ++j) {
+    const Token& t = toks[j];
+    if (is_punct(toks, j, "{")) return j;
+    if (t.kind == TokKind::kIdent || t.text == "->" || t.text == "::" || t.text == "<" ||
+        t.text == ">" || t.text == ",") {
+      continue;
+    }
+    if (is_punct(toks, j, "(")) {  // noexcept(...)
+      const std::size_t c = match_forward(toks, j, "(", ")");
+      if (c == kNpos) return kNpos;
+      j = c;
+      continue;
+    }
+    return kNpos;
+  }
+  return kNpos;
+}
+
+/// Concatenated spelling of tokens [begin, end), dropping a leading
+/// `this->`. Used to normalize mutex argument expressions.
+inline std::string spelling(const std::vector<Token>& toks, std::size_t begin,
+                            std::size_t end) {
+  std::size_t b = begin;
+  if (is_ident(toks, b, "this") && is_punct(toks, b + 1, "->")) b += 2;
+  std::string out;
+  for (std::size_t i = b; i < end && i < toks.size(); ++i) out += toks[i].text;
+  return out;
+}
+
+}  // namespace at::lint::tok

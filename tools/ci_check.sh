@@ -44,8 +44,14 @@ if grep -iE "warning[ :]" "$BUILD_LOG" > /dev/null; then
   fail "build log contains warnings"
 fi
 
-echo "=== [2/4] lint (header TUs + at_lint sweep) ==="
+echo "=== [2/4] lint (header TUs + at_lint sweep + stale-allowlist gate) ==="
 cmake --build build-ci --target lint -j "$JOBS" || fail "lint"
+# The lint target already passes --check-stale-allowlist, but run the gate
+# explicitly too so a CMake edit can't silently drop it: an allowlist entry
+# that no longer matches any finding must be deleted, not accumulated.
+./build-ci/tools/at_lint --root . --allowlist tools/at_lint/allowlist.txt \
+  --cache build-ci/at_lint.cache --check-stale-allowlist > /dev/null \
+  || fail "stale allowlist entries (run with --check-stale-allowlist for the list)"
 
 echo "=== [3/4] ctest ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS" || fail "ctest"
