@@ -29,6 +29,12 @@ if [ -x "$bench_dir/bench_sim_engine" ]; then
     echo "== bench_sim_engine"
     "$bench_dir/bench_sim_engine" --out "$repo_root/BENCH_sim.json"
 fi
+# Entity factor-graph inference: full re-run vs cached incremental, with an
+# in-bench posterior-divergence oracle (exits nonzero on divergence).
+if [ -x "$bench_dir/bench_fg_inference" ]; then
+    echo "== bench_fg_inference"
+    "$bench_dir/bench_fg_inference" --out "$repo_root/BENCH_fg.json"
+fi
 
 # Everything else is a google-benchmark binary; use its JSON reporter.
 for bench in "$bench_dir"/bench_*; do
@@ -36,6 +42,7 @@ for bench in "$bench_dir"/bench_*; do
     name=$(basename "$bench")
     [ "$name" = "bench_ingest_pipeline" ] && continue
     [ "$name" = "bench_sim_engine" ] && continue
+    [ "$name" = "bench_fg_inference" ] && continue
     out="$repo_root/BENCH_${name#bench_}.json"
     echo "== $name"
     "$bench" --benchmark_out="$out" --benchmark_out_format=json \

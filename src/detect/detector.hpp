@@ -14,10 +14,13 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "alerts/alert.hpp"
+#include "fg/bp.hpp"
+#include "fg/entity_bp.hpp"
 #include "fg/model.hpp"
 #include "incidents/incident.hpp"
 
@@ -40,6 +43,19 @@ class Detector {
   /// crosses the firing condition (and nothing on later alerts).
   virtual std::optional<Detection> observe(const alerts::Alert& alert,
                                            std::size_t index) = 0;
+  /// Absorb a run of consecutive alerts of this stream (pointers into the
+  /// caller's batch; alert i gets index first_index + i). Returns the
+  /// first detection and stops — exactly what feeding the run through
+  /// observe() one alert at a time yields, since a fired stream ignores
+  /// the remainder anyway. Stateful detectors may override to amortize
+  /// per-call overhead across the run.
+  virtual std::optional<Detection> observe_batch(
+      std::span<const alerts::Alert* const> alerts, std::size_t first_index) {
+    for (std::size_t i = 0; i < alerts.size(); ++i) {
+      if (auto detection = observe(*alerts[i], first_index + i)) return detection;
+    }
+    return std::nullopt;
+  }
 };
 
 /// Fires on the first of the paper's 19 critical alert types.
@@ -97,39 +113,71 @@ class RuleBasedDetector final : public Detector {
   bool fired_ = false;
 };
 
+/// Which inference engine backs a FactorGraphDetector.
+enum class FgInference : std::uint8_t {
+  /// Streaming forward filter on the chain (the default; O(stages^2) per
+  /// alert, no entity variable).
+  kForwardFilter,
+  /// Entity-augmented loopy model with EVERY message re-propagated to
+  /// convergence per alert (full flooding sweeps over the cached state) —
+  /// the control the incremental mode's verdict stream is oracle-checked
+  /// against. Cold re-inference from scratch (infer_entity) is NOT used
+  /// here: on long balanced-evidence histories loopy BP is bimodal and a
+  /// cold start can land in a different fixed-point basin than any
+  /// warm-started schedule, full or incremental alike.
+  kEntityFull,
+  /// Entity-augmented model with cached messages and edge-scoped
+  /// re-propagation (fg::EntityBatchBp): per-alert cost is the residual
+  /// schedule's, not the history's.
+  kEntityIncremental,
+};
+
 /// AttackTagger: factor-graph stage inference with a posterior threshold.
-/// With `use_timing` the filter also conditions on inter-alert gap buckets
-/// (Insight 3: probe bursts vs manual-stage pauses are themselves evidence).
+/// With `use_timing` the forward filter also conditions on inter-alert gap
+/// buckets (Insight 3: probe bursts vs manual-stage pauses are themselves
+/// evidence; the entity modes ignore timing, matching infer_entity).
+/// Entity modes fire on P(user-state = malicious) instead of the staged
+/// posterior; `coupling` is the U<->stage consistency strength.
 class FactorGraphDetector final : public Detector {
  public:
   FactorGraphDetector(fg::ModelParams params, double threshold = 0.75,
                       alerts::AttackStage stage = alerts::AttackStage::kInProgress,
-                      bool use_timing = false);
+                      bool use_timing = false,
+                      FgInference inference = FgInference::kForwardFilter,
+                      double coupling = 1.0);
   /// Shares pre-compiled tables: the cheap constructor for per-entity
   /// fan-out in the alert pipelines (one detector per tracked entity).
   explicit FactorGraphDetector(std::shared_ptr<const fg::CompiledParams> compiled,
                                double threshold = 0.75,
                                alerts::AttackStage stage = alerts::AttackStage::kInProgress,
-                               bool use_timing = false);
+                               bool use_timing = false,
+                               FgInference inference = FgInference::kForwardFilter,
+                               double coupling = 1.0);
 
   /// Learn parameters from a training corpus and wrap them.
   static FactorGraphDetector train(const incidents::Corpus& training,
                                    double threshold = 0.75, bool use_timing = false);
 
-  [[nodiscard]] std::string name() const override {
-    return use_timing_ ? "factor-graph-timed" : "factor-graph";
-  }
+  [[nodiscard]] std::string name() const override;
   [[nodiscard]] const fg::ModelParams& params() const noexcept { return filter_.params(); }
+  [[nodiscard]] FgInference inference() const noexcept { return inference_; }
   void reset() override;
   std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
 
  private:
+  [[nodiscard]] double entity_posterior(alerts::AlertType type);
+
   double threshold_;
   alerts::AttackStage stage_;
   bool use_timing_;
+  FgInference inference_;
+  double coupling_;
   fg::ForwardFilter filter_;
   std::optional<util::SimTime> last_ts_;
   bool fired_ = false;
+  /// Entity-mode engine; engaged for both entity inference modes, with the
+  /// schedule (residual vs full flooding) selected by `inference_`.
+  std::optional<fg::EntityBatchBp> entity_;
 };
 
 }  // namespace at::detect

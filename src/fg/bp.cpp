@@ -14,25 +14,26 @@ using util::kLogZero;
 using util::log_add;
 
 /// Normalize a log-domain message so its max entry is 0 (stability).
-void normalize_log(std::vector<double>& message) {
+void normalize_log(double* message, std::size_t size) {
   double peak = kLogZero;
-  for (const double v : message) peak = std::max(peak, v);
+  for (std::size_t i = 0; i < size; ++i) peak = std::max(peak, message[i]);
   if (peak == kLogZero) return;
-  for (double& v : message) v -= peak;
+  for (std::size_t i = 0; i < size; ++i) message[i] -= peak;
 }
 
-/// Convert a log-domain belief into a normalized linear distribution.
-std::vector<double> to_distribution(const std::vector<double>& log_belief) {
+/// Convert a log-domain belief into a normalized linear distribution,
+/// written in place over `out` (no allocation when capacity suffices).
+void to_distribution(const double* log_belief, std::size_t size, std::vector<double>& out) {
   double peak = kLogZero;
-  for (const double v : log_belief) peak = std::max(peak, v);
-  std::vector<double> out(log_belief.size(), 0.0);
+  for (std::size_t i = 0; i < size; ++i) peak = std::max(peak, log_belief[i]);
+  out.assign(size, 0.0);
   if (peak == kLogZero) {
     // Degenerate: uniform.
-    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(out.size()));
-    return out;
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(size));
+    return;
   }
   double total = 0.0;
-  for (std::size_t i = 0; i < log_belief.size(); ++i) {
+  for (std::size_t i = 0; i < size; ++i) {
     // at_lint: allow(banned-call) — this exp() IS the posterior readout
     // (log-belief → linear probability, once per readout, not per
     // observation); hot-path exps go through CompiledParams' tables.
@@ -40,65 +41,76 @@ std::vector<double> to_distribution(const std::vector<double>& log_belief) {
     total += out[i];
   }
   for (double& v : out) v /= total;
-  return out;
 }
 
 }  // namespace
 
-BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
+void BpWorkspace::bind(const FactorGraph& graph) {
   const std::size_t num_vars = graph.num_variables();
   const std::size_t num_factors = graph.num_factors();
 
-  // Edge storage: for each factor, one message slot per scope entry in each
-  // direction, indexed by (factor, position-in-scope).
-  struct Edge {
-    std::vector<double> to_var;     // factor -> variable
-    std::vector<double> to_factor;  // variable -> factor
-  };
-  std::vector<std::vector<Edge>> edges(num_factors);
+  factor_edge.assign(num_factors + 1, 0);
+  edge_var.clear();
+  edge_card.clear();
+  edge_off.clear();
+  std::size_t pool = 0;
   for (FactorId f = 0; f < num_factors; ++f) {
-    const auto& factor = graph.factor(f);
-    edges[f].resize(factor.scope.size());
-    for (std::size_t k = 0; k < factor.scope.size(); ++k) {
-      const std::size_t card = graph.variable(factor.scope[k]).cardinality;
-      edges[f][k].to_var.assign(card, 0.0);
-      edges[f][k].to_factor.assign(card, 0.0);
+    factor_edge[f] = edge_var.size();
+    for (const VarId v : graph.factor(f).scope) {
+      edge_var.push_back(v);
+      edge_card.push_back(static_cast<std::uint32_t>(graph.variable(v).cardinality));
+      edge_off.push_back(pool);
+      pool += graph.variable(v).cardinality;
     }
   }
+  factor_edge[num_factors] = edge_var.size();
 
-  // Per-variable incident edge list: (factor, position) pairs.
-  std::vector<std::vector<std::pair<FactorId, std::size_t>>> incident(num_vars);
-  for (FactorId f = 0; f < num_factors; ++f) {
-    const auto& scope = graph.factor(f).scope;
-    for (std::size_t k = 0; k < scope.size(); ++k) incident[scope[k]].emplace_back(f, k);
+  // Incident CSR via counting sort (stable in factor order, which matches
+  // the emplace_back order of the pre-SoA implementation exactly).
+  var_edge_off.assign(num_vars + 1, 0);
+  for (const VarId v : edge_var) ++var_edge_off[v + 1];
+  for (std::size_t v = 1; v <= num_vars; ++v) var_edge_off[v] += var_edge_off[v - 1];
+  var_edge.assign(edge_var.size(), 0);
+  cards.assign(num_vars, 0);  // reused as per-var fill cursor during bind
+  for (std::size_t e = 0; e < edge_var.size(); ++e) {
+    const VarId v = edge_var[e];
+    var_edge[var_edge_off[v] + cards[v]++] = static_cast<std::uint32_t>(e);
   }
 
-  BpResult result;
+  to_var.assign(pool, 0.0);
+  to_factor.assign(pool, 0.0);
+}
+
+void run_bp(const FactorGraph& graph, const BpOptions& options, BpWorkspace& ws,
+            BpResult& result) {
+  const std::size_t num_vars = graph.num_variables();
+  const std::size_t num_factors = graph.num_factors();
+  ws.bind(graph);
+
+  result.converged = false;
+  result.iterations = 0;
   double delta = 0.0;
-  // Scratch buffers reused by every message update: the two inner loops
-  // used to allocate a fresh std::vector per edge per iteration, which
-  // dominated run time on small-cardinality graphs. assign() below never
-  // reallocates once the buffers reach the largest cardinality/arity.
-  std::vector<double> message;
-  std::vector<std::size_t> cards;
-  std::vector<std::size_t> idx;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     delta = 0.0;
 
     // Variable -> factor messages.
     for (VarId v = 0; v < num_vars; ++v) {
-      const std::size_t card = graph.variable(v).cardinality;
-      for (const auto& [f, k] : incident[v]) {
-        message.assign(card, 0.0);
-        for (const auto& [f2, k2] : incident[v]) {
-          if (f2 == f && k2 == k) continue;
-          for (std::size_t x = 0; x < card; ++x) message[x] += edges[f2][k2].to_var[x];
+      const std::size_t begin = ws.var_edge_off[v];
+      const std::size_t end = ws.var_edge_off[v + 1];
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t e = ws.var_edge[i];
+        const std::size_t card = ws.edge_card[e];
+        ws.message.assign(card, 0.0);
+        for (std::size_t j = begin; j < end; ++j) {
+          if (j == i) continue;
+          const double* in = ws.to_var.data() + ws.edge_off[ws.var_edge[j]];
+          for (std::size_t x = 0; x < card; ++x) ws.message[x] += in[x];
         }
-        normalize_log(message);
-        auto& slot = edges[f][k].to_factor;
+        normalize_log(ws.message.data(), card);
+        double* slot = ws.to_factor.data() + ws.edge_off[e];
         for (std::size_t x = 0; x < card; ++x) {
-          delta = std::max(delta, std::abs(message[x] - slot[x]));
-          slot[x] = message[x];
+          delta = std::max(delta, std::abs(ws.message[x] - slot[x]));
+          slot[x] = ws.message[x];
         }
       }
     }
@@ -106,41 +118,39 @@ BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
     // Factor -> variable messages.
     for (FactorId f = 0; f < num_factors; ++f) {
       const auto& factor = graph.factor(f);
-      const auto stride = graph.strides(f);
+      const std::size_t first = ws.factor_edge[f];
       const std::size_t arity = factor.scope.size();
-      cards.assign(arity, 0);
+      ws.cards.assign(arity, 0);
+      for (std::size_t k = 0; k < arity; ++k) ws.cards[k] = ws.edge_card[first + k];
       for (std::size_t k = 0; k < arity; ++k) {
-        cards[k] = graph.variable(factor.scope[k]).cardinality;
-      }
-      for (std::size_t k = 0; k < arity; ++k) {
-        message.assign(cards[k], kLogZero);
+        ws.message.assign(ws.cards[k], kLogZero);
         // Walk every table entry; accumulate into the target variable slot.
-        idx.assign(arity, 0);
+        ws.idx.assign(arity, 0);
         for (std::size_t flat = 0; flat < factor.log_table.size(); ++flat) {
           double score = factor.log_table[flat];
           for (std::size_t j = 0; j < arity; ++j) {
             if (j == k) continue;
-            score += edges[f][j].to_factor[idx[j]];
+            score += ws.to_factor[ws.edge_off[first + j] + ws.idx[j]];
           }
-          auto& slot = message[idx[k]];
+          double& slot = ws.message[ws.idx[k]];
           slot = options.max_product ? std::max(slot, score) : log_add(slot, score);
           // Increment the mixed-radix index (last scope var fastest).
           for (std::size_t j = arity; j-- > 0;) {
-            if (++idx[j] < cards[j]) break;
-            idx[j] = 0;
+            if (++ws.idx[j] < ws.cards[j]) break;
+            ws.idx[j] = 0;
           }
         }
-        normalize_log(message);
-        auto& slot = edges[f][k].to_var;
+        normalize_log(ws.message.data(), ws.cards[k]);
+        double* slot = ws.to_var.data() + ws.edge_off[first + k];
         if (options.damping > 0.0) {
-          for (std::size_t x = 0; x < message.size(); ++x) {
-            message[x] = options.damping * slot[x] + (1.0 - options.damping) * message[x];
+          for (std::size_t x = 0; x < ws.cards[k]; ++x) {
+            ws.message[x] = options.damping * slot[x] + (1.0 - options.damping) * ws.message[x];
           }
-          normalize_log(message);
+          normalize_log(ws.message.data(), ws.cards[k]);
         }
-        for (std::size_t x = 0; x < message.size(); ++x) {
-          delta = std::max(delta, std::abs(message[x] - slot[x]));
-          slot[x] = message[x];
+        for (std::size_t x = 0; x < ws.cards[k]; ++x) {
+          delta = std::max(delta, std::abs(ws.message[x] - slot[x]));
+          slot[x] = ws.message[x];
         }
       }
     }
@@ -154,17 +164,27 @@ BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
 
   // Beliefs.
   result.marginals.resize(num_vars);
-  result.map_assignment.resize(num_vars, 0);
+  result.map_assignment.assign(num_vars, 0);
   for (VarId v = 0; v < num_vars; ++v) {
     const std::size_t card = graph.variable(v).cardinality;
-    std::vector<double> log_belief(card, 0.0);
-    for (const auto& [f, k] : incident[v]) {
-      for (std::size_t x = 0; x < card; ++x) log_belief[x] += edges[f][k].to_var[x];
+    ws.log_belief.assign(card, 0.0);
+    const std::size_t begin = ws.var_edge_off[v];
+    const std::size_t end = ws.var_edge_off[v + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* in = ws.to_var.data() + ws.edge_off[ws.var_edge[i]];
+      for (std::size_t x = 0; x < card; ++x) ws.log_belief[x] += in[x];
     }
-    result.marginals[v] = to_distribution(log_belief);
+    to_distribution(ws.log_belief.data(), card, result.marginals[v]);
     result.map_assignment[v] = static_cast<std::size_t>(
-        std::max_element(log_belief.begin(), log_belief.end()) - log_belief.begin());
+        std::max_element(ws.log_belief.begin(), ws.log_belief.begin() + static_cast<std::ptrdiff_t>(card)) -
+        ws.log_belief.begin());
   }
+}
+
+BpResult run_bp(const FactorGraph& graph, const BpOptions& options) {
+  BpWorkspace ws;
+  BpResult result;
+  run_bp(graph, options, ws, result);
   return result;
 }
 

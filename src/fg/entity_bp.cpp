@@ -1,0 +1,395 @@
+#include "fg/entity_bp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logdomain.hpp"
+
+namespace at::fg {
+
+namespace {
+
+constexpr double kSeedPriority = std::numeric_limits<double>::infinity();
+
+/// Recompute one LINEAR message through a linear table: out = table @ in,
+/// max-normalized to 1, optionally damped against the stored value, and
+/// written back. Returns the max-abs change. No exp/log anywhere: with
+/// R and C compile-time the whole body unrolls into straight-line
+/// vectorizable multiply-accumulate.
+template <std::size_t R, std::size_t C>
+double linear_update(const double* table, const double* in, double* stored,
+                     double damping) {
+  double out[R];
+  for (std::size_t r = 0; r < R; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < C; ++c) acc += table[r * C + c] * in[c];
+    out[r] = acc;
+  }
+  double top = out[0];
+  for (std::size_t r = 1; r < R; ++r) top = std::max(top, out[r]);
+  if (top > 0.0) {
+    const double inv = 1.0 / top;
+    for (std::size_t r = 0; r < R; ++r) out[r] *= inv;
+  }
+  if (damping > 0.0) {
+    // Linear-domain blend: a different damped trajectory than the
+    // log-domain one but the same fixed points, which is all that the
+    // posterior contract depends on.
+    double dtop = 0.0;
+    for (std::size_t r = 0; r < R; ++r) {
+      out[r] = damping * stored[r] + (1.0 - damping) * out[r];
+      dtop = std::max(dtop, out[r]);
+    }
+    if (dtop > 0.0) {
+      const double inv = 1.0 / dtop;
+      for (std::size_t r = 0; r < R; ++r) out[r] *= inv;
+    }
+  }
+  double delta = 0.0;
+  for (std::size_t r = 0; r < R; ++r) {
+    delta = std::max(delta, std::abs(out[r] - stored[r]));
+    stored[r] = out[r];
+  }
+  return delta;
+}
+
+}  // namespace
+
+EntityBatchBp::EntityBatchBp(std::shared_ptr<const CompiledParams> params,
+                             EntityBpOptions options)
+    : params_(std::move(params)), options_(options) {
+  const std::size_t types = alerts::kNumAlertTypes;
+  // Pre-exponentiated emissions re-laid-out type-major so one event
+  // touches one contiguous row; the prior is folded into the t == 0
+  // variant.
+  local0_.assign(types * kS, 0.0);
+  local_.assign(types * kS, 0.0);
+  for (std::size_t type = 0; type < types; ++type) {
+    for (std::size_t s = 0; s < kS; ++s) {
+      const double em = params_->emission[s * types + type];
+      local_[type * kS + s] = em;
+      local0_[type * kS + s] = params_->prior[s] * em;
+    }
+  }
+  trans_lin_ = params_->transition;  // [prev * kS + next]
+  transT_lin_.assign(kS * kS, 0.0);
+  for (std::size_t prev = 0; prev < kS; ++prev) {
+    for (std::size_t next = 0; next < kS; ++next) {
+      transT_lin_[next * kS + prev] = trans_lin_[prev * kS + next];
+    }
+  }
+  // U<->stage coupling, same table build_entity_graph emits: an attack
+  // stage is inconsistent with a legitimate user and vice versa.
+  for (std::size_t s = 0; s < kS; ++s) {
+    const bool attack_stage =
+        s >= static_cast<std::size_t>(alerts::AttackStage::kInProgress);
+    couple_lin_[s * kU + 0] = util::safe_exp(attack_stage ? -options_.coupling : 0.0);
+    couple_lin_[s * kU + 1] = util::safe_exp(attack_stage ? 0.0 : -options_.coupling);
+  }
+  for (std::size_t u = 0; u < kU; ++u) {
+    for (std::size_t s = 0; s < kS; ++s) coupleT_lin_[u * kS + s] = couple_lin_[s * kU + u];
+  }
+}
+
+void EntityBatchBp::append(EntityState& state, alerts::AlertType type) {
+  state.types.push_back(static_cast<std::uint8_t>(static_cast<std::size_t>(type)));
+  const std::size_t base = state.msg.size();
+  state.msg.resize(base + kStride, 1.0);  // linear-neutral A/B/D
+  state.msg[base + kOffE + 0] = 0.0;      // log-neutral E
+  state.msg[base + kOffE + 1] = 0.0;
+  // Force the first D computation regardless of how little U has moved.
+  state.din.push_back(std::numeric_limits<double>::infinity());
+}
+
+void EntityBatchBp::stage_input(const EntityState& state, std::size_t t,
+                                std::size_t skip, double* out) const {
+  const std::size_t n = state.types.size();
+  const double* block = state.msg.data() + t * kStride;
+  const double* local =
+      (t == 0 ? local0_.data() : local_.data()) + static_cast<std::size_t>(state.types[t]) * kS;
+  for (std::size_t s = 0; s < kS; ++s) out[s] = local[s];
+  if (t > 0 && skip != kOffB) {
+    for (std::size_t s = 0; s < kS; ++s) out[s] *= block[kOffB + s];
+  }
+  if (t + 1 < n && skip != kOffA) {
+    const double* next = state.msg.data() + (t + 1) * kStride;
+    for (std::size_t s = 0; s < kS; ++s) out[s] *= next[kOffA + s];
+  }
+  if (skip != kOffD) {
+    for (std::size_t s = 0; s < kS; ++s) out[s] *= block[kOffD + s];
+  }
+}
+
+void EntityBatchBp::bump(std::size_t edge, double priority) {
+  if (priority <= priority_[edge]) return;
+  priority_[edge] = priority;
+  heap_.emplace_back(priority, edge);
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+double EntityBatchBp::update_slot(EntityState& state, std::size_t t, std::size_t slot) {
+  ++stats_.edge_updates;
+  double* block = state.msg.data() + t * kStride;
+  const double damping = options_.damping;
+  double in[kS];
+  switch (slot) {
+    case 0:  // A_t: transition t -> stage t-1; input is stage t sans B_t.
+      stage_input(state, t, kOffB, in);
+      return linear_update<kS, kS>(trans_lin_.data(), in, block + kOffA, damping);
+    case 1:  // B_t: transition t -> stage t; input is stage t-1 sans A_t.
+      stage_input(state, t - 1, kOffA, in);
+      return linear_update<kS, kS>(transT_lin_.data(), in, block + kOffB, damping);
+    case 2: {  // D_t: coupling t -> stage t; input is U's belief sans E_t.
+      const double in0 = state.esum[0] - block[kOffE + 0];
+      const double in1 = state.esum[1] - block[kOffE + 1];
+      state.din[t] = in1 - in0;
+      // Exponentiate relative to the larger component: one exp for the
+      // whole binary U belief.
+      double uin[kU];
+      if (in0 >= in1) {
+        uin[0] = 1.0;
+        uin[1] = util::safe_exp(in1 - in0);
+      } else {
+        uin[0] = util::safe_exp(in0 - in1);
+        uin[1] = 1.0;
+      }
+      return linear_update<kS, kU>(couple_lin_.data(), uin, block + kOffD, damping);
+    }
+    default: {  // E_t: coupling t -> U; input is stage t sans D_t.
+      stage_input(state, t, kOffD, in);
+      double raw[kU];
+      for (std::size_t u = 0; u < kU; ++u) {
+        double acc = 0.0;
+        for (std::size_t s = 0; s < kS; ++s) acc += coupleT_lin_[u * kS + s] * in[s];
+        raw[u] = acc;
+      }
+      double out[kU] = {util::safe_log(raw[0]), util::safe_log(raw[1])};
+      const double top = std::max(out[0], out[1]);
+      out[0] -= top;
+      out[1] -= top;
+      if (damping > 0.0) {
+        out[0] = damping * block[kOffE + 0] + (1.0 - damping) * out[0];
+        out[1] = damping * block[kOffE + 1] + (1.0 - damping) * out[1];
+        const double dtop = std::max(out[0], out[1]);
+        out[0] -= dtop;
+        out[1] -= dtop;
+      }
+      const double delta = std::max(std::abs(out[0] - block[kOffE + 0]),
+                                    std::abs(out[1] - block[kOffE + 1]));
+      state.esum[0] += out[0] - block[kOffE + 0];
+      state.esum[1] += out[1] - block[kOffE + 1];
+      block[kOffE + 0] = out[0];
+      block[kOffE + 1] = out[1];
+      return delta;
+    }
+  }
+}
+
+void EntityBatchBp::flood(EntityState& state) {
+  // Control schedule: recompute EVERY message in a fixed sweep order until
+  // the largest move is within tolerance. Same cached warm state, same
+  // kernels, no edge-scoping — what the residual schedule is measured
+  // against for both correctness and speed.
+  for (const auto& [priority, edge] : heap_) priority_[edge] = 0.0;
+  heap_.clear();
+  const std::size_t n = state.types.size();
+  const double tol = options_.tolerance;
+  bool converged = false;
+  for (std::size_t iter = 0; iter < options_.max_iterations && !converged; ++iter) {
+    double worst = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::size_t first_slot = (t == 0) ? 2 : 0;  // A/B need a left neighbor
+      for (std::size_t slot = first_slot; slot < kSlots; ++slot) {
+        worst = std::max(worst, update_slot(state, t, slot));
+      }
+    }
+    converged = worst <= tol;
+  }
+  if (!converged) ++stats_.unconverged;
+  state.post.converged = converged;
+}
+
+void EntityBatchBp::drain(EntityState& state) {
+  if (!options_.residual) {
+    flood(state);
+    return;
+  }
+  const std::size_t n = state.types.size();
+  const std::size_t broadcast = kSlots * n;
+  const double tol = options_.tolerance;
+  const std::size_t budget = options_.max_iterations * (broadcast + 1);
+  std::size_t pops = 0;
+  while (!heap_.empty() && pops < budget) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const auto [priority, edge] = heap_.back();
+    heap_.pop_back();
+    ++pops;
+    if (priority != priority_[edge]) continue;  // superseded entry
+    priority_[edge] = 0.0;
+    if (edge == broadcast) {
+      // U's belief moved: every coupling->stage message reads it, so
+      // refresh them all in one contiguous sweep instead of queueing n
+      // heap entries. The message back toward the factor that caused the
+      // change cancels exactly (leave-one-out), so its delta is ~0 and it
+      // re-enqueues nothing.
+      ++stats_.broadcasts;
+      for (std::size_t t = 0; t < n; ++t) {
+        // Cheap pre-filter: D_t only depends on the log-odds of its input
+        // (esum minus its own E); if that hasn't moved since D_t was last
+        // computed, the kernel's output can't have either (the output's
+        // sensitivity to the input log-odds is below 1).
+        const double* block = state.msg.data() + t * kStride;
+        const double in_diff = (state.esum[1] - block[kOffE + 1]) -
+                               (state.esum[0] - block[kOffE + 0]);
+        if (std::abs(in_diff - state.din[t]) <= tol) continue;
+        const double d = update_slot(state, t, 2);
+        if (d > tol) {
+          if (options_.damping > 0.0) {
+            bump(kSlots * t + 2, d);  // damped: finish moving to the target
+          }
+          if (t >= 1) bump(kSlots * t + 0, d);
+          if (t + 1 < n) bump(kSlots * (t + 1) + 1, d);
+        }
+      }
+      continue;
+    }
+    const std::size_t t = edge / kSlots;
+    const std::size_t slot = edge % kSlots;
+    const double d = update_slot(state, t, slot);
+    if (d <= tol) continue;
+    if (options_.damping > 0.0) {
+      // Damped updates cover only (1 - damping) of the distance to the
+      // undamped target per recompute: the edge re-enqueues itself with
+      // its shrinking residual until it lands within tolerance.
+      bump(edge, d);
+    }
+    switch (slot) {
+      case 0:  // stage t-1 moved
+        if (t >= 2) bump(kSlots * (t - 1) + 0, d);
+        bump(kSlots * (t - 1) + 3, d);
+        break;
+      case 1:  // stage t moved
+        if (t + 1 < n) bump(kSlots * (t + 1) + 1, d);
+        bump(kSlots * t + 3, d);
+        break;
+      case 2:  // stage t moved
+        if (t >= 1) bump(kSlots * t + 0, d);
+        if (t + 1 < n) bump(kSlots * (t + 1) + 1, d);
+        break;
+      default:  // U moved
+        bump(broadcast, d);
+        break;
+    }
+  }
+  stats_.heap_pops += pops;
+  const bool converged = heap_.empty();
+  if (!converged) {
+    // Effort bound hit on a non-converging schedule: drop it, same as
+    // run_bp giving up after max_iterations sweeps.
+    ++stats_.unconverged;
+    for (const auto& [priority, edge] : heap_) priority_[edge] = 0.0;
+    heap_.clear();
+  }
+  state.post.converged = converged;
+}
+
+void EntityBatchBp::prime(EntityState& state) {
+  priority_.assign(kSlots * state.types.size() + 1, 0.0);
+  heap_.clear();
+  // Fresh reduction of the E messages: the incremental running sum only
+  // ever drifts within one drain; each observe starts exact.
+  double e0 = 0.0;
+  double e1 = 0.0;
+  const double* msg = state.msg.data();
+  for (std::size_t t = 0; t < state.types.size(); ++t) {
+    e0 += msg[t * kStride + kOffE + 0];
+    e1 += msg[t * kStride + kOffE + 1];
+  }
+  state.esum[0] = e0;
+  state.esum[1] = e1;
+}
+
+void EntityBatchBp::readout(EntityState& state) {
+  const std::size_t n = state.types.size();
+  // Posteriors always come from a fresh reduction of the stored messages,
+  // never from the running sum.
+  double e0 = 0.0;
+  double e1 = 0.0;
+  const double* msg = state.msg.data();
+  for (std::size_t t = 0; t < n; ++t) {
+    e0 += msg[t * kStride + kOffE + 0];
+    e1 += msg[t * kStride + kOffE + 1];
+  }
+  state.esum[0] = e0;
+  state.esum[1] = e1;
+  const double peak = std::max(e0, e1);
+  const double l0 = util::safe_exp(e0 - peak);
+  const double l1 = util::safe_exp(e1 - peak);
+  state.post.p_malicious = l1 / (l0 + l1);
+
+  double belief[kS];
+  stage_input(state, n - 1, kStride, belief);  // kStride matches no block: full belief
+  double total = 0.0;
+  for (std::size_t s = 0; s < kS; ++s) total += belief[s];
+  for (std::size_t s = 0; s < kS; ++s) state.post.last_stage[s] = belief[s] / total;
+  state.post.events = n;
+}
+
+void EntityBatchBp::seed_event(std::size_t t) {
+  if (t >= 1) {
+    bump(kSlots * t + 0, kSeedPriority);
+    bump(kSlots * t + 1, kSeedPriority);
+  }
+  bump(kSlots * t + 2, kSeedPriority);
+  bump(kSlots * t + 3, kSeedPriority);
+}
+
+const EntityBatchBp::Posterior& EntityBatchBp::observe(EntityId entity,
+                                                       alerts::AlertType type) {
+  EntityState& state = states_[entity];
+  append(state, type);
+  prime(state);
+  seed_event(state.types.size() - 1);
+  drain(state);
+  readout(state);
+  ++stats_.events;
+  return state.post;
+}
+
+void EntityBatchBp::observe_batch(std::span<const Update> updates) {
+  std::size_t i = 0;
+  while (i < updates.size()) {
+    const EntityId id = updates[i].entity;
+    EntityState& state = states_[id];
+    const std::size_t before = state.types.size();
+    std::size_t j = i;
+    while (j < updates.size() && updates[j].entity == id) {
+      append(state, updates[j].type);
+      ++j;
+    }
+    prime(state);
+    for (std::size_t t = before; t < state.types.size(); ++t) seed_event(t);
+    drain(state);
+    readout(state);
+    stats_.events += j - i;
+    i = j;
+  }
+}
+
+const EntityBatchBp::Posterior* EntityBatchBp::posterior(EntityId entity) const {
+  const auto it = states_.find(entity);
+  if (it == states_.end() || it->second.types.empty()) return nullptr;
+  return &it->second.post;
+}
+
+std::size_t EntityBatchBp::history(EntityId entity) const {
+  const auto it = states_.find(entity);
+  return it == states_.end() ? 0 : it->second.types.size();
+}
+
+void EntityBatchBp::erase(EntityId entity) { states_.erase(entity); }
+
+void EntityBatchBp::clear() { states_.clear(); }
+
+}  // namespace at::fg

@@ -1,0 +1,294 @@
+#include "fg/incremental_bp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/logdomain.hpp"
+
+namespace at::fg {
+
+namespace {
+
+using util::kLogZero;
+using util::log_add;
+
+constexpr double kSeedPriority = std::numeric_limits<double>::infinity();
+
+void normalize_log(double* message, std::size_t size) {
+  double peak = kLogZero;
+  for (std::size_t i = 0; i < size; ++i) peak = std::max(peak, message[i]);
+  if (peak == kLogZero) return;
+  for (std::size_t i = 0; i < size; ++i) message[i] -= peak;
+}
+
+}  // namespace
+
+IncrementalBp::IncrementalBp(const FactorGraph& graph, BpOptions options)
+    : graph_(&graph), options_(options) {
+  rebuild();
+}
+
+void IncrementalBp::rebind(const FactorGraph& graph) {
+  graph_ = &graph;
+  rebuild();
+}
+
+void IncrementalBp::rebuild() {
+  ++stats_.full_rebuilds;
+  edge_var_.clear();
+  edge_factor_.clear();
+  edge_card_.clear();
+  edge_off_.clear();
+  factor_edge_.assign(1, 0);
+  var_edges_.clear();
+  to_var_.clear();
+  to_factor_.clear();
+  priority_.clear();
+  heap_.clear();
+  var_card_.clear();
+  belief_off_.clear();
+  belief_.clear();
+  belief_dirty_.clear();
+  synced_vars_ = 0;
+  synced_factors_ = 0;
+  append_structure();
+  for (FactorId f = 0; f < synced_factors_; ++f) seed_factor(f);
+  propagate();
+}
+
+void IncrementalBp::append_structure() {
+  const std::size_t num_vars = graph_->num_variables();
+  const std::size_t num_factors = graph_->num_factors();
+  for (std::size_t v = synced_vars_; v < num_vars; ++v) {
+    const std::size_t card = graph_->variable(static_cast<VarId>(v)).cardinality;
+    var_edges_.emplace_back();
+    var_card_.push_back(card);
+    belief_off_.push_back(belief_.size());
+    belief_.resize(belief_.size() + card, 0.0);
+    belief_dirty_.push_back(1);
+  }
+  for (std::size_t f = synced_factors_; f < num_factors; ++f) {
+    const auto& factor = graph_->factor(static_cast<FactorId>(f));
+    for (const VarId v : factor.scope) {
+      if (v >= num_vars) throw std::out_of_range("IncrementalBp: scope var out of range");
+      const std::uint32_t e = static_cast<std::uint32_t>(edge_var_.size());
+      const std::size_t card = var_card_[v];
+      edge_var_.push_back(v);
+      edge_factor_.push_back(static_cast<FactorId>(f));
+      edge_card_.push_back(static_cast<std::uint32_t>(card));
+      edge_off_.push_back(to_var_.size());
+      to_var_.resize(to_var_.size() + card, 0.0);
+      to_factor_.resize(to_factor_.size() + card, 0.0);
+      priority_.push_back(0.0);
+      var_edges_[v].push_back(e);
+    }
+    factor_edge_.push_back(edge_var_.size());
+  }
+  heap_.reserve(std::max(heap_.capacity(), 2 * edge_var_.size() + 16));
+  synced_vars_ = num_vars;
+  synced_factors_ = num_factors;
+}
+
+void IncrementalBp::sync() {
+  ++stats_.syncs;
+  if (graph_->num_variables() < synced_vars_ || graph_->num_factors() < synced_factors_) {
+    // Non-append structural change: the cached layout no longer maps onto
+    // the graph. Cold restart.
+    rebuild();
+    return;
+  }
+  const FactorId first_new = static_cast<FactorId>(synced_factors_);
+  append_structure();
+  for (FactorId f = first_new; f < synced_factors_; ++f) seed_factor(f);
+  propagate();
+}
+
+void IncrementalBp::invalidate_factor(FactorId f) {
+  if (f >= synced_factors_) throw std::out_of_range("invalidate_factor: unsynced factor");
+  seed_factor(f);
+}
+
+void IncrementalBp::seed_factor(FactorId f) {
+  const std::size_t begin = factor_edge_[f];
+  const std::size_t end = factor_edge_[f + 1];
+  for (std::size_t e = begin; e < end; ++e) bump(static_cast<std::uint32_t>(e), kSeedPriority);
+}
+
+void IncrementalBp::bump(std::uint32_t edge, double priority) {
+  if (priority <= priority_[edge]) return;
+  priority_[edge] = priority;
+  heap_.emplace_back(priority, edge);
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+bool IncrementalBp::propagate() {
+  const std::size_t budget =
+      options_.max_iterations * std::max<std::size_t>(std::size_t{1}, edge_var_.size());
+  std::size_t pops = 0;
+  while (!heap_.empty() && pops < budget) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const auto [priority, edge] = heap_.back();
+    heap_.pop_back();
+    ++pops;
+    if (priority != priority_[edge]) continue;  // superseded entry
+    priority_[edge] = 0.0;
+    update_edge(edge);
+  }
+  stats_.heap_pops += pops;
+  const bool converged = heap_.empty();
+  if (!converged) {
+    // Budget exhausted on a non-converging loopy graph: drop the schedule
+    // (run_bp gives up the same way after max_iterations sweeps).
+    for (const auto& [priority, edge] : heap_) priority_[edge] = 0.0;
+    heap_.clear();
+  }
+  stats_.converged = converged;
+  return converged;
+}
+
+void IncrementalBp::refresh_to_factor(std::uint32_t edge) {
+  const VarId v = edge_var_[edge];
+  const std::size_t card = edge_card_[edge];
+  double* slot = to_factor_.data() + edge_off_[edge];
+  for (std::size_t x = 0; x < card; ++x) slot[x] = 0.0;
+  for (const std::uint32_t other : var_edges_[v]) {
+    if (other == edge) continue;
+    const double* in = to_var_.data() + edge_off_[other];
+    for (std::size_t x = 0; x < card; ++x) slot[x] += in[x];
+  }
+  normalize_log(slot, card);
+}
+
+void IncrementalBp::update_edge(std::uint32_t edge) {
+  const FactorId f = edge_factor_[edge];
+  const auto& factor = graph_->factor(f);
+  const std::size_t first = factor_edge_[f];
+  const std::size_t arity = factor.scope.size();
+  const std::size_t k = edge - first;
+  const std::size_t card = edge_card_[edge];
+
+  // Pull fresh variable->factor messages on the sibling slots (cheap sums
+  // over cached to_var messages; never scheduled on their own).
+  for (std::size_t j = 0; j < arity; ++j) {
+    if (j != k) refresh_to_factor(static_cast<std::uint32_t>(first + j));
+  }
+
+  // Marginalize the factor table over the sibling messages.
+  scratch_msg_.assign(card, kLogZero);
+  scratch_cards_.assign(arity, 0);
+  for (std::size_t j = 0; j < arity; ++j) scratch_cards_[j] = edge_card_[first + j];
+  scratch_idx_.assign(arity, 0);
+  for (std::size_t flat = 0; flat < factor.log_table.size(); ++flat) {
+    double score = factor.log_table[flat];
+    for (std::size_t j = 0; j < arity; ++j) {
+      if (j == k) continue;
+      score += to_factor_[edge_off_[first + j] + scratch_idx_[j]];
+    }
+    double& slot = scratch_msg_[scratch_idx_[k]];
+    slot = options_.max_product ? std::max(slot, score) : log_add(slot, score);
+    for (std::size_t j = arity; j-- > 0;) {
+      if (++scratch_idx_[j] < scratch_cards_[j]) break;
+      scratch_idx_[j] = 0;
+    }
+  }
+  normalize_log(scratch_msg_.data(), card);
+
+  double* stored = to_var_.data() + edge_off_[edge];
+  if (options_.damping > 0.0) {
+    for (std::size_t x = 0; x < card; ++x) {
+      scratch_msg_[x] = options_.damping * stored[x] + (1.0 - options_.damping) * scratch_msg_[x];
+    }
+    normalize_log(scratch_msg_.data(), card);
+  }
+  double delta = 0.0;
+  for (std::size_t x = 0; x < card; ++x) {
+    delta = std::max(delta, std::abs(scratch_msg_[x] - stored[x]));
+    stored[x] = scratch_msg_[x];
+  }
+  ++stats_.edge_updates;
+  if (delta <= options_.tolerance) return;
+
+  // Under damping one recompute only covers (1 - damping) of the distance
+  // to the undamped target, so an edge with still-moving output must
+  // re-enqueue *itself*; its residual shrinks geometrically and the
+  // schedule still drains. (Flooding BP gets this for free by recomputing
+  // every message every sweep.)
+  if (options_.damping > 0.0) bump(edge, delta);
+
+  // The message into `v` moved: v's belief and every message that flows
+  // *through* v (out of its other factors, toward their other variables)
+  // are now stale. Messages back toward this factor cancel the change
+  // exactly (BP's leave-one-out exclusion), so they are not enqueued.
+  const VarId v = edge_var_[edge];
+  belief_dirty_[v] = 1;
+  for (const std::uint32_t via : var_edges_[v]) {
+    if (via == edge) continue;
+    const FactorId f2 = edge_factor_[via];
+    const std::size_t begin2 = factor_edge_[f2];
+    const std::size_t end2 = factor_edge_[f2 + 1];
+    for (std::size_t out = begin2; out < end2; ++out) {
+      if (out == via) continue;
+      bump(static_cast<std::uint32_t>(out), delta);
+    }
+  }
+}
+
+const double* IncrementalBp::log_belief_of(VarId v) const {
+  const std::size_t card = var_card_[v];
+  double* belief = belief_.data() + belief_off_[v];
+  if (belief_dirty_[v] != 0) {
+    for (std::size_t x = 0; x < card; ++x) belief[x] = 0.0;
+    for (const std::uint32_t e : var_edges_[v]) {
+      const double* in = to_var_.data() + edge_off_[e];
+      for (std::size_t x = 0; x < card; ++x) belief[x] += in[x];
+    }
+    belief_dirty_[v] = 0;
+  }
+  return belief;
+}
+
+void IncrementalBp::marginal(VarId v, std::vector<double>& out) const {
+  if (v >= synced_vars_) throw std::out_of_range("IncrementalBp::marginal: unsynced variable");
+  const std::size_t card = var_card_[v];
+  const double* belief = log_belief_of(v);
+  double peak = kLogZero;
+  for (std::size_t x = 0; x < card; ++x) peak = std::max(peak, belief[x]);
+  out.assign(card, 0.0);
+  if (peak == kLogZero) {
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(card));
+    return;
+  }
+  double total = 0.0;
+  for (std::size_t x = 0; x < card; ++x) {
+    out[x] = util::safe_exp(belief[x] - peak);
+    total += out[x];
+  }
+  for (double& p : out) p /= total;
+}
+
+std::vector<double> IncrementalBp::marginal(VarId v) const {
+  std::vector<double> out;
+  marginal(v, out);
+  return out;
+}
+
+std::size_t IncrementalBp::map_state(VarId v) const {
+  if (v >= synced_vars_) throw std::out_of_range("IncrementalBp::map_state: unsynced variable");
+  const std::size_t card = var_card_[v];
+  const double* belief = log_belief_of(v);
+  return static_cast<std::size_t>(std::max_element(belief, belief + card) - belief);
+}
+
+void IncrementalBp::fill_result(BpResult& out) const {
+  out.marginals.resize(synced_vars_);
+  out.map_assignment.assign(synced_vars_, 0);
+  out.converged = stats_.converged;
+  for (VarId v = 0; v < synced_vars_; ++v) {
+    marginal(v, out.marginals[v]);
+    out.map_assignment[v] = map_state(v);
+  }
+}
+
+}  // namespace at::fg

@@ -1,0 +1,124 @@
+#pragma once
+// Incremental belief propagation with a residual-priority schedule.
+//
+// fg::run_bp re-floods every message from cold state on each call; for the
+// online detector that means the full history of an entity is re-inferred
+// per incoming alert. IncrementalBp instead keeps every factor->variable
+// message (and the derived posteriors) cached between calls and
+// re-propagates only along edges whose inputs actually changed:
+//
+//   - sync() absorbs variables/factors *appended* to the bound graph and
+//     seeds the residual queue along the new edges only;
+//   - invalidate_factor() is the edge-scoped invalidation hook for a factor
+//     whose log_table was rewritten in place;
+//   - propagate() drains a max-heap keyed by message residual: recomputing
+//     a message whose value moves by more than `tolerance` re-enqueues the
+//     messages downstream of it, so untouched subtrees are never revisited.
+//
+// Any non-append structural change (the bound graph shrank, or the engine
+// is re-pointed at a different graph via rebind) falls back to a full
+// rebuild — the cold-start path is always available and always correct.
+// At a drained queue the cached messages satisfy the same fixed-point
+// equations run_bp converges to, so posteriors agree with a fresh full
+// run to convergence tolerance (the oracle tests assert <= 1e-9).
+
+#include <cstdint>
+#include <vector>
+
+#include "fg/bp.hpp"
+#include "fg/graph.hpp"
+
+namespace at::fg {
+
+class IncrementalBp {
+ public:
+  /// Binds `graph` (which must outlive the engine), runs a full initial
+  /// propagation, and leaves every posterior queryable.
+  explicit IncrementalBp(const FactorGraph& graph, BpOptions options = {});
+
+  /// Re-point the engine at (possibly) another graph: full rebuild.
+  void rebind(const FactorGraph& graph);
+
+  /// Cold restart on the bound graph: drop every cached message, seed all
+  /// edges, and propagate to convergence.
+  void rebuild();
+
+  /// Absorb structure appended to the bound graph since the last
+  /// rebuild()/sync() and propagate the new evidence outward. The bound
+  /// graph must only ever grow at the tail (FactorGraph has no removal
+  /// API); a shrink is detected and falls back to rebuild().
+  void sync();
+
+  /// Factor f's log_table changed in place: seed its outgoing messages.
+  /// Several invalidations can be batched before one propagate() call.
+  void invalidate_factor(FactorId f);
+
+  /// Drain the residual schedule. Returns true when every residual fell
+  /// below tolerance within the iteration budget (always true on graphs
+  /// where BP converges; loopy graphs share run_bp's effort bound).
+  bool propagate();
+
+  /// Posterior over variable v (linear domain, sums to 1), recomputed
+  /// lazily from the cached messages. `out` is reused in place.
+  void marginal(VarId v, std::vector<double>& out) const;
+  [[nodiscard]] std::vector<double> marginal(VarId v) const;
+
+  /// Argmax of the cached belief of v.
+  [[nodiscard]] std::size_t map_state(VarId v) const;
+
+  /// Fill `out` with every posterior (the run_bp result shape).
+  void fill_result(BpResult& out) const;
+
+  [[nodiscard]] const FactorGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::size_t synced_variables() const noexcept { return synced_vars_; }
+  [[nodiscard]] std::size_t synced_factors() const noexcept { return synced_factors_; }
+
+  struct Stats {
+    std::uint64_t edge_updates = 0;   ///< factor->variable messages recomputed
+    std::uint64_t heap_pops = 0;      ///< schedule pops (incl. stale entries)
+    std::uint64_t syncs = 0;
+    std::uint64_t full_rebuilds = 0;
+    bool converged = false;           ///< last propagate() drained the queue
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void append_structure();            ///< extend layout to the graph's tail
+  void seed_factor(FactorId f);       ///< enqueue f's outgoing edges
+  void bump(std::uint32_t edge, double priority);
+  void update_edge(std::uint32_t edge);
+  void refresh_to_factor(std::uint32_t edge);  ///< var->factor msg for `edge`
+  const double* log_belief_of(VarId v) const;  ///< cached, lazily refreshed
+
+  const FactorGraph* graph_ = nullptr;
+  BpOptions options_;
+
+  // SoA edge layout; edges of a factor are contiguous.
+  std::vector<VarId> edge_var_;
+  std::vector<FactorId> edge_factor_;
+  std::vector<std::uint32_t> edge_card_;
+  std::vector<std::size_t> edge_off_;
+  std::vector<std::size_t> factor_edge_;          ///< size synced_factors_+1
+  std::vector<std::vector<std::uint32_t>> var_edges_;
+  // Cached log-domain messages.
+  std::vector<double> to_var_;
+  std::vector<double> to_factor_;
+  // Residual schedule.
+  std::vector<double> priority_;                  ///< per edge; 0 = clean
+  std::vector<std::pair<double, std::uint32_t>> heap_;
+  // Cached per-variable log beliefs, refreshed lazily on readout.
+  std::vector<std::size_t> var_card_;
+  std::vector<std::size_t> belief_off_;
+  mutable std::vector<double> belief_;
+  mutable std::vector<char> belief_dirty_;
+  // Scratch.
+  std::vector<double> scratch_msg_;
+  std::vector<std::size_t> scratch_idx_;
+  std::vector<std::size_t> scratch_cards_;
+
+  std::size_t synced_vars_ = 0;
+  std::size_t synced_factors_ = 0;
+  Stats stats_;
+};
+
+}  // namespace at::fg

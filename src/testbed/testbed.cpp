@@ -10,11 +10,15 @@ Testbed::Testbed(TestbedConfig config, const incidents::Corpus& training)
   pipeline_ = std::make_unique<AlertPipeline>(config_.pipeline, &router_);
 
   // Default detector set: the factor-graph model (trained on the corpus)
-  // and the rule-based signatures, per entity.
-  auto params = fg::learn_params(training);
+  // and the rule-based signatures, per entity. Parameters are compiled
+  // once and shared — each tracked entity's detector costs a refcount
+  // bump, not four table copies plus re-exponentiation.
+  auto compiled = fg::compile_params(fg::learn_params(training));
   const double threshold = config_.fg_threshold;
-  pipeline_->add_detector("factor-graph", [params, threshold] {
-    return std::make_unique<detect::FactorGraphDetector>(params, threshold);
+  const detect::FgInference inference = config_.fg_inference;
+  pipeline_->add_detector("factor-graph", [compiled, threshold, inference] {
+    return std::make_unique<detect::FactorGraphDetector>(
+        compiled, threshold, alerts::AttackStage::kInProgress, false, inference);
   });
   auto rules = std::make_shared<detect::RuleBasedDetector>(
       detect::RuleBasedDetector::train(training.incidents));

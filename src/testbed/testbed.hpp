@@ -32,6 +32,10 @@ struct TestbedConfig {
   SshAuditorConfig ssh_auditor;
   /// Factor-graph detector threshold for the default detector set.
   double fg_threshold = 0.75;
+  /// Inference engine backing the default factor-graph detector; the
+  /// incremental entity mode keeps per-entity posteriors cached across
+  /// alerts instead of re-filtering from scratch.
+  detect::FgInference fg_inference = detect::FgInference::kForwardFilter;
 };
 
 class Testbed {

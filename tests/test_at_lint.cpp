@@ -49,6 +49,15 @@ TEST(AtLintBanned, FlagsRandInSrc) {
   ASSERT_EQ(vs.size(), 1u);
   EXPECT_EQ(vs[0].rule, "banned-call");
   EXPECT_EQ(vs[0].line, 1u);
+  EXPECT_EQ(vs[0].column, 9u);  // the `rand` token, 1-based
+}
+
+TEST(AtLintBanned, ColumnTracksTheTokenAcrossLines) {
+  const auto vs =
+      check_banned_calls(one("src/x.cpp", "int a;\nint b;\n  int v = rand();\n"));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 3u);
+  EXPECT_EQ(vs[0].column, 11u);
 }
 
 TEST(AtLintBanned, IgnoresRandOutsideSrc) {
@@ -697,6 +706,10 @@ TEST(AtLintCache, SerializationRoundTripsAndIsDeterministic) {
   const auto warm = run(files, opts2);
   EXPECT_EQ(warm.stats.analyzed, 0u);
   EXPECT_TRUE(has_rule(warm.violations, "banned-call"));
+  // Columns survive the round trip: the cached violation is byte-identical
+  // to a fresh analysis, startColumn included.
+  ASSERT_FALSE(warm.violations.empty());
+  EXPECT_EQ(warm.violations[0].column, 9u);
 }
 
 TEST(AtLintCache, RejectsForeignEngineSalt) {
@@ -747,7 +760,7 @@ TEST(AtLintParallel, OutputIsStableAcrossRuns) {
 
 TEST(AtLintSarif, EmitsSchemaRulesAndResults) {
   std::vector<Violation> vs;
-  vs.push_back({"banned-call", "src/x.cpp", 7, "rand() is banned", "int v = rand();"});
+  vs.push_back({"banned-call", "src/x.cpp", 7, "rand() is banned", "int v = rand();", 9});
   const std::string sarif = to_sarif(vs);
   EXPECT_NE(sarif.find("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""),
             std::string::npos);
@@ -755,6 +768,7 @@ TEST(AtLintSarif, EmitsSchemaRulesAndResults) {
   EXPECT_NE(sarif.find("\"name\":\"at_lint\""), std::string::npos);
   EXPECT_NE(sarif.find("\"ruleId\":\"banned-call\""), std::string::npos);
   EXPECT_NE(sarif.find("\"startLine\":7"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startColumn\":9"), std::string::npos);
   EXPECT_NE(sarif.find("\"uri\":\"src/x.cpp\""), std::string::npos);
   // Every registered rule appears as a reportingDescriptor.
   for (const Check* check : registry()) {
@@ -762,6 +776,15 @@ TEST(AtLintSarif, EmitsSchemaRulesAndResults) {
               std::string::npos)
         << check->name();
   }
+}
+
+TEST(AtLintSarif, OmitsStartColumnForLineGranularFindings) {
+  // Project-wide rules (include-cycle, lock-order, ...) have no single
+  // token to anchor to; their column stays 0 and SARIF omits startColumn.
+  std::vector<Violation> vs;
+  vs.push_back({"include-cycle", "src/a.hpp", 1, "cycle", "src/b.hpp"});
+  const std::string sarif = to_sarif(vs);
+  EXPECT_EQ(sarif.find("startColumn"), std::string::npos);
 }
 
 TEST(AtLintSarif, BalancedBracesAndNoResultsWhenClean) {
@@ -809,7 +832,8 @@ TEST(AtLintRunAll, AggregatesAndSortsAcrossRules) {
   EXPECT_TRUE(has_rule(vs, "pragma-once"));
   EXPECT_TRUE(has_rule(vs, "banned-call"));
   EXPECT_TRUE(std::is_sorted(vs.begin(), vs.end(), [](const auto& a, const auto& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+    return std::tie(a.file, a.line, a.column, a.rule) <
+           std::tie(b.file, b.line, b.column, b.rule);
   }));
 }
 

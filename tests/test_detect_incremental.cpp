@@ -1,0 +1,165 @@
+// Detector-level determinism oracle for the incremental factor-graph
+// inference modes: FactorGraphDetector must emit an IDENTICAL verdict
+// stream (which sessions fire, at which alert index) whether it re-infers
+// the entity model from scratch per alert (kEntityFull) or re-propagates
+// cached messages along stale edges only (kEntityIncremental), over
+// randomized multi-entity traces fed through the SessionPipeline. Same
+// discipline as test_sim_oracle.cpp: two implementations, one stream,
+// byte-comparable outcomes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/session_pipeline.hpp"
+#include "fg/model.hpp"
+#include "incidents/generator.hpp"
+#include "util/rng.hpp"
+
+namespace at::detect {
+namespace {
+
+using alerts::Alert;
+using alerts::AlertType;
+
+std::shared_ptr<const fg::CompiledParams> compiled() {
+  static const std::shared_ptr<const fg::CompiledParams> c = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.02;
+    return fg::compile_params(
+        fg::learn_params(incidents::CorpusGenerator(config).generate()));
+  }();
+  return c;
+}
+
+/// Randomized multi-entity trace: `accounts` users interleaved, alert types
+/// drawn with a bias toward attack content so thresholds actually trip.
+std::vector<Alert> random_trace(util::Rng& rng, std::size_t accounts,
+                                std::size_t length) {
+  std::vector<Alert> trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    Alert alert;
+    alert.ts = static_cast<util::SimTime>(i * 60);
+    alert.user = "user-" + std::to_string(rng.uniform_int(
+                     0, static_cast<std::int64_t>(accounts) - 1));
+    alert.host = "host-" + std::to_string(rng.uniform_int(0, 3));
+    alert.type = static_cast<AlertType>(
+        rng.uniform_int(0, static_cast<std::int64_t>(alerts::kNumAlertTypes) - 1));
+    trace.push_back(std::move(alert));
+  }
+  return trace;
+}
+
+SessionPipeline::Factory factory_for(FgInference inference, double threshold) {
+  return [inference, threshold] {
+    return std::make_unique<FactorGraphDetector>(
+        compiled(), threshold, alerts::AttackStage::kInProgress, false, inference);
+  };
+}
+
+class IncrementalVerdictOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalVerdictOracle, FullAndIncrementalAgreeOnEveryVerdict) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 101);
+  const double threshold = 0.75;
+  const auto trace = random_trace(rng, /*accounts=*/6, /*length=*/200);
+
+  SessionPipeline full(factory_for(FgInference::kEntityFull, threshold));
+  SessionPipeline incremental(factory_for(FgInference::kEntityIncremental, threshold));
+  for (const Alert& alert : trace) {
+    const auto a = full.on_alert(alert);
+    const auto b = incremental.on_alert(alert);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "verdict stream diverged";
+    if (!a) continue;
+    EXPECT_EQ(a->session_id, b->session_id);
+    EXPECT_EQ(a->account, b->account);
+    EXPECT_EQ(a->detection.alert_index, b->detection.alert_index);
+    EXPECT_EQ(a->detection.ts, b->detection.ts);
+    // Both engines stop at their (default) message tolerance, so scores
+    // carry a few ULPs more slack than the tight fg-level oracle; what must
+    // be IDENTICAL is the verdict stream itself, asserted above.
+    EXPECT_NEAR(a->detection.score, b->detection.score, 1e-5);
+  }
+  // The trace is attack-heavy enough that silence would be vacuous.
+  EXPECT_FALSE(full.detections().empty());
+  EXPECT_EQ(full.detections().size(), incremental.detections().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalVerdictOracle, ::testing::Range(0, 5));
+
+class BatchEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchEquivalence, OnBatchMatchesOnAlertStream) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131071 + 9);
+  const double threshold = 0.75;
+  const auto trace = random_trace(rng, /*accounts=*/5, /*length=*/160);
+
+  SessionPipeline serial(factory_for(FgInference::kEntityIncremental, threshold));
+  SessionPipeline batched(factory_for(FgInference::kEntityIncremental, threshold));
+  for (const Alert& alert : trace) serial.on_alert(alert);
+  // Feed the same stream in uneven batches.
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const std::size_t len =
+        std::min<std::size_t>(trace.size() - i,
+                              1 + static_cast<std::size_t>(rng.uniform_int(0, 40)));
+    batched.on_batch(std::span<const Alert>(trace.data() + i, len));
+    i += len;
+  }
+
+  const auto& a = serial.detections();
+  const auto& b = batched.detections();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    EXPECT_EQ(a[d].session_id, b[d].session_id);
+    EXPECT_EQ(a[d].account, b[d].account);
+    EXPECT_EQ(a[d].detection.alert_index, b[d].detection.alert_index);
+    EXPECT_EQ(a[d].detection.ts, b[d].detection.ts);
+    EXPECT_DOUBLE_EQ(a[d].detection.score, b[d].detection.score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalence, ::testing::Range(0, 5));
+
+TEST(FgInferenceModes, NamesAndResetBehaviour) {
+  FactorGraphDetector inc(compiled(), 0.75, alerts::AttackStage::kInProgress, false,
+                          FgInference::kEntityIncremental);
+  FactorGraphDetector full(compiled(), 0.75, alerts::AttackStage::kInProgress, false,
+                           FgInference::kEntityFull);
+  FactorGraphDetector filter(compiled(), 0.75);
+  EXPECT_EQ(inc.name(), "factor-graph-entity-inc");
+  EXPECT_EQ(full.name(), "factor-graph-entity-full");
+  EXPECT_EQ(filter.name(), "factor-graph");
+
+  // After reset the incremental engine must forget the history entirely:
+  // the same campaign gives the same firing index twice.
+  const AlertType campaign[] = {AlertType::kPortScan, AlertType::kSshBruteforce,
+                                AlertType::kDownloadSensitive, AlertType::kCompileSource,
+                                AlertType::kNewBinaryExecuted, AlertType::kC2Communication,
+                                AlertType::kPrivilegeEscalation};
+  auto run = [&](FactorGraphDetector& detector) {
+    detector.reset();
+    std::optional<std::size_t> fired_at;
+    for (std::size_t i = 0; i < std::size(campaign); ++i) {
+      Alert alert;
+      alert.ts = static_cast<util::SimTime>(i);
+      alert.type = campaign[i];
+      if (const auto d = detector.observe(alert, i); d && !fired_at) {
+        fired_at = d->alert_index;
+      }
+    }
+    return fired_at;
+  };
+  const auto first = run(inc);
+  const auto second = run(inc);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, *second);
+  // And the incremental firing point matches the full re-inference one.
+  EXPECT_EQ(run(full), first);
+}
+
+}  // namespace
+}  // namespace at::detect

@@ -1,0 +1,153 @@
+// Zero-allocation guarantees for the hot inference paths: once a
+// BpWorkspace/BpResult pair (or an EntityBatchBp entity) has warmed up to
+// the largest problem it has seen, repeated inference calls must not touch
+// the heap at all. Verified by counting global operator new/delete hits
+// around the warm calls — the strongest form of the "reusable scratch"
+// contract BpOptions-style callers rely on in the per-alert pipelines.
+//
+// The counting replacements are malloc-backed and unconditionally defined:
+// under ASan the sanitizer interposes malloc itself, so the counters keep
+// working (they wrap the sanitizer's allocator rather than fight it).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "fg/entity_bp.hpp"
+#include "fg/incremental_bp.hpp"
+#include "fg/model.hpp"
+#include "incidents/generator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Global replacements: count every heap allocation in the process. Tests
+// are exempt from the raw-new-delete lint rule; these exist precisely to
+// observe allocator traffic.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+// At -O2 GCC pairs inlined `new` expressions with the free() below and
+// warns -Wmismatched-new-delete; the pairing is correct by construction
+// here because the replacement operator new above is malloc-backed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace at::fg {
+namespace {
+
+using alerts::AlertType;
+
+const ModelParams& model() {
+  static const ModelParams p = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.02;
+    return learn_params(incidents::CorpusGenerator(config).generate());
+  }();
+  return p;
+}
+
+template <typename Body>
+std::uint64_t allocations_during(Body&& body) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  body();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(FgAllocation, WarmWorkspaceRunBpAllocatesNothing) {
+  const std::vector<AlertType> observed = {
+      AlertType::kPortScan, AlertType::kSshBruteforce, AlertType::kDownloadSensitive,
+      AlertType::kCompileSource, AlertType::kC2Communication};
+  const FactorGraph graph = build_entity_graph(model(), observed);
+  BpOptions options;
+  options.damping = 0.3;
+  options.max_iterations = 4 * observed.size() + 20;
+
+  BpWorkspace workspace;
+  BpResult result;
+  // Warm-up: two calls let every vector (including the per-variable
+  // marginal rows) reach its high-water capacity.
+  run_bp(graph, options, workspace, result);
+  run_bp(graph, options, workspace, result);
+
+  const auto allocated =
+      allocations_during([&] { run_bp(graph, options, workspace, result); });
+  EXPECT_EQ(allocated, 0u) << "warm workspace run_bp touched the heap";
+}
+
+TEST(FgAllocation, WarmIncrementalPropagateAllocatesNothing) {
+  const std::vector<AlertType> observed = {
+      AlertType::kPortScan, AlertType::kLoginFailure, AlertType::kSshBruteforce,
+      AlertType::kDownloadSensitive};
+  FactorGraph graph = build_entity_graph(model(), observed);
+  BpOptions options;
+  options.damping = 0.3;
+  IncrementalBp engine(graph, options);
+
+  // Warm up the invalidate -> propagate cycle (heap entries, scratch).
+  const FactorId emission = 1;  // one of the chain's emission factors
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    engine.invalidate_factor(emission);
+    engine.propagate();
+  }
+  const auto allocated = allocations_during([&] {
+    engine.invalidate_factor(emission);
+    engine.propagate();
+  });
+  EXPECT_EQ(allocated, 0u) << "warm incremental propagate touched the heap";
+}
+
+TEST(FgAllocation, EntityEngineObserveAllocatesAmortizedConstant) {
+  EntityBatchBp engine(compile_params(model()));
+  // Entity 1 warms the SHARED scratch (residual heap, priority array) to a
+  // history longer than anything entity 2 reaches below.
+  for (int i = 0; i < 64; ++i) {
+    engine.observe(1, AlertType::kJobSubmitted);
+  }
+  // Each observe appends one event (history byte + kStride message doubles),
+  // so growth allocations are unavoidable — but they must be *amortized*:
+  // geometric capacity doubling means 32 observes trigger only a handful of
+  // reallocations, never one-per-call and never any scratch churn.
+  for (int i = 0; i < 8; ++i) engine.observe(2, AlertType::kPortScan);
+  constexpr int kObserves = 32;
+  const auto allocated = allocations_during([&] {
+    for (int i = 0; i < kObserves; ++i) engine.observe(2, AlertType::kPortScan);
+  });
+  // Three growing vectors (types, msg, din) doubling from 8 to 40 events:
+  // at most ~3 reallocations each. Anything near one-allocation-per-observe
+  // means a hot path regressed into per-call scratch allocation.
+  EXPECT_LE(allocated, 12u) << "entity observe allocates per call, not amortized";
+}
+
+}  // namespace
+}  // namespace at::fg

@@ -1,0 +1,403 @@
+// Incremental inference oracles: fg::IncrementalBp and fg::EntityBatchBp
+// must agree with cold full BP (and with exact enumeration where feasible)
+// while replaying randomized alert streams one update at a time. This is
+// the correctness gate for the cached-posterior/edge-scoped-invalidation
+// engines: posterior divergence from the full re-run stays <= 1e-9.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fg/entity_bp.hpp"
+#include "fg/incremental_bp.hpp"
+#include "fg/model.hpp"
+#include "incidents/generator.hpp"
+#include "util/rng.hpp"
+
+namespace at::fg {
+namespace {
+
+using alerts::AlertType;
+
+constexpr double kGate = 1e-9;
+// Both engines run to a far tighter internal tolerance than the gate so
+// that fixed-point truncation noise cannot eat the comparison budget.
+constexpr double kTightTol = 1e-13;
+
+const ModelParams& model() {
+  static const ModelParams p = [] {
+    incidents::CorpusConfig config;
+    config.repetition_scale = 0.02;
+    return learn_params(incidents::CorpusGenerator(config).generate());
+  }();
+  return p;
+}
+
+std::shared_ptr<const CompiledParams> compiled() {
+  static const std::shared_ptr<const CompiledParams> c = compile_params(model());
+  return c;
+}
+
+AlertType random_type(util::Rng& rng) {
+  return static_cast<AlertType>(
+      rng.uniform_int(0, static_cast<std::int64_t>(alerts::kNumAlertTypes) - 1));
+}
+
+double max_divergence(const IncrementalBp& inc, const BpResult& full) {
+  double worst = 0.0;
+  std::vector<double> marginal;
+  for (VarId v = 0; v < full.marginals.size(); ++v) {
+    inc.marginal(v, marginal);
+    EXPECT_EQ(marginal.size(), full.marginals[v].size());
+    for (std::size_t x = 0; x < marginal.size(); ++x) {
+      worst = std::max(worst, std::abs(marginal[x] - full.marginals[v][x]));
+    }
+  }
+  return worst;
+}
+
+FactorGraph two_var_chain() {
+  FactorGraph graph;
+  const auto x0 = graph.add_variable(2, "x0");
+  const auto x1 = graph.add_variable(2, "x1");
+  graph.add_factor({x0}, {std::log(0.3), std::log(0.7)});
+  graph.add_factor({x0, x1},
+                   {std::log(0.9), std::log(0.1), std::log(0.2), std::log(0.8)});
+  return graph;
+}
+
+TEST(IncrementalBp, HandChainMatchesExact) {
+  const auto graph = two_var_chain();
+  IncrementalBp inc(graph);
+  EXPECT_TRUE(inc.stats().converged);
+  EXPECT_NEAR(inc.marginal(0)[0], 0.3, kGate);
+  EXPECT_NEAR(inc.marginal(0)[1], 0.7, kGate);
+  EXPECT_NEAR(inc.marginal(1)[0], 0.41, kGate);
+  EXPECT_EQ(inc.map_state(0), 1u);
+}
+
+TEST(IncrementalBp, FillResultMatchesRunBp) {
+  const auto graph = two_var_chain();
+  IncrementalBp inc(graph);
+  BpResult from_inc;
+  inc.fill_result(from_inc);
+  const BpResult full = run_bp(graph);
+  ASSERT_EQ(from_inc.marginals.size(), full.marginals.size());
+  for (std::size_t v = 0; v < full.marginals.size(); ++v) {
+    for (std::size_t x = 0; x < full.marginals[v].size(); ++x) {
+      EXPECT_NEAR(from_inc.marginals[v][x], full.marginals[v][x], kGate);
+    }
+    EXPECT_EQ(from_inc.map_assignment[v], full.map_assignment[v]);
+  }
+}
+
+// Random trees: the incremental engine must be exact (vs enumeration), and
+// identical to a cold run_bp, after an initial full propagation.
+class IncrementalTreeExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalTreeExactness, ColdStartMatchesEnumeration) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  FactorGraph graph;
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+  std::vector<VarId> vars;
+  for (std::size_t i = 0; i < n; ++i) {
+    vars.push_back(graph.add_variable(2 + static_cast<std::size_t>(rng.uniform_int(0, 1))));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t card = graph.variable(vars[i]).cardinality;
+    std::vector<double> unary(card);
+    for (double& v : unary) v = rng.uniform(-1.5, 1.5);
+    graph.add_factor({vars[i]}, unary);
+    if (i == 0) continue;
+    const VarId parent = vars[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))];
+    std::vector<double> pair(card * graph.variable(parent).cardinality);
+    for (double& v : pair) v = rng.uniform(-1.5, 1.5);
+    graph.add_factor({parent, vars[i]}, pair);
+  }
+  IncrementalBp inc(graph);
+  EXPECT_TRUE(inc.stats().converged);
+  const auto exact = enumerate_exact(graph);
+  std::vector<double> marginal;
+  for (VarId v = 0; v < graph.num_variables(); ++v) {
+    inc.marginal(v, marginal);
+    for (std::size_t x = 0; x < marginal.size(); ++x) {
+      EXPECT_NEAR(marginal[x], exact.marginals[v][x], kGate);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalTreeExactness, ::testing::Range(0, 12));
+
+// Streamed growth: append chain events one at a time through sync() and
+// compare every intermediate posterior against a cold full run (and the
+// enumeration oracle while the graph is small enough).
+class IncrementalStream : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalStream, SyncMatchesFullRerunEveryStep) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const std::size_t steps = 10;
+  std::vector<AlertType> observed;
+
+  FactorGraph graph;  // grown in place, chain layout mirrors build_chain
+  BpOptions tight;
+  tight.tolerance = kTightTol;
+  IncrementalBp inc(graph, tight);
+  const ModelParams& mp = model();
+  VarId prev = 0;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const AlertType type = random_type(rng);
+    observed.push_back(type);
+    const VarId v = graph.add_variable(alerts::kNumStages);
+    std::vector<double> unary(alerts::kNumStages);
+    for (std::size_t s = 0; s < alerts::kNumStages; ++s) {
+      unary[s] = mp.emission(static_cast<alerts::AttackStage>(s), type) +
+                 (step == 0 ? mp.prior(static_cast<alerts::AttackStage>(s)) : 0.0);
+    }
+    graph.add_factor({v}, unary);
+    if (step > 0) {
+      std::vector<double> pair(alerts::kNumStages * alerts::kNumStages);
+      for (std::size_t a = 0; a < alerts::kNumStages; ++a) {
+        for (std::size_t b = 0; b < alerts::kNumStages; ++b) {
+          pair[a * alerts::kNumStages + b] = mp.transition(
+              static_cast<alerts::AttackStage>(a), static_cast<alerts::AttackStage>(b));
+        }
+      }
+      graph.add_factor({prev, v}, pair);
+    }
+    prev = v;
+
+    inc.sync();
+    ASSERT_TRUE(inc.stats().converged);
+    BpOptions full_opts = tight;
+    full_opts.max_iterations = observed.size() + 2;
+    const BpResult full = run_bp(graph, full_opts);
+    EXPECT_LE(max_divergence(inc, full), kGate) << "step " << step;
+    if (step < 6) {
+      const auto exact = enumerate_exact(graph);
+      std::vector<double> marginal;
+      inc.marginal(prev, marginal);
+      for (std::size_t x = 0; x < marginal.size(); ++x) {
+        EXPECT_NEAR(marginal[x], exact.marginals[prev][x], kGate);
+      }
+    }
+  }
+  EXPECT_EQ(inc.stats().syncs, steps);
+  EXPECT_EQ(inc.synced_variables(), steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalStream, ::testing::Range(0, 6));
+
+TEST(IncrementalBp, InvalidateFactorTracksInPlaceTableEdit) {
+  auto graph = two_var_chain();
+  IncrementalBp inc(graph);
+  // Rewrite the unary factor in place; posterior flips toward x0 = 0.
+  graph.set_factor_table(0, {std::log(0.8), std::log(0.2)});
+  inc.invalidate_factor(0);
+  EXPECT_TRUE(inc.propagate());
+  const BpResult full = run_bp(graph);
+  EXPECT_LE(max_divergence(inc, full), kGate);
+  EXPECT_NEAR(inc.marginal(0)[0], 0.8, kGate);
+}
+
+TEST(IncrementalBp, RebindForcesFullRebuild) {
+  const auto graph = two_var_chain();
+  IncrementalBp inc(graph);
+  const auto before = inc.stats().full_rebuilds;
+  FactorGraph other;
+  other.add_variable(3);
+  other.add_factor({0}, {0.0, std::log(2.0), std::log(5.0)});
+  inc.rebind(other);
+  EXPECT_EQ(inc.stats().full_rebuilds, before + 1);
+  const BpResult full = run_bp(other);
+  EXPECT_LE(max_divergence(inc, full), kGate);
+}
+
+TEST(IncrementalBp, ShrunkGraphFallsBackToRebuild) {
+  // A graph whose contents are swapped out from under the engine (fewer
+  // variables/factors than the synced layout) must trigger the rebuild
+  // fallback on sync() instead of reading a stale layout.
+  FactorGraph graph = two_var_chain();
+  IncrementalBp inc(graph);
+  const auto before = inc.stats().full_rebuilds;
+  FactorGraph small;
+  small.add_variable(2);
+  small.add_factor({0}, {std::log(0.25), std::log(0.75)});
+  graph = std::move(small);  // shrink in place; engine still bound to `graph`
+  inc.sync();
+  EXPECT_EQ(inc.stats().full_rebuilds, before + 1);
+  const BpResult full = run_bp(graph);
+  EXPECT_LE(max_divergence(inc, full), kGate);
+}
+
+TEST(IncrementalBp, UnsyncedQueriesThrow) {
+  const auto graph = two_var_chain();
+  IncrementalBp inc(graph);
+  std::vector<double> out;
+  EXPECT_THROW(inc.marginal(99, out), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(inc.map_state(99)), std::out_of_range);
+  EXPECT_THROW(inc.invalidate_factor(99), std::out_of_range);
+}
+
+// Loopy entity graphs: incremental residual scheduling must land on the
+// same fixed point as flooding run_bp (both damped, both run tight).
+class IncrementalLoopyEntity : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalLoopyEntity, MatchesFloodingFixedPoint) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 409 + 3);
+  std::vector<AlertType> observed;
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < n; ++i) observed.push_back(random_type(rng));
+  const FactorGraph graph = build_entity_graph(model(), observed);
+
+  BpOptions opts;
+  opts.damping = 0.3;
+  opts.tolerance = kTightTol;
+  opts.max_iterations = 4 * n + 200;
+  const BpResult full = run_bp(graph, opts);
+  ASSERT_TRUE(full.converged);
+
+  IncrementalBp inc(graph, opts);
+  ASSERT_TRUE(inc.stats().converged);
+  EXPECT_LE(max_divergence(inc, full), kGate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalLoopyEntity, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// EntityBatchBp: the batched multi-entity engine must reproduce
+// infer_entity (full graph rebuild + flooding loopy BP) per alert.
+
+// Near-critical couplings mix slowly: at 1e-12 some instances need a few
+// hundred sweeps (flooding) / tens of thousands of pops (residual), so the
+// oracle runs both sides with generous effort bounds.
+BpOptions tight_entity_opts(std::size_t n) {
+  BpOptions opts;
+  opts.tolerance = 1e-12;
+  opts.max_iterations = 4 * n + 4000;
+  return opts;
+}
+
+class EntityIncrementalOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(EntityIncrementalOracle, PerAlertPosteriorsMatchInferEntity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 67 + 29);
+  EntityBpOptions eopts;
+  // 1e-13 sits below the cancellation-noise floor of the U-belief running
+  // sum, so the schedule cannot always drain that far; 1e-12 converges and
+  // still leaves three orders of magnitude under the 1e-9 gate.
+  eopts.tolerance = 1e-12;
+  eopts.max_iterations = 5000;
+  EntityBatchBp engine(compiled(), eopts);
+
+  std::vector<AlertType> observed;
+  const std::size_t steps = 2 + static_cast<std::size_t>(rng.uniform_int(4, 14));
+  for (std::size_t i = 0; i < steps; ++i) {
+    const AlertType type = random_type(rng);
+    observed.push_back(type);
+    const auto& post = engine.observe(7, type);
+    ASSERT_TRUE(post.converged);
+    const EntityResult full =
+        infer_entity(model(), observed, 1.0, tight_entity_opts(observed.size()));
+    ASSERT_TRUE(full.converged);
+    EXPECT_NEAR(post.p_malicious, full.p_malicious, kGate) << "step " << i;
+    for (std::size_t s = 0; s < alerts::kNumStages; ++s) {
+      EXPECT_NEAR(post.last_stage[s], full.last_stage[s], kGate) << "step " << i;
+    }
+  }
+  EXPECT_EQ(engine.history(7), steps);
+  EXPECT_EQ(engine.stats().events, steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntityIncrementalOracle, ::testing::Range(0, 10));
+
+TEST(EntityBatchBp, IndependentEntitiesDoNotInterfere) {
+  util::Rng rng(4242);
+  EntityBpOptions eopts;
+  eopts.tolerance = 1e-12;
+  eopts.max_iterations = 2000;
+  EntityBatchBp interleaved(compiled(), eopts);
+  EntityBatchBp solo(compiled(), eopts);
+
+  std::vector<std::vector<AlertType>> per_entity(5);
+  for (std::size_t step = 0; step < 60; ++step) {
+    const auto id = static_cast<EntityBatchBp::EntityId>(rng.uniform_int(0, 4));
+    const AlertType type = random_type(rng);
+    per_entity[id].push_back(type);
+    interleaved.observe(id, type);
+  }
+  for (std::size_t id = 0; id < per_entity.size(); ++id) {
+    double expect = 0.5;
+    for (const AlertType type : per_entity[id]) {
+      expect = solo.observe(static_cast<EntityBatchBp::EntityId>(id + 100), type).p_malicious;
+    }
+    if (per_entity[id].empty()) {
+      EXPECT_EQ(interleaved.posterior(id), nullptr);
+      continue;
+    }
+    ASSERT_NE(interleaved.posterior(id), nullptr);
+    EXPECT_NEAR(interleaved.posterior(id)->p_malicious, expect, kGate);
+  }
+}
+
+TEST(EntityBatchBp, BatchMatchesSequentialFinalPosteriors) {
+  util::Rng rng(99);
+  EntityBpOptions eopts;
+  eopts.tolerance = 1e-12;
+  eopts.max_iterations = 2000;
+  EntityBatchBp sequential(compiled(), eopts);
+  EntityBatchBp batched(compiled(), eopts);
+
+  std::vector<EntityBatchBp::Update> updates;
+  for (std::size_t i = 0; i < 48; ++i) {
+    updates.push_back({static_cast<EntityBatchBp::EntityId>(rng.uniform_int(0, 7)),
+                       random_type(rng)});
+  }
+  for (const auto& u : updates) sequential.observe(u.entity, u.type);
+  batched.observe_batch(updates);
+
+  EXPECT_EQ(batched.tracked(), sequential.tracked());
+  for (EntityBatchBp::EntityId id = 0; id < 8; ++id) {
+    const auto* a = sequential.posterior(id);
+    const auto* b = batched.posterior(id);
+    ASSERT_EQ(a == nullptr, b == nullptr);
+    if (a == nullptr) continue;
+    EXPECT_EQ(a->events, b->events);
+    EXPECT_NEAR(a->p_malicious, b->p_malicious, 1e-7);
+    for (std::size_t s = 0; s < alerts::kNumStages; ++s) {
+      EXPECT_NEAR(a->last_stage[s], b->last_stage[s], 1e-7);
+    }
+  }
+}
+
+TEST(EntityBatchBp, EraseAndClear) {
+  EntityBatchBp engine(compiled());
+  engine.observe(1, AlertType::kPortScan);
+  engine.observe(2, AlertType::kLoginSuccess);
+  EXPECT_EQ(engine.tracked(), 2u);
+  engine.erase(1);
+  EXPECT_EQ(engine.posterior(1), nullptr);
+  EXPECT_EQ(engine.tracked(), 1u);
+  engine.clear();
+  EXPECT_EQ(engine.tracked(), 0u);
+  EXPECT_EQ(engine.posterior(2), nullptr);
+}
+
+TEST(EntityBatchBp, MaliciousPosteriorTracksAttackContent) {
+  EntityBatchBp engine(compiled());
+  double benign = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    benign = engine.observe(0, AlertType::kJobSubmitted).p_malicious;
+  }
+  double attack = 0.0;
+  const AlertType campaign[] = {AlertType::kPortScan, AlertType::kSshBruteforce,
+                                AlertType::kDownloadSensitive, AlertType::kCompileSource,
+                                AlertType::kNewBinaryExecuted, AlertType::kC2Communication};
+  for (const AlertType type : campaign) attack = engine.observe(1, type).p_malicious;
+  EXPECT_GT(attack, benign);
+  EXPECT_GT(attack, 0.5);
+}
+
+}  // namespace
+}  // namespace at::fg

@@ -15,7 +15,8 @@ namespace {
 // repo lints — both are stripped defensively on write).
 constexpr char kSep = '\x1f';
 constexpr std::string_view kMagic = "at_lint-cache";
-constexpr int kFormat = 1;
+// Format 2: V records carry the violation's column between line and message.
+constexpr int kFormat = 2;
 
 std::string clean(std::string_view text) {
   std::string out;
@@ -83,13 +84,14 @@ Cache Cache::deserialize(std::string_view text) {
       current = &(cache.entries_[entry.path] = std::move(entry));
     } else if (current == nullptr) {
       continue;
-    } else if (tag == "V" && fields.size() == 6) {
+    } else if (tag == "V" && fields.size() == 7) {
       Violation v;
       v.rule = std::string(fields[1]);
       v.file = std::string(fields[2]);
       v.line = to_u64(fields[3]);
-      v.message = std::string(fields[4]);
-      v.excerpt = std::string(fields[5]);
+      v.column = to_u64(fields[4]);
+      v.message = std::string(fields[5]);
+      v.excerpt = std::string(fields[6]);
       current->violations.push_back(std::move(v));
     } else if (tag == "E" && fields.size() == 2) {
       current->facts.quoted_includes.emplace_back(fields[1]);
@@ -123,7 +125,8 @@ std::string Cache::serialize() const {
     out << 'F' << kSep << clean(entry->path) << kSep << entry->key << '\n';
     for (const auto& v : entry->violations) {
       out << 'V' << kSep << clean(v.rule) << kSep << clean(v.file) << kSep << v.line
-          << kSep << clean(v.message) << kSep << clean(v.excerpt) << '\n';
+          << kSep << v.column << kSep << clean(v.message) << kSep << clean(v.excerpt)
+          << '\n';
     }
     for (const auto& inc : entry->facts.quoted_includes) {
       out << 'E' << kSep << clean(inc) << '\n';

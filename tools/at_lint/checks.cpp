@@ -45,6 +45,15 @@ Violation make(std::string rule, const SourceFile& file, std::size_t line,
   return v;
 }
 
+/// Token-anchored variant: also records the 1-based column, so SARIF
+/// annotations land on the offending token instead of the whole line.
+Violation make(std::string rule, const SourceFile& file, const Token& tok,
+               std::string message) {
+  Violation v = make(std::move(rule), file, tok.line, std::move(message));
+  v.column = column_of(file.content, tok.offset);
+  return v;
+}
+
 void dedup(std::vector<Violation>& out) {
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return std::tie(a.file, a.line, a.rule, a.message) <
@@ -101,21 +110,21 @@ class BannedCallCheck final : public Check {
       for (const auto banned : kBanned) {
         if (t.text == banned) {
           out.push_back(make(
-              "banned-call", ctx.file, t.line,
+              "banned-call", ctx.file, t,
               std::string(banned) + "() is banned in src/ (non-reentrant or "
                                     "non-deterministic; use util::Rng / util::strings / "
                                     "util::time_utils)"));
         }
       }
       if (in_fg && t.text == "exp") {
-        out.push_back(make("banned-call", ctx.file, t.line,
+        out.push_back(make("banned-call", ctx.file, t,
                            "raw exp() in the fg hot path; use fg::CompiledParams "
                            "pre-exponentiated tables or util::logdomain"));
       }
       if (try_depth == 0) {
         for (const auto sto : kSto) {
           if (t.text == sto) {
-            out.push_back(make("banned-call", ctx.file, t.line,
+            out.push_back(make("banned-call", ctx.file, t,
                                "std::" + std::string(sto) +
                                    " outside try: malformed input escapes as an uncaught "
                                    "exception; use util::parse_num"));
@@ -142,7 +151,7 @@ class PragmaOnceCheck final : public Check {
     const bool ok = tok::is_punct(toks, 0, "#") && tok::is_ident(toks, 1, "pragma") &&
                     tok::is_ident(toks, 2, "once");
     if (!ok) {
-      out.push_back(make("pragma-once", ctx.file, toks[0].line,
+      out.push_back(make("pragma-once", ctx.file, toks[0],
                          "header does not start with #pragma once"));
     }
   }
@@ -263,7 +272,7 @@ class RawNewDeleteCheck final : public Check {
       // (e.g. src/sim/callback_slot.hpp's inline buffer); ownership never
       // transfers, so it is not the leak class this rule exists for.
       if (is_new && tok::is_punct(toks, i + 1, "(")) continue;
-      out.push_back(make("raw-new-delete", ctx.file, t.line,
+      out.push_back(make("raw-new-delete", ctx.file, t,
                          std::string(is_new ? "new" : "delete") +
                              " outside src/util/: own memory via std::unique_ptr/containers"));
     }
@@ -367,7 +376,7 @@ class GuardedByCheck final : public Check {
         }
         if (write && !annotated.contains(t.text)) {
           out.push_back(make(
-              "guarded-by", ctx.file, t.line,
+              "guarded-by", ctx.file, t,
               t.text + " is written under a held util::LockGuard but its declaration "
                        "has neither AT_GUARDED_BY nor AT_NOT_GUARDED"));
         }
@@ -484,16 +493,16 @@ class DeterminismCheck final : public Check {
       const Token& t = toks[i];
       if (t.kind != TokKind::kIdent || t.in_pp) continue;
       if (t.text == "random_device") {
-        out.push_back(make("determinism", ctx.file, t.line,
+        out.push_back(make("determinism", ctx.file, t,
                            "std::random_device is nondeterministic; seed util::Rng from "
                            "configuration instead"));
       } else if (t.text == "system_clock") {
-        out.push_back(make("determinism", ctx.file, t.line,
+        out.push_back(make("determinism", ctx.file, t,
                            "wall-clock reads break replayability; use util::time_utils or "
                            "the sim clock"));
       } else if (t.text == "time" && i >= 2 && tok::is_punct(toks, i - 1, "::") &&
                  tok::is_ident(toks, i - 2, "std") && tok::is_punct(toks, i + 1, "(")) {
-        out.push_back(make("determinism", ctx.file, t.line,
+        out.push_back(make("determinism", ctx.file, t,
                            "std::time() reads the wall clock; use util::time_utils or the "
                            "sim clock"));
       }

@@ -18,7 +18,7 @@ namespace {
 /// Bump whenever any rule's behavior changes: the string feeds engine_salt(),
 /// which keys the incremental cache, so every entry self-invalidates.
 constexpr std::string_view kEngineVersion =
-    "at_lint-v2.1:banned-call,pragma-once,include-cycle,raw-new-delete,guarded-by,"
+    "at_lint-v2.2:banned-call,pragma-once,include-cycle,raw-new-delete,guarded-by,"
     "determinism,lock-order,header-hygiene,uninit-member";
 
 std::string_view trim(std::string_view text) {
@@ -267,6 +267,13 @@ std::string line_excerpt(std::string_view content, std::size_t line) {
   return std::string(trim(content.substr(start, end - start)));
 }
 
+std::size_t column_of(std::string_view content, std::size_t offset) noexcept {
+  if (offset > content.size()) offset = content.size();
+  const std::size_t line_start =
+      offset == 0 ? 0 : content.rfind('\n', offset - 1) + 1;  // npos + 1 == 0
+  return offset - line_start + 1;
+}
+
 std::string sibling_header_path(std::string_view path) {
   if (path.size() < 4 || path.substr(path.size() - 4) != ".cpp") return std::string();
   return std::string(path.substr(0, path.size() - 4)) + ".hpp";
@@ -451,8 +458,8 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
     result.raw.insert(result.raw.end(), a.violations.begin(), a.violations.end());
   }
   const auto order = [](const Violation& a, const Violation& b) {
-    return std::tie(a.file, a.line, a.rule, a.message) <
-           std::tie(b.file, b.line, b.rule, b.message);
+    return std::tie(a.file, a.line, a.column, a.rule, a.message) <
+           std::tie(b.file, b.line, b.column, b.rule, b.message);
   };
   std::sort(result.raw.begin(), result.raw.end(), order);
   result.stats.raw_violations = result.raw.size();
@@ -518,8 +525,8 @@ std::vector<Violation> run_check(std::string_view rule, const std::vector<Source
     out.push_back(std::move(v));
   }
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
-    return std::tie(a.file, a.line, a.rule, a.message) <
-           std::tie(b.file, b.line, b.rule, b.message);
+    return std::tie(a.file, a.line, a.column, a.rule, a.message) <
+           std::tie(b.file, b.line, b.column, b.rule, b.message);
   });
   return out;
 }

@@ -70,6 +70,10 @@ struct Violation {
   std::size_t line = 0;  ///< 1-based
   std::string message;
   std::string excerpt;  ///< trimmed source line, for allowlist matching
+  /// 1-based byte column of the offending token; 0 = line-granular finding
+  /// (project-wide rules with no single token to point at). Declared last
+  /// so positional aggregate initialization stays source-compatible.
+  std::size_t column = 0;
 };
 
 /// Per-file facts the project-wide checks consume. Extracted once per file
@@ -240,6 +244,11 @@ struct HeaderTu {
 
 /// The trimmed source line containing 1-based `line` of `content`.
 [[nodiscard]] std::string line_excerpt(std::string_view content, std::size_t line);
+
+/// 1-based column of byte `offset` within its line of `content` (tab = one
+/// column; SARIF's default unit). Saturates to the last byte + 1 when
+/// `offset` runs past the end.
+[[nodiscard]] std::size_t column_of(std::string_view content, std::size_t offset) noexcept;
 
 /// Path of the sibling header a .cpp pairs with ("src/a/b.cpp" → "src/a/b.hpp").
 [[nodiscard]] std::string sibling_header_path(std::string_view path);

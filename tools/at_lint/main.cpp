@@ -1,5 +1,5 @@
 // at_lint CLI. Scans src/ tools/ bench/ tests/ under --root (default: cwd),
-// runs every rule, prints violations as `file:line: [rule] message`, and
+// runs every rule, prints violations as `file:line[:col]: [rule] message`, and
 // exits nonzero when any survive the allowlist.
 //
 //   --root DIR              repo root to scan (default '.')
@@ -181,8 +181,13 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& v : result.violations) {
-    std::printf("%s:%zu: [%s] %s\n    %s\n", v.file.c_str(), v.line, v.rule.c_str(),
-                v.message.c_str(), v.excerpt.c_str());
+    if (v.column > 0) {
+      std::printf("%s:%zu:%zu: [%s] %s\n    %s\n", v.file.c_str(), v.line, v.column,
+                  v.rule.c_str(), v.message.c_str(), v.excerpt.c_str());
+    } else {
+      std::printf("%s:%zu: [%s] %s\n    %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                  v.message.c_str(), v.excerpt.c_str());
+    }
   }
 
   int exit_code = result.violations.empty() ? 0 : 1;

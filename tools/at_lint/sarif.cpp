@@ -62,7 +62,11 @@ std::string to_sarif(const std::vector<Violation>& violations) {
         << R"("},"locations":[{"physicalLocation":{)"
         << R"("artifactLocation":{"uri":")" << json_escape(v.file)
         << R"(","uriBaseId":"SRCROOT"},)"
-        << R"("region":{"startLine":)" << (v.line == 0 ? 1 : v.line) << "}}}]}";
+        << R"("region":{"startLine":)" << (v.line == 0 ? 1 : v.line);
+    // Column 0 means a line-granular finding (project-wide rules); SARIF
+    // then defaults startColumn to 1, which is what renderers expect.
+    if (v.column > 0) out << R"(,"startColumn":)" << v.column;
+    out << "}}}]}";
   }
   out << "]}]}";
   return out.str();
