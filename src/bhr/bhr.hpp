@@ -17,6 +17,7 @@
 
 #include "net/cidr.hpp"
 #include "net/flow.hpp"
+#include "util/annotations.hpp"
 #include "util/time_utils.hpp"
 
 namespace at::bhr {
@@ -56,7 +57,8 @@ class BlackHoleRouter {
   std::size_t expire(util::SimTime now);
 
   /// --- traffic-plane hook: returns true when the flow is dropped ---
-  bool filter(const net::Flow& flow);
+  /// AT_HOT: sits on the per-flow replay path (millions of flows per run).
+  bool filter(const net::Flow& flow) AT_HOT;
 
   [[nodiscard]] std::size_t active_blocks(util::SimTime now) const;
   [[nodiscard]] std::uint64_t dropped_flows() const noexcept { return dropped_; }
@@ -111,7 +113,8 @@ struct ScannerProfile {
 
 class ScanRecorder {
  public:
-  void record(const net::Flow& flow);
+  /// AT_HOT: called once per replayed flow alongside BlackHoleRouter::filter.
+  void record(const net::Flow& flow) AT_HOT;
 
   [[nodiscard]] std::uint64_t total_probes() const noexcept { return total_; }
   [[nodiscard]] std::size_t distinct_sources() const noexcept { return per_source_.size(); }

@@ -20,6 +20,7 @@
 
 #include "alerts/alert.hpp"
 #include "fg/bp.hpp"
+#include "util/annotations.hpp"
 #include "fg/entity_bp.hpp"
 #include "fg/model.hpp"
 #include "incidents/incident.hpp"
@@ -40,7 +41,10 @@ class Detector {
   /// Restart for a new stream.
   virtual void reset() = 0;
   /// Absorb one alert; returns a detection the first time the stream
-  /// crosses the firing condition (and nothing on later alerts).
+  /// crosses the firing condition (and nothing on later alerts). Concrete
+  /// overrides carry AT_HOT: observe() runs once per kept alert inside the
+  /// shard drain, so at_lint audits everything reachable from each
+  /// implementation for blocking calls and defaulted atomic orders.
   virtual std::optional<Detection> observe(const alerts::Alert& alert,
                                            std::size_t index) = 0;
   /// Absorb a run of consecutive alerts of this stream (pointers into the
@@ -63,7 +67,8 @@ class CriticalAlertDetector final : public Detector {
  public:
   [[nodiscard]] std::string name() const override { return "critical-alert"; }
   void reset() override { fired_ = false; }
-  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
+  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override
+      AT_HOT;
 
  private:
   bool fired_ = false;
@@ -76,7 +81,8 @@ class ThresholdDetector final : public Detector {
       : floor_(floor) {}
   [[nodiscard]] std::string name() const override { return "single-alert-threshold"; }
   void reset() override { fired_ = false; }
-  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
+  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override
+      AT_HOT;
 
  private:
   alerts::Severity floor_;
@@ -105,7 +111,8 @@ class RuleBasedDetector final : public Detector {
   /// from a preempted attack refine the deployed ruleset.
   void add_signature(Signature signature);
   void reset() override;
-  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
+  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override
+      AT_HOT;
 
  private:
   std::vector<Signature> signatures_;
@@ -162,7 +169,8 @@ class FactorGraphDetector final : public Detector {
   [[nodiscard]] const fg::ModelParams& params() const noexcept { return filter_.params(); }
   [[nodiscard]] FgInference inference() const noexcept { return inference_; }
   void reset() override;
-  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override;
+  std::optional<Detection> observe(const alerts::Alert& alert, std::size_t index) override
+      AT_HOT;
 
  private:
   [[nodiscard]] double entity_posterior(alerts::AlertType type);

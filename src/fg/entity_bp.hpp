@@ -35,6 +35,7 @@
 
 #include "alerts/taxonomy.hpp"
 #include "fg/model.hpp"
+#include "util/annotations.hpp"
 
 namespace at::fg {
 
@@ -77,8 +78,9 @@ class EntityBatchBp {
   EntityBatchBp(std::shared_ptr<const CompiledParams> params, EntityBpOptions options = {});
 
   /// Append one alert to one entity's history and re-propagate along the
-  /// stale edges only. Returns the refreshed posterior.
-  const Posterior& observe(EntityId entity, alerts::AlertType type);
+  /// stale edges only. Returns the refreshed posterior. AT_HOT: this is
+  /// the per-alert inference step the detectors call from the shard drain.
+  const Posterior& observe(EntityId entity, alerts::AlertType type) AT_HOT;
 
   /// Amortized multi-entity path: appends every update (per-entity arrival
   /// order preserved) and converges each touched entity once per

@@ -49,6 +49,7 @@
 #include "net/ipv4.hpp"
 #include "testbed/pipeline.hpp"
 #include "util/annotated_mutex.hpp"
+#include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time_utils.hpp"
 
@@ -70,19 +71,19 @@ class ShardedAlertPipeline final : public alerts::AlertSink {
 
   /// Register a detector family (applied per entity). Must be called
   /// before the first alert is ingested.
-  void add_detector(std::string name, DetectorFactory factory);
+  void add_detector(std::string name, DetectorFactory factory) AT_ACQUIRES(mu_);
 
   /// Streaming sink: buffers and drains every batch_size alerts.
-  void on_alert(const alerts::Alert& alert) override;
+  void on_alert(const alerts::Alert& alert) override AT_ACQUIRES(mu_);
 
   /// Batch path over owning alerts; drains immediately (no copies).
-  void ingest(std::span<const alerts::Alert> alerts);
+  void ingest(std::span<const alerts::Alert> alerts) AT_ACQUIRES(mu_);
 
   /// Zero-copy path over a parsed batch; filtered rows never materialize.
-  void ingest(const alerts::AlertBatch& batch);
+  void ingest(const alerts::AlertBatch& batch) AT_ACQUIRES(mu_);
 
   /// Drain buffered alerts and merge shard outputs. Idempotent.
-  void flush();
+  void flush() AT_ACQUIRES(mu_);
 
   /// Merged notifications in global arrival order. flush() first, and keep
   /// the pipeline quiescent while holding the reference (it aliases state

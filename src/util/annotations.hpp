@@ -1,0 +1,36 @@
+#pragma once
+// Lint-facing annotation vocabulary. Every macro here expands to nothing on
+// every compiler: they are machine-readable documentation consumed by
+// tools/at_lint's whole-program phase (docs/static-analysis.md has the rule
+// reference). Keeping them in a dependency-free header means hot-path code
+// can carry the markers without pulling in <mutex> via annotated_mutex.hpp.
+//
+//   AT_HOT          on a function *definition* (suffix position, before the
+//                   body): this function is a latency-critical hot path.
+//                   at_lint roots its call-graph reachability analysis here:
+//                   everything transitively callable from an AT_HOT function
+//                   must be free of blocking calls (blocking-in-hot-path)
+//                   and must spell atomic memory orders explicitly
+//                   (atomic-order). The sim::Engine drain loop (run/
+//                   run_until/step) and shard drain loops (run_shard) are
+//                   implicit roots and do not need the marker.
+//
+//   AT_ACQUIRES(...) on a function definition (suffix position): this
+//                   function acquires AND releases the named mutexes
+//                   internally. at_lint's lock-order rule propagates the
+//                   set to every call site, so a caller holding lock A that
+//                   calls a helper marked AT_ACQUIRES(b_mu_) contributes an
+//                   A -> b_mu_ edge to the repo-wide acquisition graph even
+//                   though no LockGuard is visible at the call site. Bodies
+//                   with a literal util::LockGuard are summarized
+//                   automatically; the marker is for acquisitions at_lint
+//                   cannot see (std primitives, opaque callees, platform
+//                   calls).
+//
+// Contrast with the Clang -Wthread-safety macros (annotated_mutex.hpp):
+// AT_ACQUIRE/AT_RELEASE describe functions that *leave* a capability held
+// or released across the call boundary; AT_ACQUIRES describes a
+// self-contained acquire/release pair invisible to the caller.
+
+#define AT_HOT
+#define AT_ACQUIRES(...)

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "util/annotated_mutex.hpp"
+#include "util/annotations.hpp"
 
 namespace at::util {
 
@@ -33,10 +34,10 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task; tasks may not throw (call std::terminate otherwise).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) AT_ACQUIRES(mutex_);
 
   /// Block until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() AT_ACQUIRES(mutex_);
 
   /// Run body(i) for i in [begin, end) across the pool and wait.
   /// Chunked statically; `grain` is the minimum chunk size.

@@ -1,0 +1,17 @@
+#pragma once
+// Negative fixture for `atomic-order`: a relaxed load of an atomic
+// pointer feeds an immediate dereference — the classic broken-publication
+// pattern (needs memory_order_acquire to pair with the writer's release).
+#include <atomic>
+
+namespace at {
+
+class Box {
+ public:
+  int get() const { return *ptr_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int*> ptr_{nullptr};
+};
+
+}  // namespace at

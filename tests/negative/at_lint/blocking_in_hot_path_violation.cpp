@@ -1,0 +1,14 @@
+// Negative fixture for `blocking-in-hot-path`: an AT_HOT function reaches
+// a stdio call through a helper. The call chain in the diagnostic should
+// read `drain -> log_line`.
+#include <cstdio>
+
+namespace at {
+
+void log_line() { std::printf("tick\n"); }
+
+void drain() AT_HOT {
+  log_line();
+}
+
+}  // namespace at

@@ -1,0 +1,16 @@
+// Negative fixture (pairs with types.hpp): iterates an unordered map
+// declared in ANOTHER header while accumulating into a string — the
+// iteration order leaks into output, breaking run-to-run determinism.
+#include "cross/types.hpp"
+
+namespace at {
+
+std::string Registry::dump() const {
+  std::string out;
+  for (const auto& kv : counts_) {
+    out += kv.first;
+  }
+  return out;
+}
+
+}  // namespace at

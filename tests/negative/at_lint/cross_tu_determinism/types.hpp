@@ -1,0 +1,19 @@
+#pragma once
+// Negative fixture for the cross-TU `determinism` rule (whole-program
+// phase). This header declares an unordered container field; the paired
+// consumer.cpp iterates it with `out +=` accumulation from another TU.
+// The PR-4 single-file engine could not see this declaration from the
+// consumer and stayed silent; the v3 linker resolves it through the
+// include closure.
+
+#include <string>
+#include <unordered_map>
+
+namespace at {
+
+struct Registry {
+  std::string dump() const;
+  std::unordered_map<std::string, int> counts_;
+};
+
+}  // namespace at

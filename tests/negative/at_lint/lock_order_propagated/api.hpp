@@ -1,0 +1,15 @@
+#pragma once
+// Negative fixture for the propagated `lock-order` rule. The helper's
+// acquisition of b_mu_ is only visible through its AT_ACQUIRES summary;
+// path1() acquires a_mu_ and calls the helper, completing the
+// a_mu_ -> b_mu_ half of a cycle the PR-4 engine could not see.
+
+namespace at {
+
+struct Box {
+  void opaque_helper() AT_ACQUIRES(b_mu_);
+  void path1();
+  void path2();
+};
+
+}  // namespace at

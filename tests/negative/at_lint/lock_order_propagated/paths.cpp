@@ -1,0 +1,19 @@
+// Negative fixture (pairs with api.hpp): path1 holds a_mu_ while calling
+// a helper summarized as acquiring b_mu_; path2 nests the opposite order
+// directly. Together they form the a_mu_ <-> b_mu_ deadlock cycle that
+// only call-graph propagation can detect.
+#include "lk/api.hpp"
+
+namespace at {
+
+void Box::path1() {
+  util::LockGuard g(a_mu_);
+  opaque_helper();
+}
+
+void Box::path2() {
+  util::LockGuard g(b_mu_);
+  util::LockGuard h(a_mu_);
+}
+
+}  // namespace at

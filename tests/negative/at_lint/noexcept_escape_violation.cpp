@@ -1,0 +1,16 @@
+// Negative fixture for `noexcept-escape`: a noexcept function calls a
+// helper that throws with no try block at the boundary — the exception
+// escapes and the process terminates.
+#include <stdexcept>
+
+namespace at {
+
+void validate(int v) {
+  if (v < 0) throw std::invalid_argument("v");
+}
+
+void apply(int v) noexcept {
+  validate(v);
+}
+
+}  // namespace at

@@ -837,14 +837,15 @@ TEST(AtLintRunAll, AggregatesAndSortsAcrossRules) {
   }));
 }
 
-TEST(AtLintRegistry, HasAllNineChecksInStableOrder) {
+TEST(AtLintRegistry, HasAllTwelveChecksInStableOrder) {
   const auto& checks = registry();
-  ASSERT_EQ(checks.size(), 9u);
+  ASSERT_EQ(checks.size(), 12u);
   std::vector<std::string> names;
   for (const Check* c : checks) names.emplace_back(c->name());
   const std::vector<std::string> expected = {
-      "banned-call", "pragma-once",   "include-cycle",  "raw-new-delete", "guarded-by",
-      "determinism", "lock-order",    "header-hygiene", "uninit-member"};
+      "banned-call",    "pragma-once",         "include-cycle", "raw-new-delete",
+      "guarded-by",     "determinism",         "lock-order",    "header-hygiene",
+      "uninit-member",  "blocking-in-hot-path", "atomic-order",  "noexcept-escape"};
   EXPECT_EQ(names, expected);
 }
 

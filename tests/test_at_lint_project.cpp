@@ -1,0 +1,645 @@
+// Tests for the at_lint v3 whole-program phase: cross-TU fact linking
+// (call / lock / hot-path graphs), the three new rules it powers, the two
+// ROADMAP carry-overs the PR-4 single-file engine provably missed, and the
+// v3 cache behavior that keeps phase-1 facts warm while phase-2 results
+// track edits in *other* files.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "at_lint/cache.hpp"
+#include "at_lint/lint.hpp"
+
+namespace at::lint {
+namespace {
+
+bool has_rule(const std::vector<Violation>& vs, std::string_view rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+std::string read_fixture(const std::string& rel) {
+  const std::string path = std::string(AT_SOURCE_ROOT) + "/" + rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ------------------------------------------- determinism, cross-TU closure
+//
+// ROADMAP carry-over #1: the PR-4 engine harvested container declarations
+// only from a file and its sibling header, so a loop in consumer.cpp over a
+// field declared in types.hpp was invisible. The whole-program phase
+// resolves the field through the include closure.
+
+std::vector<SourceFile> cross_tu_pair(std::string_view field_type) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/cross/types.hpp",
+                   "#pragma once\n"
+                   "#include <string>\n"
+                   "#include " + std::string(field_type == "std::unordered_map"
+                                                 ? "<unordered_map>"
+                                                 : "<map>") + "\n"
+                   "namespace at {\n"
+                   "struct Registry {\n"
+                   "  std::string dump() const;\n"
+                   "  " + std::string(field_type) + "<std::string, int> counts_;\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/cross/consumer.cpp",
+                   "#include \"cross/types.hpp\"\n"
+                   "namespace at {\n"
+                   "std::string Registry::dump() const {\n"
+                   "  std::string out;\n"
+                   "  for (const auto& kv : counts_) {\n"
+                   "    out += kv.first;\n"
+                   "  }\n"
+                   "  return out;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  return files;
+}
+
+TEST(AtLintCrossTuDeterminism, FiresOnFieldDeclaredInAnotherHeader) {
+  const auto vs = run_check("determinism", cross_tu_pair("std::unordered_map"));
+  ASSERT_TRUE(has_rule(vs, "determinism"));
+  const auto& v = vs.front();
+  EXPECT_EQ(v.file, "src/cross/consumer.cpp");
+  EXPECT_NE(v.message.find("counts_"), std::string::npos);
+  EXPECT_NE(v.message.find("src/cross/types.hpp"), std::string::npos);
+}
+
+TEST(AtLintCrossTuDeterminism, OrderedFieldInTheSameHeaderIsClean) {
+  EXPECT_TRUE(run_check("determinism", cross_tu_pair("std::map")).empty());
+}
+
+TEST(AtLintCrossTuDeterminism, InvisibleDeclarationDoesNotFire) {
+  // Same loop, but the declaring header is NOT in the consumer's include
+  // closure: without a visible unordered declaration the pending loop must
+  // stay silent (no guessing across unrelated same-named fields).
+  auto files = cross_tu_pair("std::unordered_map");
+  files[1].content =
+      "namespace at {\n"
+      "std::string dump_it() {\n"
+      "  std::string out;\n"
+      "  for (const auto& kv : counts_) {\n"
+      "    out += kv.first;\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n"
+      "}  // namespace at\n";
+  EXPECT_TRUE(run_check("determinism", files).empty());
+}
+
+TEST(AtLintCrossTuDeterminism, VisibleOrderedTwinVetoesTheFinding) {
+  // Two headers in the closure declare `counts_`: one unordered, one
+  // ordered. The loop could iterate either; any ordered candidate vetoes.
+  auto files = cross_tu_pair("std::unordered_map");
+  files.push_back({"src/cross/other.hpp",
+                   "#pragma once\n"
+                   "#include <map>\n"
+                   "#include <string>\n"
+                   "namespace at {\n"
+                   "struct Cache { std::map<std::string, int> counts_; };\n"
+                   "}  // namespace at\n"});
+  files[1].content = "#include \"cross/types.hpp\"\n"
+                     "#include \"cross/other.hpp\"\n" +
+                     files[1].content.substr(files[1].content.find("namespace"));
+  EXPECT_TRUE(run_check("determinism", files).empty());
+}
+
+TEST(AtLintCrossTuDeterminism, OnDiskFixturePair) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/cross/types.hpp",
+                   read_fixture("tests/negative/at_lint/cross_tu_determinism/types.hpp")});
+  files.push_back(
+      {"src/cross/consumer.cpp",
+       read_fixture("tests/negative/at_lint/cross_tu_determinism/consumer.cpp")});
+  EXPECT_TRUE(has_rule(run_check("determinism", files), "determinism"));
+}
+
+// --------------------------------------------- lock-order, helper summaries
+//
+// ROADMAP carry-over #2: the PR-4 engine only saw nested LockGuard scopes
+// inside one function, so acquiring A then calling a helper that acquires B
+// contributed no A->B edge. Call-graph summaries (and AT_ACQUIRES on
+// declarations whose bodies at_lint cannot see) close the gap.
+
+TEST(AtLintLockOrderPropagated, HelperBodySummaryCompletesTheCycle) {
+  std::vector<SourceFile> files;
+  // The helper's body lives in api.hpp's sibling .cpp — the layout the
+  // linker's closure pruning supports (a definition in x.cpp is callable
+  // wherever x.hpp is visible).
+  files.push_back({"src/lk/api.cpp",
+                   "#include \"lk/api.hpp\"\n"
+                   "namespace at {\n"
+                   "void Box::locked_helper() {\n"
+                   "  util::LockGuard g(b_mu_);\n"
+                   "  ++n_;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/lk/api.hpp",
+                   "#pragma once\n"
+                   "namespace at {\n"
+                   "struct Box {\n"
+                   "  void locked_helper();\n"
+                   "  void path1();\n"
+                   "  void path2();\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/lk/paths.cpp",
+                   "#include \"lk/api.hpp\"\n"
+                   "namespace at {\n"
+                   "void Box::path1() {\n"
+                   "  util::LockGuard g(a_mu_);\n"
+                   "  locked_helper();\n"
+                   "}\n"
+                   "void Box::path2() {\n"
+                   "  util::LockGuard g(b_mu_);\n"
+                   "  util::LockGuard h(a_mu_);\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("lock-order", files);
+  ASSERT_TRUE(has_rule(vs, "lock-order"));
+  EXPECT_NE(vs.front().message.find("a_mu_"), std::string::npos);
+  EXPECT_NE(vs.front().message.find("b_mu_"), std::string::npos);
+}
+
+TEST(AtLintLockOrderPropagated, AtAcquiresAnnotationStandsInForTheBody) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/lk/api.hpp",
+                   "#pragma once\n"
+                   "namespace at {\n"
+                   "struct Box {\n"
+                   "  void opaque_helper() AT_ACQUIRES(b_mu_);\n"
+                   "  void path1();\n"
+                   "  void path2();\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/lk/paths.cpp",
+                   "#include \"lk/api.hpp\"\n"
+                   "namespace at {\n"
+                   "void Box::path1() {\n"
+                   "  util::LockGuard g(a_mu_);\n"
+                   "  opaque_helper();\n"
+                   "}\n"
+                   "void Box::path2() {\n"
+                   "  util::LockGuard g(b_mu_);\n"
+                   "  util::LockGuard h(a_mu_);\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(has_rule(run_check("lock-order", files), "lock-order"));
+}
+
+TEST(AtLintLockOrderPropagated, AmbiguousCalleeContributesNoEdge) {
+  // Two project functions named `helper` resolve from the call site: the
+  // fanout>1 edge must NOT propagate acquisitions (a wrong edge would
+  // forge a deadlock report).
+  std::vector<SourceFile> files;
+  files.push_back({"src/lk/api.hpp",
+                   "#pragma once\n"
+                   "namespace at {\n"
+                   "struct P { void helper() AT_ACQUIRES(b_mu_); void path1(); };\n"
+                   "struct Q { void helper(); };\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/lk/paths.cpp",
+                   "#include \"lk/api.hpp\"\n"
+                   "namespace at {\n"
+                   "void Q::helper() {}\n"
+                   "void P::path1() {\n"
+                   "  util::LockGuard g(a_mu_);\n"
+                   "  helper();\n"
+                   "}\n"
+                   "void cycle_half() {\n"
+                   "  util::LockGuard g(b_mu_);\n"
+                   "  util::LockGuard h(a_mu_);\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_FALSE(has_rule(run_check("lock-order", files), "lock-order"));
+}
+
+TEST(AtLintLockOrderPropagated, OnDiskFixturePair) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/lk/api.hpp",
+                   read_fixture("tests/negative/at_lint/lock_order_propagated/api.hpp")});
+  files.push_back({"src/lk/paths.cpp",
+                   read_fixture("tests/negative/at_lint/lock_order_propagated/paths.cpp")});
+  EXPECT_TRUE(has_rule(run_check("lock-order", files), "lock-order"));
+}
+
+// ------------------------------------------------------ blocking-in-hot-path
+
+TEST(AtLintHotPath, AtHotRootReachesBlockingCallee) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/hp/a.cpp",
+                   "#include <cstdio>\n"
+                   "namespace at {\n"
+                   "void log_line() { std::printf(\"tick\\n\"); }\n"
+                   "void drain() AT_HOT {\n"
+                   "  log_line();\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("blocking-in-hot-path", files);
+  ASSERT_TRUE(has_rule(vs, "blocking-in-hot-path"));
+  EXPECT_NE(vs.front().message.find("printf"), std::string::npos);
+  EXPECT_NE(vs.front().message.find("drain -> log_line"), std::string::npos);
+}
+
+TEST(AtLintHotPath, EngineDrainLoopIsAnImplicitRoot) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/sim/engine.cpp",
+                   "namespace at::sim {\n"
+                   "void trace() { std::fprintf(stderr, \"x\");\n}\n"
+                   "std::uint64_t Engine::run() {\n"
+                   "  trace();\n"
+                   "  return 0;\n"
+                   "}\n"
+                   "}  // namespace at::sim\n"});
+  EXPECT_TRUE(has_rule(run_check("blocking-in-hot-path", files),
+                       "blocking-in-hot-path"));
+}
+
+TEST(AtLintHotPath, InlineSuppressionIsAnEscapeHatch) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/hp/a.cpp",
+                   "#include <cstdio>\n"
+                   "namespace at {\n"
+                   "void drain() AT_HOT {\n"
+                   "  // at_lint: allow(blocking-in-hot-path) — startup banner, once\n"
+                   "  std::printf(\"go\\n\");\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("blocking-in-hot-path", files).empty());
+}
+
+TEST(AtLintHotPath, ColdFunctionsMayBlock) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/hp/a.cpp",
+                   "#include <cstdio>\n"
+                   "namespace at {\n"
+                   "void report() { std::printf(\"done\\n\"); }\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("blocking-in-hot-path", files).empty());
+}
+
+TEST(AtLintHotPath, OnDiskFixture) {
+  const auto src = read_fixture(
+      "tests/negative/at_lint/blocking_in_hot_path_violation.cpp");
+  std::vector<SourceFile> files;
+  files.push_back({"src/fix.cpp", src});
+  EXPECT_TRUE(has_rule(run_check("blocking-in-hot-path", files),
+                       "blocking-in-hot-path"));
+}
+
+// -------------------------------------------------------------- atomic-order
+
+TEST(AtLintAtomicOrder, RelaxedLoadFeedingDerefNeedsAcquire) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ao/a.hpp",
+                   "#pragma once\n"
+                   "#include <atomic>\n"
+                   "namespace at {\n"
+                   "class Box {\n"
+                   " public:\n"
+                   "  int get() const { return *ptr_.load(std::memory_order_relaxed); }\n"
+                   " private:\n"
+                   "  std::atomic<int*> ptr_{nullptr};\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("atomic-order", files);
+  ASSERT_TRUE(has_rule(vs, "atomic-order"));
+  EXPECT_NE(vs.front().message.find("ptr_"), std::string::npos);
+  EXPECT_NE(vs.front().message.find("memory_order_acquire"), std::string::npos);
+}
+
+TEST(AtLintAtomicOrder, RelaxedFlagGuardingOtherMemberReads) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ao/a.hpp",
+                   "#pragma once\n"
+                   "#include <atomic>\n"
+                   "namespace at {\n"
+                   "class Box {\n"
+                   " public:\n"
+                   "  int read() const {\n"
+                   "    if (ready_.load(std::memory_order_relaxed)) {\n"
+                   "      return payload_;\n"
+                   "    }\n"
+                   "    return 0;\n"
+                   "  }\n"
+                   " private:\n"
+                   "  std::atomic<bool> ready_{false};\n"
+                   "  int payload_ = 0;\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(has_rule(run_check("atomic-order", files), "atomic-order"));
+}
+
+TEST(AtLintAtomicOrder, SameObjectGuardStaysRelaxed) {
+  // The Engine::run_until clock-advance idiom: a relaxed load guarding a
+  // relaxed store of the SAME atomic is single-writer-safe and must not
+  // trip the publication heuristic.
+  std::vector<SourceFile> files;
+  files.push_back({"src/ao/a.hpp",
+                   "#pragma once\n"
+                   "#include <atomic>\n"
+                   "namespace at {\n"
+                   "class Clock {\n"
+                   " public:\n"
+                   "  void advance(long until) {\n"
+                   "    if (now_.load(std::memory_order_relaxed) < until) {\n"
+                   "      now_.store(until, std::memory_order_relaxed);\n"
+                   "    }\n"
+                   "  }\n"
+                   " private:\n"
+                   "  std::atomic<long> now_{0};\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("atomic-order", files).empty());
+}
+
+TEST(AtLintAtomicOrder, DefaultedSeqCstInsideHotFunction) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ao/a.hpp",
+                   "#pragma once\n"
+                   "#include <atomic>\n"
+                   "namespace at {\n"
+                   "class Counter {\n"
+                   " public:\n"
+                   "  void bump() AT_HOT { n_.fetch_add(1); }\n"
+                   " private:\n"
+                   "  std::atomic<long> n_{0};\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("atomic-order", files);
+  ASSERT_TRUE(has_rule(vs, "atomic-order"));
+  EXPECT_NE(vs.front().message.find("seq_cst"), std::string::npos);
+}
+
+TEST(AtLintAtomicOrder, DefaultedSeqCstOffTheHotPathIsFine) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ao/a.hpp",
+                   "#pragma once\n"
+                   "#include <atomic>\n"
+                   "namespace at {\n"
+                   "class Counter {\n"
+                   " public:\n"
+                   "  void bump() { n_.fetch_add(1); }\n"
+                   " private:\n"
+                   "  std::atomic<long> n_{0};\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("atomic-order", files).empty());
+}
+
+TEST(AtLintAtomicOrder, OnDiskFixture) {
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"src/fix.hpp", read_fixture("tests/negative/at_lint/atomic_order_violation.hpp")});
+  EXPECT_TRUE(has_rule(run_check("atomic-order", files), "atomic-order"));
+}
+
+// ----------------------------------------------------------- noexcept-escape
+
+TEST(AtLintNoexceptEscape, NoexceptFunctionCallingThrowingHelper) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ne/a.cpp",
+                   "#include <stdexcept>\n"
+                   "namespace at {\n"
+                   "void validate(int v) {\n"
+                   "  if (v < 0) throw std::invalid_argument(\"v\");\n"
+                   "}\n"
+                   "void apply(int v) noexcept {\n"
+                   "  validate(v);\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("noexcept-escape", files);
+  ASSERT_TRUE(has_rule(vs, "noexcept-escape"));
+  EXPECT_NE(vs.front().message.find("apply"), std::string::npos);
+  EXPECT_NE(vs.front().message.find("validate"), std::string::npos);
+}
+
+TEST(AtLintNoexceptEscape, DestructorIsImplicitlyNoexcept) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ne/a.cpp",
+                   "#include <stdexcept>\n"
+                   "namespace at {\n"
+                   "struct Box {\n"
+                   "  ~Box() { flush(); }\n"
+                   "  void flush() { throw std::runtime_error(\"flush\"); }\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("noexcept-escape", files);
+  ASSERT_TRUE(has_rule(vs, "noexcept-escape"));
+  EXPECT_NE(vs.front().message.find("destructor"), std::string::npos);
+}
+
+TEST(AtLintNoexceptEscape, ThreadPoolTaskMayNotThrow) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ne/a.cpp",
+                   "#include <stdexcept>\n"
+                   "namespace at {\n"
+                   "void enqueue(util::ThreadPool& pool) {\n"
+                   "  pool.submit([] {\n"
+                   "    throw std::runtime_error(\"task\");\n"
+                   "  });\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("noexcept-escape", files);
+  ASSERT_TRUE(has_rule(vs, "noexcept-escape"));
+  EXPECT_NE(vs.front().message.find("ThreadPool task"), std::string::npos);
+}
+
+TEST(AtLintNoexceptEscape, TryBlockAtTheBoundaryAbsorbsTheThrow) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ne/a.cpp",
+                   "#include <stdexcept>\n"
+                   "namespace at {\n"
+                   "void validate(int v) {\n"
+                   "  if (v < 0) throw std::invalid_argument(\"v\");\n"
+                   "}\n"
+                   "void apply(int v) noexcept {\n"
+                   "  try {\n"
+                   "    validate(v);\n"
+                   "  } catch (const std::exception&) {\n"
+                   "  }\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("noexcept-escape", files).empty());
+}
+
+TEST(AtLintNoexceptEscape, NoexceptFalseIsNotARoot) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/ne/a.cpp",
+                   "#include <stdexcept>\n"
+                   "namespace at {\n"
+                   "void apply(int v) noexcept(false) {\n"
+                   "  if (v < 0) throw std::invalid_argument(\"v\");\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("noexcept-escape", files).empty());
+}
+
+TEST(AtLintNoexceptEscape, OnDiskFixture) {
+  std::vector<SourceFile> files;
+  files.push_back(
+      {"src/fix.cpp", read_fixture("tests/negative/at_lint/noexcept_escape_violation.cpp")});
+  EXPECT_TRUE(has_rule(run_check("noexcept-escape", files), "noexcept-escape"));
+}
+
+// --------------------------------------------- cache v3: cross-TU freshness
+//
+// Phase-1 facts are cached per file; phase 2 relinks every run. Editing a
+// header must therefore change DEPENDENT files' project findings without
+// re-extracting the dependents — and unrelated edits must leave everything
+// else warm.
+
+TEST(AtLintCacheV3, HeaderEditFlipsDependentsProjectFindingWhileFactsStayWarm) {
+  auto files = cross_tu_pair("std::unordered_map");
+  Cache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  const auto cold = run(files, opts);
+  ASSERT_TRUE(has_rule(cold.violations, "determinism"));
+
+  // Swap the field to an ordered map. Only the header re-extracts —
+  // consumer.cpp is not its sibling — yet the cross-TU finding disappears
+  // because phase 2 re-links fresh facts against cached ones.
+  auto ordered = cross_tu_pair("std::map");
+  files[0].content = ordered[0].content;
+  const auto warm = run(files, opts);
+  EXPECT_EQ(warm.stats.analyzed, 1u);
+  EXPECT_EQ(warm.stats.cache_hits, 1u);
+  EXPECT_FALSE(has_rule(warm.violations, "determinism"));
+}
+
+TEST(AtLintCacheV3, UnrelatedEditKeepsTheCrossTuFinding) {
+  auto files = cross_tu_pair("std::unordered_map");
+  files.push_back({"src/cross/extra.cpp", "namespace at {}\n"});
+  Cache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  (void)run(files, opts);
+  files[2].content = "namespace at { int unrelated; }\n";
+  const auto warm = run(files, opts);
+  EXPECT_EQ(warm.stats.analyzed, 1u);
+  EXPECT_EQ(warm.stats.cache_hits, 2u);
+  // Cached phase-1 facts still carry the pending loop + container field:
+  // the project finding survives without re-extraction.
+  EXPECT_TRUE(has_rule(warm.violations, "determinism"));
+}
+
+TEST(AtLintCacheV3, FactRecordsRoundTripThroughSerialization) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/rt/a.cpp",
+                   "#include <cstdio>\n"
+                   "#include <stdexcept>\n"
+                   "namespace at {\n"
+                   "void helper() { throw std::runtime_error(\"x\"); }\n"
+                   "void drain() AT_HOT {\n"
+                   "  std::printf(\"tick\\n\");\n"
+                   "}\n"
+                   "void apply() noexcept { helper(); }\n"
+                   "}  // namespace at\n"});
+  Cache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  const auto cold = run(files, opts);
+  ASSERT_TRUE(has_rule(cold.violations, "blocking-in-hot-path"));
+  ASSERT_TRUE(has_rule(cold.violations, "noexcept-escape"));
+
+  // Round-trip the cache through bytes, then a fully-warm run: both
+  // project findings must be reconstructed from serialized facts alone.
+  Cache restored = Cache::deserialize(cache.serialize());
+  EXPECT_EQ(restored.serialize(), cache.serialize());
+  RunOptions opts2;
+  opts2.cache = &restored;
+  const auto warm = run(files, opts2);
+  EXPECT_EQ(warm.stats.analyzed, 0u);
+  EXPECT_TRUE(has_rule(warm.violations, "blocking-in-hot-path"));
+  EXPECT_TRUE(has_rule(warm.violations, "noexcept-escape"));
+}
+
+TEST(AtLintCacheV3, SuppressionHitCountsSurviveTheRoundTrip) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/rt/a.cpp",
+                   "int v = rand();  // at_lint: allow(banned-call) — seed demo\n"});
+  Cache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  const auto cold = run(files, opts);
+  EXPECT_TRUE(cold.violations.empty());
+  EXPECT_TRUE(cold.stale_suppressions.empty());
+
+  Cache restored = Cache::deserialize(cache.serialize());
+  RunOptions opts2;
+  opts2.cache = &restored;
+  const auto warm = run(files, opts2);
+  EXPECT_EQ(warm.stats.analyzed, 0u);
+  // The hit count was cached with the facts: the suppression is still not
+  // stale even though nothing was re-analyzed this run.
+  EXPECT_TRUE(warm.stale_suppressions.empty());
+}
+
+// ------------------------------------------------- stale inline suppressions
+
+TEST(AtLintStaleSuppression, UnmatchedInlineAllowIsReported) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/st/a.cpp",
+                   "// at_lint: allow(banned-call) — nothing here trips it\n"
+                   "int v = 0;\n"});
+  const auto result = run(files, RunOptions{});
+  ASSERT_EQ(result.stale_suppressions.size(), 1u);
+  EXPECT_EQ(result.stale_suppressions[0].file, "src/st/a.cpp");
+  EXPECT_EQ(result.stale_suppressions[0].rule, "banned-call");
+}
+
+TEST(AtLintStaleSuppression, ProjectPhaseHitIsNotStale) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/st/a.cpp",
+                   "#include <cstdio>\n"
+                   "namespace at {\n"
+                   "void drain() AT_HOT {\n"
+                   "  // at_lint: allow(blocking-in-hot-path) — one-shot banner\n"
+                   "  std::printf(\"go\\n\");\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  const auto result = run(files, RunOptions{});
+  EXPECT_FALSE(has_rule(result.violations, "blocking-in-hot-path"));
+  EXPECT_TRUE(result.stale_suppressions.empty());
+}
+
+TEST(AtLintStaleSuppression, DocMentionsOfTheSyntaxAreNotSuppressions) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/st/a.cpp",
+                   "// Escape hatch: justify with // at_lint: allow(banned-call).\n"
+                   "int v = 0;\n"});
+  const auto result = run(files, RunOptions{});
+  EXPECT_TRUE(result.stale_suppressions.empty());
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(AtLintStats, PhaseTimingsPartitionTheAggregates) {
+  std::vector<SourceFile> files;
+  for (int i = 0; i < 8; ++i) {
+    files.push_back({"src/s" + std::to_string(i) + ".cpp", "int x" + std::to_string(i) + ";\n"});
+  }
+  const auto result = run(files, RunOptions{});
+  const auto& s = result.stats;
+  EXPECT_GE(s.lex_ms, 0.0);
+  EXPECT_GE(s.extract_ms, 0.0);
+  EXPECT_GE(s.link_ms, 0.0);
+  EXPECT_GE(s.check_ms, 0.0);
+  EXPECT_NEAR(s.analyze_ms, s.lex_ms + s.extract_ms, 1e-6);
+  EXPECT_NEAR(s.project_ms, s.link_ms + s.check_ms, 1e-6);
+}
+
+}  // namespace
+}  // namespace at::lint

@@ -9,22 +9,50 @@ namespace at::lint {
 
 namespace {
 
-// Record kinds, one per line: F starts a file entry, V/E/L/D/U/S attach to
-// the most recent F. Fields are '\x1f'-separated; newlines inside stored
-// strings are escaped as "\x1e" (neither byte occurs in source text the
-// repo lints — both are stripped defensively on write).
+// Record kinds, one per line: F starts a file entry; V/E/L/D/U/S/G/P/N
+// attach to the most recent F; C/B/T/O attach to the most recent N
+// (function). Fields are '\x1f'-separated; list-valued fields (acquires,
+// held locks) join their items with '|'. None of '\n', '\x1f', '|' occur
+// in source text the repo lints — all are stripped defensively on write.
 constexpr char kSep = '\x1f';
+constexpr char kListSep = '|';
 constexpr std::string_view kMagic = "at_lint-cache";
-// Format 2: V records carry the violation's column between line and message.
-constexpr int kFormat = 2;
+// Format 3: S records carry a hit count; G/P/N/C/B/T/O records serialize
+// the phase-1 code facts (container fields, pending loops, functions with
+// their call/blocking/throw/atomic sites) so warm runs re-extract nothing.
+constexpr int kFormat = 3;
 
 std::string clean(std::string_view text) {
   std::string out;
   out.reserve(text.size());
   for (const char c : text) {
-    if (c != '\n' && c != kSep) out += c;
+    if (c != '\n' && c != kSep && c != kListSep) out += c;
   }
   return out;
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += kListSep;
+    out += clean(item);
+  }
+  return out;
+}
+
+std::vector<std::string> split_list(std::string_view text) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = text.find(kListSep, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
 }
 
 std::vector<std::string_view> split(std::string_view line, char sep) {
@@ -55,6 +83,7 @@ std::uint64_t to_u64(std::string_view text) {
 Cache Cache::deserialize(std::string_view text) {
   Cache cache;
   FileAnalysis* current = nullptr;
+  FileFacts::Function* current_fn = nullptr;
   std::size_t start = 0;
   bool header_ok = false;
   bool first = true;
@@ -82,6 +111,7 @@ Cache Cache::deserialize(std::string_view text) {
       entry.key = to_u64(fields[2]);
       entry.from_cache = true;
       current = &(cache.entries_[entry.path] = std::move(entry));
+      current_fn = nullptr;
     } else if (current == nullptr) {
       continue;
     } else if (tag == "V" && fields.size() == 7) {
@@ -104,9 +134,50 @@ Cache Cache::deserialize(std::string_view text) {
     } else if (tag == "U" && fields.size() == 3) {
       current->facts.used_types.push_back(
           {std::string(fields[1]), static_cast<std::uint32_t>(to_u64(fields[2]))});
-    } else if (tag == "S" && fields.size() == 3) {
+    } else if (tag == "S" && fields.size() == 4) {
       current->facts.suppressions.push_back(
-          {std::string(fields[1]), static_cast<std::uint32_t>(to_u64(fields[2]))});
+          {std::string(fields[1]), static_cast<std::uint32_t>(to_u64(fields[2])),
+           static_cast<std::uint32_t>(to_u64(fields[3]))});
+    } else if (tag == "G" && fields.size() == 4) {
+      current->facts.container_fields.push_back(
+          {std::string(fields[1]), fields[2].empty() ? 'u' : fields[2][0],
+           static_cast<std::uint32_t>(to_u64(fields[3]))});
+    } else if (tag == "P" && fields.size() == 5) {
+      current->facts.pending_loops.push_back(
+          {std::string(fields[1]), std::string(fields[2]), std::string(fields[3]),
+           static_cast<std::uint32_t>(to_u64(fields[4]))});
+    } else if (tag == "N" && fields.size() == 5) {
+      FileFacts::Function fn;
+      fn.name = std::string(fields[1]);
+      fn.line = static_cast<std::uint32_t>(to_u64(fields[2]));
+      const std::string_view flags = fields[3];
+      fn.hot = flags.size() > 0 && flags[0] == '1';
+      fn.is_noexcept = flags.size() > 1 && flags[1] == '1';
+      fn.is_dtor = flags.size() > 2 && flags[2] == '1';
+      fn.is_task = flags.size() > 3 && flags[3] == '1';
+      fn.acquires = split_list(fields[4]);
+      current->facts.functions.push_back(std::move(fn));
+      current_fn = &current->facts.functions.back();
+    } else if (current_fn == nullptr) {
+      continue;
+    } else if (tag == "C" && fields.size() == 5) {
+      FileFacts::CallSite call;
+      call.name = std::string(fields[1]);
+      call.line = static_cast<std::uint32_t>(to_u64(fields[2]));
+      call.in_try = fields[3] == "1";
+      call.held = split_list(fields[4]);
+      current_fn->calls.push_back(std::move(call));
+    } else if (tag == "B" && fields.size() == 4) {
+      current_fn->blocking.push_back(
+          {std::string(fields[1]), std::string(fields[2]),
+           static_cast<std::uint32_t>(to_u64(fields[3]))});
+    } else if (tag == "T" && fields.size() == 2) {
+      current_fn->throw_lines.push_back(static_cast<std::uint32_t>(to_u64(fields[1])));
+    } else if (tag == "O" && fields.size() == 7) {
+      current_fn->atomics.push_back(
+          {std::string(fields[1]), std::string(fields[2]), std::string(fields[3]),
+           static_cast<std::uint32_t>(to_u64(fields[4])), fields[5] == "1",
+           fields[6] == "1"});
     }
   }
   return cache;
@@ -142,7 +213,36 @@ std::string Cache::serialize() const {
       out << 'U' << kSep << clean(use.name) << kSep << use.line << '\n';
     }
     for (const auto& s : entry->facts.suppressions) {
-      out << 'S' << kSep << clean(s.rule) << kSep << s.line << '\n';
+      out << 'S' << kSep << clean(s.rule) << kSep << s.line << kSep << s.hits << '\n';
+    }
+    for (const auto& cf : entry->facts.container_fields) {
+      out << 'G' << kSep << clean(cf.name) << kSep << cf.kind << kSep << cf.line << '\n';
+    }
+    for (const auto& p : entry->facts.pending_loops) {
+      out << 'P' << kSep << clean(p.range_var) << kSep << clean(p.sink_var) << kSep
+          << clean(p.sink_what) << kSep << p.line << '\n';
+    }
+    for (const auto& fn : entry->facts.functions) {
+      const char flags[5] = {fn.hot ? '1' : '0', fn.is_noexcept ? '1' : '0',
+                             fn.is_dtor ? '1' : '0', fn.is_task ? '1' : '0', '\0'};
+      out << 'N' << kSep << clean(fn.name) << kSep << fn.line << kSep << flags << kSep
+          << join(fn.acquires) << '\n';
+      for (const auto& call : fn.calls) {
+        out << 'C' << kSep << clean(call.name) << kSep << call.line << kSep
+            << (call.in_try ? '1' : '0') << kSep << join(call.held) << '\n';
+      }
+      for (const auto& b : fn.blocking) {
+        out << 'B' << kSep << clean(b.category) << kSep << clean(b.name) << kSep
+            << b.line << '\n';
+      }
+      for (const std::uint32_t t : fn.throw_lines) {
+        out << 'T' << kSep << t << '\n';
+      }
+      for (const auto& op : fn.atomics) {
+        out << 'O' << kSep << clean(op.object) << kSep << clean(op.op) << kSep
+            << clean(op.order) << kSep << op.line << kSep << (op.deref ? '1' : '0')
+            << kSep << (op.guards_other ? '1' : '0') << '\n';
+      }
     }
   }
   return out.str();

@@ -1,8 +1,10 @@
-// The nine at_lint rules, each a Check subclass over the token stream (see
-// lexer.hpp). Heuristics prefer false negatives over false positives — a
-// noisy linter gets deleted, a quiet one gets trusted. Every rule dispatches
-// on repo-relative path prefixes; tests/negative/ never reaches here (the
-// CLI excludes it).
+// The twelve at_lint rules, each a Check subclass over the token stream
+// (see lexer.hpp). Heuristics prefer false negatives over false positives —
+// a noisy linter gets deleted, a quiet one gets trusted. Every rule
+// dispatches on repo-relative path prefixes; tests/negative/ never reaches
+// here (the CLI excludes it). Cross-TU rules (determinism's pending loops,
+// lock-order's helper propagation, blocking-in-hot-path, atomic-order,
+// noexcept-escape) consume the ProjectGraph built by link.cpp.
 
 #include <algorithm>
 #include <array>
@@ -16,6 +18,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "at_lint/facts.hpp"
+#include "at_lint/link.hpp"
 #include "at_lint/lint.hpp"
 #include "at_lint/token_util.hpp"
 
@@ -389,94 +393,12 @@ class GuardedByCheck final : public Check {
 
 // ------------------------------------------------------------- determinism
 
-/// Declared-variable harvesting for the determinism rule: which identifiers
-/// are unordered containers, ordered containers, floats, or strings.
-struct DeclSets {
-  std::unordered_set<std::string> unordered;  // vars (and aliases) of unordered type
-  std::unordered_set<std::string> ordered;    // vars of std::map/std::set/...
-  std::unordered_set<std::string> floats;     // double/float vars
-  std::unordered_set<std::string> strings;    // std::string vars
-};
-
-bool unordered_type(std::string_view text) {
-  return text == "unordered_map" || text == "unordered_set" ||
-         text == "unordered_multimap" || text == "unordered_multiset";
-}
-
-bool ordered_container_type(std::string_view text) {
-  return text == "map" || text == "set" || text == "multimap" || text == "multiset" ||
-         text == "priority_queue";
-}
-
-void harvest_decls(const TokenStream* stream, DeclSets& sets) {
-  if (stream == nullptr) return;
-  const Tokens& toks = stream->tokens;
-  const auto var_after_type = [&toks](std::size_t type_end) -> std::string {
-    std::size_t j = type_end;
-    while (tok::is_punct(toks, j, "*") || tok::is_punct(toks, j, "&") ||
-           tok::is_punct(toks, j, "&&") || tok::is_ident(toks, j, "const")) {
-      ++j;
-    }
-    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) return std::string();
-    static constexpr std::array<std::string_view, 7> kEnders = {";", "=", "{", "(",
-                                                                ",", ")", ":"};
-    const std::string_view after =
-        j + 1 < toks.size() ? std::string_view(toks[j + 1].text) : std::string_view(";");
-    for (const auto e : kEnders) {
-      if (after == e) return toks[j].text;
-    }
-    return std::string();
-  };
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokKind::kIdent) continue;
-    // `using Alias = ...unordered_map<...>...;` makes Alias an unordered
-    // type; declarations `Alias x` are caught by the alias branch below.
-    if (t.text == "using" && i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
-        tok::is_punct(toks, i + 2, "=")) {
-      for (std::size_t k = i + 3; k < toks.size() && !tok::is_punct(toks, k, ";"); ++k) {
-        if (toks[k].kind == TokKind::kIdent && unordered_type(toks[k].text)) {
-          sets.unordered.insert(toks[i + 1].text);
-          break;
-        }
-      }
-      continue;
-    }
-    const bool is_unordered = unordered_type(t.text);
-    const bool is_ordered = ordered_container_type(t.text);
-    const bool is_alias = sets.unordered.contains(t.text);
-    if (is_unordered || is_ordered) {
-      std::size_t type_end = i + 1;
-      if (tok::is_punct(toks, i + 1, "<")) {
-        const std::size_t close = tok::skip_template_args(toks, i + 1);
-        if (close == tok::kNpos) continue;
-        type_end = close + 1;
-      }
-      const std::string var = var_after_type(type_end);
-      if (!var.empty()) (is_unordered ? sets.unordered : sets.ordered).insert(var);
-      continue;
-    }
-    if (is_alias && i + 1 < toks.size() && toks[i + 1].kind == TokKind::kIdent) {
-      const std::string var = var_after_type(i + 1);
-      if (!var.empty()) sets.unordered.insert(var);
-      continue;
-    }
-    if (t.text == "double" || t.text == "float") {
-      const std::string var = var_after_type(i + 1);
-      if (!var.empty()) sets.floats.insert(var);
-    }
-    if (t.text == "string" || t.text == "ostringstream" || t.text == "stringstream") {
-      const std::string var = var_after_type(i + 1);
-      if (!var.empty()) sets.strings.insert(var);
-    }
-  }
-}
-
 class DeterminismCheck final : public Check {
  public:
   std::string_view name() const noexcept override { return "determinism"; }
   std::string_view summary() const noexcept override {
-    return "no unordered-container iteration feeding an order-sensitive sink; no "
+    return "no unordered-container iteration feeding an order-sensitive sink (local "
+           "declarations per-file, container fields across TUs); no "
            "std::random_device/system_clock/std::time outside src/util/{rng,time_utils}";
   }
 
@@ -508,133 +430,73 @@ class DeterminismCheck final : public Check {
       }
     }
 
-    // Part 2: unordered iteration feeding an order-sensitive sink.
-    DeclSets sets;
-    harvest_decls(&ctx.tokens, sets);
-    harvest_decls(ctx.sibling_tokens, sets);
-    if (sets.unordered.empty()) return;
-
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      if (!tok::is_ident(toks, i, "for") || !tok::is_punct(toks, i + 1, "(")) continue;
-      const std::size_t close = tok::match_forward(toks, i + 1, "(", ")");
-      if (close == tok::kNpos) continue;
-
-      // Range-for over an unordered variable, or a classic iterator loop
-      // calling .begin() on one.
-      std::size_t colon = tok::kNpos;
-      int depth = 0;
-      for (std::size_t k = i + 2; k < close; ++k) {
-        if (tok::is_punct(toks, k, "(") || tok::is_punct(toks, k, "[")) ++depth;
-        if (tok::is_punct(toks, k, ")") || tok::is_punct(toks, k, "]")) --depth;
-        if (depth == 0 && tok::is_punct(toks, k, ":")) {
-          colon = k;
-          break;
-        }
-      }
-      std::string range_var;
-      const std::size_t expr_begin = colon == tok::kNpos ? i + 2 : colon + 1;
-      for (std::size_t k = expr_begin; k < close; ++k) {
-        if (toks[k].kind != TokKind::kIdent || !sets.unordered.contains(toks[k].text)) {
-          continue;
-        }
-        if (colon != tok::kNpos) {
-          range_var = toks[k].text;
-          break;
-        }
-        // Classic loop: require `var.begin(` / `var.cbegin(` in the header.
-        if (tok::is_punct(toks, k + 1, ".") &&
-            (tok::is_ident(toks, k + 2, "begin") || tok::is_ident(toks, k + 2, "cbegin"))) {
-          range_var = toks[k].text;
-          break;
-        }
-      }
-      if (range_var.empty()) continue;
-
-      std::size_t body_begin = close + 1;
-      std::size_t body_end;
-      if (tok::is_punct(toks, body_begin, "{")) {
-        body_end = tok::match_forward(toks, body_begin, "{", "}");
-        if (body_end == tok::kNpos) continue;
-      } else {
-        body_end = body_begin;
-        while (body_end < toks.size() && !tok::is_punct(toks, body_end, ";")) ++body_end;
-      }
-
-      struct Sink {
-        std::string var;
-        std::uint32_t line;
-        std::string what;
-      };
-      std::vector<Sink> sinks;
-      for (std::size_t k = body_begin; k < body_end; ++k) {
-        const Token& t = toks[k];
-        if (t.kind == TokKind::kIdent && tok::is_punct(toks, k + 1, ".") &&
-            k + 2 < toks.size() && toks[k + 2].kind == TokKind::kIdent &&
-            tok::is_punct(toks, k + 3, "(")) {
-          const std::string_view method = toks[k + 2].text;
-          if ((method == "push_back" || method == "emplace_back" || method == "append") &&
-              !sets.ordered.contains(t.text)) {
-            sinks.push_back({t.text, t.line, "." + std::string(method) + "()"});
-          }
-        }
-        if (t.kind == TokKind::kPunct && t.text == "<<") {
-          const bool shiftish = (k > 0 && toks[k - 1].kind == TokKind::kNumber) ||
-                                (k + 1 < toks.size() &&
-                                 toks[k + 1].kind == TokKind::kNumber);
-          if (!shiftish) {
-            // Leftmost identifier of the << chain names the stream.
-            std::size_t lhs = k;
-            while (lhs > 0 && (toks[lhs - 1].kind == TokKind::kIdent ||
-                               toks[lhs - 1].kind == TokKind::kString ||
-                               tok::is_punct(toks, lhs - 1, "<<") ||
-                               tok::is_punct(toks, lhs - 1, ".") ||
-                               tok::is_punct(toks, lhs - 1, "::"))) {
-              --lhs;
-            }
-            const std::string var =
-                toks[lhs].kind == TokKind::kIdent ? toks[lhs].text : std::string("stream");
-            sinks.push_back({var, t.line, "stream <<"});
-          }
-        }
-        if (t.kind == TokKind::kIdent && k + 1 < toks.size() &&
-            tok::is_punct(toks, k + 1, "+=") &&
-            (sets.floats.contains(t.text) || sets.strings.contains(t.text))) {
-          sinks.push_back({t.text, t.line, "+= accumulation"});
-        }
-      }
-      if (sinks.empty()) continue;
-
-      // Escape hatch: the sink is sorted right after the loop (within the
-      // enclosing scope), which restores a canonical order.
-      std::unordered_set<std::string> sorted_later;
-      int escape_depth = 0;
-      const std::size_t horizon = std::min(toks.size(), body_end + 512);
-      for (std::size_t k = body_end + 1; k < horizon; ++k) {
-        if (tok::is_punct(toks, k, "{")) ++escape_depth;
-        if (tok::is_punct(toks, k, "}") && --escape_depth < 0) break;
-        if (toks[k].kind == TokKind::kIdent &&
-            (toks[k].text == "sort" || toks[k].text == "stable_sort")) {
-          const std::size_t open = k + 1;
-          if (tok::is_punct(toks, open, "(")) {
-            const std::size_t end = tok::match_forward(toks, open, "(", ")");
-            if (end == tok::kNpos) continue;
-            for (std::size_t m = open; m < end; ++m) {
-              if (toks[m].kind == TokKind::kIdent) sorted_later.insert(toks[m].text);
-            }
-          }
-        }
-      }
-      for (const auto& sink : sinks) {
-        if (sorted_later.contains(sink.var)) continue;
-        out.push_back(make(
-            "determinism", ctx.file, sink.line,
-            "iteration over unordered container '" + range_var +
-                "' feeds order-sensitive sink '" + sink.var + "' (" + sink.what +
-                "); iterate a sorted view, use an ordered sink, or sort the result"));
-      }
-      i = close;
+    // Part 2: unordered iteration feeding an order-sensitive sink, for
+    // range variables the file (or its sibling header) declares itself.
+    // Member-shaped variables with no local declaration become PendingLoop
+    // facts instead, resolved in project() below.
+    facts::DeclSets sets;
+    facts::harvest_decls(&ctx.tokens, sets);
+    facts::harvest_decls(ctx.sibling_tokens, sets);
+    for (const facts::LoopSink& sink : facts::scan_unordered_loops(ctx.tokens, sets)) {
+      if (!sink.resolved) continue;
+      out.push_back(make(
+          "determinism", ctx.file, sink.line,
+          "iteration over unordered container '" + sink.range_var +
+              "' feeds order-sensitive sink '" + sink.var + "' (" + sink.what +
+              "); iterate a sorted view, use an ordered sink, or sort the result"));
     }
     dedup(out);
+  }
+
+  /// Cross-TU half (ROADMAP carry-over): a pending loop fires when every
+  /// container field of that name declared inside the file's include
+  /// closure is unordered. One ordered or sequence declaration in scope
+  /// vetoes the finding — attribution would be guesswork.
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    if (ctx.graph == nullptr) return;
+    struct Decl {
+      std::size_t file;
+      char kind;
+    };
+    std::unordered_map<std::string, std::vector<Decl>> fields;
+    for (std::size_t i = 0; i < ctx.files.size(); ++i) {
+      for (const auto& field : ctx.files[i].facts.container_fields) {
+        fields[field.name].push_back({i, field.kind});
+      }
+    }
+    for (const auto& fa : ctx.files) {
+      if (!starts_with(fa.path, "src/")) continue;
+      const auto closure_it = ctx.graph->closure.find(fa.path);
+      if (closure_it == ctx.graph->closure.end()) continue;
+      const auto& reach = closure_it->second;
+      for (const auto& pending : fa.facts.pending_loops) {
+        const auto it = fields.find(pending.range_var);
+        if (it == fields.end()) continue;
+        std::size_t unordered_decl = ProjectGraph::kNone;
+        bool vetoed = false;
+        for (const Decl& d : it->second) {
+          if (!reach.contains(ctx.files[d.file].path)) continue;
+          if (d.kind == 'u') {
+            unordered_decl = d.file;
+          } else {
+            vetoed = true;
+            break;
+          }
+        }
+        if (vetoed || unordered_decl == ProjectGraph::kNone) continue;
+        Violation v;
+        v.rule = "determinism";
+        v.file = fa.path;
+        v.line = pending.line;
+        v.message = "iteration over unordered container field '" + pending.range_var +
+                    "' (declared in " + ctx.files[unordered_decl].path +
+                    ") feeds order-sensitive sink '" + pending.sink_var + "' (" +
+                    pending.sink_what +
+                    "); iterate a sorted view, use an ordered sink, or sort the result";
+        v.excerpt = pending.range_var;
+        out.push_back(std::move(v));
+      }
+    }
   }
 };
 
@@ -644,8 +506,9 @@ class LockOrderCheck final : public Check {
  public:
   std::string_view name() const noexcept override { return "lock-order"; }
   std::string_view summary() const noexcept override {
-    return "the LockGuard acquisition graph (nested scopes + AT_ACQUIRED_* hints) "
-           "is cycle-free";
+    return "the LockGuard acquisition graph (nested scopes, AT_ACQUIRED_* hints, and "
+           "call-graph-propagated helper acquisitions + AT_ACQUIRES annotations) is "
+           "cycle-free";
   }
 
   void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
@@ -660,6 +523,16 @@ class LockOrderCheck final : public Check {
         adj[edge.first].insert(edge.second);
         adj.try_emplace(edge.second);
         where.try_emplace({edge.first, edge.second}, Attribution{fa.path, edge.line});
+      }
+    }
+    // Helper propagation (ROADMAP carry-over): a mutex held at a call site
+    // precedes everything the callee's transitive summary acquires, even
+    // though no LockGuard is visible at the site itself.
+    if (ctx.graph != nullptr) {
+      for (const auto& edge : ctx.graph->propagated_lock_edges) {
+        adj[edge.first].insert(edge.second);
+        adj.try_emplace(edge.second);
+        where.try_emplace({edge.first, edge.second}, Attribution{edge.file, edge.line});
       }
     }
 
@@ -695,7 +568,8 @@ class LockOrderCheck final : public Check {
           viol.line = attr.line;
           viol.message =
               "potential deadlock: lock acquisition cycle " + chain +
-              " (from nested util::LockGuard scopes and AT_ACQUIRED_BEFORE/AFTER hints)";
+              " (from nested util::LockGuard scopes, AT_ACQUIRED_BEFORE/AFTER hints, "
+              "and AT_ACQUIRES summaries propagated through the call graph)";
           viol.excerpt = chain;
           out.push_back(std::move(viol));
         }
@@ -1113,6 +987,123 @@ class UninitMemberCheck final : public Check {
   }
 };
 
+// ----------------------------------------------------- blocking-in-hot-path
+
+class BlockingInHotPathCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "blocking-in-hot-path"; }
+  std::string_view summary() const noexcept override {
+    return "functions reachable from an AT_HOT function or a sim::Engine/shard drain "
+           "loop must not sleep, do I/O, raw-allocate, or wait";
+  }
+
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    if (ctx.graph == nullptr) return;
+    const ProjectGraph& g = *ctx.graph;
+    for (std::size_t f = 0; f < g.fns.size(); ++f) {
+      if (g.hot[f] == 0) continue;
+      const FileAnalysis& fa = ctx.files[g.fns[f].file];
+      if (!starts_with(fa.path, "src/")) continue;
+      for (const auto& site : g.fns[f].fn->blocking) {
+        Violation v;
+        v.rule = "blocking-in-hot-path";
+        v.file = fa.path;
+        v.line = site.line;
+        v.message = "blocking " + site.category + " call '" + site.name +
+                    "' on the hot path (" + g.hot_chain(f) +
+                    "); move it off the drain loop, buffer it, or justify with "
+                    "// at_lint: allow(blocking-in-hot-path)";
+        v.excerpt = site.name;
+        out.push_back(std::move(v));
+      }
+    }
+    dedup(out);
+  }
+};
+
+// ------------------------------------------------------------- atomic-order
+
+class AtomicOrderCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "atomic-order"; }
+  std::string_view summary() const noexcept override {
+    return "relaxed loads must not feed a pointer dereference or guard reads of other "
+           "members; atomics in hot-path functions must spell their order explicitly";
+  }
+
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    if (ctx.graph == nullptr) return;
+    const ProjectGraph& g = *ctx.graph;
+    for (std::size_t f = 0; f < g.fns.size(); ++f) {
+      const FileAnalysis& fa = ctx.files[g.fns[f].file];
+      if (!starts_with(fa.path, "src/")) continue;
+      for (const auto& op : g.fns[f].fn->atomics) {
+        Violation v;
+        v.rule = "atomic-order";
+        v.file = fa.path;
+        v.line = op.line;
+        v.excerpt = op.object + "." + op.op;
+        if (op.order == "relaxed" && op.op == "load" && (op.deref || op.guards_other)) {
+          v.message =
+              "relaxed load of '" + op.object +
+              (op.deref ? "' feeds a pointer dereference"
+                        : "' guards reads of other members") +
+              "; the consumer needs memory_order_acquire (paired with a release "
+              "store) or an inline justification";
+          out.push_back(std::move(v));
+        } else if (op.order.empty() && g.hot[f] != 0) {
+          v.message = "atomic " + op.op + " on '" + op.object +
+                      "' defaults to seq_cst inside a hot-path function (" +
+                      g.hot_chain(f) +
+                      "); spell the memory order explicitly so the cost is a "
+                      "decision, not an accident";
+          out.push_back(std::move(v));
+        }
+      }
+    }
+    dedup(out);
+  }
+};
+
+// ---------------------------------------------------------- noexcept-escape
+
+class NoexceptEscapeCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "noexcept-escape"; }
+  std::string_view summary() const noexcept override {
+    return "no throw reachable through the call graph from a noexcept function, a "
+           "destructor, or a ThreadPool-submitted callable (std::terminate on throw)";
+  }
+
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    if (ctx.graph == nullptr) return;
+    const ProjectGraph& g = *ctx.graph;
+    for (std::size_t f = 0; f < g.fns.size(); ++f) {
+      const FileAnalysis& fa = ctx.files[g.fns[f].file];
+      if (!starts_with(fa.path, "src/")) continue;
+      const FileFacts::Function& fn = *g.fns[f].fn;
+      if (!fn.is_noexcept && !fn.is_dtor && !fn.is_task) continue;
+      if (g.can_throw[f] == 0) continue;
+      const char* kind = fn.is_noexcept ? "noexcept"
+                         : fn.is_dtor   ? "a destructor (implicitly noexcept)"
+                                        : "a ThreadPool task (workers never rethrow)";
+      const ProjectGraph::ThrowWitness& w = g.throw_witness[f];
+      Violation v;
+      v.rule = "noexcept-escape";
+      v.file = fa.path;
+      v.line = w.line;
+      v.message = "'" + fn.name + "' is " + kind + " but can throw (" +
+                  (w.via.empty() ? std::string("throw statement")
+                                 : "calls '" + w.via + "' which can throw") +
+                  " at line " + std::to_string(w.line) +
+                  "); catch at this boundary or make the callee non-throwing";
+      v.excerpt = fn.name;
+      out.push_back(std::move(v));
+    }
+    dedup(out);
+  }
+};
+
 }  // namespace
 
 const std::vector<const Check*>& registry() {
@@ -1125,9 +1116,13 @@ const std::vector<const Check*>& registry() {
   static const LockOrderCheck lock_order;
   static const HeaderHygieneCheck header_hygiene;
   static const UninitMemberCheck uninit_member;
+  static const BlockingInHotPathCheck blocking_in_hot_path;
+  static const AtomicOrderCheck atomic_order;
+  static const NoexceptEscapeCheck noexcept_escape;
   static const std::vector<const Check*> checks = {
-      &banned,      &pragma_once, &include_cycle,  &raw_new_delete, &guarded_by,
-      &determinism, &lock_order,  &header_hygiene, &uninit_member};
+      &banned,        &pragma_once,          &include_cycle, &raw_new_delete,
+      &guarded_by,    &determinism,          &lock_order,    &header_hygiene,
+      &uninit_member, &blocking_in_hot_path, &atomic_order,  &noexcept_escape};
   return checks;
 }
 

@@ -1,0 +1,833 @@
+// Phase-1 fact extraction (see facts.hpp). The function scanner is the core:
+// it walks the token stream once, tracking a class-name stack for qualified
+// names, detects function definitions by `ident (params) trailer... {`, and
+// scans each body for outgoing calls, LockGuard acquisitions, blocking
+// sites, throw statements, and std::atomic operations. Lambda bodies are
+// excluded from the enclosing function (deferred execution) unless the
+// lambda is passed to ThreadPool::submit/parallel_for*, in which case it
+// becomes a task pseudo-function (`task@<line>`) checked by noexcept-escape.
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string>
+#include <unordered_set>
+
+#include "at_lint/facts.hpp"
+#include "at_lint/token_util.hpp"
+
+namespace at::lint::facts {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool all_macro_case(std::string_view text) {
+  if (text.size() < 2) return false;
+  for (const char c : text) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+  }
+  return true;
+}
+
+bool member_shaped(std::string_view text) {
+  return text.size() >= 2 && text.back() == '_' &&
+         std::isdigit(static_cast<unsigned char>(text.front())) == 0;
+}
+
+bool unordered_type(std::string_view text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+bool ordered_container_type(std::string_view text) {
+  return text == "map" || text == "set" || text == "multimap" || text == "multiset" ||
+         text == "priority_queue";
+}
+
+/// Sequence containers: deterministic iteration order, so a field of this
+/// type with the same name as an unordered field elsewhere must block the
+/// cross-TU determinism rule (any non-unordered declaration wins).
+bool sequence_container_type(std::string_view text) {
+  return text == "vector" || text == "deque" || text == "array" || text == "list" ||
+         text == "forward_list" || text == "span";
+}
+
+/// Names never treated as a function being defined (control flow, casts,
+/// fundamental types used as functional casts, contextual keywords).
+bool never_a_function(std::string_view text) {
+  static const std::unordered_set<std::string_view> kSet = {
+      "if",       "for",      "while",    "switch",   "catch",    "return",
+      "sizeof",   "alignof",  "alignas",  "decltype", "typeid",   "noexcept",
+      "static_assert", "assert", "defined", "new",    "delete",   "throw",
+      "using",    "namespace", "operator", "case",    "else",     "do",
+      "goto",     "typename", "template", "requires", "concept",  "constexpr",
+      "co_await", "co_return", "co_yield", "explicit", "bool",    "int",
+      "char",     "void",     "auto",     "float",    "double",   "long",
+      "short",    "unsigned", "signed"};
+  return kSet.contains(text);
+}
+
+/// Call-site names that are never project functions worth an edge: control
+/// keywords (shared with never_a_function) plus the highest-frequency std
+/// container/string methods, which would otherwise dominate the fact
+/// database without ever resolving to a project symbol. Project methods
+/// that happen to reuse one of these names are trivial accessors by
+/// convention, so losing their edges costs nothing.
+bool never_a_call(std::string_view text) {
+  static const std::unordered_set<std::string_view> kStd = {
+      "push_back", "emplace_back", "emplace", "pop_back",  "front",   "back",
+      "begin",     "end",          "cbegin",  "cend",      "rbegin",  "rend",
+      "size",      "empty",        "find",    "count",     "at",      "clear",
+      "insert",    "erase",        "reserve", "resize",    "contains", "swap",
+      "push",      "pop",          "top",     "c_str",     "data",    "str",
+      "substr",    "append",       "get",     "reset",     "release", "value",
+      "has_value", "value_or",     "min",     "max",       "abs",     "move",
+      "forward",   "make_unique",  "make_shared", "to_string", "string"};
+  return never_a_function(text) || kStd.contains(text);
+}
+
+/// Blocking-call classification for the blocking-in-hot-path rule. Only
+/// calls that can stall the calling thread: the snprintf family formats to
+/// memory and is deliberately absent, and util::LockGuard is exempt by
+/// design (uncontended locking IS the hot-path discipline here).
+std::string_view blocking_category(std::string_view name) {
+  static const std::unordered_set<std::string_view> kSleep = {
+      "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until"};
+  static const std::unordered_set<std::string_view> kIo = {
+      "printf", "fprintf", "vfprintf", "puts",   "fputs",  "fputc", "fgets",
+      "fwrite", "fread",   "fopen",    "fclose", "fflush", "getline", "getchar",
+      "system", "popen"};
+  static const std::unordered_set<std::string_view> kAlloc = {"malloc", "calloc",
+                                                              "realloc"};
+  static const std::unordered_set<std::string_view> kWait = {
+      "wait", "wait_for", "wait_until", "wait_idle", "join"};
+  if (kSleep.contains(name)) return "sleep";
+  if (kIo.contains(name)) return "io";
+  if (kAlloc.contains(name)) return "alloc";
+  if (kWait.contains(name)) return "wait";
+  return {};
+}
+
+bool atomic_op_name(std::string_view text) {
+  return text == "load" || text == "store" || text == "exchange" ||
+         text == "fetch_add" || text == "fetch_sub" || text == "fetch_or" ||
+         text == "fetch_and" || text == "fetch_xor" ||
+         text == "compare_exchange_weak" || text == "compare_exchange_strong";
+}
+
+/// Explicit memory order named in a call's argument list, stripped of the
+/// `memory_order_` prefix ("relaxed", "acquire", ...); empty when the call
+/// relies on the seq_cst default.
+std::string explicit_order(const Tokens& toks, std::size_t open, std::size_t close) {
+  static constexpr std::string_view kPrefix = "memory_order_";
+  for (std::size_t k = open + 1; k < close; ++k) {
+    if (toks[k].kind != TokKind::kIdent) continue;
+    const std::string_view text = toks[k].text;
+    if (text.size() > kPrefix.size() && text.compare(0, kPrefix.size(), kPrefix) == 0) {
+      return std::string(text.substr(kPrefix.size()));
+    }
+  }
+  return {};
+}
+
+/// Names of std::atomic<...> variables declared in the stream (fields and
+/// locals alike); the op extractor only records operations on these.
+void harvest_atomic_fields(const TokenStream* stream,
+                           std::unordered_set<std::string>& out) {
+  if (stream == nullptr) return;
+  const Tokens& toks = stream->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!tok::is_ident(toks, i, "atomic")) continue;
+    std::size_t j = i + 1;
+    if (tok::is_punct(toks, j, "<")) {
+      const std::size_t close = tok::skip_template_args(toks, j);
+      if (close == tok::kNpos) continue;
+      j = close + 1;
+    }
+    while (tok::is_punct(toks, j, "*") || tok::is_punct(toks, j, "&")) ++j;
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) out.insert(toks[j].text);
+  }
+}
+
+/// Split the argument tokens of an annotation macro on top-level commas;
+/// each segment is normalized with tok::spelling (drops `this->`).
+void split_macro_args(const Tokens& toks, std::size_t open, std::size_t close,
+                      std::vector<std::string>& out) {
+  std::size_t begin = open + 1;
+  int depth = 0;
+  for (std::size_t k = open + 1; k <= close; ++k) {
+    if (tok::is_punct(toks, k, "(") || tok::is_punct(toks, k, "[")) ++depth;
+    if (tok::is_punct(toks, k, ")") || tok::is_punct(toks, k, "]")) --depth;
+    if ((depth == 0 && tok::is_punct(toks, k, ",")) || k == close) {
+      const std::string name = tok::spelling(toks, begin, k);
+      if (!name.empty()) out.push_back(name);
+      begin = k + 1;
+    }
+  }
+}
+
+/// One `if (...)` statement inside a function body, for the flag-guarded
+/// read heuristic of atomic-order.
+struct IfStmt {
+  std::size_t cond_lo = 0, cond_hi = 0;  // token range of the condition
+  std::size_t body_lo = 0, body_hi = 0;  // token range of the guarded body
+};
+
+void collect_if_stmts(const Tokens& toks, std::size_t body_open, std::size_t body_close,
+                      std::vector<IfStmt>& out) {
+  for (std::size_t k = body_open + 1; k < body_close; ++k) {
+    if (!tok::is_ident(toks, k, "if") || toks[k].in_pp) continue;
+    std::size_t open = k + 1;
+    if (tok::is_ident(toks, open, "constexpr")) ++open;
+    if (!tok::is_punct(toks, open, "(")) continue;
+    const std::size_t cclose = tok::match_forward(toks, open, "(", ")");
+    if (cclose == tok::kNpos || cclose >= body_close) continue;
+    IfStmt stmt;
+    stmt.cond_lo = open + 1;
+    stmt.cond_hi = cclose;
+    if (tok::is_punct(toks, cclose + 1, "{")) {
+      const std::size_t bclose = tok::match_forward(toks, cclose + 1, "{", "}");
+      if (bclose == tok::kNpos || bclose > body_close) continue;
+      stmt.body_lo = cclose + 2;
+      stmt.body_hi = bclose;
+    } else {
+      std::size_t e = cclose + 1;
+      while (e < body_close && !tok::is_punct(toks, e, ";")) ++e;
+      stmt.body_lo = cclose + 1;
+      stmt.body_hi = e;
+    }
+    out.push_back(stmt);
+  }
+}
+
+/// Scan one function body [body_open, body_close] into `fn`. Lambdas passed
+/// to ThreadPool entry points recurse as task pseudo-functions appended to
+/// `facts.functions`; other lambda bodies are skipped entirely.
+void scan_body(const Tokens& toks, std::size_t body_open, std::size_t body_close,
+               const std::unordered_set<std::string>& atomic_fields, FileFacts& facts,
+               FileFacts::Function& fn) {
+  struct Held {
+    std::string expr;
+    int depth;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  std::vector<char> block_is_try;
+  std::size_t try_depth = 0;
+  bool pending_try = false;
+
+  std::vector<IfStmt> if_stmts;
+  collect_if_stmts(toks, body_open, body_close, if_stmts);
+  const auto guards_other_member = [&](std::size_t op_idx, const std::string& object) {
+    for (const IfStmt& stmt : if_stmts) {
+      if (op_idx < stmt.cond_lo || op_idx >= stmt.cond_hi) continue;
+      for (std::size_t m = stmt.body_lo; m < stmt.body_hi; ++m) {
+        if (toks[m].kind == TokKind::kIdent && member_shaped(toks[m].text) &&
+            toks[m].text != object) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t k = body_open + 1; k < body_close; ++k) {
+    const Token& t = toks[k];
+    if (t.in_pp) continue;
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        block_is_try.push_back(pending_try ? 1 : 0);
+        if (pending_try) ++try_depth;
+        pending_try = false;
+        ++depth;
+      } else if (t.text == "}") {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        if (!block_is_try.empty()) {
+          if (block_is_try.back() != 0) --try_depth;
+          block_is_try.pop_back();
+        }
+      } else if (t.text == "[") {
+        const std::size_t b = tok::lambda_body(toks, k);
+        if (b != tok::kNpos && b < body_close) {
+          const std::size_t e = tok::match_forward(toks, b, "{", "}");
+          if (e != tok::kNpos && e <= body_close) {
+            // A lambda handed to the thread pool runs later on a worker
+            // thread: it is its own root for noexcept-escape, and its
+            // contents must not leak into the enclosing function's facts.
+            bool is_task = false;
+            for (std::size_t back = k >= 8 ? k - 8 : 0; back < k; ++back) {
+              if (toks[back].kind == TokKind::kIdent &&
+                  (toks[back].text == "submit" || toks[back].text == "parallel_for" ||
+                   toks[back].text == "parallel_for_chunked") &&
+                  tok::is_punct(toks, back + 1, "(")) {
+                is_task = true;
+                break;
+              }
+            }
+            if (is_task) {
+              FileFacts::Function tfn;
+              tfn.name = "task@" + std::to_string(toks[k].line);
+              tfn.line = toks[k].line;
+              tfn.is_task = true;
+              scan_body(toks, b, e, atomic_fields, facts, tfn);
+              facts.functions.push_back(std::move(tfn));
+            }
+            k = e;
+          }
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "try") {
+      pending_try = true;
+      continue;
+    }
+    if (t.text == "throw") {
+      // `throw;` rethrows an in-flight exception (only reachable inside a
+      // handler); a throw lexically inside a try block is presumed caught.
+      if (!tok::is_punct(toks, k + 1, ";") && try_depth == 0) {
+        fn.throw_lines.push_back(t.line);
+      }
+      continue;
+    }
+    if (t.text == "LockGuard") {
+      std::size_t j = k + 1;
+      if (j < body_close && toks[j].kind == TokKind::kIdent) ++j;
+      const bool paren = tok::is_punct(toks, j, "(");
+      const bool brace = tok::is_punct(toks, j, "{");
+      if (paren || brace) {
+        const std::size_t close = paren ? tok::match_forward(toks, j, "(", ")")
+                                        : tok::match_forward(toks, j, "{", "}");
+        if (close != tok::kNpos && close <= body_close) {
+          const std::string expr = tok::spelling(toks, j + 1, close);
+          if (!expr.empty()) {
+            if (std::find(fn.acquires.begin(), fn.acquires.end(), expr) ==
+                fn.acquires.end()) {
+              fn.acquires.push_back(expr);
+            }
+            held.push_back({expr, depth});
+            k = close;
+            continue;
+          }
+        }
+      }
+      continue;
+    }
+    // Atomic operation: `<atomic-var> . <op> ( ... )`.
+    if (atomic_fields.contains(t.text) && tok::is_punct(toks, k + 1, ".") &&
+        k + 2 < body_close && toks[k + 2].kind == TokKind::kIdent &&
+        atomic_op_name(toks[k + 2].text) && tok::is_punct(toks, k + 3, "(")) {
+      const std::size_t close = tok::match_forward(toks, k + 3, "(", ")");
+      if (close != tok::kNpos && close <= body_close) {
+        FileFacts::AtomicOp op;
+        op.object = t.text;
+        op.op = toks[k + 2].text;
+        op.order = explicit_order(toks, k + 3, close);
+        op.line = t.line;
+        op.deref = tok::is_punct(toks, close + 1, "->") ||
+                   (k >= 1 && tok::is_punct(toks, k - 1, "*") &&
+                    (k < 2 || toks[k - 2].kind == TokKind::kPunct ||
+                     tok::is_ident(toks, k - 2, "return")));
+        if (op.op == "load") op.guards_other = guards_other_member(k, op.object);
+        fn.atomics.push_back(std::move(op));
+        k = close;
+        continue;
+      }
+    }
+    // Call site: ident directly followed by '('.
+    if (tok::is_punct(toks, k + 1, "(")) {
+      const std::string_view cat = blocking_category(t.text);
+      if (!cat.empty()) {
+        fn.blocking.push_back({std::string(cat), t.text, t.line});
+      }
+      if (!never_a_call(t.text) && !all_macro_case(t.text)) {
+        FileFacts::CallSite cs;
+        cs.name = t.text;
+        cs.line = t.line;
+        cs.in_try = try_depth > 0;
+        for (const Held& h : held) cs.held.push_back(h.expr);
+        fn.calls.push_back(std::move(cs));
+      }
+      continue;
+    }
+    // Bare blocking identifiers: stream objects and file-stream types.
+    if (t.text == "cout" || t.text == "cerr" || t.text == "clog" ||
+        t.text == "ifstream" || t.text == "ofstream" || t.text == "fstream") {
+      fn.blocking.push_back({"io", t.text, t.line});
+    }
+  }
+}
+
+/// Parse the trailer between a candidate's `)` and its body/terminator.
+/// Returns false when the construct is not a function after all.
+struct Trailer {
+  bool is_definition = false;
+  std::size_t body_open = tok::kNpos;
+  std::size_t resume = tok::kNpos;  // token index to continue scanning from
+};
+
+bool parse_trailer(const Tokens& toks, std::size_t params_close,
+                   FileFacts::Function& fn, Trailer& tr) {
+  std::size_t j = params_close + 1;
+  for (int steps = 0; steps < 64 && j < toks.size(); ++steps) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "const" || t.text == "override" || t.text == "final" ||
+          t.text == "volatile" || t.text == "mutable" || t.text == "inline" ||
+          t.text == "try") {
+        ++j;
+        continue;
+      }
+      if (t.text == "noexcept") {
+        fn.is_noexcept = true;
+        ++j;
+        if (tok::is_punct(toks, j, "(")) {
+          const std::size_t c = tok::match_forward(toks, j, "(", ")");
+          if (c == tok::kNpos) return false;
+          for (std::size_t m = j + 1; m < c; ++m) {
+            if (tok::is_ident(toks, m, "false")) fn.is_noexcept = false;
+          }
+          j = c + 1;
+        }
+        continue;
+      }
+      if (all_macro_case(t.text)) {
+        const bool is_hot = t.text == "AT_HOT";
+        const bool is_acq = t.text == "AT_ACQUIRES";
+        if (is_hot) fn.hot = true;
+        ++j;
+        if (tok::is_punct(toks, j, "(")) {
+          const std::size_t c = tok::match_forward(toks, j, "(", ")");
+          if (c == tok::kNpos) return false;
+          if (is_acq) split_macro_args(toks, j, c, fn.acquires);
+          j = c + 1;
+        }
+        continue;
+      }
+      return false;
+    }
+    if (t.kind != TokKind::kPunct) return false;
+    if (t.text == "{") {
+      tr.is_definition = true;
+      tr.body_open = j;
+      return true;
+    }
+    if (t.text == ";" || t.text == "=") {
+      tr.resume = j;
+      return true;  // declaration (or `= default` / `= delete` / `= 0`)
+    }
+    if (t.text == "->") {
+      // Trailing return type: skip to the body or terminator at top level.
+      ++j;
+      for (int steps2 = 0; steps2 < 64 && j < toks.size(); ++steps2) {
+        if (tok::is_punct(toks, j, "{") || tok::is_punct(toks, j, ";")) break;
+        if (tok::is_punct(toks, j, "(")) {
+          const std::size_t c = tok::match_forward(toks, j, "(", ")");
+          if (c == tok::kNpos) return false;
+          j = c + 1;
+          continue;
+        }
+        if (tok::is_punct(toks, j, "<")) {
+          const std::size_t c = tok::skip_template_args(toks, j);
+          j = c == tok::kNpos ? j + 1 : c + 1;
+          continue;
+        }
+        ++j;
+      }
+      continue;
+    }
+    if (t.text == ":") {
+      // Constructor init list: `name (args)` / `name {args}` groups.
+      ++j;
+      for (int groups = 0; groups < 32 && j < toks.size(); ++groups) {
+        while (j < toks.size() &&
+               (toks[j].kind == TokKind::kIdent || tok::is_punct(toks, j, "::"))) {
+          ++j;
+        }
+        if (tok::is_punct(toks, j, "<")) {
+          const std::size_t c = tok::skip_template_args(toks, j);
+          if (c != tok::kNpos) j = c + 1;
+        }
+        std::size_t c = tok::kNpos;
+        if (tok::is_punct(toks, j, "(")) c = tok::match_forward(toks, j, "(", ")");
+        else if (tok::is_punct(toks, j, "{")) c = tok::match_forward(toks, j, "{", "}");
+        if (c == tok::kNpos) return false;
+        j = c + 1;
+        if (!tok::is_punct(toks, j, ",")) break;
+        ++j;
+      }
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+/// The function-definition scanner (see file comment).
+void extract_functions(const TokenStream& ts, const TokenStream* sibling,
+                       FileFacts& facts) {
+  const Tokens& toks = ts.tokens;
+  std::unordered_set<std::string> atomic_fields;
+  harvest_atomic_fields(&ts, atomic_fields);
+  harvest_atomic_fields(sibling, atomic_fields);
+
+  struct ClassFrame {
+    std::string name;
+    int depth;  // brace depth inside the class body
+  };
+  std::vector<ClassFrame> classes;
+  int depth = 0;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.in_pp) continue;
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        ++depth;
+      } else if (t.text == "}") {
+        --depth;
+        while (!classes.empty() && classes.back().depth > depth) classes.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    if (t.text == "class" || t.text == "struct") {
+      // Not a type definition when it is a template parameter, a template
+      // argument, or an enum-class head.
+      if (i > 0 && (tok::is_punct(toks, i - 1, "<") || tok::is_punct(toks, i - 1, ",") ||
+                    tok::is_ident(toks, i - 1, "enum") ||
+                    tok::is_ident(toks, i - 1, "typename"))) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      std::string name;
+      while (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+             toks[j].text != "final") {
+        name = toks[j].text;
+        ++j;
+      }
+      if (name.empty()) continue;
+      std::size_t k = j;
+      for (int steps = 0; steps < 64 && k < toks.size(); ++steps, ++k) {
+        if (tok::is_punct(toks, k, "{")) {
+          classes.push_back({name, depth + 1});
+          break;
+        }
+        if (tok::is_punct(toks, k, ";")) break;  // forward declaration
+      }
+      i = j - 1;
+      continue;
+    }
+
+    // Function candidate: `ident (` with a sane name.
+    if (!tok::is_punct(toks, i + 1, "(")) continue;
+    if (never_a_function(t.text) || all_macro_case(t.text)) continue;
+    const std::size_t params_close = tok::match_forward(toks, i + 1, "(", ")");
+    if (params_close == tok::kNpos) continue;
+
+    FileFacts::Function fn;
+    Trailer tr;
+    if (!parse_trailer(toks, params_close, fn, tr)) continue;
+
+    const bool dtor = i > 0 && tok::is_punct(toks, i - 1, "~");
+    std::string name = dtor ? "~" + t.text : t.text;
+    std::string qual;
+    if (dtor) {
+      if (i >= 3 && tok::is_punct(toks, i - 2, "::") &&
+          toks[i - 3].kind == TokKind::kIdent) {
+        qual = toks[i - 3].text;
+      }
+    } else if (i >= 2 && tok::is_punct(toks, i - 1, "::") &&
+               toks[i - 2].kind == TokKind::kIdent) {
+      qual = toks[i - 2].text;
+    }
+    if (qual.empty() && !classes.empty()) qual = classes.back().name;
+    fn.name = qual.empty() ? name : qual + "::" + name;
+    fn.is_dtor = dtor;
+    fn.line = t.line;
+
+    if (!tr.is_definition) {
+      // Declarations only matter when they carry annotations the linker
+      // must union into the definition's summary (AT_ACQUIRES on a header
+      // prototype whose definition lives out of reach, AT_HOT roots).
+      if (fn.hot || !fn.acquires.empty()) facts.functions.push_back(std::move(fn));
+      if (tr.resume != tok::kNpos) i = tr.resume - 1;
+      continue;
+    }
+    const std::size_t body_close = tok::match_forward(toks, tr.body_open, "{", "}");
+    if (body_close == tok::kNpos) continue;
+    scan_body(toks, tr.body_open, body_close, atomic_fields, facts, fn);
+    facts.functions.push_back(std::move(fn));
+    i = body_close;
+  }
+}
+
+}  // namespace
+
+void harvest_decls(const TokenStream* stream, DeclSets& sets,
+                   std::vector<FileFacts::ContainerField>* fields) {
+  if (stream == nullptr) return;
+  const Tokens& toks = stream->tokens;
+  // Index of the declared variable after a type ending at `type_end`, or
+  // kNpos when the shape does not look like a declaration.
+  const auto var_after_type = [&toks](std::size_t type_end) -> std::size_t {
+    std::size_t j = type_end;
+    while (tok::is_punct(toks, j, "*") || tok::is_punct(toks, j, "&") ||
+           tok::is_punct(toks, j, "&&") || tok::is_ident(toks, j, "const")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) return tok::kNpos;
+    static constexpr std::array<std::string_view, 7> kEnders = {";", "=", "{", "(",
+                                                                ",", ")", ":"};
+    const std::string_view after =
+        j + 1 < toks.size() ? std::string_view(toks[j + 1].text) : std::string_view(";");
+    for (const auto e : kEnders) {
+      if (after == e) return j;
+    }
+    return tok::kNpos;
+  };
+  const auto record_field = [&toks, fields](std::size_t var_idx, char kind) {
+    if (fields == nullptr) return;
+    const std::string& name = toks[var_idx].text;
+    if (!member_shaped(name)) return;
+    fields->push_back({name, kind, toks[var_idx].line});
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    // `using Alias = ...unordered_map<...>...;` makes Alias an unordered
+    // type; declarations `Alias x` are caught by the alias branch below.
+    if (t.text == "using" && i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
+        tok::is_punct(toks, i + 2, "=")) {
+      for (std::size_t k = i + 3; k < toks.size() && !tok::is_punct(toks, k, ";"); ++k) {
+        if (toks[k].kind == TokKind::kIdent && unordered_type(toks[k].text)) {
+          sets.unordered.insert(toks[i + 1].text);
+          break;
+        }
+      }
+      continue;
+    }
+    const bool is_unordered = unordered_type(t.text);
+    const bool is_ordered = ordered_container_type(t.text);
+    const bool is_sequence = sequence_container_type(t.text);
+    const bool is_alias = sets.unordered.contains(t.text);
+    if (is_unordered || is_ordered || is_sequence) {
+      std::size_t type_end = i + 1;
+      if (tok::is_punct(toks, i + 1, "<")) {
+        const std::size_t close = tok::skip_template_args(toks, i + 1);
+        if (close == tok::kNpos) continue;
+        type_end = close + 1;
+      }
+      const std::size_t var = var_after_type(type_end);
+      if (var != tok::kNpos) {
+        if (is_unordered) {
+          sets.unordered.insert(toks[var].text);
+          record_field(var, 'u');
+        } else if (is_ordered) {
+          sets.ordered.insert(toks[var].text);
+          record_field(var, 'o');
+        } else {
+          sets.sequences.insert(toks[var].text);
+          record_field(var, 's');
+        }
+      }
+      continue;
+    }
+    if (is_alias && i + 1 < toks.size() && toks[i + 1].kind == TokKind::kIdent) {
+      const std::size_t var = var_after_type(i + 1);
+      if (var != tok::kNpos) {
+        sets.unordered.insert(toks[var].text);
+        record_field(var, 'u');
+      }
+      continue;
+    }
+    if (t.text == "double" || t.text == "float") {
+      const std::size_t var = var_after_type(i + 1);
+      if (var != tok::kNpos) sets.floats.insert(toks[var].text);
+    }
+    if (t.text == "string" || t.text == "ostringstream" || t.text == "stringstream") {
+      const std::size_t var = var_after_type(i + 1);
+      if (var != tok::kNpos) sets.strings.insert(toks[var].text);
+    }
+  }
+}
+
+std::vector<LoopSink> scan_unordered_loops(const TokenStream& ts, const DeclSets& sets) {
+  std::vector<LoopSink> out;
+  const Tokens& toks = ts.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!tok::is_ident(toks, i, "for") || !tok::is_punct(toks, i + 1, "(")) continue;
+    const std::size_t close = tok::match_forward(toks, i + 1, "(", ")");
+    if (close == tok::kNpos) continue;
+
+    // Range-for over an unordered variable, or a classic iterator loop
+    // calling .begin() on one.
+    std::size_t colon = tok::kNpos;
+    int depth = 0;
+    for (std::size_t k = i + 2; k < close; ++k) {
+      if (tok::is_punct(toks, k, "(") || tok::is_punct(toks, k, "[")) ++depth;
+      if (tok::is_punct(toks, k, ")") || tok::is_punct(toks, k, "]")) --depth;
+      if (depth == 0 && tok::is_punct(toks, k, ":")) {
+        colon = k;
+        break;
+      }
+    }
+    std::string range_var;
+    bool resolved = false;
+    const std::size_t expr_begin = colon == tok::kNpos ? i + 2 : colon + 1;
+    for (std::size_t k = expr_begin; k < close; ++k) {
+      if (toks[k].kind != TokKind::kIdent || !sets.unordered.contains(toks[k].text)) {
+        continue;
+      }
+      if (colon != tok::kNpos) {
+        range_var = toks[k].text;
+        resolved = true;
+        break;
+      }
+      // Classic loop: require `var.begin(` / `var.cbegin(` in the header.
+      if (tok::is_punct(toks, k + 1, ".") &&
+          (tok::is_ident(toks, k + 2, "begin") || tok::is_ident(toks, k + 2, "cbegin"))) {
+        range_var = toks[k].text;
+        resolved = true;
+        break;
+      }
+    }
+    if (range_var.empty()) {
+      // Cross-TU candidate: a member-shaped range variable with no local
+      // declaration of any kind. Phase 2 resolves it against container
+      // fields declared by headers in this file's include closure.
+      if (colon != tok::kNpos) {
+        std::string only_ident;
+        bool multiple = false;
+        for (std::size_t k = expr_begin; k < close; ++k) {
+          if (toks[k].kind != TokKind::kIdent || toks[k].text == "this") continue;
+          if (!only_ident.empty() && only_ident != toks[k].text) {
+            multiple = true;
+            break;
+          }
+          only_ident = toks[k].text;
+        }
+        if (!multiple && member_shaped(only_ident) && !sets.known(only_ident)) {
+          range_var = only_ident;
+        }
+      } else {
+        for (std::size_t k = expr_begin; k < close; ++k) {
+          if (toks[k].kind != TokKind::kIdent || !member_shaped(toks[k].text) ||
+              sets.known(toks[k].text)) {
+            continue;
+          }
+          if (tok::is_punct(toks, k + 1, ".") &&
+              (tok::is_ident(toks, k + 2, "begin") ||
+               tok::is_ident(toks, k + 2, "cbegin"))) {
+            range_var = toks[k].text;
+            break;
+          }
+        }
+      }
+    }
+    if (range_var.empty()) continue;
+
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (tok::is_punct(toks, body_begin, "{")) {
+      body_end = tok::match_forward(toks, body_begin, "{", "}");
+      if (body_end == tok::kNpos) continue;
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && !tok::is_punct(toks, body_end, ";")) ++body_end;
+    }
+
+    struct Sink {
+      std::string var;
+      std::uint32_t line;
+      std::string what;
+    };
+    std::vector<Sink> sinks;
+    for (std::size_t k = body_begin; k < body_end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kIdent && tok::is_punct(toks, k + 1, ".") &&
+          k + 2 < toks.size() && toks[k + 2].kind == TokKind::kIdent &&
+          tok::is_punct(toks, k + 3, "(")) {
+        const std::string_view method = toks[k + 2].text;
+        if ((method == "push_back" || method == "emplace_back" || method == "append") &&
+            !sets.ordered.contains(t.text)) {
+          sinks.push_back({t.text, t.line, "." + std::string(method) + "()"});
+        }
+      }
+      if (t.kind == TokKind::kPunct && t.text == "<<") {
+        const bool shiftish =
+            (k > 0 && toks[k - 1].kind == TokKind::kNumber) ||
+            (k + 1 < toks.size() && toks[k + 1].kind == TokKind::kNumber);
+        if (!shiftish) {
+          // Leftmost identifier of the << chain names the stream.
+          std::size_t lhs = k;
+          while (lhs > 0 && (toks[lhs - 1].kind == TokKind::kIdent ||
+                             toks[lhs - 1].kind == TokKind::kString ||
+                             tok::is_punct(toks, lhs - 1, "<<") ||
+                             tok::is_punct(toks, lhs - 1, ".") ||
+                             tok::is_punct(toks, lhs - 1, "::"))) {
+            --lhs;
+          }
+          const std::string var =
+              toks[lhs].kind == TokKind::kIdent ? toks[lhs].text : std::string("stream");
+          sinks.push_back({var, t.line, "stream <<"});
+        }
+      }
+      if (t.kind == TokKind::kIdent && k + 1 < toks.size() &&
+          tok::is_punct(toks, k + 1, "+=") &&
+          (sets.floats.contains(t.text) || sets.strings.contains(t.text))) {
+        sinks.push_back({t.text, t.line, "+= accumulation"});
+      }
+    }
+    if (sinks.empty()) {
+      i = close;
+      continue;
+    }
+
+    // Escape hatch: the sink is sorted right after the loop (within the
+    // enclosing scope), which restores a canonical order.
+    std::unordered_set<std::string> sorted_later;
+    int escape_depth = 0;
+    const std::size_t horizon = std::min(toks.size(), body_end + 512);
+    for (std::size_t k = body_end + 1; k < horizon; ++k) {
+      if (tok::is_punct(toks, k, "{")) ++escape_depth;
+      if (tok::is_punct(toks, k, "}") && --escape_depth < 0) break;
+      if (toks[k].kind == TokKind::kIdent &&
+          (toks[k].text == "sort" || toks[k].text == "stable_sort")) {
+        const std::size_t open = k + 1;
+        if (tok::is_punct(toks, open, "(")) {
+          const std::size_t end = tok::match_forward(toks, open, "(", ")");
+          if (end == tok::kNpos) continue;
+          for (std::size_t m = open; m < end; ++m) {
+            if (toks[m].kind == TokKind::kIdent) sorted_later.insert(toks[m].text);
+          }
+        }
+      }
+    }
+    for (const auto& sink : sinks) {
+      if (sorted_later.contains(sink.var)) continue;
+      out.push_back({range_var, sink.var, sink.what, sink.line, resolved});
+    }
+    i = close;
+  }
+  return out;
+}
+
+void extract_code_facts(const TokenStream& ts, const TokenStream* sibling,
+                        FileFacts& facts) {
+  DeclSets sets;
+  harvest_decls(&ts, sets, &facts.container_fields);
+  harvest_decls(sibling, sets, nullptr);
+  for (const LoopSink& sink : scan_unordered_loops(ts, sets)) {
+    if (!sink.resolved) {
+      facts.pending_loops.push_back({sink.range_var, sink.var, sink.what, sink.line});
+    }
+  }
+  extract_functions(ts, sibling, facts);
+}
+
+}  // namespace at::lint::facts

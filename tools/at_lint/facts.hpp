@@ -1,0 +1,68 @@
+#pragma once
+// Phase-1 fact extraction for the whole-program engine (see lint.hpp for
+// the two-phase overview). Everything here runs once per changed file and
+// serializes into the incremental cache: the declaration harvester shared
+// with the determinism rule, the unordered-loop scanner, and the function
+// scanner that records calls, lock acquisitions, blocking sites, throw
+// sites, and atomic operations per function definition.
+//
+// All extraction is token-level and bounds-tolerant: malformed code
+// degrades to missing facts (false negatives), never crashes or misfacts.
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "at_lint/lexer.hpp"
+#include "at_lint/lint.hpp"
+
+namespace at::lint::facts {
+
+/// Declared-variable harvesting shared by the determinism rule and the
+/// fact extractor: which identifiers are unordered containers, ordered
+/// containers, sequence containers, floats, or strings.
+struct DeclSets {
+  std::unordered_set<std::string> unordered;  ///< vars (and aliases) of unordered type
+  std::unordered_set<std::string> ordered;    ///< vars of std::map/std::set/...
+  std::unordered_set<std::string> sequences;  ///< vars of vector/deque/array/...
+  std::unordered_set<std::string> floats;     ///< double/float vars
+  std::unordered_set<std::string> strings;    ///< std::string vars
+
+  [[nodiscard]] bool known(const std::string& name) const {
+    return unordered.contains(name) || ordered.contains(name) ||
+           sequences.contains(name) || floats.contains(name) || strings.contains(name);
+  }
+};
+
+/// Harvest declarations from `stream` into `sets`. When `fields` is
+/// non-null, member-shaped container variables (trailing '_') are also
+/// recorded as ContainerFields for the cross-TU determinism index.
+void harvest_decls(const TokenStream* stream, DeclSets& sets,
+                   std::vector<FileFacts::ContainerField>* fields = nullptr);
+
+/// One order-sensitive sink inside a loop over a (potentially) unordered
+/// container, surviving the sort / ordered-sink escape hatches. `resolved`
+/// means the range variable is locally known unordered (per-file rule
+/// fires); unresolved entries have a member-shaped range variable no local
+/// declaration explains (cross-TU candidates, resolved in phase 2).
+struct LoopSink {
+  std::string range_var;
+  std::string var;        ///< sink variable
+  std::string what;       ///< ".push_back()" / "stream <<" / "+= accumulation"
+  std::uint32_t line = 0; ///< sink line
+  bool resolved = false;
+};
+
+/// Scan every for-loop of `ts` for unordered-iteration sinks against the
+/// locally-declared `sets`.
+[[nodiscard]] std::vector<LoopSink> scan_unordered_loops(const TokenStream& ts,
+                                                         const DeclSets& sets);
+
+/// Extract the function-level facts (FileFacts::functions), container
+/// fields, and pending cross-TU loops for one file. `sibling` (the paired
+/// header of a .cpp, when scanned) contributes field declarations —
+/// atomic fields and container fields — to the local resolution scope.
+void extract_code_facts(const TokenStream& ts, const TokenStream* sibling,
+                        FileFacts& facts);
+
+}  // namespace at::lint::facts

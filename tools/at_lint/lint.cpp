@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <set>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "at_lint/cache.hpp"
+#include "at_lint/facts.hpp"
+#include "at_lint/link.hpp"
 #include "at_lint/token_util.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,8 +22,9 @@ namespace {
 /// Bump whenever any rule's behavior changes: the string feeds engine_salt(),
 /// which keys the incremental cache, so every entry self-invalidates.
 constexpr std::string_view kEngineVersion =
-    "at_lint-v2.2:banned-call,pragma-once,include-cycle,raw-new-delete,guarded-by,"
-    "determinism,lock-order,header-hygiene,uninit-member";
+    "at_lint-v3.0:banned-call,pragma-once,include-cycle,raw-new-delete,guarded-by,"
+    "determinism,lock-order,header-hygiene,uninit-member,blocking-in-hot-path,"
+    "atomic-order,noexcept-escape";
 
 std::string_view trim(std::string_view text) {
   while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
@@ -191,11 +196,15 @@ void extract_types(const TokenStream& ts, FileFacts& facts) {
 
 /// `// at_lint: allow(rule1, rule2) — justification` suppresses those rules
 /// on the comment's line, or — when the comment stands alone — on the next
-/// line that carries code.
+/// line that carries code. The tag must open the comment (only whitespace
+/// before it): prose that merely *mentions* the syntax, like this
+/// docstring, is not a suppression — and must not show up as a stale one.
 void extract_suppressions(const TokenStream& ts, FileFacts& facts) {
   for (const Comment& comment : ts.comments) {
     const std::size_t tag = comment.text.find("at_lint:");
     if (tag == std::string::npos) continue;
+    const std::string_view before = std::string_view(comment.text).substr(0, tag);
+    if (before.find_first_not_of(" \t/*!<") != std::string_view::npos) continue;
     const std::size_t allow = comment.text.find("allow", tag);
     if (allow == std::string::npos) continue;
     const std::size_t open = comment.text.find('(', allow);
@@ -230,11 +239,15 @@ void extract_suppressions(const TokenStream& ts, FileFacts& facts) {
   }
 }
 
-bool suppressed(const FileFacts& facts, const Violation& v) {
-  for (const auto& s : facts.suppressions) {
-    if (s.line == v.line && (s.rule == "*" || s.rule == v.rule)) return true;
+/// Index of the inline suppression matching `v`, or kNpos. Callers bump the
+/// entry's hit counter (per-file hits are cached with the facts; project
+/// hits are tallied per run) so --check-stale-allowlist can flag dead ones.
+std::size_t find_suppression(const FileFacts& facts, const Violation& v) {
+  for (std::size_t k = 0; k < facts.suppressions.size(); ++k) {
+    const auto& s = facts.suppressions[k];
+    if (s.line == v.line && (s.rule == "*" || s.rule == v.rule)) return k;
   }
-  return false;
+  return tok::kNpos;
 }
 
 }  // namespace
@@ -287,12 +300,18 @@ FileAnalysis analyze_file(const SourceFile& file, const TokenStream& tokens,
   extract_lock_edges(tokens, out.facts);
   extract_types(tokens, out.facts);
   extract_suppressions(tokens, out.facts);
+  facts::extract_code_facts(tokens, sibling_tokens, out.facts);
 
   FileCtx ctx{file, tokens, sibling, sibling_tokens};
   std::vector<Violation> found;
   for (const Check* check : registry()) check->file(ctx, found);
   for (auto& v : found) {
-    if (!suppressed(out.facts, v)) out.violations.push_back(std::move(v));
+    const std::size_t s = find_suppression(out.facts, v);
+    if (s == tok::kNpos) {
+      out.violations.push_back(std::move(v));
+    } else {
+      ++out.facts.suppressions[s].hits;
+    }
   }
   return out;
 }
@@ -423,6 +442,7 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
   for_each([&](std::size_t i) {
     if (need_lex[i] != 0) streams[i] = lex(files[i].content);
   });
+  const auto t_lex = Clock::now();
   for_each([&](std::size_t i) {
     if (miss[i] == 0) return;
     const TokenStream* sib_stream = nullptr;
@@ -442,16 +462,28 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
   }
   const auto t1 = Clock::now();
 
-  // Project-wide rules always run (cheap: they consume facts, not tokens).
-  ProjectCtx project_ctx{analyses};
+  // Phase 2: link facts into the project graphs, then run the project-wide
+  // rules. Always executes — on a fully-warm run this is the entire cost.
+  const ProjectGraph graph = link_project(analyses);
+  const auto t_link = Clock::now();
+  ProjectCtx project_ctx{analyses, &graph};
   std::vector<Violation> project_violations;
   for (const Check* check : registry()) check->project(project_ctx, project_violations);
 
   std::unordered_map<std::string_view, const FileFacts*> facts_of;
   for (const auto& a : analyses) facts_of.emplace(a.path, &a.facts);
+  // Inline suppressions consumed by project findings are tallied per run
+  // (they cannot be cached: the finding depends on other files' facts).
+  std::set<std::pair<std::string, std::size_t>> project_hits;
   for (auto& v : project_violations) {
     const auto it = facts_of.find(std::string_view(v.file));
-    if (it != facts_of.end() && suppressed(*it->second, v)) continue;
+    if (it != facts_of.end()) {
+      const std::size_t s = find_suppression(*it->second, v);
+      if (s != tok::kNpos) {
+        project_hits.emplace(v.file, s);
+        continue;
+      }
+    }
     result.raw.push_back(std::move(v));
   }
   for (const auto& a : analyses) {
@@ -471,7 +503,27 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
     }
     result.violations.push_back(v);
   }
+
+  // Stale inline suppressions: zero per-file hits (cached with the facts)
+  // AND zero project-phase hits this run.
+  for (const auto& a : analyses) {
+    for (std::size_t s = 0; s < a.facts.suppressions.size(); ++s) {
+      const auto& sup = a.facts.suppressions[s];
+      if (sup.hits == 0 && !project_hits.contains({a.path, s})) {
+        result.stale_suppressions.push_back({a.path, sup.rule, sup.line});
+      }
+    }
+  }
+  std::sort(result.stale_suppressions.begin(), result.stale_suppressions.end(),
+            [](const StaleSuppression& a, const StaleSuppression& b) {
+              return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+            });
+
   const auto t2 = Clock::now();
+  result.stats.lex_ms = std::chrono::duration<double, std::milli>(t_lex - t0).count();
+  result.stats.extract_ms = std::chrono::duration<double, std::milli>(t1 - t_lex).count();
+  result.stats.link_ms = std::chrono::duration<double, std::milli>(t_link - t1).count();
+  result.stats.check_ms = std::chrono::duration<double, std::milli>(t2 - t_link).count();
   result.stats.analyze_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   result.stats.project_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
   return result;
@@ -506,22 +558,24 @@ std::vector<Violation> run_check(std::string_view rule, const std::vector<Source
     extract_lock_edges(streams[i], a.facts);
     extract_types(streams[i], a.facts);
     extract_suppressions(streams[i], a.facts);
+    facts::extract_code_facts(streams[i], sib_stream, a.facts);
     FileCtx ctx{files[i], streams[i], sib, sib_stream};
     std::vector<Violation> found;
     target->file(ctx, found);
     for (auto& v : found) {
-      if (!suppressed(a.facts, v)) out.push_back(std::move(v));
+      if (find_suppression(a.facts, v) == tok::kNpos) out.push_back(std::move(v));
     }
     analyses[i] = std::move(a);
   }
-  ProjectCtx ctx{analyses};
+  const ProjectGraph graph = link_project(analyses);
+  ProjectCtx ctx{analyses, &graph};
   std::vector<Violation> project_found;
   target->project(ctx, project_found);
   std::unordered_map<std::string_view, const FileFacts*> facts_of;
   for (const auto& a : analyses) facts_of.emplace(a.path, &a.facts);
   for (auto& v : project_found) {
     const auto it = facts_of.find(std::string_view(v.file));
-    if (it != facts_of.end() && suppressed(*it->second, v)) continue;
+    if (it != facts_of.end() && find_suppression(*it->second, v) != tok::kNpos) continue;
     out.push_back(std::move(v));
   }
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {

@@ -1,20 +1,33 @@
 #pragma once
-// at_lint v2 — repo-native invariant checker. A dependency-free (no
-// libclang) token-level analysis engine that turns the project's written
+// at_lint v3 — repo-native whole-program invariant checker. A dependency-free
+// (no libclang) token-level analysis engine that turns the project's written
 // conventions into machine-checked rules over src/, tools/, bench/ and
 // tests/. It complements, not replaces, Clang -Wthread-safety: the compiler
-// checks lock discipline inside one TU; at_lint checks the repo-shaped
-// invariants a compiler has no opinion on.
+// checks lock discipline inside one TU; at_lint checks the repo-shaped,
+// cross-TU invariants a compiler has no opinion on.
 //
-// Architecture (docs/static-analysis.md has the full write-up):
+// The engine runs in two phases (docs/static-analysis.md has the write-up):
+//   phase 1 (parallel, cached)  lex each file and extract FileFacts — the
+//     include list, container-typed fields, function definitions with their
+//     outgoing calls / lock acquisitions / blocking sites / throw sites /
+//     atomic ops, and inline suppressions. Facts serialize into the
+//     content-hash cache, so a warm run re-extracts nothing.
+//   phase 2 (always runs)  link facts into project-wide symbol, call and
+//     lock graphs (link.hpp) and run the cross-TU rules over them.
+//
+// Files:
 //   lexer.hpp    — C++ lexer: comments, literals (incl. raw strings),
 //                  line continuations, preprocessor lines → TokenStream.
-//   lint.hpp/cpp — engine: per-file fact extraction, inline suppressions,
-//                  Check registry, allowlist, incremental-cache plumbing.
-//   checks.cpp   — the nine rules, each a Check subclass.
+//   facts.hpp    — phase-1 fact extraction (functions, calls, locks,
+//                  blocking/atomic/throw sites, container fields).
+//   link.hpp     — phase-2 linker: ProjectGraph (call resolution through
+//                  include closures, lock summaries, hot reachability,
+//                  throw propagation).
+//   lint.hpp/cpp — engine: orchestration, inline suppressions, Check
+//                  registry, allowlist, incremental-cache plumbing.
+//   checks.cpp   — the twelve rules, each a Check subclass.
 //   sarif.hpp    — SARIF 2.1.0 JSON for CI code-scanning annotation.
-//   cache.hpp    — content-hash incremental cache (warm runs re-analyze
-//                  only changed files).
+//   cache.hpp    — content-hash incremental cache, format v3.
 //
 // Rules:
 //   banned-call     rand/strtok/gmtime anywhere in src/; std::sto* outside
@@ -28,20 +41,35 @@
 //   determinism     no iteration over std::unordered_{map,set} feeding an
 //                   order-sensitive sink (push_back/stream/float +=) in
 //                   src/ (ordered sinks and post-loop sorts are escape
-//                   hatches); no std::random_device / system_clock /
-//                   std::time outside src/util/rng + src/util/time_utils.
-//   lock-order      the util::LockGuard acquisition graph (nested scopes +
-//                   AT_ACQUIRED_{BEFORE,AFTER} hints) is cycle-free.
+//                   hatches); member fields declared unordered in OTHER
+//                   headers are resolved through the project field index;
+//                   no std::random_device / system_clock / std::time
+//                   outside src/util/rng + src/util/time_utils.
+//   lock-order      the util::LockGuard acquisition graph — nested scopes,
+//                   AT_ACQUIRED_{BEFORE,AFTER} hints, and acquisitions
+//                   propagated through helper calls via call-graph
+//                   summaries + AT_ACQUIRES(mu) — is cycle-free.
 //   header-hygiene  a src/ file naming a type declared by a project header
 //                   it reaches only transitively must include that header
 //                   directly (self-containment TUs cover the converse).
 //   uninit-member   a constructor must not leave a scalar/pointer field
 //                   with no default initializer unassigned.
+//   blocking-in-hot-path  functions transitively reachable from an AT_HOT
+//                   function or a sim::Engine / shard drain loop must not
+//                   sleep, do I/O, malloc, or block on a condition.
+//   atomic-order    a relaxed atomic load must not feed a pointer deref or
+//                   flag-guarded read of other state (needs acquire), and
+//                   atomic ops inside hot-path functions must spell their
+//                   memory order explicitly (no silent seq_cst).
+//   noexcept-escape a noexcept function, destructor, or ThreadPool task
+//                   must not reach a `throw` through the call graph.
 //
 // Suppressing a finding (both forms need a written justification):
 //   - inline: // at_lint: allow(rule[,rule]) — <why>   (same line, or the
 //     next code line when the comment stands alone)
 //   - tools/at_lint/allowlist.txt: `rule file excerpt-substring` lines.
+// --check-stale-allowlist flags entries of EITHER kind that no longer
+// suppress anything.
 
 #include <cstddef>
 #include <cstdint>
@@ -102,12 +130,90 @@ struct FileFacts {
   };
   std::vector<UsedType> used_types;
 
-  /// Inline suppressions: (rule or "*", target line).
+  /// Inline suppressions: (rule or "*", target line). `hits` counts the
+  /// per-file violations this entry suppressed at analyze time (cached with
+  /// the facts); project-phase hits are tallied at run time. An entry with
+  /// zero hits from both phases is stale.
   struct Suppression {
     std::string rule;
     std::uint32_t line = 0;
+    std::uint32_t hits = 0;
   };
   std::vector<Suppression> suppressions;
+
+  /// Container-typed member-shaped fields (`counts_`), for cross-TU
+  /// determinism: a loop in bar.cpp over a field declared in foo.hpp
+  /// resolves through the project-wide field index.
+  struct ContainerField {
+    std::string name;
+    char kind = 'u';  ///< 'u' unordered, 'o' ordered, 's' sequence
+    std::uint32_t line = 0;
+  };
+  std::vector<ContainerField> container_fields;
+
+  /// A loop over a member-shaped variable the file could not resolve
+  /// locally (not declared here or in the sibling), feeding an
+  /// order-sensitive sink with no sort/ordered-sink escape. Phase 2 fires
+  /// it when every project declaration of `range_var` is unordered.
+  struct PendingLoop {
+    std::string range_var;
+    std::string sink_var;
+    std::string sink_what;
+    std::uint32_t line = 0;  ///< sink line (violation anchor)
+  };
+  std::vector<PendingLoop> pending_loops;
+
+  /// One call site inside a function body. `held` is the stack of lock
+  /// expressions held at the call (outermost first); `in_try` means a try
+  /// block encloses it (exceptions do not escape the caller).
+  struct CallSite {
+    std::string name;  ///< last path component ("fn" for ns::fn / obj.fn)
+    std::uint32_t line = 0;
+    bool in_try = false;
+    std::vector<std::string> held;
+  };
+
+  /// A call that can block: sleeps, I/O, raw allocation, condition waits.
+  /// LockGuard acquisitions are deliberately NOT recorded here — brief
+  /// uncontended locking is the design (see docs/static-analysis.md).
+  struct BlockingSite {
+    std::string category;  ///< "sleep" | "io" | "alloc" | "wait"
+    std::string name;
+    std::uint32_t line = 0;
+  };
+
+  /// One operation on a std::atomic field declared in this file or its
+  /// sibling. `order` is the memory_order_* suffix spelled at the call
+  /// site ("" = defaulted seq_cst). `deref` = the loaded value is
+  /// immediately dereferenced; `guards_other` = the load sits in an if
+  /// condition whose body reads a different member (publication pattern).
+  struct AtomicOp {
+    std::string object;
+    std::string op;  ///< "load" | "store" | "fetch_add" | ...
+    std::string order;
+    std::uint32_t line = 0;
+    bool deref = false;
+    bool guards_other = false;
+  };
+
+  /// A function definition (or an annotated declaration: AT_ACQUIRES /
+  /// AT_HOT on a header prototype contributes its markers with no body
+  /// facts). Task pseudo-functions are lambdas handed to ThreadPool
+  /// submit/parallel_for*, named "task@<line>".
+  struct Function {
+    std::string name;  ///< qualified when enclosing class is known
+    std::uint32_t line = 0;
+    bool hot = false;        ///< AT_HOT marker
+    bool is_noexcept = false;
+    bool is_dtor = false;
+    bool is_task = false;    ///< ThreadPool-submitted callable
+    std::vector<std::string> acquires;  ///< LockGuard exprs + AT_ACQUIRES args
+    std::vector<CallSite> calls;
+    std::vector<BlockingSite> blocking;
+    std::vector<std::uint32_t> throw_lines;  ///< `throw expr` at try-depth 0
+    std::vector<AtomicOp> atomics;
+  };
+  std::vector<Function> functions;
 };
 
 /// Result of analyzing one file: per-file-rule violations (inline
@@ -129,9 +235,13 @@ struct FileCtx {
   const TokenStream* sibling_tokens = nullptr;
 };
 
-/// Context handed to project-wide rules after every file is analyzed.
+struct ProjectGraph;  // link.hpp
+
+/// Context handed to project-wide rules after every file is analyzed and
+/// the link phase has resolved the cross-TU graphs.
 struct ProjectCtx {
   const std::vector<FileAnalysis>& files;
+  const ProjectGraph* graph = nullptr;
 };
 
 /// A rule. Implementations live in checks.cpp and register via registry().
@@ -146,7 +256,7 @@ class Check {
   virtual void project(const ProjectCtx& ctx, std::vector<Violation>& out) const;
 };
 
-/// All nine checks, in stable registration order.
+/// All twelve checks, in stable registration order.
 [[nodiscard]] const std::vector<const Check*>& registry();
 
 /// Allowlist entry: `rule<spaces>file<spaces>token...`. Empty token matches
@@ -180,9 +290,15 @@ class Cache;  // cache.hpp
 struct RunStats {
   std::size_t files = 0;
   std::size_t cache_hits = 0;
-  std::size_t analyzed = 0;          ///< lexed + rule-checked this run
+  std::size_t analyzed = 0;          ///< lexed + fact-extracted this run
   std::size_t raw_violations = 0;    ///< pre-allowlist (post inline suppression)
   std::size_t allowlisted = 0;
+  // Per-phase wall times. analyze_ms/project_ms are kept as the two-phase
+  // aggregates (analyze = lex + extract, project = link + check + merge).
+  double lex_ms = 0.0;      ///< tokenizing cache misses (+ needed siblings)
+  double extract_ms = 0.0;  ///< per-file rules + fact extraction
+  double link_ms = 0.0;     ///< ProjectGraph build (call/lock/hot resolution)
+  double check_ms = 0.0;    ///< project rules + suppression + merge + sort
   double analyze_ms = 0.0;  ///< per-file phase (lex + file rules)
   double project_ms = 0.0;  ///< project rules + merge + sort
 };
@@ -193,9 +309,18 @@ struct RunOptions {
   util::ThreadPool* pool = nullptr;     ///< optional parallel per-file phase
 };
 
+/// An inline `// at_lint: allow(...)` that suppressed nothing this run —
+/// neither a per-file finding (cached hit count) nor a project finding.
+struct StaleSuppression {
+  std::string file;
+  std::string rule;
+  std::uint32_t line = 0;
+};
+
 struct RunResult {
   std::vector<Violation> violations;  ///< post-allowlist, sorted
   std::vector<Violation> raw;         ///< pre-allowlist, sorted (stale check)
+  std::vector<StaleSuppression> stale_suppressions;  ///< sorted by file/line
   RunStats stats;
 };
 

@@ -5,14 +5,20 @@
 //   --root DIR              repo root to scan (default '.')
 //   --allowlist FILE        allowlist entries (rule file excerpt-substring)
 //   --check-stale-allowlist fail (exit 1) when an allowlist entry matches
-//                           nothing — the code it excused no longer trips
+//                           nothing, or an inline `// at_lint: allow(...)`
+//                           comment suppressed nothing this run
 //   --cache FILE            incremental cache; warm runs re-analyze only
 //                           changed files (default: off)
 //   --no-cache              ignore --cache (force a cold run)
+//   --diff REF              print (and exit nonzero on) only findings in
+//                           files changed vs the git ref; the whole-program
+//                           phase still analyzes every file, so cross-TU
+//                           findings in changed files stay complete
 //   --jobs N                per-file analysis threads (default: hardware
 //                           concurrency; 1 = serial)
 //   --sarif FILE            also write findings as SARIF 2.1.0 JSON
-//   --stats                 print timing / cache-hit / suppression summary
+//                           (unfiltered — --diff narrows text output only)
+//   --stats                 print per-phase timing / cache-hit summary
 //   --write-header-tus DIR  instead emit one single-include TU per
 //                           src/**.hpp (the CMake `lint` target compiles
 //                           them to prove header self-containment)
@@ -27,6 +33,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "at_lint/cache.hpp"
@@ -56,11 +63,47 @@ bool lintable(const fs::path& path) {
   return ext == ".cpp" || ext == ".hpp";
 }
 
+/// A git rev spelling safe to interpolate into a shell command.
+bool safe_ref(const std::string& ref) {
+  if (ref.empty()) return false;
+  for (const char c : ref) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '/' ||
+                    c == '~' || c == '^' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Repo-relative paths changed vs `ref` (committed + working tree), via
+/// `git diff --name-only`. Returns false when git itself fails (bad ref,
+/// not a repo) so the caller can fail loudly instead of linting nothing.
+bool git_changed_files(const fs::path& root, const std::string& ref,
+                       std::vector<std::string>& out) {
+  const std::string cmd = "git -C \"" + root.string() + "\" diff --name-only " + ref +
+                          " -- src tools bench tests 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  std::string acc;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) acc += buf;
+  const int status = pclose(pipe);
+  if (status != 0) return false;
+  std::size_t start = 0;
+  while (start < acc.size()) {
+    std::size_t end = acc.find('\n', start);
+    if (end == std::string::npos) end = acc.size();
+    if (end > start) out.emplace_back(acc.substr(start, end - start));
+    start = end + 1;
+  }
+  return true;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: at_lint [--root DIR] [--allowlist FILE] [--check-stale-allowlist]\n"
-               "               [--cache FILE] [--no-cache] [--jobs N] [--sarif FILE]\n"
-               "               [--stats] [--write-header-tus DIR]\n"
+               "               [--cache FILE] [--no-cache] [--diff REF] [--jobs N]\n"
+               "               [--sarif FILE] [--stats] [--write-header-tus DIR]\n"
                "  scans src/ tools/ bench/ tests/ below --root (default '.');\n"
                "  tests/negative/ (compile-fail fixtures) is excluded.\n");
   return 2;
@@ -77,6 +120,7 @@ int main(int argc, char** argv) {
   bool no_cache = false;
   bool stats = false;
   bool check_stale = false;
+  std::string diff_ref;
   std::size_t jobs = std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 1;
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +139,9 @@ int main(int argc, char** argv) {
       const auto n = at::util::parse_num<std::size_t>(argv[++i]);
       if (!n.has_value() || *n == 0) return usage();
       jobs = *n;
+    } else if (arg == "--diff" && i + 1 < argc) {
+      diff_ref = argv[++i];
+      if (!safe_ref(diff_ref)) return usage();
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--stats") {
@@ -180,7 +227,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --diff narrows the reporting surface only: the whole-program phase
+  // above already linked every file, so cross-TU findings anchored in a
+  // changed file are as complete as a full run.
+  bool diff_active = false;
+  std::unordered_set<std::string> changed;
+  if (!diff_ref.empty()) {
+    std::vector<std::string> names;
+    if (!git_changed_files(root, diff_ref, names)) {
+      std::fprintf(stderr, "at_lint: git diff against '%s' failed\n", diff_ref.c_str());
+      return 2;
+    }
+    diff_active = true;
+    changed.insert(names.begin(), names.end());
+  }
+  const auto in_diff = [&](const std::string& file) {
+    return !diff_active || changed.contains(file);
+  };
+
+  std::size_t shown = 0;
   for (const auto& v : result.violations) {
+    if (!in_diff(v.file)) continue;
+    ++shown;
     if (v.column > 0) {
       std::printf("%s:%zu:%zu: [%s] %s\n    %s\n", v.file.c_str(), v.line, v.column,
                   v.rule.c_str(), v.message.c_str(), v.excerpt.c_str());
@@ -190,7 +258,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  int exit_code = result.violations.empty() ? 0 : 1;
+  int exit_code = shown == 0 ? 0 : 1;
   if (check_stale) {
     const auto counts = allow.match_counts(result.raw);
     for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -200,22 +268,37 @@ int main(int argc, char** argv) {
                   e.rule.c_str(), e.file.c_str(), e.token.c_str());
       exit_code = 1;
     }
+    for (const auto& s : result.stale_suppressions) {
+      std::printf("at_lint: stale inline suppression (suppressed nothing): "
+                  "%s:%u allow(%s)\n",
+                  s.file.c_str(), s.line, s.rule.c_str());
+      exit_code = 1;
+    }
   }
 
   if (stats) {
     const auto& s = result.stats;
+    const double hit_rate =
+        s.files == 0 ? 0.0
+                     : 100.0 * static_cast<double>(s.cache_hits) /
+                           static_cast<double>(s.files);
     std::printf(
-        "at_lint: %zu files | %zu cache hits, %zu analyzed | "
+        "at_lint: %zu files | %zu cache hits (%.0f%%), %zu analyzed | "
         "%zu raw, %zu allowlisted, %zu reported | "
-        "analyze %.1f ms, project %.1f ms (jobs=%zu)\n",
-        s.files, s.cache_hits, s.analyzed, s.raw_violations, s.allowlisted,
-        result.violations.size(), s.analyze_ms, s.project_ms, jobs);
+        "lex %.1f ms, extract %.1f ms, link %.1f ms, check %.1f ms (jobs=%zu)\n",
+        s.files, s.cache_hits, hit_rate, s.analyzed, s.raw_violations, s.allowlisted,
+        result.violations.size(), s.lex_ms, s.extract_ms, s.link_ms, s.check_ms, jobs);
   }
   if (exit_code == 0) {
-    std::printf("at_lint: %zu files clean (%zu allowlist entries)\n", files.size(),
-                allow.size());
-  } else if (!result.violations.empty()) {
-    std::printf("at_lint: %zu violation(s)\n", result.violations.size());
+    if (diff_active) {
+      std::printf("at_lint: %zu changed file(s) clean (%zu files linked)\n",
+                  changed.size(), files.size());
+    } else {
+      std::printf("at_lint: %zu files clean (%zu allowlist entries)\n", files.size(),
+                  allow.size());
+    }
+  } else if (shown > 0) {
+    std::printf("at_lint: %zu violation(s)\n", shown);
   }
   return exit_code;
 }

@@ -44,14 +44,26 @@ if grep -iE "warning[ :]" "$BUILD_LOG" > /dev/null; then
   fail "build log contains warnings"
 fi
 
-echo "=== [2/4] lint (header TUs + at_lint sweep + stale-allowlist gate) ==="
+echo "=== [2/4] lint (header TUs + at_lint sweep + stale-suppression gate) ==="
 cmake --build build-ci --target lint -j "$JOBS" || fail "lint"
 # The lint target already passes --check-stale-allowlist, but run the gate
 # explicitly too so a CMake edit can't silently drop it: an allowlist entry
-# that no longer matches any finding must be deleted, not accumulated.
+# or inline allow() suppression that no longer matches any finding must be
+# deleted, not accumulated.
 ./build-ci/tools/at_lint --root . --allowlist tools/at_lint/allowlist.txt \
   --cache build-ci/at_lint.cache --check-stale-allowlist > /dev/null \
-  || fail "stale allowlist entries (run with --check-stale-allowlist for the list)"
+  || fail "stale suppressions (run with --check-stale-allowlist for the list)"
+# Warm-rerun budget: with the fact cache populated by the runs above, a
+# whole-program pass must re-extract nothing and finish under 2 seconds —
+# the same tripwire CI enforces, so cache regressions fail before the PR.
+LINT_START=$(date +%s%N)
+LINT_OUT=$(./build-ci/tools/at_lint --root . --allowlist tools/at_lint/allowlist.txt \
+  --cache build-ci/at_lint.cache --stats) || fail "warm lint rerun"
+LINT_MS=$(( ($(date +%s%N) - LINT_START) / 1000000 ))
+echo "$LINT_OUT"
+echo "warm lint wall time: ${LINT_MS} ms"
+echo "$LINT_OUT" | grep -q " 0 analyzed" || fail "warm lint re-extracted files"
+[ "$LINT_MS" -lt 2000 ] || fail "warm lint exceeded 2s budget (${LINT_MS} ms)"
 
 echo "=== [3/4] ctest ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS" || fail "ctest"
