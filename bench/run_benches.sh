@@ -35,6 +35,13 @@ if [ -x "$bench_dir/bench_fg_inference" ]; then
     echo "== bench_fg_inference"
     "$bench_dir/bench_fg_inference" --out "$repo_root/BENCH_fg.json"
 fi
+# Always-on detection daemon: sustained submit throughput and ring-depth
+# histogram, with a verdict-stream oracle against the serial pipeline
+# (exits nonzero on divergence).
+if [ -x "$bench_dir/bench_daemon" ]; then
+    echo "== bench_daemon"
+    "$bench_dir/bench_daemon" --out "$repo_root/BENCH_daemon.json"
+fi
 
 # Everything else is a google-benchmark binary; use its JSON reporter.
 for bench in "$bench_dir"/bench_*; do
@@ -43,6 +50,7 @@ for bench in "$bench_dir"/bench_*; do
     [ "$name" = "bench_ingest_pipeline" ] && continue
     [ "$name" = "bench_sim_engine" ] && continue
     [ "$name" = "bench_fg_inference" ] && continue
+    [ "$name" = "bench_daemon" ] && continue
     out="$repo_root/BENCH_${name#bench_}.json"
     echo "== $name"
     "$bench" --benchmark_out="$out" --benchmark_out_format=json \

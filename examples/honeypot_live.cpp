@@ -3,6 +3,12 @@
 // different days, VM fleet recycling on TTL, BHR block expiry, and a daily
 // operations digest — the view a security operator would have.
 //
+// The operator view here is the daemon one (docs/daemon.md): a
+// DetectionDaemon teed off the correlator's post-dedup stream runs as an
+// always-on console beside the testbed's in-process pipeline, and the
+// daily digest drains its typed alert queue by category mask instead of
+// re-reading a notifications vector.
+//
 // Run: ./build/examples/example_honeypot_live
 
 #include <cstdio>
@@ -11,6 +17,7 @@
 #include "replay/campaigns.hpp"
 #include "replay/ransomware.hpp"
 #include "testbed/autoscaler.hpp"
+#include "testbed/daemon.hpp"
 
 int main() {
   using namespace at;
@@ -22,6 +29,17 @@ int main() {
   testbed::TestbedConfig config;
   config.lifecycle.instance_ttl = 12 * util::kHour;  // short-lived by design
   testbed::Testbed bed(config, corpus);
+
+  // The operator console: an always-on daemon fed the same post-dedup
+  // alert stream as the in-process pipeline (tee before any traffic).
+  // Same detector family and threshold as the testbed's own stack.
+  testbed::DetectionDaemon console(testbed::DaemonConfig{}, /*router=*/nullptr);
+  auto compiled = fg::compile_params(fg::learn_params(corpus));
+  console.add_detector("factor-graph", [compiled, &config] {
+    return std::make_unique<detect::FactorGraphDetector>(compiled, config.fg_threshold);
+  });
+  bed.tee_alerts(console);
+
   const util::SimTime t0 = util::to_sim_time(util::CivilDate{2024, 10, 1});
   bed.deploy(t0);
   std::printf("deployed: %zu entry points on %s, image %s\n\n",
@@ -56,8 +74,8 @@ int main() {
   // Auto-scaling policy: widen the net when attacks land (Section IV-C).
   testbed::AutoScaler scaler(testbed::AutoScalerConfig{}, bed.vms(), bed.pipeline());
 
-  // Drive the week day by day, ticking lifecycle, scaler and BHR daily.
-  std::size_t last_notes = 0;
+  // Drive the week day by day, ticking lifecycle, scaler and BHR daily;
+  // each evening the operator pulls the console's verdict/error alerts.
   std::uint64_t last_flows = 0;
   for (int day = 0; day < 8; ++day) {
     const util::SimTime day_end = t0 + (day + 1) * util::kDay;
@@ -70,7 +88,6 @@ int main() {
     }
     const std::size_t expired = bed.router().expire(day_end);
 
-    const auto& notes = bed.pipeline().notifications();
     std::printf("day %d (%s):\n", day + 1,
                 util::format_datetime(t0 + day * util::kDay).substr(0, 10).c_str());
     std::printf("  flows seen: %llu (+%llu), BHR drops: %llu, active blocks: %zu (-%zu expired)\n",
@@ -82,21 +99,30 @@ int main() {
                 recycled, static_cast<unsigned long long>(bed.vms().total_recycled()),
                 bed.pipeline().tracked_entities(),
                 static_cast<unsigned long long>(bed.pipeline().evicted_entities()));
-    for (std::size_t i = last_notes; i < notes.size(); ++i) {
-      std::printf("  >> PAGE [%s] %s: %s\n", notes[i].detector.c_str(),
-                  notes[i].entity.c_str(), notes[i].reason.substr(0, 60).c_str());
+    const auto pages = console.drain_alerts(alerts::DaemonAlert::kVerdict |
+                                            alerts::DaemonAlert::kError);
+    for (const auto& page : pages) {
+      std::printf("  >> PAGE %s\n", page->str().substr(0, 96).c_str());
     }
-    if (last_notes == notes.size()) std::printf("  (no pages)\n");
-    last_notes = notes.size();
+    if (pages.empty()) std::printf("  (no pages)\n");
     last_flows = bed.zeek().flows_seen();
   }
   bed.engine().run();
 
-  std::printf("\nweek summary:\n");
-  std::printf("  alerts into pipeline: %llu, after filter: %llu\n",
-              static_cast<unsigned long long>(bed.pipeline().alerts_in()),
-              static_cast<unsigned long long>(bed.pipeline().alerts_after_filter()));
-  std::printf("  operator pages: %zu\n", bed.pipeline().notifications().size());
+  // Shut the console down gracefully: drain in-flight work, then read the
+  // final lifecycle/stats alerts off the queue.
+  console.stop();
+  std::printf("\noperator console shutdown stream:\n");
+  for (const auto& alert : console.drain_alerts(alerts::DaemonAlert::kLifecycle |
+                                                alerts::DaemonAlert::kProgress)) {
+    std::printf("  %s\n", alert->str().c_str());
+  }
+
+  std::printf("\nweek summary (testbed):\n%s",
+              bed.stats().to_table().render().c_str());
+  std::printf("\noperator console counters:\n%s",
+              console.stats().to_table().render().c_str());
+  std::printf("\n  operator pages: %zu\n", bed.pipeline().notifications().size());
   std::printf("  sandbox egress drops: %llu\n",
               static_cast<unsigned long long>(bed.sandbox().dropped()));
   std::printf("  struts campaign exploited a VRT-built service: %s\n",

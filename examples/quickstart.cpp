@@ -1,16 +1,19 @@
-// Quickstart: the library in ~60 lines.
+// Quickstart: the library in ~80 lines.
 //
 // 1. Generate the calibrated incident corpus (the stand-in for NCSA's
 //    24-year dataset).
 // 2. Train the factor-graph preemption model on half of it.
 // 3. Stream a held-out attack through the detector and watch it fire
 //    *before* the damage-stage alert.
+// 4. Run the same stream through the always-on DetectionDaemon and pull
+//    the typed alert queue the way a live operator would (docs/daemon.md).
 //
 // Build & run:  cmake --build build && ./build/examples/example_quickstart
 
 #include <cstdio>
 
 #include "detect/eval.hpp"
+#include "testbed/daemon.hpp"
 
 int main() {
   using namespace at;
@@ -51,6 +54,25 @@ int main() {
     }
     break;
   }
+
+  // --- 4. the same stream, daemon-style ----------------------------------
+  // Production runs the detector inside the always-on DetectionDaemon:
+  // submit alerts as they arrive, pull typed results by category mask.
+  const auto params = fg::learn_params(split.train);
+  auto compiled = fg::compile_params(params);
+  testbed::DetectionDaemon daemon(testbed::DaemonConfig{}, /*router=*/nullptr);
+  daemon.add_detector("factor-graph", [compiled] {
+    return std::make_unique<detect::FactorGraphDetector>(compiled, 0.75);
+  });
+  for (const auto& alert : stream.alerts) daemon.submit(alert);
+  daemon.drain_idle();
+  std::printf("\noperator queue for the same attack:\n");
+  for (const auto& out : daemon.drain_alerts(alerts::DaemonAlert::kVerdict |
+                                             alerts::DaemonAlert::kLifecycle)) {
+    std::printf("  [%s] %s\n", alerts::category_name(out->category()),
+                out->str().c_str());
+  }
+  daemon.stop();
 
   // --- bonus: the whole test set in two lines -----------------------------
   std::vector<detect::Stream> attacks;

@@ -53,18 +53,53 @@ class AlertSink {
  public:
   virtual ~AlertSink() = default;
   virtual void on_alert(const Alert& alert) = 0;
+  /// Move-enabled handoff: sinks that enqueue alerts (BufferSink, the
+  /// detection daemon's per-shard rings) take ownership of the strings and
+  /// metadata without a copy. Defaults to the const-ref overload so
+  /// existing sinks need no change; overriders add a
+  /// `using alerts::AlertSink::on_alert;` to keep the lvalue overload
+  /// visible (-Woverloaded-virtual).
+  virtual void on_alert(Alert&& alert) { on_alert(static_cast<const Alert&>(alert)); }
 };
 
 /// Sink that simply buffers alerts (tests, offline analysis).
 class BufferSink final : public AlertSink {
  public:
+  using AlertSink::on_alert;
   void on_alert(const Alert& alert) override { alerts_.push_back(alert); }
+  void on_alert(Alert&& alert) override { alerts_.push_back(std::move(alert)); }
   [[nodiscard]] const std::vector<Alert>& alerts() const noexcept { return alerts_; }
   [[nodiscard]] std::vector<Alert> take() { return std::exchange(alerts_, {}); }
   void clear() { alerts_.clear(); }
 
  private:
   std::vector<Alert> alerts_;
+};
+
+/// Sink that forwards every alert to N downstream sinks in registration
+/// order. Lets an operator console (e.g. a DetectionDaemon) tee off a
+/// monitor stream without disturbing the primary pipeline. Not itself
+/// synchronized: add() before the stream starts, on_alert from whatever
+/// threading the downstreams tolerate.
+class FanoutSink final : public AlertSink {
+ public:
+  explicit FanoutSink(AlertSink& primary) : sinks_{&primary} {}
+
+  void add(AlertSink& sink) { sinks_.push_back(&sink); }
+  [[nodiscard]] std::size_t fanout() const noexcept { return sinks_.size(); }
+
+  using AlertSink::on_alert;
+  void on_alert(const Alert& alert) override {
+    for (AlertSink* sink : sinks_) sink->on_alert(alert);
+  }
+  void on_alert(Alert&& alert) override {
+    // Copy to all but the last sink; the last takes ownership.
+    for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) sinks_[i]->on_alert(alert);
+    sinks_.back()->on_alert(std::move(alert));
+  }
+
+ private:
+  std::vector<AlertSink*> sinks_;
 };
 
 }  // namespace at::alerts

@@ -41,7 +41,11 @@ bool BlackHoleRouter::block(net::Ipv4 source, util::SimTime now, util::SimTime t
                             std::string reason, std::string client) {
   const bool internal = protected_.contains(source);
   audit_.push_back({now, "block", source, client, !internal});
-  if (internal) return false;  // never blackhole the protected network
+  if (internal) {
+    ++blocks_refused_;
+    return false;  // never blackhole the protected network
+  }
+  ++blocks_accepted_;
   Stored& stored = blocks_[source.value()];
   BlockEntry& entry = stored.entry;
   entry.source = source;
@@ -60,6 +64,7 @@ bool BlackHoleRouter::block(net::Ipv4 source, util::SimTime now, util::SimTime t
 bool BlackHoleRouter::unblock(net::Ipv4 source, util::SimTime now, std::string client) {
   const bool existed = blocks_.erase(source.value()) > 0;
   audit_.push_back({now, "unblock", source, std::move(client), existed});
+  if (existed) ++unblocks_;
   return existed;
 }
 
@@ -86,6 +91,7 @@ std::size_t BlackHoleRouter::expire(util::SimTime now) {
       ++removed;
     }
   }
+  expired_total_ += removed;
   return removed;
 }
 
@@ -118,6 +124,35 @@ std::size_t BlackHoleRouter::active_blocks(util::SimTime now) const {
     }
   }
   return blocks_.size() - expired;
+}
+
+BlackHoleRouter::Stats BlackHoleRouter::stats(util::SimTime now) const {
+  Stats out;
+  out.api_calls = audit_.size();
+  out.blocks_accepted = blocks_accepted_;
+  out.blocks_refused = blocks_refused_;
+  out.unblocks = unblocks_;
+  out.expired = expired_total_;
+  out.dropped_flows = dropped_;
+  out.passed_flows = passed_;
+  out.active_blocks = active_blocks(now);
+  return out;
+}
+
+util::TextTable BlackHoleRouter::Stats::to_table() const {
+  util::TextTable table({"counter", "value"});
+  const auto row = [&table](const char* name, std::uint64_t value) {
+    table.add_row({name, std::to_string(value)});
+  };
+  row("api_calls", api_calls);
+  row("blocks_accepted", blocks_accepted);
+  row("blocks_refused", blocks_refused);
+  row("unblocks", unblocks);
+  row("expired", expired);
+  row("dropped_flows", dropped_flows);
+  row("passed_flows", passed_flows);
+  row("active_blocks", active_blocks);
+  return table;
 }
 
 void ScanRecorder::record(const net::Flow& flow) {

@@ -18,6 +18,7 @@
 #include "net/cidr.hpp"
 #include "net/flow.hpp"
 #include "util/annotations.hpp"
+#include "util/table.hpp"
 #include "util/time_utils.hpp"
 
 namespace at::bhr {
@@ -65,6 +66,22 @@ class BlackHoleRouter {
   [[nodiscard]] std::uint64_t passed_flows() const noexcept { return passed_; }
   [[nodiscard]] const std::vector<ApiCall>& audit_log() const noexcept { return audit_; }
 
+  /// Counter snapshot (value-returning, named fields, to_table() — the
+  /// convention shared with sim::Engine::Stats and alerts::DaemonStats).
+  struct Stats {
+    std::uint64_t api_calls = 0;       ///< audit-log length
+    std::uint64_t blocks_accepted = 0; ///< block() calls that took effect
+    std::uint64_t blocks_refused = 0;  ///< protected-network refusals
+    std::uint64_t unblocks = 0;
+    std::uint64_t expired = 0;         ///< entries reaped by expire()
+    std::uint64_t dropped_flows = 0;
+    std::uint64_t passed_flows = 0;
+    std::uint64_t active_blocks = 0;   ///< live at the snapshot's `now`
+
+    [[nodiscard]] util::TextTable to_table() const;
+  };
+  [[nodiscard]] Stats stats(util::SimTime now) const;
+
   [[nodiscard]] const net::Cidr& protected_block() const noexcept { return protected_; }
 
  private:
@@ -95,6 +112,10 @@ class BlackHoleRouter {
   std::vector<ApiCall> audit_;
   std::uint64_t dropped_ = 0;
   std::uint64_t passed_ = 0;
+  std::uint64_t blocks_accepted_ = 0;
+  std::uint64_t blocks_refused_ = 0;
+  std::uint64_t unblocks_ = 0;
+  std::uint64_t expired_total_ = 0;
 };
 
 /// Scan recorder: per-source probing statistics over a window, and the

@@ -65,7 +65,9 @@ class Monitor {
       }
       ++emitted_;
     }
-    sink_->on_alert(alert);
+    // The alert was taken by value; hand ownership to the sink (move-aware
+    // sinks like the detection daemon's rings take it without a copy).
+    sink_->on_alert(std::move(alert));
   }
 
  private:

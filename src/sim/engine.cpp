@@ -108,6 +108,25 @@ Engine::Stats Engine::stats() const {
   return out;
 }
 
+util::TextTable Engine::Stats::to_table() const {
+  util::TextTable table({"counter", "value"});
+  const auto row = [&table](const char* name, std::uint64_t value) {
+    table.add_row({name, std::to_string(value)});
+  };
+  row("scheduled", scheduled);
+  row("executed", executed);
+  row("cancelled", cancelled);
+  row("cancel_misses", cancel_misses);
+  row("inline_callbacks", inline_callbacks);
+  row("boxed_callbacks", boxed_callbacks);
+  row("wheel_events", wheel_events);
+  row("overflow_events", overflow_events);
+  row("rebases", rebases);
+  row("pending", pending);
+  row("max_pending", max_pending);
+  return table;
+}
+
 void Engine::enable_trace(std::size_t capacity) {
   util::LockGuard lock(mu_);
   trace_capacity_ = capacity;

@@ -34,6 +34,7 @@
 #include "sim/callback_slot.hpp"
 #include "sim/timing_wheel.hpp"
 #include "util/annotated_mutex.hpp"
+#include "util/table.hpp"
 #include "util/time_utils.hpp"
 
 namespace at::sim {
@@ -55,6 +56,10 @@ class Engine {
     std::uint64_t rebases = 0;            ///< wheel window re-bases
     std::size_t pending = 0;              ///< live events right now
     std::size_t max_pending = 0;          ///< high-water mark of live events
+
+    /// Two-column counter table — the snapshot-struct rendering convention
+    /// shared with alerts::DaemonStats and testbed::Testbed::Stats.
+    [[nodiscard]] util::TextTable to_table() const;
   };
 
   /// One record in the opt-in trace ring (see enable_trace()).

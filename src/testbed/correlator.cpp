@@ -9,7 +9,7 @@ std::uint64_t AlertCorrelator::key_of(const alerts::Alert& alert) {
   return host_hash ^ (static_cast<std::uint64_t>(alert.type) << 1);
 }
 
-void AlertCorrelator::on_alert(const alerts::Alert& alert) {
+bool AlertCorrelator::admit(const alerts::Alert& alert) {
   ++received_;
   const auto key = key_of(alert);
   const auto it = last_forwarded_.find(key);
@@ -17,11 +17,20 @@ void AlertCorrelator::on_alert(const alerts::Alert& alert) {
       alert.ts >= it->second) {
     // Corroborating observation of the same event: absorb it. (Operators
     // can recover the per-monitor view from the monitors' own counters.)
-    return;
+    return false;
   }
   last_forwarded_[key] = alert.ts;
   ++forwarded_;
-  downstream_->on_alert(alert);
+  return true;
+}
+
+void AlertCorrelator::on_alert(const alerts::Alert& alert) {
+  if (admit(alert)) downstream_->on_alert(alert);
+}
+
+void AlertCorrelator::on_alert(alerts::Alert&& alert) {
+  // Move-through: an admitted alert hands its strings straight downstream.
+  if (admit(alert)) downstream_->on_alert(std::move(alert));
 }
 
 }  // namespace at::testbed

@@ -23,7 +23,14 @@ class AlertCorrelator final : public alerts::AlertSink {
   AlertCorrelator(CorrelatorConfig config, alerts::AlertSink& downstream)
       : config_(config), downstream_(&downstream) {}
 
+  using alerts::AlertSink::on_alert;
   void on_alert(const alerts::Alert& alert) override;
+  void on_alert(alerts::Alert&& alert) override;
+
+  /// Repoint the downstream sink (Testbed::tee_alerts splices a FanoutSink
+  /// in here after construction). Not synchronized; call before the alert
+  /// stream starts.
+  void retarget(alerts::AlertSink& downstream) noexcept { downstream_ = &downstream; }
 
   [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
   [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
@@ -34,6 +41,8 @@ class AlertCorrelator final : public alerts::AlertSink {
     std::uint64_t value = 0;
   };
   [[nodiscard]] static std::uint64_t key_of(const alerts::Alert& alert);
+  /// Dedup decision shared by both overloads; updates counters/window.
+  [[nodiscard]] bool admit(const alerts::Alert& alert);
 
   CorrelatorConfig config_;
   alerts::AlertSink* downstream_;

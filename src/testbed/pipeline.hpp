@@ -52,6 +52,7 @@ class AlertPipeline final : public alerts::AlertSink {
   /// Register a detector family; applied independently per entity.
   void add_detector(std::string name, DetectorFactory factory);
 
+  using alerts::AlertSink::on_alert;
   void on_alert(const alerts::Alert& alert) override;
 
   [[nodiscard]] const std::vector<Notification>& notifications() const noexcept {

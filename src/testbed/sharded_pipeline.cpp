@@ -1,257 +1,68 @@
 #include "testbed/sharded_pipeline.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <thread>
-
-#include "util/rng.hpp"
+#include <utility>
 
 namespace at::testbed {
 
 namespace {
 
-// Tag constants decorrelate the three key namespaces ("host:"/"ip:"/"user:")
-// before hashing so e.g. a host named like a dotted quad cannot collide
-// into another entity's shard stream.
-constexpr std::uint64_t kHostTag = 0x686f7374ULL;
-constexpr std::uint64_t kIpTag = 0x6970ULL;
-constexpr std::uint64_t kUserTag = 0x75736572ULL;
-
-std::size_t pool_threads(std::size_t shards) {
-  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  return std::max<std::size_t>(1, std::min(shards, hw));
+DaemonConfig daemon_config(const ShardedPipelineConfig& config) {
+  DaemonConfig dc;
+  dc.pipeline = config.pipeline;
+  dc.shards = std::max<std::size_t>(1, config.shards);
+  dc.ring_capacity = std::max<std::size_t>(2, config.batch_size);
+  return dc;
 }
 
 }  // namespace
 
 ShardedAlertPipeline::ShardedAlertPipeline(ShardedPipelineConfig config,
                                            bhr::BlackHoleRouter* router)
-    : config_(config),
-      router_(router),
-      filter_(config.pipeline.scan_filter_window),
-      shards_(std::max<std::size_t>(1, config.shards)),
-      pool_(pool_threads(std::max<std::size_t>(1, config.shards))) {
-  if (config_.shards == 0) config_.shards = 1;
-  if (config_.batch_size == 0) config_.batch_size = 1;
-}
+    : daemon_(daemon_config(config), router) {}
 
 void ShardedAlertPipeline::add_detector(std::string name, DetectorFactory factory) {
-  util::LockGuard lock(mu_);
-  factories_.emplace_back(std::move(name), std::move(factory));
+  daemon_.add_detector(std::move(name), std::move(factory));
 }
 
-std::size_t ShardedAlertPipeline::shard_of(std::string_view host,
-                                           const std::optional<net::Ipv4>& src,
-                                           std::string_view user) const noexcept {
-  // Must mirror AlertPipeline::entity_key's precedence exactly so that one
-  // entity maps to one shard for its whole lifetime.
-  std::uint64_t h;
-  if (!host.empty()) {
-    h = util::mix64(std::hash<std::string_view>{}(host) ^ kHostTag);
-  } else if (src) {
-    h = util::mix64(static_cast<std::uint64_t>(src->value()) ^ kIpTag);
-  } else {
-    h = util::mix64(std::hash<std::string_view>{}(user) ^ kUserTag);
-  }
-  return static_cast<std::size_t>(h % shards_.size());
-}
+void ShardedAlertPipeline::on_alert(const alerts::Alert& alert) { daemon_.submit(alert); }
 
-bool ShardedAlertPipeline::route(std::string_view host, const std::optional<net::Ipv4>& src,
-                                 std::string_view user, alerts::AlertType type,
-                                 util::SimTime ts, Op op) {
-  ++alerts_in_;
-  if (!filter_.keep(type, ts, src, host)) return false;
-  ++alerts_kept_;
-  const auto& pc = config_.pipeline;
-  if (pc.entity_idle_ttl > 0 &&
-      alerts_in_ % std::max<std::size_t>(1, pc.eviction_check_every) == 0) {
-    // Global eviction checkpoint, same schedule as AlertPipeline::
-    // maybe_evict: every Nth ingested alert, timed at that alert's ts and
-    // ordered before it. Every shard applies it before its next op.
-    checkpoints_.push_back(ts);
-  }
-  op.seq = alerts_kept_;
-  op.epoch = static_cast<std::uint32_t>(checkpoints_.size());
-  shards_[shard_of(host, src, user)].ops.push_back(op);
-  return true;
-}
-
-void ShardedAlertPipeline::on_alert(const alerts::Alert& alert) {
-  util::LockGuard lock(mu_);
-  pending_.push_back(alert);
-  if (pending_.size() >= config_.batch_size) flush_locked();
-}
-
-void ShardedAlertPipeline::flush() {
-  util::LockGuard lock(mu_);
-  flush_locked();
-}
-
-void ShardedAlertPipeline::flush_locked() {
-  if (pending_.empty()) return;
-  // Swap out first: routing stores pointers into the buffer, which must
-  // not reallocate mid-drain.
-  std::vector<alerts::Alert> batch;
-  batch.swap(pending_);
-  ingest_locked(std::span<const alerts::Alert>(batch));
+void ShardedAlertPipeline::on_alert(alerts::Alert&& alert) {
+  daemon_.submit(std::move(alert));
 }
 
 void ShardedAlertPipeline::ingest(std::span<const alerts::Alert> alerts) {
-  util::LockGuard lock(mu_);
-  ingest_locked(alerts);
-}
-
-void ShardedAlertPipeline::ingest_locked(std::span<const alerts::Alert> alerts) {
-  flush_locked();
-  for (const auto& alert : alerts) {
-    Op op;
-    op.alert = &alert;
-    route(alert.host, alert.src, alert.user, alert.type, alert.ts, op);
-  }
-  drain();
+  for (const auto& alert : alerts) daemon_.submit(alert);
+  flush();
 }
 
 void ShardedAlertPipeline::ingest(const alerts::AlertBatch& batch) {
+  for (std::size_t row = 0; row < batch.size(); ++row) daemon_.submit(batch, row);
+  // flush() drains to idle before returning, so the zero-copy rows in
+  // flight never outlive the caller's batch.
+  flush();
+}
+
+void ShardedAlertPipeline::flush() {
+  daemon_.drain_idle();
   util::LockGuard lock(mu_);
-  ingest_locked(batch);
+  collect();
 }
 
-void ShardedAlertPipeline::ingest_locked(const alerts::AlertBatch& batch) {
-  flush_locked();
-  for (std::size_t row = 0; row < batch.size(); ++row) {
-    Op op;
-    op.batch = &batch;
-    op.row = row;
-    route(batch.host[row], batch.src_at(row), batch.user[row], batch.type[row],
-          batch.ts[row], op);
-  }
-  drain();
-}
-
-void ShardedAlertPipeline::apply_checkpoints(Shard& shard, std::uint32_t epoch,
-                                             const std::vector<util::SimTime>& checkpoints) const {
-  const auto ttl = config_.pipeline.entity_idle_ttl;
-  for (; shard.checkpoints_applied < epoch; ++shard.checkpoints_applied) {
-    const util::SimTime now = checkpoints[shard.checkpoints_applied];
-    for (auto it = shard.entities.begin(); it != shard.entities.end();) {
-      if (now - it->second.last_seen > ttl) {
-        it = shard.entities.erase(it);
-        ++shard.evicted;
-      } else {
-        ++it;
-      }
-    }
-  }
-}
-
-void ShardedAlertPipeline::process(Shard& shard, const alerts::Alert& alert, const Op& op,
-                                   const Factories& factories) const {
-  const std::string key = AlertPipeline::entity_key(alert);
-  auto it = shard.entities.find(key);
-  if (it == shard.entities.end()) {
-    EntityState state;
-    state.detectors.reserve(factories.size());
-    for (const auto& [name, factory] : factories) state.detectors.push_back(factory());
-    it = shard.entities.emplace(key, std::move(state)).first;
-  }
-  EntityState& state = it->second;
-  const std::size_t index = state.index++;
-  state.last_seen = alert.ts;
-  if (alert.src) state.last_src = alert.src;
-  for (std::size_t d = 0; d < state.detectors.size(); ++d) {
-    const auto detection = state.detectors[d]->observe(alert, index);
-    if (!detection) continue;
+void ShardedAlertPipeline::collect() {
+  auto drained = daemon_.drain_alerts(alerts::DaemonAlert::kAllCategories);
+  for (auto& alert : drained) {
+    if (alert->category() != alerts::DaemonAlert::kVerdict) continue;
+    auto& verdict = static_cast<alerts::VerdictAlert&>(*alert);
     Notification note;
-    note.ts = alert.ts;
-    note.entity = key;
-    note.detector = factories[d].first;
-    note.reason = detection->reason;
-    note.score = detection->score;
-    note.source = alert.src ? alert.src : state.last_src;
-    shard.notes.emplace_back(op.seq, std::move(note));
-    if (router_ != nullptr && shard.notes.back().second.source &&
-        detection->score >= config_.pipeline.block_score_floor) {
-      BlockRequest block;
-      block.seq = op.seq;
-      block.source = *shard.notes.back().second.source;
-      block.ts = alert.ts;
-      block.reason = factories[d].first + ": " + detection->reason;
-      shard.blocks.push_back(std::move(block));
-    }
+    note.ts = verdict.ts;
+    note.entity = std::move(verdict.entity);
+    note.detector = std::move(verdict.detector);
+    note.reason = std::move(verdict.reason);
+    note.score = verdict.score;
+    note.source = verdict.source;
+    notifications_.push_back(std::move(note));
   }
-}
-
-void ShardedAlertPipeline::run_shard(Shard& shard, const std::vector<util::SimTime>& checkpoints,
-                                     const Factories& factories) const {
-  for (const Op& op : shard.ops) {
-    apply_checkpoints(shard, op.epoch, checkpoints);
-    if (op.alert != nullptr) {
-      process(shard, *op.alert, op, factories);
-    } else {
-      const alerts::Alert alert = op.batch->materialize(op.row);
-      process(shard, alert, op, factories);
-    }
-  }
-  // Trailing checkpoints (after the shard's last op this drain) still
-  // evict, exactly as the serial pipeline would have by this point.
-  apply_checkpoints(shard, static_cast<std::uint32_t>(checkpoints.size()), checkpoints);
-  shard.ops.clear();
-}
-
-void ShardedAlertPipeline::drain() {
-  // Hand the workers raw pointers/references captured under mu_: each
-  // worker mutates only the shards it is given (disjoint ranges) and reads
-  // the checkpoint/factory tables, which the coordinator — blocked in
-  // parallel_for_chunked until the pool drains — cannot mutate meanwhile.
-  Shard* const shards = shards_.data();
-  const std::vector<util::SimTime>& checkpoints = checkpoints_;
-  const Factories& factories = factories_;
-  pool_.parallel_for_chunked(
-      0, shards_.size(),
-      [this, shards, &checkpoints, &factories](std::size_t lo, std::size_t hi) {
-        for (std::size_t s = lo; s < hi; ++s) run_shard(shards[s], checkpoints, factories);
-      },
-      /*grain=*/1);
-
-  // Deterministic merge: seq is the global kept-alert ordinal, unique per
-  // op; a stable sort keeps per-op detector order. The result is the exact
-  // byte order the serial pipeline emits.
-  std::vector<std::pair<std::uint64_t, Notification>> notes;
-  std::vector<BlockRequest> blocks;
-  for (auto& shard : shards_) {
-    notes.insert(notes.end(), std::make_move_iterator(shard.notes.begin()),
-                 std::make_move_iterator(shard.notes.end()));
-    shard.notes.clear();
-    blocks.insert(blocks.end(), std::make_move_iterator(shard.blocks.begin()),
-                  std::make_move_iterator(shard.blocks.end()));
-    shard.blocks.clear();
-  }
-  std::stable_sort(notes.begin(), notes.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::stable_sort(blocks.begin(), blocks.end(),
-                   [](const auto& a, const auto& b) { return a.seq < b.seq; });
-  notifications_.reserve(notifications_.size() + notes.size());
-  for (auto& [seq, note] : notes) notifications_.push_back(std::move(note));
-  if (router_ != nullptr) {
-    for (const auto& block : blocks) {
-      router_->block(block.source, block.ts, config_.pipeline.block_ttl, block.reason,
-                     "attacktagger-pipeline");
-    }
-  }
-}
-
-std::size_t ShardedAlertPipeline::tracked_entities() const {
-  util::LockGuard lock(mu_);
-  std::size_t total = 0;
-  for (const auto& shard : shards_) total += shard.entities.size();
-  return total;
-}
-
-std::uint64_t ShardedAlertPipeline::evicted_entities() const {
-  util::LockGuard lock(mu_);
-  std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard.evicted;
-  return total;
 }
 
 }  // namespace at::testbed

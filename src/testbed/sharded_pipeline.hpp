@@ -1,194 +1,115 @@
 #pragma once
-// Sharded, deterministic version of AlertPipeline for high-volume ingest.
+// Batch facade over the always-on DetectionDaemon (docs/daemon.md).
 //
-// The paper's production stream is 94K alerts/day with 25M archived; the
-// serial pipeline's throughput ceiling is one core. This variant partitions
-// attack entities across N shards by entity-key hash. Each shard owns its
-// EntityState map and detector instances outright, so the hot path takes no
-// locks: a serial coordinator runs the (cheap, shared-state) periodic-scan
-// filter and routes kept alerts to shard queues, a util::ThreadPool drains
-// the queues in parallel, and notifications/BHR block requests are merged
-// back in global arrival order afterwards. Output is byte-identical to
-// running the same stream through the serial AlertPipeline, including
-// entity-eviction timing: eviction checkpoints (every Nth ingested alert)
-// are broadcast to every shard and applied in-order before the alerts that
-// follow them, which is exactly the serial schedule restricted to each
-// shard's entity partition. The shard-by-entity invariant — one entity
-// never spans shards — is what makes detector state, eviction, and the
-// sessionizer's one-attack-per-entity threat model compose with
-// parallelism at all.
+// Historically this class owned the sharded batch engine; the engine now
+// lives in DetectionDaemon as a streaming service, and ShardedAlertPipeline
+// keeps the old batch contract as a thin feed-all -> drain-to-idle ->
+// collect wrapper: ingest() blocking-submits every alert (or zero-copy
+// batch row) to the daemon, waits for the shards to go idle, and converts
+// the released VerdictAlerts back into Notifications in global arrival
+// order. The determinism guarantee is unchanged — notifications and BHR
+// calls are byte-identical to running the same stream through the serial
+// AlertPipeline — and test_sharded_pipeline.cpp's oracles gate the daemon
+// path through this facade.
 //
-// Two ingest paths:
-//   - on_alert()/ingest(span): owning Alerts, e.g. from monitors.
-//   - ingest(AlertBatch): zero-copy rows from parse_notice_batch; rows the
-//     scan filter drops are never materialized as owning Alerts, and the
-//     per-row Alert construction for kept rows happens inside the owning
-//     shard, in parallel.
-// Call flush() before reading results; streaming on_alert() self-drains
-// every batch_size alerts.
+// Operational alerts (lifecycle, checkpoint, overflow, stats) are
+// discarded by the facade, which keeps its memory bounded under repeated
+// flush(); use DetectionDaemon directly for the typed alert stream.
 //
-// Thread safety: every public entry point takes mu_, so concurrent
-// monitors may push into one pipeline from different threads (ops
-// serialize; the shard fan-out inside a drain still runs lock-free on the
-// pool). Coordinator state is AT_GUARDED_BY(mu_); per-Shard state is
-// exclusively owned by the one worker draining it, with the handoff
-// ordered by the pool's own queue synchronization. Entry points are not
+// Thread safety: the daemon serializes submits internally; the facade's
+// own mutex guards the collected notifications. Entry points are not
 // reentrant — a detector or router callback must not call back into the
-// pipeline (mu_ is non-recursive, so doing so deadlocks instead of
-// corrupting state).
+// pipeline.
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "alerts/alert.hpp"
+#include "alerts/queue.hpp"
 #include "alerts/taxonomy.hpp"
 #include "alerts/zeeklog.hpp"
-#include "net/ipv4.hpp"
+#include "testbed/daemon.hpp"
 #include "testbed/pipeline.hpp"
 #include "util/annotated_mutex.hpp"
 #include "util/annotations.hpp"
-#include "util/thread_pool.hpp"
-#include "util/time_utils.hpp"
 
 namespace at::testbed {
 
 struct ShardedPipelineConfig {
   PipelineConfig pipeline;
-  /// Number of entity shards (>= 1). Independent of the pool's thread
-  /// count: shard assignment is a pure function of the entity key, so the
-  /// same shard count gives the same partition on any machine.
+  /// Number of entity shards (>= 1). Shard assignment is a pure function
+  /// of the entity key, so the same shard count gives the same partition
+  /// on any machine.
   std::size_t shards = 8;
-  /// Streaming path: on_alert() buffers this many alerts between drains.
+  /// Per-shard ingest ring capacity of the underlying daemon (the old
+  /// streaming drain granularity; kept for config compatibility).
   std::size_t batch_size = 8192;
 };
 
 class ShardedAlertPipeline final : public alerts::AlertSink {
  public:
+  using Stats = DetectionDaemon::Stats;
+
   ShardedAlertPipeline(ShardedPipelineConfig config, bhr::BlackHoleRouter* router);
 
   /// Register a detector family (applied per entity). Must be called
   /// before the first alert is ingested.
-  void add_detector(std::string name, DetectorFactory factory) AT_ACQUIRES(mu_);
+  void add_detector(std::string name, DetectorFactory factory);
 
-  /// Streaming sink: buffers and drains every batch_size alerts.
-  void on_alert(const alerts::Alert& alert) override AT_ACQUIRES(mu_);
+  /// Streaming sink: blocking submit into the daemon (never drops).
+  using alerts::AlertSink::on_alert;
+  void on_alert(const alerts::Alert& alert) override;
+  void on_alert(alerts::Alert&& alert) override;
 
-  /// Batch path over owning alerts; drains immediately (no copies).
-  void ingest(std::span<const alerts::Alert> alerts) AT_ACQUIRES(mu_);
+  /// Batch path over owning alerts; processed before return.
+  void ingest(std::span<const alerts::Alert> alerts);
 
-  /// Zero-copy path over a parsed batch; filtered rows never materialize.
-  void ingest(const alerts::AlertBatch& batch) AT_ACQUIRES(mu_);
+  /// Zero-copy path over a parsed batch; filtered rows never materialize,
+  /// kept rows are materialized inside the owning shard.
+  void ingest(const alerts::AlertBatch& batch);
 
-  /// Drain buffered alerts and merge shard outputs. Idempotent.
+  /// Drain the daemon to idle and collect released verdicts. Idempotent.
   void flush() AT_ACQUIRES(mu_);
 
   /// Merged notifications in global arrival order. flush() first, and keep
   /// the pipeline quiescent while holding the reference (it aliases state
-  /// the next ingest mutates).
+  /// the next flush mutates).
   [[nodiscard]] const std::vector<Notification>& notifications() const {
     util::LockGuard lock(mu_);
     return notifications_;
   }
-  [[nodiscard]] std::uint64_t alerts_in() const {
-    util::LockGuard lock(mu_);
-    return alerts_in_;
-  }
+  [[nodiscard]] std::uint64_t alerts_in() const { return daemon_.stats().submitted; }
   [[nodiscard]] std::uint64_t alerts_after_filter() const {
-    util::LockGuard lock(mu_);
-    return alerts_kept_;
+    return daemon_.stats().kept;
   }
-  [[nodiscard]] std::size_t tracked_entities() const;
-  [[nodiscard]] std::uint64_t evicted_entities() const;
-  [[nodiscard]] std::size_t shard_count() const {
-    util::LockGuard lock(mu_);
-    return shards_.size();
+  [[nodiscard]] std::size_t tracked_entities() const {
+    return static_cast<std::size_t>(daemon_.stats().tracked_entities);
+  }
+  [[nodiscard]] std::uint64_t evicted_entities() const {
+    return daemon_.stats().evicted_entities;
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return daemon_.shard_count();
   }
   /// Quiescence contract as notifications().
-  [[nodiscard]] const incidents::ScanFilter& filter() const {
-    util::LockGuard lock(mu_);
-    return filter_;
-  }
+  [[nodiscard]] const incidents::ScanFilter& filter() const { return daemon_.filter(); }
+
+  /// Unified counter snapshot (the daemon's live counters).
+  [[nodiscard]] Stats stats() const { return daemon_.stats(); }
+
+  /// The underlying always-on service, for callers migrating to the typed
+  /// alert-queue API. Mixing direct drain_alerts() calls with flush() is
+  /// fine — the facade only consumes verdict alerts it collects itself.
+  [[nodiscard]] DetectionDaemon& daemon() noexcept { return daemon_; }
 
  private:
-  /// Same shape as AlertPipeline::EntityState — detector instances plus
-  /// substream bookkeeping, owned exclusively by one shard.
-  struct EntityState {
-    std::vector<std::unique_ptr<detect::Detector>> detectors;
-    std::size_t index = 0;
-    std::optional<net::Ipv4> last_src;
-    util::SimTime last_seen = 0;
-  };
+  void collect() AT_REQUIRES(mu_);
 
-  /// One routed kept alert. Exactly one of `alert` / (`batch`, `row`) is
-  /// set; batch rows are materialized by the owning shard.
-  struct Op {
-    std::uint64_t seq = 0;        ///< global kept-alert ordinal (merge key)
-    std::uint32_t epoch = 0;      ///< eviction checkpoints preceding this op
-    const alerts::Alert* alert = nullptr;
-    const alerts::AlertBatch* batch = nullptr;
-    std::size_t row = 0;
-  };
-
-  struct BlockRequest {
-    std::uint64_t seq = 0;
-    net::Ipv4 source;
-    util::SimTime ts = 0;
-    std::string reason;
-  };
-
-  struct Shard {
-    std::vector<Op> ops;
-    std::unordered_map<std::string, EntityState> entities;
-    /// (global seq, notification) — seq is the cross-shard merge key.
-    std::vector<std::pair<std::uint64_t, Notification>> notes;
-    std::vector<BlockRequest> blocks;
-    std::size_t checkpoints_applied = 0;
-    std::uint64_t evicted = 0;
-  };
-
-  using Factories = std::vector<std::pair<std::string, DetectorFactory>>;
-
-  [[nodiscard]] std::size_t shard_of(std::string_view host,
-                                     const std::optional<net::Ipv4>& src,
-                                     std::string_view user) const noexcept AT_REQUIRES(mu_);
-  /// Coordinator step shared by all ingest paths: count, filter,
-  /// checkpoint, route. Returns false when the alert was filtered out.
-  bool route(std::string_view host, const std::optional<net::Ipv4>& src,
-             std::string_view user, alerts::AlertType type, util::SimTime ts, Op op)
-      AT_REQUIRES(mu_);
-  void flush_locked() AT_REQUIRES(mu_);
-  void ingest_locked(std::span<const alerts::Alert> alerts) AT_REQUIRES(mu_);
-  void ingest_locked(const alerts::AlertBatch& batch) AT_REQUIRES(mu_);
-  void drain() AT_REQUIRES(mu_);
-  // Worker-side shard body. Runs on pool threads *without* mu_: the shard
-  // is exclusively owned by the one worker draining it, and the shared
-  // inputs (checkpoints, factories) are passed by const reference so no
-  // guarded member is read off-lock. The coordinator blocks inside drain()
-  // for the pool to finish, so the references stay valid and unmutated.
-  void run_shard(Shard& shard, const std::vector<util::SimTime>& checkpoints,
-                 const Factories& factories) const;
-  void process(Shard& shard, const alerts::Alert& alert, const Op& op,
-               const Factories& factories) const;
-  void apply_checkpoints(Shard& shard, std::uint32_t epoch,
-                         const std::vector<util::SimTime>& checkpoints) const;
-
+  DetectionDaemon daemon_ AT_NOT_GUARDED;  ///< internally synchronized
   mutable util::Mutex mu_;
-  ShardedPipelineConfig config_ AT_NOT_GUARDED;  ///< immutable after ctor
-  bhr::BlackHoleRouter* router_ AT_NOT_GUARDED;  ///< immutable pointer; BHR is coordinator-only
-  incidents::ScanFilter filter_ AT_GUARDED_BY(mu_);
-  Factories factories_ AT_GUARDED_BY(mu_);
-  std::vector<Shard> shards_ AT_GUARDED_BY(mu_);
-  /// Timestamps of global eviction checkpoints, in order; shards consume
-  /// the suffix they have not applied yet.
-  std::vector<util::SimTime> checkpoints_ AT_GUARDED_BY(mu_);
-  std::vector<alerts::Alert> pending_ AT_GUARDED_BY(mu_);  ///< streaming on_alert() buffer
   std::vector<Notification> notifications_ AT_GUARDED_BY(mu_);
-  util::ThreadPool pool_ AT_NOT_GUARDED;  ///< internally synchronized
-  std::uint64_t alerts_in_ AT_GUARDED_BY(mu_) = 0;
-  std::uint64_t alerts_kept_ AT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace at::testbed

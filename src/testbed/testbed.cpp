@@ -122,6 +122,54 @@ VulnerableService* Testbed::add_vulnerable_service(const std::string& package,
   return services_.back().get();
 }
 
+void Testbed::tee_alerts(alerts::AlertSink& sink) {
+  if (!fanout_) {
+    // The pipeline stays the primary (last) sink so move-through delivery
+    // still lands the original alert there; taps receive copies.
+    fanout_ = std::make_unique<alerts::FanoutSink>(*pipeline_);
+    correlator_->retarget(*fanout_);
+  }
+  fanout_->add(sink);
+}
+
+Testbed::Stats Testbed::stats() const {
+  Stats out;
+  const sim::Engine::Stats engine = engine_.stats();
+  out.events_executed = engine.executed;
+  out.events_pending = engine.pending;
+  out.alerts_received = correlator_->received();
+  out.alerts_forwarded = correlator_->forwarded();
+  out.alerts_in = pipeline_->alerts_in();
+  out.alerts_kept = pipeline_->alerts_after_filter();
+  out.notifications = pipeline_->notifications().size();
+  out.tracked_entities = pipeline_->tracked_entities();
+  out.evicted_entities = pipeline_->evicted_entities();
+  out.active_blocks = router_.active_blocks(engine_.now());
+  out.dropped_flows = router_.dropped_flows();
+  out.maintenance_ticks = maintenance_.ticks;
+  return out;
+}
+
+util::TextTable Testbed::Stats::to_table() const {
+  util::TextTable table({"counter", "value"});
+  const auto row = [&table](const char* name, std::uint64_t value) {
+    table.add_row({name, std::to_string(value)});
+  };
+  row("events_executed", events_executed);
+  row("events_pending", events_pending);
+  row("alerts_received", alerts_received);
+  row("alerts_forwarded", alerts_forwarded);
+  row("alerts_in", alerts_in);
+  row("alerts_kept", alerts_kept);
+  row("notifications", notifications);
+  row("tracked_entities", tracked_entities);
+  row("evicted_entities", evicted_entities);
+  row("active_blocks", active_blocks);
+  row("dropped_flows", dropped_flows);
+  row("maintenance_ticks", maintenance_ticks);
+  return table;
+}
+
 ServiceHooks Testbed::hooks() {
   ServiceHooks hooks;
   hooks.on_flow = [this](const net::Flow& flow) { inject_flow(flow); };

@@ -99,6 +99,34 @@ class Testbed {
     return maintenance_;
   }
 
+  /// Mirror the correlator's post-dedup alert stream into `sink` in
+  /// addition to the pipeline (e.g. a DetectionDaemon run side-by-side as
+  /// an always-on operator console). May be called repeatedly to add more
+  /// taps; call before injecting traffic — the fanout list is not
+  /// synchronized against a concurrent alert stream.
+  void tee_alerts(alerts::AlertSink& sink);
+
+  /// Deployment-wide counter snapshot (value-returning, named fields,
+  /// to_table() — the convention shared with sim::Engine::Stats,
+  /// alerts::DaemonStats and bhr::BlackHoleRouter::Stats).
+  struct Stats {
+    std::uint64_t events_executed = 0;   ///< sim engine drain count
+    std::uint64_t events_pending = 0;
+    std::uint64_t alerts_received = 0;   ///< correlator intake (monitor fan-in)
+    std::uint64_t alerts_forwarded = 0;  ///< after cross-monitor dedup
+    std::uint64_t alerts_in = 0;         ///< pipeline intake
+    std::uint64_t alerts_kept = 0;       ///< after the periodic-scan filter
+    std::uint64_t notifications = 0;
+    std::uint64_t tracked_entities = 0;
+    std::uint64_t evicted_entities = 0;
+    std::uint64_t active_blocks = 0;     ///< BHR entries live at engine.now()
+    std::uint64_t dropped_flows = 0;     ///< flows eaten by the BHR filter
+    std::uint64_t maintenance_ticks = 0;
+
+    [[nodiscard]] util::TextTable to_table() const;
+  };
+  [[nodiscard]] Stats stats() const;
+
   /// Hooks handed to honeypot services (monitor fan-in).
   [[nodiscard]] ServiceHooks hooks();
 
@@ -111,6 +139,7 @@ class Testbed {
   NetworkSandbox sandbox_;
   CredentialStore credentials_;
   std::unique_ptr<AlertPipeline> pipeline_;
+  std::unique_ptr<alerts::FanoutSink> fanout_;  ///< lazily spliced by tee_alerts()
   std::unique_ptr<AlertCorrelator> correlator_;
   std::unique_ptr<SshAuditor> ssh_auditor_;
   std::unique_ptr<monitors::ZeekMonitor> zeek_;

@@ -11,6 +11,11 @@
 //       stream a notice log through per-entity detectors; print pages.
 //       With --shards N the log is batch-parsed (zero copy) and run through
 //       the sharded pipeline (scan filter + BHR blocking, N entity shards).
+//   attacktagger daemon  --model FILE --log FILE [--threshold P] [--shards N]
+//                        [--ring SLOTS]
+//       replay a notice log through the always-on DetectionDaemon,
+//       printing typed alerts (verdicts, BHR actions, checkpoints,
+//       lifecycle) as they drain, then the counter table (docs/daemon.md).
 //   attacktagger fig1    --out DIR
 //       build the Figure 1 graph, lay it out, export DOT/GEXF/CSV.
 //   attacktagger replay
@@ -33,6 +38,7 @@
 #include "incidents/annotate.hpp"
 #include "incidents/report.hpp"
 #include "replay/ransomware.hpp"
+#include "testbed/daemon.hpp"
 #include "testbed/sharded_pipeline.hpp"
 #include "util/parse.hpp"
 #include "util/strings.hpp"
@@ -216,6 +222,53 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_daemon(const std::map<std::string, std::string>& flags) {
+  const auto model_text = read_file(flag(flags, "model", "model.attacktagger"));
+  const auto params = fg::read_params(model_text);
+  if (!params) {
+    std::fprintf(stderr, "error: model file is not a valid attacktagger model\n");
+    return 1;
+  }
+  const double threshold = num_flag<double>(flags, "threshold", "0.75");
+  auto log_text = read_file(flag(flags, "log", "notices.log"));
+  const auto batch = alerts::parse_notice_batch(std::move(log_text));
+
+  testbed::DaemonConfig config;
+  config.shards = num_flag<std::size_t>(flags, "shards", "8");
+  config.ring_capacity = num_flag<std::size_t>(flags, "ring", "8192");
+  bhr::BlackHoleRouter router;
+  testbed::DetectionDaemon daemon(config, &router);
+  auto compiled = fg::compile_params(*params);
+  daemon.add_detector("factor-graph", [compiled, threshold] {
+    return std::make_unique<detect::FactorGraphDetector>(compiled, threshold);
+  });
+
+  std::printf("replaying %zu notices (%zu malformed) through %zu shards\n",
+              batch.size(), batch.malformed, daemon.shard_count());
+  const auto print_drained = [&daemon](std::uint32_t mask) {
+    std::size_t printed = 0;
+    for (const auto& alert : daemon.drain_alerts(mask)) {
+      std::printf("%s\n", alert->str().c_str());
+      ++printed;
+    }
+    return printed;
+  };
+  // Blocking submits (a replay never drops); drain the operator queue
+  // periodically the way a live console would, instead of once at the end.
+  std::size_t typed_alerts = 0;
+  for (std::size_t row = 0; row < batch.size(); ++row) {
+    daemon.submit(batch, row);
+    if ((row + 1) % 4096 == 0) typed_alerts += print_drained(alerts::DaemonAlert::kAllCategories);
+  }
+  daemon.drain_idle();
+  daemon.stop();
+  typed_alerts += print_drained(alerts::DaemonAlert::kAllCategories);
+
+  std::printf("\n%zu typed alerts drained; %zu BHR audit entries\n%s", typed_alerts,
+              router.audit_log().size(), daemon.stats().to_table().render().c_str());
+  return 0;
+}
+
 int cmd_fig1(const std::map<std::string, std::string>& flags) {
   const std::string out_dir = flag(flags, "out", "fig1_out");
   std::filesystem::create_directories(out_dir);
@@ -307,8 +360,8 @@ int cmd_vrt(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: attacktagger <corpus|mine|train|detect|fig1|replay|vrt|appendix> "
-                 "[--flag value ...]\n");
+                 "usage: attacktagger <corpus|mine|train|detect|daemon|fig1|replay|vrt|"
+                 "appendix> [--flag value ...]\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -318,6 +371,7 @@ int main(int argc, char** argv) {
     if (command == "mine") return cmd_mine(flags);
     if (command == "train") return cmd_train(flags);
     if (command == "detect") return cmd_detect(flags);
+    if (command == "daemon") return cmd_daemon(flags);
     if (command == "fig1") return cmd_fig1(flags);
     if (command == "replay") return cmd_replay(flags);
     if (command == "vrt") return cmd_vrt(flags);
