@@ -42,6 +42,13 @@ if [ -x "$bench_dir/bench_daemon" ]; then
     echo "== bench_daemon"
     "$bench_dir/bench_daemon" --out "$repo_root/BENCH_daemon.json"
 fi
+# BHR line-rate filter: LPM-trie lookup throughput (batched and scalar,
+# single- and multi-thread against a live mutator) with an in-bench
+# verdict oracle (exits nonzero on divergence).
+if [ -x "$bench_dir/bench_bhr" ]; then
+    echo "== bench_bhr"
+    "$bench_dir/bench_bhr" --out "$repo_root/BENCH_bhr.json"
+fi
 
 # Everything else is a google-benchmark binary; use its JSON reporter.
 for bench in "$bench_dir"/bench_*; do
@@ -51,6 +58,7 @@ for bench in "$bench_dir"/bench_*; do
     [ "$name" = "bench_sim_engine" ] && continue
     [ "$name" = "bench_fg_inference" ] && continue
     [ "$name" = "bench_daemon" ] && continue
+    [ "$name" = "bench_bhr" ] && continue
     out="$repo_root/BENCH_${name#bench_}.json"
     echo "== $name"
     "$bench" --benchmark_out="$out" --benchmark_out_format=json \

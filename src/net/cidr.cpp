@@ -30,6 +30,15 @@ bool Cidr::contains(Ipv4 ip) const noexcept {
   return (ip.value() & mask_for(prefix_len_)) == base_.value();
 }
 
+bool Cidr::contains(const Cidr& other) const noexcept {
+  return prefix_len_ <= other.prefix_len_ &&
+         (other.base_.value() & mask_for(prefix_len_)) == base_.value();
+}
+
+Ipv4 Cidr::last() const noexcept {
+  return Ipv4(base_.value() | ~mask_for(prefix_len_));
+}
+
 bool Cidr::overlaps(const Cidr& other) const noexcept {
   const unsigned shorter = prefix_len_ < other.prefix_len_ ? prefix_len_ : other.prefix_len_;
   return (base_.value() & mask_for(shorter)) == (other.base_.value() & mask_for(shorter));

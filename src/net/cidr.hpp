@@ -26,7 +26,12 @@ class Cidr {
     return 1ULL << (32 - prefix_len_);
   }
   [[nodiscard]] bool contains(Ipv4 ip) const noexcept;
+  /// Prefix containment: every address of `other` lies inside this block
+  /// (true when other is this block or a longer-prefix child of it).
+  [[nodiscard]] bool contains(const Cidr& other) const noexcept;
   [[nodiscard]] bool overlaps(const Cidr& other) const noexcept;
+  /// Highest address in the block (broadcast address for len < 31).
+  [[nodiscard]] Ipv4 last() const noexcept;
   /// Host at offset within the block (offset < host_count()).
   [[nodiscard]] Ipv4 host(std::uint64_t offset) const;
   [[nodiscard]] std::string str() const;

@@ -70,6 +70,16 @@ class CallbackSlot {
 
   void operator()(Engine& engine) { ops_->invoke(&buf_, engine); }
 
+  /// std::function::target-style typed access: the stored callable when it
+  /// is exactly an inline-stored F, else nullptr. Lets a TimerQueue owner
+  /// use trivially-copyable tag callables as *payloads* (read the deadline
+  /// context back at pop_due time) without ever invoking them — the BHR's
+  /// wheel-driven TTL expiry schedules {ip} tags this way.
+  template <typename F>
+  [[nodiscard]] const F* target() const noexcept {
+    return ops_ == &OpsFor<F>::ops ? reinterpret_cast<const F*>(&buf_) : nullptr;
+  }
+
  private:
   struct Ops {
     void (*invoke)(void* obj, Engine& engine);

@@ -314,4 +314,49 @@ void TimerQueue::advance_floor(util::SimTime t) {
   cursor_ = offset_of(t);
 }
 
+std::size_t TimerQueue::count_due(util::SimTime until) const {
+  if (live_ == 0 || until < origin_) return 0;
+  const std::uint64_t limit = offset_of(until);  // inclusive
+  std::size_t due = 0;
+  // Wheel residents: walk the occupied bitmap over [cursor_, limit] within
+  // the window; each set bit's bucket list is entirely due (a bucket holds
+  // exactly one timestamp).
+  if (limit >= window_base_) {
+    const std::uint64_t start = cursor_ > window_base_ ? cursor_ - window_base_ : 0;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(limit - window_base_, kWheelSize - 1);
+    if (start < kWheelSize && start <= end) {
+      for (std::uint64_t w = start >> 6; w <= (end >> 6); ++w) {
+        std::uint64_t word = occupied_[w];
+        if (w == (start >> 6)) word &= ~std::uint64_t{0} << (start & 63);
+        if (w == (end >> 6) && (end & 63) != 63) {
+          word &= (std::uint64_t{1} << ((end & 63) + 1)) - 1;
+        }
+        while (word != 0) {
+          const auto bit = static_cast<std::uint64_t>(std::countr_zero(word));
+          word &= word - 1;
+          const Bucket& bucket = buckets_[((w << 6) + bit) & (kWheelSize - 1)];
+          for (std::uint32_t i = bucket.head; i != kNil; i = next_[i]) ++due;
+        }
+      }
+    }
+  }
+  // Overflow residents: (when, seq) heap order means a node's children are
+  // no earlier, so a DFS pruned at `when > until` visits only the due
+  // prefix. Lazily-cancelled tombstones stay parked until they surface.
+  std::vector<std::size_t> stack;
+  if (!overflow_.empty() && overflow_.front().when <= until) stack.push_back(0);
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    if (slot_at(overflow_[i].slot).state == SlotState::kOverflow) ++due;
+    for (const std::size_t child : {2 * i + 1, 2 * i + 2}) {
+      if (child < overflow_.size() && overflow_[child].when <= until) {
+        stack.push_back(child);
+      }
+    }
+  }
+  return due;
+}
+
 }  // namespace at::sim::detail

@@ -90,6 +90,13 @@ class TimerQueue {
   /// Raise the floor to `t` (no-op if behind); run_until's idle advance.
   void advance_floor(util::SimTime t);
 
+  /// Count pending events with deadline <= until, without popping them.
+  /// Cost is bounded by the due population (occupied-bucket walk over the
+  /// due window span plus a heap-prefix DFS), not by live() — the BHR uses
+  /// it to report active blocks as table size minus due-but-unreaped
+  /// expiries, the same contract its lazy min-heap DFS used to provide.
+  [[nodiscard]] std::size_t count_due(util::SimTime until) const;
+
  private:
   enum class SlotState : std::uint8_t { kFree, kWheel, kOverflow, kOverflowDead };
 
@@ -133,6 +140,9 @@ class TimerQueue {
   }
 
   [[nodiscard]] Slot& slot_at(std::uint32_t index) noexcept {
+    return slabs_[index >> kSlabChunkBits][index & (kSlabChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_at(std::uint32_t index) const noexcept {
     return slabs_[index >> kSlabChunkBits][index & (kSlabChunkSize - 1)];
   }
 

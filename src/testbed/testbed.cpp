@@ -1,5 +1,8 @@
 #include "testbed/testbed.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "fg/model.hpp"
 #include "vrt/snapshot.hpp"
 
@@ -69,6 +72,25 @@ void Testbed::deploy(util::SimTime now) {
 
 bool Testbed::inject_flow(const net::Flow& flow) {
   if (router_.filter(flow)) return false;
+  return process_admitted(flow);
+}
+
+std::size_t Testbed::inject_flows(std::span<const net::Flow> flows) {
+  std::array<std::uint8_t, 256> verdicts;
+  std::size_t delivered = 0;
+  for (std::size_t at = 0; at < flows.size(); at += verdicts.size()) {
+    const std::size_t m = std::min(verdicts.size(), flows.size() - at);
+    router_.filter_batch(flows.subspan(at, m),
+                         std::span<std::uint8_t>(verdicts.data(), m));
+    for (std::size_t i = 0; i < m; ++i) {
+      if (verdicts[i] != 0) continue;  // dropped at the BHR
+      if (process_admitted(flows[at + i])) ++delivered;
+    }
+  }
+  return delivered;
+}
+
+bool Testbed::process_admitted(const net::Flow& flow) {
   // Every attempt against the protected space feeds the BHR's scan view.
   if (flow.state != net::ConnState::kEstablished) scan_recorder_.record(flow);
   // Flows *originating* in the honeypot go through the egress sandbox;

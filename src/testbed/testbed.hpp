@@ -6,6 +6,7 @@
 // points a live attacker would use.
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "incidents/generator.hpp"
@@ -82,6 +83,13 @@ class Testbed {
   /// dropped at the BHR.
   bool inject_flow(const net::Flow& flow);
 
+  /// Batched ingest: BHR verdicts are resolved through filter_batch (one
+  /// epoch pin + prefetched trie descents per chunk), then admitted flows
+  /// run the same monitor path as inject_flow, in order. Returns how many
+  /// flows were delivered (admitted by the BHR and not eaten by the
+  /// egress sandbox).
+  std::size_t inject_flows(std::span<const net::Flow> flows);
+
   /// Counters from the periodic maintenance events (see below).
   struct MaintenanceStats {
     std::uint64_t ticks = 0;             ///< maintenance events that ran
@@ -131,6 +139,9 @@ class Testbed {
   [[nodiscard]] ServiceHooks hooks();
 
  private:
+  /// Post-BHR monitor path shared by inject_flow()/inject_flows().
+  bool process_admitted(const net::Flow& flow);
+
   TestbedConfig config_;
   sim::Engine engine_;
   bhr::BlackHoleRouter router_;

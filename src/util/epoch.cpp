@@ -1,0 +1,223 @@
+#include "util/epoch.hpp"
+
+#include <stdexcept>
+
+namespace at::util {
+
+namespace {
+
+/// Live-domain registry. A thread's slot lease is released from a
+/// thread_local destructor, which may run after the domain it points into
+/// was destroyed (a test-scoped domain, say). The release hook therefore
+/// re-validates the domain pointer against this registry under its mutex
+/// before touching the slot. Both objects are intentionally leaked so the
+/// hook stays safe during static destruction (still-reachable at exit, not
+/// a LeakSanitizer finding).
+struct DomainRegistry {
+  Mutex mu;
+  std::vector<EpochDomain*> live AT_GUARDED_BY(mu);
+};
+
+DomainRegistry& registry() {
+  // Intentionally leaked (see above); naked new is fine in src/util/.
+  static DomainRegistry* reg = new DomainRegistry();
+  return *reg;
+}
+
+std::atomic<std::uint64_t> next_domain_id{1};
+
+}  // namespace
+
+/// One lease per (thread, domain): which reader slot this thread owns in
+/// that domain, plus the reentrancy depth of its EpochGuards.
+struct ThreadLease {
+  std::uint64_t domain_id = 0;
+  EpochDomain* domain = nullptr;
+  void* slot = nullptr;  ///< EpochDomain::ReaderSlot*, type-erased
+  std::uint32_t depth = 0;
+};
+
+namespace {
+
+struct LeaseTable {
+  std::vector<ThreadLease> leases;
+  ~LeaseTable() {
+    // Thread exit: hand every leased slot back — but only if the domain is
+    // still alive (registry check), otherwise the slot memory is gone.
+    DomainRegistry& reg = registry();
+    LockGuard lock(reg.mu);
+    for (const ThreadLease& lease : leases) {
+      for (EpochDomain* live : reg.live) {
+        if (live == lease.domain) {
+          live->release_slot(lease.slot);
+          break;
+        }
+      }
+    }
+  }
+};
+
+LeaseTable& lease_table() {
+  thread_local LeaseTable table;
+  return table;
+}
+
+}  // namespace
+
+EpochDomain::EpochDomain()
+    : domain_id_(next_domain_id.fetch_add(1, std::memory_order_relaxed)) {
+  DomainRegistry& reg = registry();
+  LockGuard lock(reg.mu);
+  reg.live.push_back(this);
+}
+
+EpochDomain::~EpochDomain() {
+  {
+    DomainRegistry& reg = registry();
+    LockGuard lock(reg.mu);
+    for (std::size_t i = 0; i < reg.live.size(); ++i) {
+      if (reg.live[i] == this) {
+        reg.live[i] = reg.live.back();
+        reg.live.pop_back();
+        break;
+      }
+    }
+  }
+  // Destruction implies quiescence: nobody can legally hold an EpochGuard
+  // on this domain anymore, so everything still in limbo is free to go.
+  LockGuard lock(retire_mu_);
+  for (const Retired& r : limbo_) r.deleter(r.ptr);
+  limbo_.clear();
+}
+
+EpochDomain& EpochDomain::global() {
+  static EpochDomain domain;
+  return domain;
+}
+
+EpochDomain::ReaderSlot* EpochDomain::enter() {
+  LeaseTable& table = lease_table();
+  for (ThreadLease& lease : table.leases) {
+    if (lease.domain_id == domain_id_) {
+      auto* slot = static_cast<ReaderSlot*>(lease.slot);
+      if (lease.depth++ == 0) pin(*slot);
+      return slot;
+    }
+  }
+  // First guard on this domain from this thread: lease a slot (sticky until
+  // thread exit, so the per-guard fast path above never scans slots_).
+  ReaderSlot* slot = nullptr;
+  for (ReaderSlot& candidate : slots_) {
+    if (!candidate.used.load(std::memory_order_relaxed) &&
+        !candidate.used.exchange(true, std::memory_order_acq_rel)) {
+      slot = &candidate;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    throw std::runtime_error("EpochDomain: more than kMaxReaders threads");
+  }
+  table.leases.push_back(ThreadLease{domain_id_, this, slot, 1});
+  pin(*slot);
+  return slot;
+}
+
+void EpochDomain::exit(ReaderSlot* slot) noexcept {
+  LeaseTable& table = lease_table();
+  for (ThreadLease& lease : table.leases) {
+    if (lease.slot == slot && lease.domain_id == domain_id_) {
+      if (--lease.depth == 0) slot->epoch.store(0, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void EpochDomain::release_slot(void* slot) noexcept {
+  auto* reader = static_cast<ReaderSlot*>(slot);
+  reader->epoch.store(0, std::memory_order_release);
+  reader->used.store(false, std::memory_order_release);
+}
+
+void EpochDomain::pin(ReaderSlot& slot) noexcept {
+  // Store-then-recheck loop: after the store, the pinned value equals the
+  // global epoch at some instant inside the guard, so a pinned reader can
+  // lag the global epoch by at most one concurrent advance — the bound the
+  // two-epoch grace period in collect_locked() relies on.
+  std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot.epoch.store(e, std::memory_order_seq_cst);
+    const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+    if (g == e) return;
+    e = g;
+  }
+}
+
+void EpochDomain::retire(void* ptr, void (*deleter)(void*) noexcept) {
+  std::vector<Retired> ready;
+  {
+    LockGuard lock(retire_mu_);
+    limbo_.push_back(Retired{ptr, deleter, global_epoch_.load(std::memory_order_relaxed)});
+    try_advance_locked();
+    collect_locked(ready);
+  }
+  for (const Retired& r : ready) r.deleter(r.ptr);
+}
+
+bool EpochDomain::try_advance() {
+  std::vector<Retired> ready;
+  bool advanced = false;
+  {
+    LockGuard lock(retire_mu_);
+    advanced = try_advance_locked();
+    collect_locked(ready);
+  }
+  for (const Retired& r : ready) r.deleter(r.ptr);
+  return advanced;
+}
+
+void EpochDomain::flush() {
+  std::vector<Retired> ready;
+  {
+    LockGuard lock(retire_mu_);
+    // Two successful advances age any limbo entry past its grace period;
+    // the third attempt covers entries retired exactly at the call.
+    for (int round = 0; round < 3 && !limbo_.empty(); ++round) {
+      if (!try_advance_locked()) break;
+      collect_locked(ready);
+    }
+  }
+  for (const Retired& r : ready) r.deleter(r.ptr);
+}
+
+std::size_t EpochDomain::limbo_size() const {
+  LockGuard lock(retire_mu_);
+  return limbo_.size();
+}
+
+bool EpochDomain::try_advance_locked() {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (const ReaderSlot& slot : slots_) {
+    const std::uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned != e) return false;  // a reader lags: no advance
+  }
+  global_epoch_.store(e + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+void EpochDomain::collect_locked(std::vector<Retired>& ready) {
+  const std::uint64_t cur = global_epoch_.load(std::memory_order_relaxed);
+  std::size_t kept = 0;
+  for (const Retired& r : limbo_) {
+    // Freed once two advances separate us from the retirement epoch: every
+    // reader that could have observed the pointer (pinned <= r.epoch) has
+    // unpinned at least once since (see pin() for the lag bound).
+    if (r.epoch + 2 <= cur) {
+      ready.push_back(r);
+    } else {
+      limbo_[kept++] = r;
+    }
+  }
+  limbo_.resize(kept);
+}
+
+}  // namespace at::util

@@ -1,0 +1,126 @@
+#pragma once
+// Epoch-based reclamation (EBR) for lock-free read paths.
+//
+// The BHR's LPM trie publishes nodes with release stores and lets readers
+// traverse them with acquire loads and no lock. Writers that unlink a node
+// cannot free it immediately — a reader may still be dereferencing it — so
+// they `retire()` it into a limbo list tagged with the current epoch.
+// Readers wrap every traversal in an `EpochGuard`, which pins the thread's
+// reader slot to the global epoch. A retired pointer is freed only once the
+// global epoch has advanced twice past its retirement epoch, and the epoch
+// can only advance when every pinned reader has caught up to the current
+// one — the classic two-epoch grace period (Fraser-style EBR).
+//
+// Guarantee: a pointer passed to retire() after being unlinked from every
+// reader-reachable location is freed only when no EpochGuard that could
+// have observed it is still alive.
+//
+// Read side (hot, lock-free): pin = one seq_cst store + reload of the
+// global epoch; unpin = one release store. Reentrant per thread. Write
+// side (cold): retire/advance serialize on a mutex; deleters run outside
+// the lock.
+//
+// Threads lease one cache-line-sized reader slot per domain on first use
+// and keep it until thread exit (a live-domain registry makes the exit
+// hook safe even when the domain was destroyed first). Domains support at
+// most kMaxReaders concurrently registered threads.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/annotated_mutex.hpp"
+#include "util/annotations.hpp"
+
+namespace at::util {
+
+class EpochGuard;
+
+class EpochDomain {
+ public:
+  static constexpr std::size_t kMaxReaders = 256;
+
+  EpochDomain();
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Queue `ptr` for deferred deletion. `deleter` must tolerate running on
+  /// any thread, after the domain's grace period (and possibly from a later
+  /// retire()/flush() call or the domain destructor).
+  void retire(void* ptr, void (*deleter)(void*) noexcept) AT_EXCLUDES(retire_mu_);
+
+  /// Try to advance the global epoch (succeeds when every pinned reader
+  /// has reached the current epoch) and free anything whose grace period
+  /// elapsed. Returns true when the epoch moved.
+  bool try_advance() AT_EXCLUDES(retire_mu_);
+
+  /// Advance repeatedly until the limbo list drains or a pinned reader
+  /// stalls progress. With no active readers this frees everything retired
+  /// so far (used by data-structure destructors, which imply quiescence).
+  void flush() AT_EXCLUDES(retire_mu_);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  /// Retired-but-not-yet-freed pointer count (diagnostics/tests).
+  [[nodiscard]] std::size_t limbo_size() const AT_EXCLUDES(retire_mu_);
+
+  /// Process-wide default domain (what LpmTrie uses unless told otherwise).
+  static EpochDomain& global();
+
+  /// Internal: thread-exit hook handing back a leased reader slot (called
+  /// from the lease table's thread_local destructor in epoch.cpp only).
+  void release_slot(void* slot) noexcept;
+
+ private:
+  friend class EpochGuard;
+
+  struct alignas(64) ReaderSlot {
+    std::atomic<std::uint64_t> epoch{0};  ///< 0 = not pinned
+    std::atomic<bool> used{false};        ///< leased by some thread
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*) noexcept;
+    std::uint64_t epoch;  ///< global epoch at retirement
+  };
+
+  /// Reader-side entry/exit (via EpochGuard). enter() leases this thread's
+  /// slot on first use (throws std::runtime_error past kMaxReaders) and
+  /// pins it; reentrant calls only bump a thread-local depth.
+  ReaderSlot* enter();
+  void exit(ReaderSlot* slot) noexcept;
+
+  void pin(ReaderSlot& slot) noexcept;
+  bool try_advance_locked() AT_REQUIRES(retire_mu_);
+  void collect_locked(std::vector<Retired>& ready) AT_REQUIRES(retire_mu_);
+
+  std::atomic<std::uint64_t> global_epoch_ AT_NOT_GUARDED{1};  ///< atomic
+  std::array<ReaderSlot, kMaxReaders> slots_ AT_NOT_GUARDED{};  ///< atomics
+  std::uint64_t domain_id_ AT_NOT_GUARDED;  ///< immutable after construction
+  mutable Mutex retire_mu_;
+  std::vector<Retired> limbo_ AT_GUARDED_BY(retire_mu_);
+};
+
+/// RAII read-side critical section. While alive, pointers loaded (acquire)
+/// from epoch-published structures stay valid even if a writer concurrently
+/// unlinks and retires them. Reentrant; cheap enough for per-batch (and
+/// even per-lookup) use on the flow filter path.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain& domain = EpochDomain::global())
+      : domain_(&domain), slot_(domain.enter()) {}
+  ~EpochGuard() { domain_->exit(slot_); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain* domain_;
+  EpochDomain::ReaderSlot* slot_;
+};
+
+}  // namespace at::util

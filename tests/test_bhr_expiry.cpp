@@ -1,11 +1,12 @@
-// Property tests for the BHR expiry min-heap and the hybrid scan
+// Property tests for the BHR's TTL expiry machinery and the hybrid scan
 // recorder.
 //
-// The heap replaces O(all blocks) scans in expire()/active_blocks() with
-// lazy-deleted {expires_at, stamp, ip} items; a naive model (map of
-// expiry times, full scan each query) is the oracle. Random traces mix
-// TTL'd blocks, permanent blocks, re-blocks that extend or shorten TTLs
-// (staling the old heap item), unblocks, and out-of-order expire() ticks.
+// Expiry rides the sim timing wheel (one scheduled event per TTL'd block,
+// cancelled in O(1) on re-block/unblock — the successor of the seed's
+// lazy-deleted min-heap); a naive model (map of expiry times, full scan
+// each query) is the oracle. Random traces mix TTL'd blocks, permanent
+// blocks, re-blocks that extend or shorten TTLs, unblocks, and
+// out-of-order expire() ticks.
 
 #include <gtest/gtest.h>
 
@@ -180,6 +181,37 @@ TEST(ScanRecorderHybrid, OneProbeSourcesStayInline) {
   }
   EXPECT_EQ(recorder.distinct_sources(), 5000u);
   EXPECT_EQ(recorder.promoted_sources(), 0u);
+}
+
+TEST(ScanRecorderHybrid, TopScannersBreaksEqualCountTiesByAscendingSource) {
+  bhr::ScanRecorder recorder;
+  // Three tiers of equal-probe-count sources, recorded in an order chosen
+  // to disagree with the documented tie-break (descending addresses, tiers
+  // interleaved) so a ranking that leaks unordered_map iteration order
+  // fails. Regression for the determinism contract on top_scanners().
+  const std::uint32_t tier3[] = {9, 4, 7};  // 3 probes each
+  const std::uint32_t tier2[] = {8, 2, 5};  // 2 probes each
+  const std::uint32_t tier1[] = {6, 1, 3};  // 1 probe each
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const std::uint32_t src : tier3) recorder.record(probe(src, 10, pass));
+    if (pass < 2) {
+      for (const std::uint32_t src : tier2) recorder.record(probe(src, 10, pass));
+    }
+    if (pass < 1) {
+      for (const std::uint32_t src : tier1) recorder.record(probe(src, 10, pass));
+    }
+  }
+  const auto top = recorder.top_scanners(9);
+  ASSERT_EQ(top.size(), 9u);
+  const std::uint32_t expected[] = {4, 7, 9, 2, 5, 8, 1, 3, 6};
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(top[i].source, external_ip(expected[i])) << "rank " << i;
+    EXPECT_EQ(top[i].probes, 3u - i / 3) << "rank " << i;
+  }
+  // A shorter k truncates the same total order.
+  const auto top4 = recorder.top_scanners(4);
+  ASSERT_EQ(top4.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(top4[i].source, external_ip(expected[i]));
 }
 
 }  // namespace

@@ -13,7 +13,9 @@
 #   2. lint                cmake --target lint (header TUs + at_lint sweep)
 #   3. ctest               full suite, parallel
 #   4. sanitizers          build-asan/      AT_SANITIZE=address,undefined,
-#                          then the zeeklog/fg gtest suites under ASan+UBSan
+#                          then the zeeklog/fg gtest suites under ASan+UBSan;
+#                          build-tsan/      AT_SANITIZE=thread, then the
+#                          epoch-reclamation + concurrent-BHR suites
 
 set -euo pipefail
 
@@ -84,6 +86,18 @@ else
     ./build-asan/tests/at_tests \
       --gtest_filter='ZeekLog*:ZeeklogMalformed*:BpTest*:ChainTest*:EnumerateTest*:FactorGraphTest*:ModelTest*:IncrementalBp*:EntityBatchBp*' \
     || fail "sanitized tests"
+
+  echo "=== [4/4] TSan: epoch reclamation + concurrent BHR readers ==="
+  # The lock-free read path's race coverage: a missing acquire/release edge
+  # in the trie's COW publishes or the epoch pin protocol shows up here.
+  cmake -B build-tsan -S . -DAT_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target at_tests > /dev/null \
+    || fail "tsan build"
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/at_tests \
+      --gtest_filter='Epoch*:BhrConcurrent*:LpmTrie*' \
+    || fail "tsan tests"
 fi
 
 echo "ci_check: OK"
