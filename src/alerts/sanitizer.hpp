@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "alerts/alert.hpp"
+#include "util/annotations.hpp"
 
 namespace at::alerts {
 
@@ -23,7 +24,10 @@ class Sanitizer {
   explicit Sanitizer(SanitizeOptions options = {}) : options_(options) {}
 
   /// Sanitize a raw log line (IPs masked, URLs defanged, names pseudonymized).
-  [[nodiscard]] std::string sanitize_line(std::string_view line) const;
+  /// AT_SANITIZES: strips user-supplied content down to the symbolic
+  /// skeleton the paper's preprocessing keeps, so the result is safe for
+  /// downstream storage and formatting.
+  [[nodiscard]] std::string sanitize_line(std::string_view line) const AT_SANITIZES;
 
   /// Sanitize an alert in place: src IP rendering is masked via
   /// Ipv4::anonymized at print time, so only metadata and user need work.

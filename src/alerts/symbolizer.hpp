@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "alerts/alert.hpp"
+#include "util/annotations.hpp"
 
 namespace at::alerts {
 
@@ -54,7 +55,10 @@ class Symbolizer {
 };
 
 /// Parse a leading "HH:MM:SS" prefix; returns seconds-of-day or nullopt.
-[[nodiscard]] std::optional<util::SimTime> parse_time_of_day(std::string_view text) noexcept;
+/// AT_SANITIZES: strict HH:MM:SS grammar; the returned offset is bounded
+/// by construction (< 24h).
+[[nodiscard]] std::optional<util::SimTime> parse_time_of_day(std::string_view text) noexcept
+    AT_SANITIZES;
 /// Extract the "[host]" bracket token if present.
 [[nodiscard]] std::optional<std::string> parse_bracket_host(std::string_view line);
 /// First token that looks like an IPv4 (possibly partially masked, e.g.

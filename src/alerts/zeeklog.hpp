@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "alerts/alert.hpp"
+#include "util/annotations.hpp"
 
 namespace at::alerts {
 
@@ -24,7 +25,9 @@ namespace at::alerts {
 [[nodiscard]] std::string to_notice_line(const Alert& alert);
 
 /// Parse one notice line; returns nullopt on malformed input or comments.
-[[nodiscard]] std::optional<Alert> parse_notice_line(std::string_view line);
+/// AT_UNTRUSTED: notice logs arrive from monitored hosts — every field is
+/// attacker-influenced until validated.
+[[nodiscard]] std::optional<Alert> parse_notice_line(std::string_view line) AT_UNTRUSTED;
 
 /// Full log with header.
 [[nodiscard]] std::string write_notice_log(const std::vector<Alert>& alerts);
@@ -34,7 +37,7 @@ struct NoticeLogResult {
   std::size_t malformed = 0;
 };
 /// Parse a whole log (comments and blank lines are skipped silently).
-[[nodiscard]] NoticeLogResult read_notice_log(std::string_view text);
+[[nodiscard]] NoticeLogResult read_notice_log(std::string_view text) AT_UNTRUSTED;
 
 /// Structure-of-arrays view of a parsed notice log. Every string column is
 /// a std::string_view into `arena()` — the log text retained by the batch —
@@ -79,6 +82,6 @@ class AlertBatch {
 /// Zero-copy batch parse: takes ownership of the log text (move it in) and
 /// returns a column-oriented batch of string_views into it. Agrees line-for-
 /// line with parse_notice_line, including malformed/comment handling.
-[[nodiscard]] AlertBatch parse_notice_batch(std::string text);
+[[nodiscard]] AlertBatch parse_notice_batch(std::string text) AT_UNTRUSTED;
 
 }  // namespace at::alerts

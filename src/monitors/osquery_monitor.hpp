@@ -8,6 +8,7 @@
 #include "alerts/symbolizer.hpp"
 #include "monitors/events.hpp"
 #include "monitors/monitor.hpp"
+#include "util/annotations.hpp"
 
 namespace at::monitors {
 
@@ -15,7 +16,8 @@ class OsqueryMonitor final : public Monitor {
  public:
   explicit OsqueryMonitor(alerts::AlertSink& sink);
 
-  void on_process(const ProcessEvent& event);
+  /// AT_UNTRUSTED: the command line inside the event is attacker-typed.
+  void on_process(const ProcessEvent& event) AT_UNTRUSTED;
 
   [[nodiscard]] std::uint64_t events_seen() const noexcept { return events_seen_; }
   [[nodiscard]] std::uint64_t unmapped() const noexcept { return unmapped_; }
@@ -31,7 +33,8 @@ class AuditdMonitor final : public Monitor {
  public:
   explicit AuditdMonitor(alerts::AlertSink& sink);
 
-  void on_syscall(const SyscallEvent& event);
+  /// AT_UNTRUSTED: syscall arguments (paths, targets) are attacker-chosen.
+  void on_syscall(const SyscallEvent& event) AT_UNTRUSTED;
 
   [[nodiscard]] std::uint64_t events_seen() const noexcept { return events_seen_; }
 

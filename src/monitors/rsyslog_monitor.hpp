@@ -8,6 +8,7 @@
 #include "alerts/sanitizer.hpp"
 #include "alerts/symbolizer.hpp"
 #include "monitors/monitor.hpp"
+#include "util/annotations.hpp"
 #include "util/time_utils.hpp"
 
 namespace at::monitors {
@@ -18,8 +19,10 @@ class RsyslogMonitor final : public Monitor {
       : Monitor("rsyslog", alerts::Origin::kRsyslog, sink) {}
 
   /// Ingest one raw log line; `day_start` anchors the HH:MM:SS timestamp.
-  /// Returns true if the line mapped to an alert.
-  bool on_line(std::string_view line, util::SimTime day_start = 0);
+  /// Returns true if the line mapped to an alert. AT_UNTRUSTED: syslog
+  /// lines are attacker-writable text (the wget example is literally an
+  /// intruder's command line).
+  bool on_line(std::string_view line, util::SimTime day_start = 0) AT_UNTRUSTED;
 
   [[nodiscard]] std::uint64_t lines_seen() const noexcept { return lines_seen_; }
   [[nodiscard]] std::uint64_t unmapped() const noexcept { return unmapped_; }

@@ -13,6 +13,7 @@
 #include "monitors/monitor.hpp"
 #include "net/cidr.hpp"
 #include "net/flow.hpp"
+#include "util/annotations.hpp"
 
 namespace at::monitors {
 
@@ -44,8 +45,10 @@ class ZeekMonitor final : public Monitor {
  public:
   ZeekMonitor(alerts::AlertSink& sink, ZeekConfig config = {});
 
-  /// Feed one flow record; may emit zero or more notices.
-  void on_flow(const net::Flow& flow);
+  /// Feed one flow record; may emit zero or more notices. AT_UNTRUSTED:
+  /// flows arrive straight off the taps — addresses, ports, and byte
+  /// counts are attacker-chosen.
+  void on_flow(const net::Flow& flow) AT_UNTRUSTED;
 
   /// Number of flows processed.
   [[nodiscard]] std::uint64_t flows_seen() const noexcept { return flows_seen_; }

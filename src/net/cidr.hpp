@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/ipv4.hpp"
+#include "util/annotations.hpp"
 
 namespace at::net {
 
@@ -17,8 +18,9 @@ class Cidr {
   /// Network bits outside the prefix are cleared (canonical form).
   Cidr(Ipv4 base, unsigned prefix_len);
 
-  /// Parse "a.b.c.d/len".
-  static Cidr parse(const std::string& text);
+  /// Parse "a.b.c.d/len". AT_SANITIZES: rejects malformed blocks, and the
+  /// canonicalized value type is safe downstream.
+  static Cidr parse(const std::string& text) AT_SANITIZES;
 
   [[nodiscard]] Ipv4 base() const noexcept { return base_; }
   [[nodiscard]] unsigned prefix_len() const noexcept { return prefix_len_; }

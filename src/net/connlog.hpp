@@ -9,17 +9,19 @@
 #include <vector>
 
 #include "net/flow.hpp"
+#include "util/annotations.hpp"
 
 namespace at::net {
 
 [[nodiscard]] std::string to_conn_line(const Flow& flow);
-[[nodiscard]] std::optional<Flow> parse_conn_line(std::string_view line);
+/// AT_UNTRUSTED: conn logs carry raw wire evidence straight off the taps.
+[[nodiscard]] std::optional<Flow> parse_conn_line(std::string_view line) AT_UNTRUSTED;
 [[nodiscard]] std::string write_conn_log(const std::vector<Flow>& flows);
 
 struct ConnLogResult {
   std::vector<Flow> flows;
   std::size_t malformed = 0;
 };
-[[nodiscard]] ConnLogResult read_conn_log(std::string_view text);
+[[nodiscard]] ConnLogResult read_conn_log(std::string_view text) AT_UNTRUSTED;
 
 }  // namespace at::net

@@ -10,6 +10,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/annotations.hpp"
+
 namespace at::net {
 
 class Ipv4 {
@@ -21,10 +23,13 @@ class Ipv4 {
                std::uint32_t{d}) {}
 
   /// Parse dotted quad; throws std::invalid_argument on malformed input.
-  static Ipv4 parse(const std::string& text);
+  /// AT_SANITIZES: accepts only canonical dotted quads, so the resulting
+  /// value type is safe downstream of untrusted log fields.
+  static Ipv4 parse(const std::string& text) AT_SANITIZES;
 
   /// Non-throwing, allocation-free variant for hot parse paths.
-  [[nodiscard]] static std::optional<Ipv4> try_parse(std::string_view text) noexcept;
+  [[nodiscard]] static std::optional<Ipv4> try_parse(std::string_view text) noexcept
+      AT_SANITIZES;
 
   [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
   [[nodiscard]] constexpr std::uint8_t octet(unsigned i) const noexcept {

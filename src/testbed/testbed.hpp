@@ -16,6 +16,7 @@
 #include "testbed/correlator.hpp"
 #include "testbed/credentials.hpp"
 #include "testbed/lifecycle.hpp"
+#include "util/annotations.hpp"
 #include "testbed/pipeline.hpp"
 #include "testbed/sandbox.hpp"
 #include "testbed/services.hpp"
@@ -80,8 +81,9 @@ class Testbed {
 
   /// Ingest raw traffic: BHR filter -> scan recorder -> sandbox (for
   /// honeypot-originated flows) -> Zeek. Returns false if the flow was
-  /// dropped at the BHR.
-  bool inject_flow(const net::Flow& flow);
+  /// dropped at the BHR. AT_UNTRUSTED: replay scenarios push attacker
+  /// traffic through this exact entry point, the way live taps would.
+  bool inject_flow(const net::Flow& flow) AT_UNTRUSTED;
 
   /// Batched ingest: BHR verdicts are resolved through filter_batch (one
   /// epoch pin + prefetched trie descents per chunk), then admitted flows

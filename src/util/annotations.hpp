@@ -27,6 +27,31 @@
 //                   cannot see (std primitives, opaque callees, platform
 //                   calls).
 //
+//   AT_UNTRUSTED    on a function definition or declaration (suffix
+//                   position): this function is an ingestion boundary —
+//                   its parameters and its return value carry bytes an
+//                   attacker controls (Zeek log lines, honeypot payloads,
+//                   replay corpora). at_lint seeds its interprocedural
+//                   taint analysis here: values flowing out of an
+//                   AT_UNTRUSTED function must pass a bounds check or an
+//                   AT_SANITIZES hop before reaching an allocation size,
+//                   array index, file path, format string (taint-to-sink)
+//                   or an unbounded member container (unbounded-growth).
+//
+//   AT_SANITIZES    on a function definition or declaration (suffix
+//                   position): this function validates its input and its
+//                   return value is safe downstream — a parser that
+//                   rejects malformed input (util::parse_num, Ipv4::parse)
+//                   or a normalizer that clamps ranges. Taint does not
+//                   propagate through its return value.
+//
+//   AT_BOUNDED      after a member container declaration (same line or
+//                   trailing position): the container's growth is bounded
+//                   by construction — a fixed-capacity ring, an LRU with
+//                   eviction elsewhere, a checkpoint-truncated journal.
+//                   Exempts the field from unbounded-growth. Always pair
+//                   with a comment naming the bound.
+//
 // Contrast with the Clang -Wthread-safety macros (annotated_mutex.hpp):
 // AT_ACQUIRE/AT_RELEASE describe functions that *leave* a capability held
 // or released across the call boundary; AT_ACQUIRES describes a
@@ -34,3 +59,6 @@
 
 #define AT_HOT
 #define AT_ACQUIRES(...)
+#define AT_UNTRUSTED
+#define AT_SANITIZES
+#define AT_BOUNDED

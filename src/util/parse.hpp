@@ -17,13 +17,18 @@
 #include <string_view>
 #include <type_traits>
 
+#include "util/annotations.hpp"
+
 namespace at::util {
 
 /// Strict whole-string integer parse; nullopt on empty input, sign
-/// mismatch for unsigned T, trailing garbage, or overflow.
+/// mismatch for unsigned T, trailing garbage, or overflow. AT_SANITIZES:
+/// the strict grammar + overflow rejection make the returned value safe
+/// for downstream sizing/indexing (range checks are still the caller's
+/// job where the domain is narrower than T).
 template <typename T>
   requires std::is_integral_v<T>
-[[nodiscard]] std::optional<T> parse_num(std::string_view text) noexcept {
+[[nodiscard]] std::optional<T> parse_num(std::string_view text) noexcept AT_SANITIZES {
   T value{};
   const char* const first = text.data();
   const char* const last = text.data() + text.size();
@@ -36,7 +41,8 @@ template <typename T>
 /// libstdc++'s from_chars for floating point arrived late and the hot
 /// paths never parse doubles; requires a NUL-terminated buffer, so it
 /// copies when the view is not already terminated.
-[[nodiscard]] inline std::optional<double> parse_double(std::string_view text) noexcept {
+[[nodiscard]] inline std::optional<double> parse_double(std::string_view text) noexcept
+    AT_SANITIZES {
   if (text.empty() || text.front() == ' ' || text.front() == '\t') return std::nullopt;
   char buf[64];
   if (text.size() >= sizeof buf) return std::nullopt;  // no numeric literal is this long

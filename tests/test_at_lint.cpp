@@ -837,15 +837,16 @@ TEST(AtLintRunAll, AggregatesAndSortsAcrossRules) {
   }));
 }
 
-TEST(AtLintRegistry, HasAllTwelveChecksInStableOrder) {
+TEST(AtLintRegistry, HasAllFifteenChecksInStableOrder) {
   const auto& checks = registry();
-  ASSERT_EQ(checks.size(), 12u);
+  ASSERT_EQ(checks.size(), 15u);
   std::vector<std::string> names;
   for (const Check* c : checks) names.emplace_back(c->name());
   const std::vector<std::string> expected = {
-      "banned-call",    "pragma-once",         "include-cycle", "raw-new-delete",
-      "guarded-by",     "determinism",         "lock-order",    "header-hygiene",
-      "uninit-member",  "blocking-in-hot-path", "atomic-order",  "noexcept-escape"};
+      "banned-call",    "pragma-once",          "include-cycle", "raw-new-delete",
+      "guarded-by",     "determinism",          "lock-order",    "header-hygiene",
+      "uninit-member",  "blocking-in-hot-path", "atomic-order",  "noexcept-escape",
+      "taint-to-sink",  "dangling-view",        "unbounded-growth"};
   EXPECT_EQ(names, expected);
 }
 

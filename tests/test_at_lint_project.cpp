@@ -1,8 +1,9 @@
-// Tests for the at_lint v3 whole-program phase: cross-TU fact linking
-// (call / lock / hot-path graphs), the three new rules it powers, the two
-// ROADMAP carry-overs the PR-4 single-file engine provably missed, and the
-// v3 cache behavior that keeps phase-1 facts warm while phase-2 results
-// track edits in *other* files.
+// Tests for the at_lint whole-program phase: cross-TU fact linking
+// (call / lock / hot-path graphs), the project rules it powers, the two
+// ROADMAP carry-overs the PR-4 single-file engine provably missed, the
+// cache behavior that keeps phase-1 facts warm while phase-2 results
+// track edits in *other* files, and the v4 dataflow layer (interprocedural
+// taint, dangling views, bounded growth).
 
 #include <algorithm>
 #include <fstream>
@@ -622,6 +623,410 @@ TEST(AtLintStaleSuppression, DocMentionsOfTheSyntaxAreNotSuppressions) {
                    "int v = 0;\n"});
   const auto result = run(files, RunOptions{});
   EXPECT_TRUE(result.stale_suppressions.empty());
+}
+
+// --------------------------------------------- v4 dataflow: taint-to-sink
+//
+// Taint enters at AT_UNTRUSTED entries, rides FlowEdge summaries across
+// the call graph (fanout == 1 resolution), and fires when it reaches an
+// allocation-size / index / path / format sink without a bounds check or
+// an AT_SANITIZES hop.
+
+std::vector<SourceFile> taint_two_hop_files(std::string_view consume_body) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/taint/reader.hpp",
+                   "#pragma once\n"
+                   "#include <string>\n"
+                   "namespace at {\n"
+                   "std::string read_payload(const std::string& wire) AT_UNTRUSTED;\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/taint/reader.cpp",
+                   "#include \"taint/reader.hpp\"\n"
+                   "namespace at {\n"
+                   "std::string read_payload(const std::string& wire) { return wire; }\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/taint/pipeline.cpp",
+                   "#include \"taint/reader.hpp\"\n"
+                   "#include <vector>\n"
+                   "namespace at {\n"
+                   "void consume(const std::string& buf, std::vector<int>& out) {\n" +
+                       std::string(consume_body) +
+                       "}\n"
+                       "void route(const std::string& buf, std::vector<int>& out) {\n"
+                       "  consume(buf, out);\n"
+                       "}\n"
+                       "void drive(std::vector<int>& out) {\n"
+                       "  const std::string payload = read_payload(\"x\");\n"
+                       "  route(payload, out);\n"
+                       "}\n"
+                       "}  // namespace at\n"});
+  return files;
+}
+
+TEST(AtLintTaint, PropagatesThroughTwoCallHopsToAnAllocSizeSink) {
+  const auto vs =
+      run_check("taint-to-sink", taint_two_hop_files("  out.reserve(buf.size());\n"));
+  ASSERT_TRUE(has_rule(vs, "taint-to-sink"));
+  EXPECT_EQ(vs.front().file, "src/taint/pipeline.cpp");
+  // The diagnostic names the full interprocedural chain to the sink.
+  EXPECT_NE(vs.front().message.find("drive -> route -> consume"), std::string::npos);
+}
+
+TEST(AtLintTaint, BoundsCheckBeforeTheSinkSilencesIt) {
+  const auto vs = run_check(
+      "taint-to-sink",
+      taint_two_hop_files("  if (buf.size() > 4096) return;\n"
+                          "  out.reserve(buf.size());\n"));
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(AtLintTaint, SanitizingHopClearsTheTaint) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/taint/a.cpp",
+                   "#include <string>\n"
+                   "#include <vector>\n"
+                   "namespace at {\n"
+                   "std::string read_line() AT_UNTRUSTED;\n"
+                   "std::size_t parse_count(const std::string& text) AT_SANITIZES;\n"
+                   "void grow(std::vector<int>& out) {\n"
+                   "  const std::string raw = read_line();\n"
+                   "  const std::size_t n = parse_count(raw);\n"
+                   "  out.reserve(n);\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("taint-to-sink", files).empty());
+}
+
+TEST(AtLintTaint, UntaintedFlowsNeverFire) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/taint/a.cpp",
+                   "#include <string>\n"
+                   "#include <vector>\n"
+                   "namespace at {\n"
+                   "void grow(std::vector<int>& out, const std::string& trusted) {\n"
+                   "  out.reserve(trusted.size());\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("taint-to-sink", files).empty());
+}
+
+// --------------------------------------------- v4 dataflow: dangling-view
+
+TEST(AtLintDanglingView, TernaryMixingStringAndLiteralDangles) {
+  // The PR-4 UB bug, generalized: the literal arm materializes a
+  // std::string temporary and the view outlives it.
+  std::vector<SourceFile> files;
+  files.push_back({"src/view/a.cpp",
+                   "#include <string>\n"
+                   "#include <string_view>\n"
+                   "namespace at {\n"
+                   "std::string_view pick(bool flag) {\n"
+                   "  std::string name = \"long enough to defeat sso\";\n"
+                   "  std::string_view v = flag ? name : \"fallback\";\n"
+                   "  return v;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("dangling-view", files);
+  ASSERT_TRUE(has_rule(vs, "dangling-view"));
+  EXPECT_EQ(vs.front().line, 6u);
+  EXPECT_NE(vs.front().message.find("ternary"), std::string::npos);
+}
+
+TEST(AtLintDanglingView, BothArmsAlreadyViewsAreClean) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/view/a.cpp",
+                   "#include <string_view>\n"
+                   "namespace at {\n"
+                   "std::string_view pick(bool flag, std::string_view name) {\n"
+                   "  std::string_view v = flag ? name : std::string_view(\"fb\");\n"
+                   "  return v;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("dangling-view", files).empty());
+}
+
+TEST(AtLintDanglingView, SubstrTemporaryDangles) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/view/a.cpp",
+                   "#include <string>\n"
+                   "#include <string_view>\n"
+                   "namespace at {\n"
+                   "void inspect(const char* raw) {\n"
+                   "  std::string line = raw;\n"
+                   "  std::string_view tail = line.substr(4);\n"
+                   "  (void)tail;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(has_rule(run_check("dangling-view", files), "dangling-view"));
+}
+
+TEST(AtLintDanglingView, ReturnViewOfLocalString) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/view/a.cpp",
+                   "#include <string>\n"
+                   "#include <string_view>\n"
+                   "namespace at {\n"
+                   "std::string_view label(int id) {\n"
+                   "  std::string text = std::to_string(id);\n"
+                   "  return text;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("dangling-view", files);
+  ASSERT_TRUE(has_rule(vs, "dangling-view"));
+  EXPECT_NE(vs.front().message.find("dies with the frame"), std::string::npos);
+}
+
+TEST(AtLintDanglingView, BorrowInvalidatedByPushBack) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/view/a.cpp",
+                   "#include <vector>\n"
+                   "namespace at {\n"
+                   "int sum(std::vector<int>& items) {\n"
+                   "  auto& first = items.front();\n"
+                   "  items.push_back(7);\n"
+                   "  return first;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  const auto vs = run_check("dangling-view", files);
+  ASSERT_TRUE(has_rule(vs, "dangling-view"));
+  EXPECT_NE(vs.front().message.find("push_back"), std::string::npos);
+}
+
+TEST(AtLintDanglingView, EraseLoopReassignmentIsClean) {
+  // `it = items.erase(it)` re-establishes the borrow every iteration —
+  // the canonical erase loop must stay silent.
+  std::vector<SourceFile> files;
+  files.push_back({"src/view/a.cpp",
+                   "#include <vector>\n"
+                   "namespace at {\n"
+                   "void sweep(std::vector<int>& items) {\n"
+                   "  auto it = items.begin();\n"
+                   "  while (it != items.end()) {\n"
+                   "    it = items.erase(it);\n"
+                   "  }\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("dangling-view", files).empty());
+}
+
+TEST(AtLintDanglingView, UseBeforeMutationIsClean) {
+  std::vector<SourceFile> files;
+  files.push_back({"src/view/a.cpp",
+                   "#include <vector>\n"
+                   "namespace at {\n"
+                   "int stage(std::vector<int>& items) {\n"
+                   "  auto& first = items.front();\n"
+                   "  int x = first + 1;\n"
+                   "  items.push_back(x);\n"
+                   "  return x;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("dangling-view", files).empty());
+}
+
+// ------------------------------------------ v4 dataflow: unbounded-growth
+
+std::vector<SourceFile> growth_files() {
+  std::vector<SourceFile> files;
+  files.push_back({"src/growth/tracker.hpp",
+                   "#pragma once\n"
+                   "#include <string>\n"
+                   "#include <unordered_map>\n"
+                   "namespace at {\n"
+                   "class Tracker {\n"
+                   " public:\n"
+                   "  void ingest(const std::string& key) AT_UNTRUSTED;\n"
+                   " private:\n"
+                   "  std::unordered_map<std::string, int> seen_;\n"
+                   "};\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/growth/tracker.cpp",
+                   "#include \"growth/tracker.hpp\"\n"
+                   "namespace at {\n"
+                   "void Tracker::ingest(const std::string& key) {\n"
+                   "  seen_[key] += 1;\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  return files;
+}
+
+TEST(AtLintGrowth, TaintedMapWithNoEvictionFires) {
+  const auto vs = run_check("unbounded-growth", growth_files());
+  ASSERT_TRUE(has_rule(vs, "unbounded-growth"));
+  EXPECT_NE(vs.front().message.find("seen_"), std::string::npos);
+  EXPECT_NE(vs.front().message.find("AT_BOUNDED"), std::string::npos);
+}
+
+TEST(AtLintGrowth, EvictionInAnotherTuSilencesTheFinding) {
+  auto files = growth_files();
+  files.push_back({"src/growth/gc.cpp",
+                   "#include \"growth/tracker.hpp\"\n"
+                   "namespace at {\n"
+                   "void collect(Tracker& t) { (void)t; }\n"
+                   "void Tracker_gc(std::unordered_map<std::string, int>& seen_) {\n"
+                   "  seen_.erase(\"old\");\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  EXPECT_TRUE(run_check("unbounded-growth", files).empty());
+}
+
+TEST(AtLintGrowth, AtBoundedAnnotationSilencesTheFinding) {
+  auto files = growth_files();
+  files[0].content =
+      "#pragma once\n"
+      "#include <string>\n"
+      "#include <unordered_map>\n"
+      "namespace at {\n"
+      "class Tracker {\n"
+      " public:\n"
+      "  void ingest(const std::string& key) AT_UNTRUSTED;\n"
+      " private:\n"
+      "  // Bounded: capped upstream by the admission filter.\n"
+      "  std::unordered_map<std::string, int> seen_ AT_BOUNDED;\n"
+      "};\n"
+      "}  // namespace at\n";
+  EXPECT_TRUE(run_check("unbounded-growth", files).empty());
+}
+
+TEST(AtLintGrowth, UntaintedGrowthIsClean) {
+  auto files = growth_files();
+  // Same shape, no AT_UNTRUSTED anywhere: growth without taint is fine.
+  files[0].content =
+      "#pragma once\n"
+      "#include <string>\n"
+      "#include <unordered_map>\n"
+      "namespace at {\n"
+      "class Tracker {\n"
+      " public:\n"
+      "  void ingest(const std::string& key);\n"
+      " private:\n"
+      "  std::unordered_map<std::string, int> seen_;\n"
+      "};\n"
+      "}  // namespace at\n";
+  EXPECT_TRUE(run_check("unbounded-growth", files).empty());
+}
+
+// --------------------------------------------------- cache v4: dataflow facts
+
+TEST(AtLintCacheV4, FlowSummariesRoundTripThroughSerialization) {
+  auto files = taint_two_hop_files("  out.reserve(buf.size());\n");
+  Cache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  const auto cold = run(files, opts);
+  ASSERT_TRUE(has_rule(cold.violations, "taint-to-sink"));
+
+  // Byte-stable round-trip, then a fully-warm run: the interprocedural
+  // finding must be reconstructed from serialized FlowEdges + flags alone.
+  Cache restored = Cache::deserialize(cache.serialize());
+  EXPECT_EQ(restored.serialize(), cache.serialize());
+  RunOptions opts2;
+  opts2.cache = &restored;
+  const auto warm = run(files, opts2);
+  EXPECT_EQ(warm.stats.analyzed, 0u);
+  ASSERT_TRUE(has_rule(warm.violations, "taint-to-sink"));
+  EXPECT_NE(warm.violations.front().message.find("drive -> route -> consume"),
+            std::string::npos);
+}
+
+TEST(AtLintCacheV4, BoundedFieldsRoundTripThroughSerialization) {
+  auto files = growth_files();
+  files.push_back({"src/growth/gc.cpp",
+                   "#include \"growth/tracker.hpp\"\n"
+                   "namespace at {\n"
+                   "void Tracker_gc(std::unordered_map<std::string, int>& seen_) {\n"
+                   "  seen_.erase(\"old\");\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  Cache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  EXPECT_FALSE(has_rule(run(files, opts).violations, "unbounded-growth"));
+
+  Cache restored = Cache::deserialize(cache.serialize());
+  RunOptions opts2;
+  opts2.cache = &restored;
+  const auto warm = run(files, opts2);
+  EXPECT_EQ(warm.stats.analyzed, 0u);
+  // The eviction evidence travels with gc.cpp's cached facts; losing it
+  // in serialization would resurrect the finding on warm runs.
+  EXPECT_FALSE(has_rule(warm.violations, "unbounded-growth"));
+}
+
+TEST(AtLintCacheV4, HeaderEditReExtractsOnlySiblingNotAllDependents) {
+  // Three files: api.hpp + its sibling api.cpp (keyed together) and a
+  // consumer keyed on its own bytes only. Annotating the header must (a)
+  // re-extract just the header + sibling, and (b) still flip the
+  // CONSUMER's project finding, because phase 2 re-links the consumer's
+  // cached flow summaries against the fresh annotation.
+  std::vector<SourceFile> files;
+  files.push_back({"src/api/api.hpp",
+                   "#pragma once\n"
+                   "#include <string>\n"
+                   "namespace at {\n"
+                   "std::string fetch(const std::string& wire);\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/api/api.cpp",
+                   "#include \"api/api.hpp\"\n"
+                   "namespace at {\n"
+                   "std::string fetch(const std::string& wire) { return wire; }\n"
+                   "}  // namespace at\n"});
+  files.push_back({"src/api/consumer.cpp",
+                   "#include \"api/api.hpp\"\n"
+                   "#include <vector>\n"
+                   "namespace at {\n"
+                   "void use(std::vector<int>& out) {\n"
+                   "  const std::string body = fetch(\"x\");\n"
+                   "  out.reserve(body.size());\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  Cache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  const auto cold = run(files, opts);
+  EXPECT_FALSE(has_rule(cold.violations, "taint-to-sink"));
+
+  files[0].content =
+      "#pragma once\n"
+      "#include <string>\n"
+      "namespace at {\n"
+      "std::string fetch(const std::string& wire) AT_UNTRUSTED;\n"
+      "}  // namespace at\n";
+  const auto warm = run(files, opts);
+  EXPECT_EQ(warm.stats.analyzed, 2u);    // api.hpp + sibling api.cpp
+  EXPECT_EQ(warm.stats.cache_hits, 1u);  // consumer.cpp stayed warm
+  ASSERT_TRUE(has_rule(warm.violations, "taint-to-sink"));
+  EXPECT_EQ(warm.violations.front().file, "src/api/consumer.cpp");
+}
+
+TEST(AtLintStaleSuppression, ProjectPhaseHitStaysLiveOnFullyWarmRuns) {
+  // Regression guard for the merged stale accounting: a suppression whose
+  // only hit comes from the project phase has a cached per-file count of
+  // zero. On a fully-warm run (analyzed == 0) the fresh project hit must
+  // still merge in — otherwise every cross-TU allow() goes stale the
+  // moment the cache warms.
+  std::vector<SourceFile> files;
+  files.push_back({"src/st/a.cpp",
+                   "#include <cstdio>\n"
+                   "namespace at {\n"
+                   "void drain() AT_HOT {\n"
+                   "  // at_lint: allow(blocking-in-hot-path) — one-shot banner\n"
+                   "  std::printf(\"go\\n\");\n"
+                   "}\n"
+                   "}  // namespace at\n"});
+  Cache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  const auto cold = run(files, opts);
+  EXPECT_TRUE(cold.stale_suppressions.empty());
+
+  Cache restored = Cache::deserialize(cache.serialize());
+  RunOptions opts2;
+  opts2.cache = &restored;
+  const auto warm = run(files, opts2);
+  EXPECT_EQ(warm.stats.analyzed, 0u);
+  EXPECT_FALSE(has_rule(warm.violations, "blocking-in-hot-path"));
+  EXPECT_TRUE(warm.stale_suppressions.empty());
 }
 
 // -------------------------------------------------------------------- stats

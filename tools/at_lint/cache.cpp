@@ -9,18 +9,23 @@ namespace at::lint {
 
 namespace {
 
-// Record kinds, one per line: F starts a file entry; V/E/L/D/U/S/G/P/N
-// attach to the most recent F; C/B/T/O attach to the most recent N
+// Record kinds, one per line: F starts a file entry; V/E/L/D/U/S/G/P/X/N
+// attach to the most recent F; C/B/T/O/W attach to the most recent N
 // (function). Fields are '\x1f'-separated; list-valued fields (acquires,
-// held locks) join their items with '|'. None of '\n', '\x1f', '|' occur
-// in source text the repo lints — all are stripped defensively on write.
+// held locks, parameter names) join their items with '|'. None of '\n',
+// '\x1f', '|' occur in source text the repo lints — all are stripped
+// defensively on write.
 constexpr char kSep = '\x1f';
 constexpr char kListSep = '|';
 constexpr std::string_view kMagic = "at_lint-cache";
 // Format 3: S records carry a hit count; G/P/N/C/B/T/O records serialize
 // the phase-1 code facts (container fields, pending loops, functions with
 // their call/blocking/throw/atomic sites) so warm runs re-extract nothing.
-constexpr int kFormat = 3;
+// Format 4: N gains untrusted/sanitizes flag chars and a parameter-name
+// list; W records serialize the per-function FlowEdge dataflow summaries;
+// X records carry the file's bounded_fields (AT_BOUNDED / eviction
+// evidence) consumed by the unbounded-growth rule.
+constexpr int kFormat = 4;
 
 std::string clean(std::string_view text) {
   std::string out;
@@ -146,7 +151,9 @@ Cache Cache::deserialize(std::string_view text) {
       current->facts.pending_loops.push_back(
           {std::string(fields[1]), std::string(fields[2]), std::string(fields[3]),
            static_cast<std::uint32_t>(to_u64(fields[4]))});
-    } else if (tag == "N" && fields.size() == 5) {
+    } else if (tag == "X" && fields.size() == 2) {
+      current->facts.bounded_fields.emplace_back(fields[1]);
+    } else if (tag == "N" && fields.size() == 6) {
       FileFacts::Function fn;
       fn.name = std::string(fields[1]);
       fn.line = static_cast<std::uint32_t>(to_u64(fields[2]));
@@ -155,11 +162,26 @@ Cache Cache::deserialize(std::string_view text) {
       fn.is_noexcept = flags.size() > 1 && flags[1] == '1';
       fn.is_dtor = flags.size() > 2 && flags[2] == '1';
       fn.is_task = flags.size() > 3 && flags[3] == '1';
+      fn.untrusted = flags.size() > 4 && flags[4] == '1';
+      fn.sanitizes = flags.size() > 5 && flags[5] == '1';
       fn.acquires = split_list(fields[4]);
+      fn.params = split_list(fields[5]);
       current->facts.functions.push_back(std::move(fn));
       current_fn = &current->facts.functions.back();
     } else if (current_fn == nullptr) {
       continue;
+    } else if (tag == "W" && fields.size() == 10) {
+      FileFacts::FlowEdge flow;
+      flow.from_param = static_cast<int>(to_u64(fields[1])) - 1;
+      flow.from_call = std::string(fields[2]);
+      flow.kind = fields[3].empty() ? 'a' : fields[3][0];
+      flow.to_call = std::string(fields[4]);
+      flow.to_arg = static_cast<int>(to_u64(fields[5])) - 1;
+      flow.sink = std::string(fields[6]);
+      flow.detail = std::string(fields[7]);
+      flow.line = static_cast<std::uint32_t>(to_u64(fields[8]));
+      flow.checked = fields[9] == "1";
+      current_fn->flows.push_back(std::move(flow));
     } else if (tag == "C" && fields.size() == 5) {
       FileFacts::CallSite call;
       call.name = std::string(fields[1]);
@@ -222,11 +244,16 @@ std::string Cache::serialize() const {
       out << 'P' << kSep << clean(p.range_var) << kSep << clean(p.sink_var) << kSep
           << clean(p.sink_what) << kSep << p.line << '\n';
     }
+    for (const auto& bf : entry->facts.bounded_fields) {
+      out << 'X' << kSep << clean(bf) << '\n';
+    }
     for (const auto& fn : entry->facts.functions) {
-      const char flags[5] = {fn.hot ? '1' : '0', fn.is_noexcept ? '1' : '0',
-                             fn.is_dtor ? '1' : '0', fn.is_task ? '1' : '0', '\0'};
+      const char flags[7] = {fn.hot ? '1' : '0',       fn.is_noexcept ? '1' : '0',
+                             fn.is_dtor ? '1' : '0',   fn.is_task ? '1' : '0',
+                             fn.untrusted ? '1' : '0', fn.sanitizes ? '1' : '0',
+                             '\0'};
       out << 'N' << kSep << clean(fn.name) << kSep << fn.line << kSep << flags << kSep
-          << join(fn.acquires) << '\n';
+          << join(fn.acquires) << kSep << join(fn.params) << '\n';
       for (const auto& call : fn.calls) {
         out << 'C' << kSep << clean(call.name) << kSep << call.line << kSep
             << (call.in_try ? '1' : '0') << kSep << join(call.held) << '\n';
@@ -242,6 +269,15 @@ std::string Cache::serialize() const {
         out << 'O' << kSep << clean(op.object) << kSep << clean(op.op) << kSep
             << clean(op.order) << kSep << op.line << kSep << (op.deref ? '1' : '0')
             << kSep << (op.guards_other ? '1' : '0') << '\n';
+      }
+      // Param indices shift by one on the wire so "none" (-1) serializes
+      // as the digit 0 and survives the unsigned parser.
+      for (const auto& flow : fn.flows) {
+        out << 'W' << kSep << flow.from_param + 1 << kSep << clean(flow.from_call)
+            << kSep << flow.kind << kSep << clean(flow.to_call) << kSep
+            << flow.to_arg + 1 << kSep << clean(flow.sink) << kSep
+            << clean(flow.detail) << kSep << flow.line << kSep
+            << (flow.checked ? '1' : '0') << '\n';
       }
     }
   }

@@ -1,4 +1,4 @@
-// The twelve at_lint rules, each a Check subclass over the token stream
+// The fifteen at_lint rules, each a Check subclass over the token stream
 // (see lexer.hpp). Heuristics prefer false negatives over false positives —
 // a noisy linter gets deleted, a quiet one gets trusted. Every rule
 // dispatches on repo-relative path prefixes; tests/negative/ never reaches
@@ -1104,6 +1104,395 @@ class NoexceptEscapeCheck final : public Check {
   }
 };
 
+// ------------------------------------------------------------ taint-to-sink
+
+class TaintToSinkCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "taint-to-sink"; }
+  std::string_view summary() const noexcept override {
+    return "a value from an AT_UNTRUSTED source must not reach an allocation size, "
+           "array index, file path, or format string without a bounds check or an "
+           "AT_SANITIZES hop";
+  }
+
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    if (ctx.graph == nullptr) return;
+    const ProjectGraph& g = *ctx.graph;
+    for (std::size_t f = 0; f < g.fns.size(); ++f) {
+      const FileAnalysis& fa = ctx.files[g.fns[f].file];
+      if (!starts_with(fa.path, "src/")) continue;
+      const FileFacts::Function& fn = *g.fns[f].fn;
+      for (std::size_t e = 0; e < fn.flows.size(); ++e) {
+        const FileFacts::FlowEdge& flow = fn.flows[e];
+        if (flow.kind != 's' || flow.sink == "growth") continue;
+        if (flow.checked || g.flow_taint[f][e] == 0) continue;
+        Violation v;
+        v.rule = "taint-to-sink";
+        v.file = fa.path;
+        v.line = flow.line;
+        const std::string origin =
+            flow.from_param >= 0 &&
+                    static_cast<std::size_t>(flow.from_param) < fn.params.size()
+                ? "parameter '" + fn.params[flow.from_param] + "'"
+                : "result of '" + flow.from_call + "'";
+        v.message = "untrusted " + origin + " reaches " + flow.sink + " sink '" +
+                    flow.detail + "' (taint path: " + g.taint_chain(f) +
+                    "); bounds-check the value first or route it through an "
+                    "AT_SANITIZES parser (util::parse_num)";
+        v.excerpt = flow.detail;
+        out.push_back(std::move(v));
+      }
+    }
+    dedup(out);
+  }
+};
+
+// --------------------------------------------------------- unbounded-growth
+
+class UnboundedGrowthCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "unbounded-growth"; }
+  std::string_view summary() const noexcept override {
+    return "a member container keyed or grown by tainted data needs an eviction "
+           "path in some TU or an AT_BOUNDED annotation at the declaration";
+  }
+
+  void project(const ProjectCtx& ctx, std::vector<Violation>& out) const override {
+    if (ctx.graph == nullptr) return;
+    const ProjectGraph& g = *ctx.graph;
+    for (std::size_t f = 0; f < g.fns.size(); ++f) {
+      const FileAnalysis& fa = ctx.files[g.fns[f].file];
+      if (!starts_with(fa.path, "src/")) continue;
+      const FileFacts::Function& fn = *g.fns[f].fn;
+      for (std::size_t e = 0; e < fn.flows.size(); ++e) {
+        const FileFacts::FlowEdge& flow = fn.flows[e];
+        if (flow.kind != 's' || flow.sink != "growth") continue;
+        if (flow.checked || g.flow_taint[f][e] == 0) continue;
+        if (g.bounded_fields.contains(flow.detail)) continue;
+        Violation v;
+        v.rule = "unbounded-growth";
+        v.file = fa.path;
+        v.line = flow.line;
+        v.message = "'" + flow.detail +
+                    "' grows under attacker-controlled keys (taint path: " +
+                    g.taint_chain(f) +
+                    ") with no eviction or capacity guard in any TU; evict/"
+                    "checkpoint it, cap it, or annotate the field AT_BOUNDED "
+                    "with a comment naming the bound";
+        v.excerpt = flow.detail;
+        out.push_back(std::move(v));
+      }
+    }
+    dedup(out);
+  }
+};
+
+// ------------------------------------------------------------ dangling-view
+
+class DanglingViewCheck final : public Check {
+ public:
+  std::string_view name() const noexcept override { return "dangling-view"; }
+  std::string_view summary() const noexcept override {
+    return "a string_view/span/reference must not borrow from a temporary or a "
+           "local that dies first, nor outlive a mutation of the borrowed container";
+  }
+
+  void file(const FileCtx& ctx, std::vector<Violation>& out) const override {
+    if (!starts_with(ctx.file.path, "src/") && !starts_with(ctx.file.path, "tools/")) {
+      return;
+    }
+    const Tokens& toks = ctx.tokens.tokens;
+    facts::DeclSets sets;
+    facts::harvest_decls(&ctx.tokens, sets, nullptr);
+
+    view_of_temporary(ctx, toks, sets, out);
+    return_view_of_local(ctx, toks, out);
+    borrow_then_mutate(ctx, toks, sets, out);
+    dedup(out);
+  }
+
+ private:
+  static bool view_type(std::string_view text) {
+    return text == "string_view" || text == "span";
+  }
+
+  static bool mutating_container_method(std::string_view text) {
+    return text == "push_back" || text == "emplace_back" || text == "insert" ||
+           text == "emplace" || text == "try_emplace" || text == "erase" ||
+           text == "resize" || text == "reserve" || text == "clear" ||
+           text == "pop_back" || text == "pop_front" || text == "assign" ||
+           text == "append" || text == "shrink_to_fit";
+  }
+
+  /// `string_view v = <expr>;` where the initializer materializes a
+  /// std::string temporary: a ternary mixing a string with a literal (the
+  /// PR-4 UB bug), a substr() result, a concatenation, or an explicit
+  /// std::string(...) — the view dangles when the full-expression ends.
+  void view_of_temporary(const FileCtx& ctx, const Tokens& toks,
+                         const facts::DeclSets& sets,
+                         std::vector<Violation>& out) const {
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!tok::is_ident(toks, i, "string_view") || toks[i].in_pp) continue;
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind != TokKind::kIdent) continue;
+      const std::size_t name_idx = j;
+      if (!tok::is_punct(toks, name_idx + 1, "=")) continue;
+      std::size_t end = name_idx + 2;
+      int depth = 0;
+      while (end < toks.size()) {
+        if (tok::is_punct(toks, end, "(") || tok::is_punct(toks, end, "[") ||
+            tok::is_punct(toks, end, "{")) {
+          ++depth;
+        }
+        if (tok::is_punct(toks, end, ")") || tok::is_punct(toks, end, "]") ||
+            tok::is_punct(toks, end, "}")) {
+          --depth;
+        }
+        if (depth <= 0 && tok::is_punct(toks, end, ";")) break;
+        ++end;
+      }
+      const std::size_t lo = name_idx + 2;
+      bool ternary = false, literal = false, string_src = false, substr = false;
+      bool concat = false, string_ctor = false;
+      int d = 0;
+      for (std::size_t k = lo; k < end; ++k) {
+        const Token& t = toks[k];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++d;
+          if (t.text == ")" || t.text == "]" || t.text == "}") --d;
+          if (d == 0 && t.text == "?") ternary = true;
+          if (d == 0 && t.text == "+") concat = true;
+          continue;
+        }
+        if (t.kind == TokKind::kString) literal = true;
+        if (t.kind != TokKind::kIdent) continue;
+        if (sets.strings.contains(t.text)) {
+          string_src = true;
+          if (tok::is_punct(toks, k + 1, ".") && tok::is_ident(toks, k + 2, "substr")) {
+            substr = true;
+          }
+        }
+        if (t.text == "string" && tok::is_punct(toks, k + 1, "(")) string_ctor = true;
+      }
+      const Token& anchor = toks[name_idx];
+      if (ternary && literal && string_src) {
+        out.push_back(make(
+            "dangling-view", ctx.file, anchor,
+            "string_view '" + anchor.text +
+                "' binds a ternary that mixes a std::string with a literal; the "
+                "mismatched arm materializes a std::string temporary that dies at "
+                "the ';', leaving the view dangling — make both arms string_view"));
+      } else if (substr) {
+        out.push_back(make(
+            "dangling-view", ctx.file, anchor,
+            "string_view '" + anchor.text +
+                "' binds a substr() result; substr returns a std::string temporary "
+                "that dies at the ';' — use string_view::substr on a view instead"));
+      } else if (concat && string_src) {
+        out.push_back(make(
+            "dangling-view", ctx.file, anchor,
+            "string_view '" + anchor.text +
+                "' binds a string concatenation; the '+' materializes a temporary "
+                "that dies at the ';' — build a named std::string first"));
+      } else if (string_ctor) {
+        out.push_back(make(
+            "dangling-view", ctx.file, anchor,
+            "string_view '" + anchor.text +
+                "' binds an explicit std::string(...) temporary that dies at the "
+                "';' — name the string or keep it a view end to end"));
+      }
+      i = end;
+    }
+  }
+
+  /// A function returning string_view/span must not return a std::string
+  /// local or by-value string parameter: the buffer dies with the frame.
+  void return_view_of_local(const FileCtx& ctx, const Tokens& toks,
+                            std::vector<Violation>& out) const {
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !view_type(toks[i].text) || toks[i].in_pp) {
+        continue;
+      }
+      // `string_view` [<...>] name[::name...] ( params ) ... {
+      std::size_t j = i + 1;
+      if (tok::is_punct(toks, j, "<")) {
+        const std::size_t c = tok::skip_template_args(toks, j);
+        if (c == tok::kNpos) continue;
+        j = c + 1;
+      }
+      if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+      while (j + 2 < toks.size() && tok::is_punct(toks, j + 1, "::") &&
+             toks[j + 2].kind == TokKind::kIdent) {
+        j += 2;
+      }
+      if (!tok::is_punct(toks, j + 1, "(")) continue;
+      const std::size_t params_close = tok::match_forward(toks, j + 1, "(", ")");
+      if (params_close == tok::kNpos) continue;
+      // Walk the trailer to a body (function) or terminator (variable/decl).
+      std::size_t k = params_close + 1;
+      std::size_t body_open = tok::kNpos;
+      for (int steps = 0; steps < 16 && k < toks.size(); ++steps, ++k) {
+        if (tok::is_punct(toks, k, "{")) {
+          body_open = k;
+          break;
+        }
+        if (tok::is_punct(toks, k, ";") || tok::is_punct(toks, k, "=")) break;
+        if (tok::is_punct(toks, k, "(")) {
+          const std::size_t c = tok::match_forward(toks, k, "(", ")");
+          if (c == tok::kNpos) break;
+          k = c;
+        }
+      }
+      if (body_open == tok::kNpos) continue;
+      const std::size_t body_close = tok::match_forward(toks, body_open, "{", "}");
+      if (body_close == tok::kNpos) continue;
+
+      // Frame-local string buffers: by-value std::string params + locals.
+      std::unordered_set<std::string> locals;
+      for (std::size_t m = j + 2; m < params_close; ++m) {
+        if (!tok::is_ident(toks, m, "string")) continue;
+        bool byval = true;
+        std::size_t v = m + 1;
+        while (v < params_close &&
+               (tok::is_punct(toks, v, "&") || tok::is_punct(toks, v, "*"))) {
+          byval = false;
+          ++v;
+        }
+        if (byval && v < params_close && toks[v].kind == TokKind::kIdent) {
+          locals.insert(toks[v].text);
+        }
+      }
+      for (std::size_t m = body_open + 1; m < body_close; ++m) {
+        if (!tok::is_ident(toks, m, "string")) continue;
+        if (m + 1 < body_close && toks[m + 1].kind == TokKind::kIdent &&
+            (tok::is_punct(toks, m + 2, "=") || tok::is_punct(toks, m + 2, ";") ||
+             tok::is_punct(toks, m + 2, "(") || tok::is_punct(toks, m + 2, "{"))) {
+          locals.insert(toks[m + 1].text);
+        }
+      }
+      if (locals.empty()) {
+        i = body_close;
+        continue;
+      }
+      for (std::size_t m = body_open + 1; m < body_close; ++m) {
+        if (!tok::is_ident(toks, m, "return")) continue;
+        if (m + 1 < body_close && toks[m + 1].kind == TokKind::kIdent &&
+            locals.contains(toks[m + 1].text) && tok::is_punct(toks, m + 2, ";")) {
+          out.push_back(make(
+              "dangling-view", ctx.file, toks[m + 1],
+              "returning std::string '" + toks[m + 1].text +
+                  "' from a view-returning function; the buffer dies with the "
+                  "frame and the returned view dangles — return std::string, or "
+                  "view storage that outlives the call"));
+        }
+      }
+      i = body_close;
+    }
+  }
+
+  /// A reference/pointer/iterator borrowed from a locally-declared
+  /// container, used again after the container is mutated (reallocation /
+  /// rehash invalidates the borrow). Reassigning the borrow re-arms it.
+  void borrow_then_mutate(const FileCtx& ctx, const Tokens& toks,
+                          const facts::DeclSets& sets,
+                          std::vector<Violation>& out) const {
+    const auto local_container = [&](const std::string& name) {
+      return sets.sequences.contains(name) || sets.strings.contains(name) ||
+             sets.unordered.contains(name) || sets.ordered.contains(name);
+    };
+    for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+      if (toks[i].in_pp) continue;
+      // Borrow shapes: `auto& r = X.back()/front()/[i]`, `auto it =
+      // X.begin()`, `T* p = X.data()`.
+      std::string borrow, container;
+      std::size_t stmt_end = tok::kNpos;
+      if (tok::is_ident(toks, i, "auto")) {
+        std::size_t j = i + 1;
+        bool is_ref = false;
+        while (tok::is_punct(toks, j, "&") || tok::is_ident(toks, j, "const") ||
+               tok::is_punct(toks, j, "*")) {
+          if (toks[j].kind == TokKind::kPunct) is_ref = true;
+          ++j;
+        }
+        if (j >= toks.size() || toks[j].kind != TokKind::kIdent ||
+            !tok::is_punct(toks, j + 1, "=")) {
+          continue;
+        }
+        const std::size_t rhs = j + 2;
+        if (rhs >= toks.size() || toks[rhs].kind != TokKind::kIdent ||
+            !local_container(toks[rhs].text)) {
+          continue;
+        }
+        const bool elem_ref =
+            is_ref && tok::is_punct(toks, rhs + 1, ".") &&
+            (tok::is_ident(toks, rhs + 2, "back") || tok::is_ident(toks, rhs + 2, "front"));
+        const bool elem_idx = is_ref && tok::is_punct(toks, rhs + 1, "[");
+        const bool iter =
+            !is_ref && tok::is_punct(toks, rhs + 1, ".") &&
+            (tok::is_ident(toks, rhs + 2, "begin") || tok::is_ident(toks, rhs + 2, "end") ||
+             tok::is_ident(toks, rhs + 2, "cbegin") || tok::is_ident(toks, rhs + 2, "cend"));
+        const bool dataptr = tok::is_punct(toks, rhs + 1, ".") &&
+                             tok::is_ident(toks, rhs + 2, "data");
+        if (!elem_ref && !elem_idx && !iter && !dataptr) continue;
+        borrow = toks[j].text;
+        container = toks[rhs].text;
+        stmt_end = rhs;
+      } else if (tok::is_punct(toks, i, "*") && i + 1 < toks.size() &&
+                 toks[i + 1].kind == TokKind::kIdent &&
+                 tok::is_punct(toks, i + 2, "=") && i + 3 < toks.size() &&
+                 toks[i + 3].kind == TokKind::kIdent &&
+                 local_container(toks[i + 3].text) && tok::is_punct(toks, i + 4, ".") &&
+                 tok::is_ident(toks, i + 5, "data")) {
+        borrow = toks[i + 1].text;
+        container = toks[i + 3].text;
+        stmt_end = i + 3;
+      } else {
+        continue;
+      }
+      while (stmt_end < toks.size() && !tok::is_punct(toks, stmt_end, ";")) ++stmt_end;
+
+      // Scan forward in the enclosing scope: mutation of `container` arms
+      // the trap, a later use of `borrow` springs it, reassignment of
+      // `borrow` (erase-loop idiom `it = c.erase(it)`) disarms it.
+      int depth = 0;
+      std::uint32_t mutated_line = 0;
+      std::string mutator;
+      const std::size_t horizon = std::min(toks.size(), stmt_end + 700);
+      for (std::size_t k = stmt_end + 1; k < horizon; ++k) {
+        if (tok::is_punct(toks, k, "{")) ++depth;
+        if (tok::is_punct(toks, k, "}") && --depth < 0) break;
+        if (toks[k].kind != TokKind::kIdent) continue;
+        if (toks[k].text == borrow) {
+          if (tok::is_punct(toks, k + 1, "=")) break;  // re-borrowed
+          if (mutated_line != 0) {
+            out.push_back(make(
+                "dangling-view", ctx.file, toks[k],
+                "'" + borrow + "' borrows from '" + container + "' but '" +
+                    container + "." + mutator + "' on line " +
+                    std::to_string(mutated_line) +
+                    " may reallocate or rehash, invalidating it — re-borrow "
+                    "after mutating, or restructure"));
+            break;
+          }
+          continue;
+        }
+        if (toks[k].text == container && tok::is_punct(toks, k + 1, ".") &&
+            k + 2 < toks.size() && toks[k + 2].kind == TokKind::kIdent &&
+            mutating_container_method(toks[k + 2].text) &&
+            tok::is_punct(toks, k + 3, "(")) {
+          const std::size_t close = tok::match_forward(toks, k + 3, "(", ")");
+          if (close == tok::kNpos) break;
+          if (mutated_line == 0) {
+            mutated_line = toks[k].line;
+            mutator = toks[k + 2].text;
+          }
+          k = close;  // args at the mutation site are not a use-after
+        }
+      }
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<const Check*>& registry() {
@@ -1119,10 +1508,14 @@ const std::vector<const Check*>& registry() {
   static const BlockingInHotPathCheck blocking_in_hot_path;
   static const AtomicOrderCheck atomic_order;
   static const NoexceptEscapeCheck noexcept_escape;
+  static const TaintToSinkCheck taint_to_sink;
+  static const DanglingViewCheck dangling_view;
+  static const UnboundedGrowthCheck unbounded_growth;
   static const std::vector<const Check*> checks = {
       &banned,        &pragma_once,          &include_cycle, &raw_new_delete,
       &guarded_by,    &determinism,          &lock_order,    &header_hygiene,
-      &uninit_member, &blocking_in_hot_path, &atomic_order,  &noexcept_escape};
+      &uninit_member, &blocking_in_hot_path, &atomic_order,  &noexcept_escape,
+      &taint_to_sink, &dangling_view,        &unbounded_growth};
   return checks;
 }
 

@@ -1,0 +1,547 @@
+// Phase-1 dataflow summary extraction (see facts.hpp::extract_flows). One
+// function body at a time: build a local variable → origin map (origins are
+// parameter indices and call-result names), then emit FlowEdges for callee
+// argument passes, returns, and sinks. Everything stays name-based and
+// intraprocedural here — phase 2 (link.cpp) decides which origins are
+// tainted by propagating AT_UNTRUSTED seeds through these summaries over
+// the resolved call graph.
+//
+// The extractor is deliberately conservative in the false-negative
+// direction: an expression it cannot parse contributes no origins, an
+// unknown subscript base is not a sink, and a comparison anywhere against
+// a carrying variable marks later flows as bounds-checked.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "at_lint/facts.hpp"
+#include "at_lint/token_util.hpp"
+
+namespace at::lint::facts {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+/// Per-edge cap: keeps pathological bodies (generated tables, huge switch
+/// statements) from bloating the cache; truncation loses recall, never
+/// precision.
+constexpr std::size_t kMaxFlows = 160;
+constexpr std::size_t kMaxCallOrigins = 8;  ///< per-variable call-origin cap
+
+/// Value-preserving wrappers: taint flows *through* them, so the scanner
+/// descends into their arguments instead of treating the call result as an
+/// opaque origin.
+bool transparent_call(std::string_view name) {
+  static const std::unordered_set<std::string_view> kSet = {
+      "move",       "forward",          "static_cast", "const_cast",
+      "dynamic_cast", "reinterpret_cast", "string",      "string_view",
+      "to_string"};
+  return kSet.contains(name);
+}
+
+/// Mirror of the call-site filter in facts.cpp: names that never resolve
+/// to a project function get no arg-pass edges.
+bool flow_callee(std::string_view text) {
+  static const std::unordered_set<std::string_view> kNever = {
+      "if",        "for",       "while",     "switch",   "catch",   "return",
+      "sizeof",    "alignof",   "decltype",  "typeid",   "noexcept", "assert",
+      "push_back", "emplace_back", "emplace", "pop_back", "front",   "back",
+      "begin",     "end",       "cbegin",    "cend",     "size",    "empty",
+      "find",      "count",     "at",        "clear",    "insert",  "erase",
+      "reserve",   "resize",    "contains",  "swap",     "push",    "pop",
+      "top",       "c_str",     "data",      "str",      "substr",  "append",
+      "get",       "reset",     "release",   "value",    "has_value",
+      "value_or",  "min",       "max",       "abs",      "move",    "forward",
+      "make_unique", "make_shared", "to_string", "string"};
+  if (kNever.contains(text)) return false;
+  for (const char c : text) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return true;
+  }
+  return false;  // ALL_CAPS macro
+}
+
+/// Format-string argument position per formatter, or -1 when `name` is not
+/// a formatting call. Only a tainted *format string* is the vulnerability;
+/// tainted data arguments are the normal case.
+int format_string_arg(std::string_view name) {
+  if (name == "printf" || name == "format" || name == "vformat") return 0;
+  if (name == "fprintf" || name == "dprintf" || name == "sprintf" ||
+      name == "format_to") {
+    return 1;
+  }
+  if (name == "snprintf" || name == "vsnprintf") return 2;
+  return -1;
+}
+
+/// Origin set a local variable carries: which parameters and which call
+/// results feed it (transitively through assignments).
+struct Origin {
+  std::uint32_t params = 0;
+  std::set<std::string> calls;
+
+  [[nodiscard]] bool empty() const { return params == 0 && calls.empty(); }
+  /// Merge `other` in; returns true when anything new arrived.
+  bool merge(const Origin& other) {
+    bool changed = (other.params & ~params) != 0;
+    params |= other.params;
+    for (const auto& c : other.calls) {
+      if (calls.size() >= kMaxCallOrigins) break;
+      changed = calls.insert(c).second || changed;
+    }
+    return changed;
+  }
+};
+
+struct FlowScanner {
+  const Tokens& toks;
+  std::size_t body_open, body_close;
+  const DeclSets& sets;
+  FileFacts::Function& fn;
+
+  std::unordered_map<std::string, Origin> vars;
+  /// First line where a comparison guards the variable; flows at or after
+  /// this line count as bounds-checked.
+  std::unordered_map<std::string, std::uint32_t> checked_line;
+  std::set<std::string> emitted;  ///< dedup keys for edges
+
+  // ---- expression scanning -------------------------------------------
+
+  /// Union of origins carried by tracked variables and opaque call results
+  /// in [lo, hi). `checked` reports whether any contributing variable was
+  /// bounds-checked at or before `use_line`.
+  Origin scan_expr(std::size_t lo, std::size_t hi, std::uint32_t use_line,
+                   bool& checked) {
+    Origin out;
+    for (std::size_t k = lo; k < hi && k < toks.size(); ++k) {
+      const Token& t = toks[k];
+      if (t.kind != TokKind::kIdent || t.in_pp) continue;
+      const bool method = k > 0 && (tok::is_punct(toks, k - 1, ".") ||
+                                    tok::is_punct(toks, k - 1, "->"));
+      // Call: `name(` or `name<...>(`.
+      std::size_t open = tok::kNpos;
+      if (tok::is_punct(toks, k + 1, "(")) {
+        open = k + 1;
+      } else if (tok::is_punct(toks, k + 1, "<")) {
+        const std::size_t c = tok::skip_template_args(toks, k + 1);
+        if (c != tok::kNpos && tok::is_punct(toks, c + 1, "(")) open = c + 1;
+      }
+      if (open != tok::kNpos) {
+        if (transparent_call(t.text)) {
+          k = open;  // descend: taint flows through the wrapper's arguments
+          continue;
+        }
+        const std::size_t close = tok::match_forward(toks, open, "(", ")");
+        if (close == tok::kNpos || close >= hi) return out;
+        if (!method && flow_callee(t.text)) {
+          if (out.calls.size() < kMaxCallOrigins) out.calls.insert(t.text);
+        }
+        // Method results inherit the receiver's origins (`text.substr(..)`),
+        // already merged when the receiver identifier was scanned; the
+        // arguments of an opaque call are not this value's origin.
+        k = close;
+        continue;
+      }
+      const auto it = vars.find(t.text);
+      if (it != vars.end()) {
+        out.merge(it->second);
+        const auto ck = checked_line.find(t.text);
+        if (ck != checked_line.end() && ck->second <= use_line) checked = true;
+      }
+    }
+    return out;
+  }
+
+  // ---- bounds-check harvesting ---------------------------------------
+
+  /// A tracked variable appearing in an if/while/for condition containing
+  /// a comparison operator counts as bounds-checked from that line on.
+  /// The whole for(...) header is scanned as one condition — its init and
+  /// increment idents get marked too, which only errs toward fewer
+  /// findings (`for (i = 0; i < n; ++i) buf[i]` is the canonical bounded
+  /// loop this must not flag).
+  void harvest_checks() {
+    for (std::size_t k = body_open + 1; k < body_close; ++k) {
+      if (toks[k].in_pp) continue;
+      if (!tok::is_ident(toks, k, "if") && !tok::is_ident(toks, k, "while") &&
+          !tok::is_ident(toks, k, "for")) {
+        continue;
+      }
+      std::size_t open = k + 1;
+      if (tok::is_ident(toks, open, "constexpr")) ++open;
+      if (!tok::is_punct(toks, open, "(")) continue;
+      const std::size_t close = tok::match_forward(toks, open, "(", ")");
+      if (close == tok::kNpos || close > body_close) continue;
+      bool has_cmp = false;
+      for (std::size_t m = open + 1; m < close; ++m) {
+        if (toks[m].kind != TokKind::kPunct) continue;
+        const std::string_view p = toks[m].text;
+        if (p == "<" || p == "<=" || p == ">" || p == ">=" || p == "==" || p == "!=") {
+          has_cmp = true;
+          break;
+        }
+      }
+      if (!has_cmp) continue;
+      const std::uint32_t line = toks[k].line;
+      for (std::size_t m = open + 1; m < close; ++m) {
+        if (toks[m].kind != TokKind::kIdent) continue;
+        const auto it = checked_line.find(toks[m].text);
+        if (it == checked_line.end()) {
+          checked_line.emplace(toks[m].text, line);
+        } else if (line < it->second) {
+          it->second = line;
+        }
+      }
+      k = close;
+    }
+  }
+
+  // ---- assignment fixpoint -------------------------------------------
+
+  /// One pass over the body merging RHS origins into assigned variables
+  /// and range-for loop variables. Returns true when any origin grew.
+  bool propagate_assignments() {
+    bool changed = false;
+    for (std::size_t k = body_open + 1; k < body_close; ++k) {
+      const Token& t = toks[k];
+      if (t.in_pp) continue;
+      // Range-for: `for (decl : expr)` — the loop variable inherits the
+      // range expression's origins (elements of a tainted batch are
+      // tainted).
+      if (t.kind == TokKind::kIdent && t.text == "for" &&
+          tok::is_punct(toks, k + 1, "(")) {
+        const std::size_t close = tok::match_forward(toks, k + 1, "(", ")");
+        if (close == tok::kNpos || close > body_close) continue;
+        std::size_t colon = tok::kNpos;
+        int depth = 0;
+        for (std::size_t m = k + 2; m < close; ++m) {
+          if (tok::is_punct(toks, m, "(") || tok::is_punct(toks, m, "[")) ++depth;
+          if (tok::is_punct(toks, m, ")") || tok::is_punct(toks, m, "]")) --depth;
+          if (depth == 0 && tok::is_punct(toks, m, ":")) {
+            colon = m;
+            break;
+          }
+        }
+        if (colon == tok::kNpos) continue;
+        std::string var;
+        for (std::size_t m = k + 2; m < colon; ++m) {
+          if (toks[m].kind == TokKind::kIdent) var = toks[m].text;
+        }
+        if (var.empty()) continue;
+        bool ignored = false;
+        const Origin rhs = scan_expr(colon + 1, close, toks[k].line, ignored);
+        if (!rhs.empty() && vars[var].merge(rhs)) changed = true;
+        continue;
+      }
+      // Assignment: `ident = expr` / `ident += expr` (not a member access,
+      // and `==`/`<=`/... are single greedy tokens so they never match).
+      if (t.kind != TokKind::kIdent) continue;
+      if (k > 0 && (tok::is_punct(toks, k - 1, ".") || tok::is_punct(toks, k - 1, "->"))) {
+        continue;
+      }
+      if (!tok::is_punct(toks, k + 1, "=") && !tok::is_punct(toks, k + 1, "+=")) continue;
+      std::size_t end = k + 2;
+      int depth = 0;
+      while (end < body_close) {
+        if (tok::is_punct(toks, end, "(") || tok::is_punct(toks, end, "[") ||
+            tok::is_punct(toks, end, "{")) {
+          ++depth;
+        }
+        if (tok::is_punct(toks, end, ")") || tok::is_punct(toks, end, "]") ||
+            tok::is_punct(toks, end, "}")) {
+          --depth;
+        }
+        if (depth <= 0 && (tok::is_punct(toks, end, ";") || depth < 0)) break;
+        ++end;
+      }
+      bool ignored = false;
+      const Origin rhs = scan_expr(k + 2, end, t.line, ignored);
+      if (!rhs.empty() && vars[t.text].merge(rhs)) changed = true;
+      k = end;
+    }
+    return changed;
+  }
+
+  // ---- edge emission --------------------------------------------------
+
+  void emit(const Origin& origin, bool checked, FileFacts::FlowEdge proto) {
+    if (origin.empty()) return;
+    proto.checked = checked;
+    for (std::uint32_t p = 0; p < 32; ++p) {
+      if ((origin.params & (1u << p)) == 0) continue;
+      FileFacts::FlowEdge e = proto;
+      e.from_param = static_cast<int>(p);
+      push(std::move(e));
+    }
+    for (const auto& c : origin.calls) {
+      FileFacts::FlowEdge e = proto;
+      e.from_call = c;
+      push(std::move(e));
+    }
+  }
+
+  void push(FileFacts::FlowEdge e) {
+    if (fn.flows.size() >= kMaxFlows) return;
+    std::string key;
+    key += std::to_string(e.from_param);
+    key += '/';
+    key += e.from_call;
+    key += '/';
+    key += e.kind;
+    key += '/';
+    key += e.to_call;
+    key += '/';
+    key += std::to_string(e.to_arg);
+    key += '/';
+    key += e.sink;
+    key += '/';
+    key += e.detail;
+    key += '/';
+    key += e.checked ? '1' : '0';
+    if (!emitted.insert(key).second) return;
+    fn.flows.push_back(std::move(e));
+  }
+
+  /// Split `[open+1, close)` on top-level commas and hand each argument
+  /// segment to `body(index, lo, hi)`.
+  template <typename Fn>
+  void for_each_arg(std::size_t open, std::size_t close, Fn&& body) {
+    std::size_t begin = open + 1;
+    int depth = 0;
+    int index = 0;
+    for (std::size_t m = open + 1; m <= close; ++m) {
+      if (tok::is_punct(toks, m, "(") || tok::is_punct(toks, m, "[") ||
+          tok::is_punct(toks, m, "{")) {
+        ++depth;
+      }
+      if (tok::is_punct(toks, m, ")") || tok::is_punct(toks, m, "]") ||
+          tok::is_punct(toks, m, "}")) {
+        --depth;
+      }
+      if ((depth == 0 && tok::is_punct(toks, m, ",")) || m == close) {
+        if (m > begin) body(index, begin, m);
+        ++index;
+        begin = m + 1;
+      }
+    }
+  }
+
+  bool is_container(const std::string& name) const {
+    return sets.unordered.contains(name) || sets.ordered.contains(name) ||
+           sets.sequences.contains(name);
+  }
+
+  void emit_edges() {
+    for (std::size_t k = body_open + 1; k < body_close; ++k) {
+      const Token& t = toks[k];
+      if (t.in_pp || t.kind != TokKind::kIdent) continue;
+      const std::uint32_t line = t.line;
+
+      // `return expr;` — the summary's param/call → return flows.
+      if (t.text == "return") {
+        std::size_t end = k + 1;
+        while (end < body_close && !tok::is_punct(toks, end, ";")) ++end;
+        bool checked = false;
+        const Origin o = scan_expr(k + 1, end, line, checked);
+        FileFacts::FlowEdge proto;
+        proto.kind = 'r';
+        proto.line = line;
+        emit(o, checked, proto);
+        k = end;
+        continue;
+      }
+
+      // `new T[size]` allocation.
+      if (t.text == "new") {
+        for (std::size_t m = k + 1; m < k + 8 && m < body_close; ++m) {
+          if (tok::is_punct(toks, m, ";") || tok::is_punct(toks, m, "(")) break;
+          if (!tok::is_punct(toks, m, "[")) continue;
+          const std::size_t close = tok::match_forward(toks, m, "[", "]");
+          if (close == tok::kNpos) break;
+          bool checked = false;
+          const Origin o = scan_expr(m + 1, close, line, checked);
+          FileFacts::FlowEdge proto;
+          proto.kind = 's';
+          proto.sink = "alloc-size";
+          proto.detail = "new[]";
+          proto.line = line;
+          emit(o, checked, proto);
+          break;
+        }
+        continue;
+      }
+
+      const bool method = k > 0 && (tok::is_punct(toks, k - 1, ".") ||
+                                    tok::is_punct(toks, k - 1, "->"));
+
+      // Subscript sinks: `seq[expr]` indexing, `map_[expr]` keyed growth.
+      if (!method && tok::is_punct(toks, k + 1, "[") && vars_or_container(t.text)) {
+        const std::size_t close = tok::match_forward(toks, k + 1, "[", "]");
+        if (close != tok::kNpos && close <= body_close) {
+          bool checked = false;
+          const Origin o = scan_expr(k + 2, close, line, checked);
+          if (!o.empty()) {
+            FileFacts::FlowEdge proto;
+            proto.kind = 's';
+            proto.line = line;
+            proto.detail = t.text;
+            if (sets.sequences.contains(t.text) || sets.strings.contains(t.text)) {
+              proto.sink = "index";
+              emit(o, checked, proto);
+            } else if ((sets.unordered.contains(t.text) ||
+                        sets.ordered.contains(t.text)) &&
+                       member_shaped_name(t.text)) {
+              proto.sink = "growth";
+              emit(o, checked, proto);
+            }
+          }
+        }
+        continue;
+      }
+
+      // Call-shaped constructs.
+      std::size_t open = tok::kNpos;
+      if (tok::is_punct(toks, k + 1, "(")) {
+        open = k + 1;
+      } else if (tok::is_punct(toks, k + 1, "<")) {
+        const std::size_t c = tok::skip_template_args(toks, k + 1);
+        if (c != tok::kNpos && tok::is_punct(toks, c + 1, "(")) open = c + 1;
+      }
+      if (open == tok::kNpos) continue;
+      const std::size_t close = tok::match_forward(toks, open, "(", ")");
+      if (close == tok::kNpos || close > body_close) continue;
+
+      if (method) {
+        // Method sinks on a local/member container or receiver.
+        const std::string recv = receiver_of(k);
+        const std::string_view m = t.text;
+        if ((m == "resize" || m == "reserve") && !recv.empty()) {
+          sink_args(open, close, line, "alloc-size", recv);
+        } else if ((m == "insert" || m == "emplace" || m == "try_emplace" ||
+                    m == "push_back" || m == "emplace_back" || m == "append") &&
+                   member_shaped_name(recv) && is_container(recv)) {
+          sink_args(open, close, line, "growth", recv);
+        } else if (m == "open") {
+          sink_first_arg(open, close, line, "path", recv.empty() ? "open" : recv);
+        }
+        continue;
+      }
+
+      // Free-function sinks.
+      if (t.text == "malloc" || t.text == "calloc" || t.text == "realloc") {
+        sink_args(open, close, line, "alloc-size", std::string(t.text));
+        continue;
+      }
+      if (t.text == "fopen" || t.text == "ifstream" || t.text == "ofstream" ||
+          t.text == "fstream") {
+        sink_first_arg(open, close, line, "path", std::string(t.text));
+        continue;
+      }
+      const int fmt_arg = format_string_arg(t.text);
+      if (fmt_arg >= 0) {
+        for_each_arg(open, close, [&](int index, std::size_t lo, std::size_t hi) {
+          if (index != fmt_arg) return;
+          bool checked = false;
+          const Origin o = scan_expr(lo, hi, line, checked);
+          FileFacts::FlowEdge proto;
+          proto.kind = 's';
+          proto.sink = "format";
+          proto.detail = t.text;
+          proto.line = line;
+          emit(o, checked, proto);
+        });
+        continue;
+      }
+
+      // Interprocedural arg-pass edges for resolvable callees.
+      if (flow_callee(t.text) && !transparent_call(t.text)) {
+        for_each_arg(open, close, [&](int index, std::size_t lo, std::size_t hi) {
+          bool checked = false;
+          const Origin o = scan_expr(lo, hi, line, checked);
+          FileFacts::FlowEdge proto;
+          proto.kind = 'a';
+          proto.to_call = t.text;
+          proto.to_arg = index;
+          proto.line = line;
+          emit(o, checked, proto);
+        });
+      }
+    }
+  }
+
+  /// Variable-ish subscript bases: tracked locals and declared containers.
+  bool vars_or_container(const std::string& name) const {
+    return vars.contains(name) || is_container(name) || sets.strings.contains(name);
+  }
+
+  static bool member_shaped_name(std::string_view text) {
+    return text.size() >= 2 && text.back() == '_' &&
+           std::isdigit(static_cast<unsigned char>(text.front())) == 0;
+  }
+
+  std::string receiver_of(std::size_t method_idx) const {
+    if (method_idx < 2) return {};
+    if (!tok::is_punct(toks, method_idx - 1, ".") &&
+        !tok::is_punct(toks, method_idx - 1, "->")) {
+      return {};
+    }
+    const Token& r = toks[method_idx - 2];
+    return r.kind == TokKind::kIdent ? r.text : std::string();
+  }
+
+  void sink_args(std::size_t open, std::size_t close, std::uint32_t line,
+                 const char* sink, const std::string& detail) {
+    for_each_arg(open, close, [&](int, std::size_t lo, std::size_t hi) {
+      bool checked = false;
+      const Origin o = scan_expr(lo, hi, line, checked);
+      FileFacts::FlowEdge proto;
+      proto.kind = 's';
+      proto.sink = sink;
+      proto.detail = detail;
+      proto.line = line;
+      emit(o, checked, proto);
+    });
+  }
+
+  void sink_first_arg(std::size_t open, std::size_t close, std::uint32_t line,
+                      const char* sink, const std::string& detail) {
+    for_each_arg(open, close, [&](int index, std::size_t lo, std::size_t hi) {
+      if (index != 0) return;
+      bool checked = false;
+      const Origin o = scan_expr(lo, hi, line, checked);
+      FileFacts::FlowEdge proto;
+      proto.kind = 's';
+      proto.sink = sink;
+      proto.detail = detail;
+      proto.line = line;
+      emit(o, checked, proto);
+    });
+  }
+};
+
+}  // namespace
+
+void extract_flows(const Tokens& toks, std::size_t body_open, std::size_t body_close,
+                   const DeclSets& sets, FileFacts::Function& fn) {
+  if (body_close <= body_open) return;
+  FlowScanner scanner{toks, body_open, body_close, sets, fn, {}, {}, {}};
+  for (std::size_t p = 0; p < fn.params.size() && p < 32; ++p) {
+    if (fn.params[p].empty()) continue;
+    scanner.vars[fn.params[p]].params |= 1u << p;
+  }
+  scanner.harvest_checks();
+  // Small fixpoint so chained locals (`auto a = src; auto b = a;`) and
+  // loop-carried assignments converge; origins only grow, so three passes
+  // bound all realistic chains without quadratic blowup.
+  for (int iter = 0; iter < 3; ++iter) {
+    if (!scanner.propagate_assignments()) break;
+  }
+  scanner.emit_edges();
+}
+
+}  // namespace at::lint::facts

@@ -398,6 +398,8 @@ bool parse_trailer(const Tokens& toks, std::size_t params_close,
         const bool is_hot = t.text == "AT_HOT";
         const bool is_acq = t.text == "AT_ACQUIRES";
         if (is_hot) fn.hot = true;
+        if (t.text == "AT_UNTRUSTED") fn.untrusted = true;
+        if (t.text == "AT_SANITIZES") fn.sanitizes = true;
         ++j;
         if (tok::is_punct(toks, j, "(")) {
           const std::size_t c = tok::match_forward(toks, j, "(", ")");
@@ -466,9 +468,87 @@ bool parse_trailer(const Tokens& toks, std::size_t params_close,
   return false;
 }
 
+/// Positional parameter names from the list between `open` and `close`
+/// (the '(' and ')' tokens). Heuristic: per top-level comma segment, the
+/// declared name is the last identifier before any '=' default — type
+/// keywords and template arguments are skipped structurally. Unnamed or
+/// unrecognized parameters contribute "" so positions stay aligned.
+void extract_params(const Tokens& toks, std::size_t open, std::size_t close,
+                    std::vector<std::string>& out) {
+  if (close <= open + 1) return;  // ()
+  std::size_t begin = open + 1;
+  int depth = 0;
+  for (std::size_t k = open + 1; k <= close; ++k) {
+    if (tok::is_punct(toks, k, "(") || tok::is_punct(toks, k, "[") ||
+        tok::is_punct(toks, k, "{")) {
+      ++depth;
+    }
+    if (tok::is_punct(toks, k, ")") || tok::is_punct(toks, k, "]") ||
+        tok::is_punct(toks, k, "}")) {
+      --depth;
+    }
+    if ((depth == 0 && tok::is_punct(toks, k, ",")) || k == close) {
+      std::string name;
+      for (std::size_t m = begin; m < k; ++m) {
+        if (tok::is_punct(toks, m, "=")) break;  // default argument
+        if (tok::is_punct(toks, m, "<")) {
+          const std::size_t c = tok::skip_template_args(toks, m);
+          if (c != tok::kNpos && c < k) m = c;
+          continue;
+        }
+        if (toks[m].kind == TokKind::kIdent && !never_a_function(toks[m].text)) {
+          name = toks[m].text;
+        }
+      }
+      if (name == "void") name.clear();
+      // Unnamed parameters keep a placeholder so arity (and therefore the
+      // taint bitmask positions) survives the cache round-trip, where an
+      // empty one-element list is indistinguishable from an empty list.
+      out.push_back(name.empty() ? "_" : std::move(name));
+      begin = k + 1;
+    }
+  }
+  if (out.size() == 1 && out[0] == "_") out.clear();  // f(void) / f()
+}
+
+/// Harvest bounded-growth evidence into facts.bounded_fields: an
+/// AT_BOUNDED marker after a field declaration blesses the nearest
+/// preceding identifier; eviction calls (erase/pop_front/pop_back/clear)
+/// on a member-shaped variable bless it too — the linker unions the lists
+/// project-wide, so eviction in one TU covers growth sites in another.
+void harvest_bounded_fields(const TokenStream& ts, FileFacts& facts) {
+  const Tokens& toks = ts.tokens;
+  std::unordered_set<std::string> seen;
+  const auto add = [&](const std::string& name) {
+    if (!name.empty() && seen.insert(name).second) facts.bounded_fields.push_back(name);
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.in_pp) continue;
+    if (t.text == "AT_BOUNDED") {
+      for (std::size_t k = i; k-- > 0;) {
+        if (toks[k].kind == TokKind::kIdent) {
+          add(toks[k].text);
+          break;
+        }
+        if (tok::is_punct(toks, k, ";") || tok::is_punct(toks, k, "{")) break;
+      }
+      continue;
+    }
+    if (member_shaped(t.text) && tok::is_punct(toks, i + 1, ".") &&
+        i + 2 < toks.size() && toks[i + 2].kind == TokKind::kIdent &&
+        tok::is_punct(toks, i + 3, "(")) {
+      const std::string_view m = toks[i + 2].text;
+      if (m == "erase" || m == "pop_front" || m == "pop_back" || m == "clear") {
+        add(t.text);
+      }
+    }
+  }
+}
+
 /// The function-definition scanner (see file comment).
 void extract_functions(const TokenStream& ts, const TokenStream* sibling,
-                       FileFacts& facts) {
+                       const DeclSets& sets, FileFacts& facts) {
   const Tokens& toks = ts.tokens;
   std::unordered_set<std::string> atomic_fields;
   harvest_atomic_fields(&ts, atomic_fields);
@@ -553,14 +633,19 @@ void extract_functions(const TokenStream& ts, const TokenStream* sibling,
     if (!tr.is_definition) {
       // Declarations only matter when they carry annotations the linker
       // must union into the definition's summary (AT_ACQUIRES on a header
-      // prototype whose definition lives out of reach, AT_HOT roots).
-      if (fn.hot || !fn.acquires.empty()) facts.functions.push_back(std::move(fn));
+      // prototype whose definition lives out of reach, AT_HOT roots,
+      // AT_UNTRUSTED taint sources, AT_SANITIZES taint clears).
+      if (fn.hot || !fn.acquires.empty() || fn.untrusted || fn.sanitizes) {
+        facts.functions.push_back(std::move(fn));
+      }
       if (tr.resume != tok::kNpos) i = tr.resume - 1;
       continue;
     }
     const std::size_t body_close = tok::match_forward(toks, tr.body_open, "{", "}");
     if (body_close == tok::kNpos) continue;
+    extract_params(toks, i + 1, params_close, fn.params);
     scan_body(toks, tr.body_open, body_close, atomic_fields, facts, fn);
+    extract_flows(toks, tr.body_open, body_close, sets, fn);
     facts.functions.push_back(std::move(fn));
     i = body_close;
   }
@@ -827,7 +912,8 @@ void extract_code_facts(const TokenStream& ts, const TokenStream* sibling,
       facts.pending_loops.push_back({sink.range_var, sink.var, sink.what, sink.line});
     }
   }
-  extract_functions(ts, sibling, facts);
+  harvest_bounded_fields(ts, facts);
+  extract_functions(ts, sibling, sets, facts);
 }
 
 }  // namespace at::lint::facts

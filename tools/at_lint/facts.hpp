@@ -65,4 +65,14 @@ struct LoopSink {
 void extract_code_facts(const TokenStream& ts, const TokenStream* sibling,
                         FileFacts& facts);
 
+/// Dataflow summary extraction for one function body (dataflow.cpp): build
+/// the local var → origin map (parameters, call results) by scanning
+/// assignments to a small fixpoint, then emit FlowEdges for callee
+/// argument passes, returns, and sinks (allocation sizes, sequence
+/// indexing, member-container growth, file paths, format calls). `sets`
+/// classifies locally-declared containers for sink detection.
+void extract_flows(const std::vector<Token>& toks, std::size_t body_open,
+                   std::size_t body_close, const DeclSets& sets,
+                   FileFacts::Function& fn);
+
 }  // namespace at::lint::facts

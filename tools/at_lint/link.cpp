@@ -58,6 +58,21 @@ bool intrinsic_hot_root(std::string_view path, std::string_view last) {
 
 }  // namespace
 
+std::string ProjectGraph::taint_chain(std::size_t f) const {
+  std::vector<std::string_view> chain;
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t cur = f; cur != kNone && seen.insert(cur).second;
+       cur = taint_parent[cur]) {
+    chain.push_back(fns[cur].fn->name);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    out += *it;
+  }
+  return out;
+}
+
 std::string ProjectGraph::hot_chain(std::size_t f) const {
   std::vector<std::string_view> chain;
   for (std::size_t cur = f; cur != kNone; cur = hot_parent[cur]) {
@@ -237,6 +252,130 @@ ProjectGraph link_project(const std::vector<FileAnalysis>& files) {
       g.hot_parent[e.callee] = u;
       queue.push_back(e.callee);
     }
+  }
+
+  // ---- taint propagation (worklist over FlowEdge summaries)
+  //
+  // Union the source/sanitizer markers across same-name entries first (an
+  // AT_UNTRUSTED header prototype marks the out-of-line definition), then
+  // run the interprocedural fixpoint: a tainted origin flowing into a
+  // call argument taints the callee's parameter; a tainted origin flowing
+  // into `return` taints every caller that consumes the result — unless
+  // the entry sanitizes. Only fanout == 1 resolutions propagate, matching
+  // the throw analysis: a wrong edge would forge a taint path.
+  g.untrusted.assign(n, 0);
+  g.sanitizes.assign(n, 0);
+  for (std::size_t f = 0; f < n; ++f) {
+    if (g.fns[f].fn->untrusted) g.untrusted[f] = 1;
+    if (g.fns[f].fn->sanitizes) g.sanitizes[f] = 1;
+  }
+  for (const auto& [name, group] : by_name) {
+    if (group.size() < 2) continue;
+    bool any_untrusted = false, any_sanitizes = false;
+    for (const std::size_t f : group) {
+      any_untrusted = any_untrusted || g.untrusted[f] != 0;
+      any_sanitizes = any_sanitizes || g.sanitizes[f] != 0;
+    }
+    for (const std::size_t f : group) {
+      if (any_untrusted) g.untrusted[f] = 1;
+      if (any_sanitizes) g.sanitizes[f] = 1;
+    }
+  }
+
+  // Per-caller name → unique-resolution callees, plus reverse edges so a
+  // late ret_taint discovery re-queues consumers.
+  std::vector<std::unordered_map<std::string_view, std::vector<std::size_t>>> resolved(n);
+  std::vector<std::vector<std::size_t>> callers(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const auto& e : g.edges[f]) {
+      if (e.fanout != 1) continue;
+      auto& targets = resolved[f][std::string_view(e.site->name)];
+      if (std::find(targets.begin(), targets.end(), e.callee) == targets.end()) {
+        targets.push_back(e.callee);
+      }
+      callers[e.callee].push_back(f);
+    }
+  }
+
+  g.param_taint.assign(n, 0);
+  g.ret_taint.assign(n, 0);
+  g.taint_parent.assign(n, ProjectGraph::kNone);
+  g.taint_parent_line.assign(n, 0);
+  std::deque<std::size_t> taint_queue;
+  std::vector<char> queued(n, 0);
+  const auto enqueue = [&](std::size_t f) {
+    if (queued[f] == 0) {
+      queued[f] = 1;
+      taint_queue.push_back(f);
+    }
+  };
+  for (std::size_t f = 0; f < n; ++f) {
+    if (g.untrusted[f] == 0) continue;
+    const std::size_t nparams = g.fns[f].fn->params.size();
+    g.param_taint[f] = nparams >= 32 ? ~0u : ((1u << nparams) - 1u);
+    if (g.sanitizes[f] == 0) g.ret_taint[f] = 1;
+    enqueue(f);
+    for (const std::size_t c : callers[f]) enqueue(c);
+  }
+
+  const auto origin_tainted = [&](std::size_t f, const FileFacts::FlowEdge& e) {
+    if (g.untrusted[f] != 0) return true;  // everything local to a source is hot
+    if (e.from_param >= 0 && e.from_param < 32 &&
+        (g.param_taint[f] & (1u << static_cast<unsigned>(e.from_param))) != 0) {
+      return true;
+    }
+    if (!e.from_call.empty()) {
+      const auto it = resolved[f].find(std::string_view(e.from_call));
+      if (it != resolved[f].end()) {
+        for (const std::size_t c : it->second) {
+          if (g.ret_taint[c] != 0 && g.sanitizes[c] == 0) return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  while (!taint_queue.empty()) {
+    const std::size_t f = taint_queue.front();
+    taint_queue.pop_front();
+    queued[f] = 0;
+    for (const auto& e : g.fns[f].fn->flows) {
+      if (!origin_tainted(f, e)) continue;
+      if (e.kind == 'a') {
+        const auto it = resolved[f].find(std::string_view(e.to_call));
+        if (it == resolved[f].end() || e.to_arg < 0 || e.to_arg >= 32) continue;
+        const std::uint32_t bit = 1u << static_cast<unsigned>(e.to_arg);
+        for (const std::size_t c : it->second) {
+          if ((g.param_taint[c] & bit) != 0) continue;
+          g.param_taint[c] |= bit;
+          if (g.taint_parent[c] == ProjectGraph::kNone && c != f) {
+            g.taint_parent[c] = f;
+            g.taint_parent_line[c] = e.line;
+          }
+          enqueue(c);
+        }
+      } else if (e.kind == 'r') {
+        if (g.sanitizes[f] != 0 || g.ret_taint[f] != 0) continue;
+        g.ret_taint[f] = 1;
+        for (const std::size_t c : callers[f]) enqueue(c);
+      }
+    }
+  }
+
+  // Freeze the per-edge verdicts for the rules.
+  g.flow_taint.assign(n, {});
+  for (std::size_t f = 0; f < n; ++f) {
+    const auto& flows = g.fns[f].fn->flows;
+    g.flow_taint[f].assign(flows.size(), 0);
+    for (std::size_t e = 0; e < flows.size(); ++e) {
+      if (origin_tainted(f, flows[e])) g.flow_taint[f][e] = 1;
+    }
+  }
+
+  // ---- bounded-growth field union (AT_BOUNDED + eviction evidence)
+  for (const auto& file : files) {
+    g.bounded_fields.insert(file.facts.bounded_fields.begin(),
+                            file.facts.bounded_fields.end());
   }
 
   // ---- throw propagation (unique-resolution calls outside try blocks)

@@ -9,8 +9,9 @@
 // component is `foo` and whose defining file (or that file's sibling
 // header) is reachable through a.cpp's quoted includes. The distinct-name
 // fanout of a resolution gates how each analysis uses the edge:
-//   fanout == 1  lock-acquisition and throw propagation (precision first:
-//                a wrong edge forges a deadlock cycle or noexcept report)
+//   fanout == 1  lock-acquisition, throw, and taint propagation (precision
+//                first: a wrong edge forges a deadlock cycle, a noexcept
+//                report, or a phantom taint path)
 //   fanout <= 2  hot-path reachability (recall matters more; the report
 //                carries the full call chain so a reviewer can audit it)
 
@@ -75,6 +76,28 @@ struct ProjectGraph {
   };
   std::vector<ThrowWitness> throw_witness;
 
+  /// Taint propagation (worklist over the FlowEdge summaries, fanout == 1
+  /// call resolution like throw propagation). Seeds: AT_UNTRUSTED entries
+  /// taint all their parameters and their return value. An arg-pass edge
+  /// whose origin is tainted taints the callee's parameter; a return edge
+  /// taints the caller-visible result unless the entry is AT_SANITIZES.
+  std::vector<char> untrusted;             ///< unioned across same-name entries
+  std::vector<char> sanitizes;             ///< unioned across same-name entries
+  std::vector<std::uint32_t> param_taint;  ///< bitmask, bit i = parameter i tainted
+  std::vector<char> ret_taint;
+  /// Provenance for diagnostics: the caller that first tainted this
+  /// entry's parameters and the call-site line (kNone/0 at seeds).
+  std::vector<std::size_t> taint_parent;
+  std::vector<std::uint32_t> taint_parent_line;
+  /// Per-entry, per-FlowEdge taint verdict, parallel to fns[f].fn->flows:
+  /// the edge's origin is tainted after the interprocedural fixpoint.
+  /// Rules read this instead of re-deriving resolution.
+  std::vector<std::vector<char>> flow_taint;
+
+  /// Project-wide union of every file's bounded_fields (AT_BOUNDED
+  /// annotations + eviction evidence), consumed by unbounded-growth.
+  std::unordered_set<std::string> bounded_fields;
+
   /// Reflexive include closure per file path (quoted includes + sibling
   /// pairing), shared with the cross-TU determinism rule.
   std::unordered_map<std::string, std::unordered_set<std::string>> closure;
@@ -83,6 +106,9 @@ struct ProjectGraph {
 
   /// "root -> caller -> ... -> fns[f]" along the hot BFS parents.
   [[nodiscard]] std::string hot_chain(std::size_t f) const;
+
+  /// "source -> caller -> ... -> fns[f]" along the taint parents.
+  [[nodiscard]] std::string taint_chain(std::size_t f) const;
 };
 
 [[nodiscard]] ProjectGraph link_project(const std::vector<FileAnalysis>& files);

@@ -1,6 +1,7 @@
 #include "at_lint/lint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <set>
@@ -22,9 +23,9 @@ namespace {
 /// Bump whenever any rule's behavior changes: the string feeds engine_salt(),
 /// which keys the incremental cache, so every entry self-invalidates.
 constexpr std::string_view kEngineVersion =
-    "at_lint-v3.0:banned-call,pragma-once,include-cycle,raw-new-delete,guarded-by,"
+    "at_lint-v4.0:banned-call,pragma-once,include-cycle,raw-new-delete,guarded-by,"
     "determinism,lock-order,header-hygiene,uninit-member,blocking-in-hot-path,"
-    "atomic-order,noexcept-escape";
+    "atomic-order,noexcept-escape,taint-to-sink,dangling-view,unbounded-growth";
 
 std::string_view trim(std::string_view text) {
   while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
@@ -292,8 +293,15 @@ std::string sibling_header_path(std::string_view path) {
   return std::string(path.substr(0, path.size() - 4)) + ".hpp";
 }
 
-FileAnalysis analyze_file(const SourceFile& file, const TokenStream& tokens,
-                          const SourceFile* sibling, const TokenStream* sibling_tokens) {
+namespace {
+
+/// analyze_file with optional per-rule timing: `rule_nanos` (indexed like
+/// registry(), shared across worker threads) accumulates each rule's
+/// file-phase cost for --stats. Null skips the clock reads entirely.
+FileAnalysis analyze_file_impl(const SourceFile& file, const TokenStream& tokens,
+                               const SourceFile* sibling,
+                               const TokenStream* sibling_tokens,
+                               std::atomic<long long>* rule_nanos) {
   FileAnalysis out;
   out.path = file.path;
   extract_includes(tokens, out.facts);
@@ -304,7 +312,19 @@ FileAnalysis analyze_file(const SourceFile& file, const TokenStream& tokens,
 
   FileCtx ctx{file, tokens, sibling, sibling_tokens};
   std::vector<Violation> found;
-  for (const Check* check : registry()) check->file(ctx, found);
+  const auto& checks = registry();
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    if (rule_nanos == nullptr) {
+      checks[c]->file(ctx, found);
+      continue;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    checks[c]->file(ctx, found);
+    const auto stop = std::chrono::steady_clock::now();
+    rule_nanos[c].fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count(),
+        std::memory_order_relaxed);
+  }
   for (auto& v : found) {
     const std::size_t s = find_suppression(out.facts, v);
     if (s == tok::kNpos) {
@@ -314,6 +334,13 @@ FileAnalysis analyze_file(const SourceFile& file, const TokenStream& tokens,
     }
   }
   return out;
+}
+
+}  // namespace
+
+FileAnalysis analyze_file(const SourceFile& file, const TokenStream& tokens,
+                          const SourceFile* sibling, const TokenStream* sibling_tokens) {
+  return analyze_file_impl(file, tokens, sibling, sibling_tokens, nullptr);
 }
 
 // ---------------------------------------------------------------- allowlist
@@ -443,6 +470,8 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
     if (need_lex[i] != 0) streams[i] = lex(files[i].content);
   });
   const auto t_lex = Clock::now();
+  const auto& checks = registry();
+  std::vector<std::atomic<long long>> file_rule_nanos(checks.size());
   for_each([&](std::size_t i) {
     if (miss[i] == 0) return;
     const TokenStream* sib_stream = nullptr;
@@ -450,7 +479,9 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
       const auto it = by_path.find(std::string_view(sibling[i]->path));
       if (it != by_path.end()) sib_stream = &streams[it->second];
     }
-    analyses[i] = analyze_file(files[i], streams[i], sibling[i], sib_stream);
+    analyses[i] =
+        analyze_file_impl(files[i], streams[i], sibling[i], sib_stream,
+                          file_rule_nanos.data());
     analyses[i].key = keys[i];
   });
   result.stats.analyzed = static_cast<std::size_t>(
@@ -468,7 +499,13 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
   const auto t_link = Clock::now();
   ProjectCtx project_ctx{analyses, &graph};
   std::vector<Violation> project_violations;
-  for (const Check* check : registry()) check->project(project_ctx, project_violations);
+  std::vector<double> project_rule_ms(checks.size(), 0.0);
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    const auto start = Clock::now();
+    checks[c]->project(project_ctx, project_violations);
+    project_rule_ms[c] =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  }
 
   std::unordered_map<std::string_view, const FileFacts*> facts_of;
   for (const auto& a : analyses) facts_of.emplace(a.path, &a.facts);
@@ -504,12 +541,21 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
     result.violations.push_back(v);
   }
 
-  // Stale inline suppressions: zero per-file hits (cached with the facts)
-  // AND zero project-phase hits this run.
+  // Stale inline suppressions. A suppression's effective hit count this
+  // run merges two sources: per-file hits, which travel with the cached
+  // facts (a warm entry re-reports the hits recorded when its file was
+  // analyzed — analyze_file never reruns on a hit), and project-phase
+  // hits, which are recomputed every run because phase 2 always executes
+  // and its findings depend on other files' facts. Only zero hits from
+  // BOTH sources means stale: dropping the cached side would flag every
+  // per-file suppression on warm runs, dropping the fresh side would
+  // flag every cross-TU suppression always.
   for (const auto& a : analyses) {
     for (std::size_t s = 0; s < a.facts.suppressions.size(); ++s) {
       const auto& sup = a.facts.suppressions[s];
-      if (sup.hits == 0 && !project_hits.contains({a.path, s})) {
+      const std::size_t merged_hits =
+          sup.hits + (project_hits.contains({a.path, s}) ? 1 : 0);
+      if (merged_hits == 0) {
         result.stale_suppressions.push_back({a.path, sup.rule, sup.line});
       }
     }
@@ -518,6 +564,22 @@ RunResult run(const std::vector<SourceFile>& files, const RunOptions& opts) {
             [](const StaleSuppression& a, const StaleSuppression& b) {
               return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
             });
+
+  // Per-rule attribution for --stats: file-phase nanos accumulated across
+  // worker threads + this run's serial project-phase timings, with raw
+  // (pre-allowlist) finding counts.
+  result.stats.rules.reserve(checks.size());
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    RunStats::RuleStat rs;
+    rs.name = std::string(checks[c]->name());
+    rs.file_ms =
+        static_cast<double>(file_rule_nanos[c].load(std::memory_order_relaxed)) / 1e6;
+    rs.project_ms = project_rule_ms[c];
+    rs.violations = static_cast<std::size_t>(
+        std::count_if(result.raw.begin(), result.raw.end(),
+                      [&rs](const Violation& v) { return v.rule == rs.name; }));
+    result.stats.rules.push_back(std::move(rs));
+  }
 
   const auto t2 = Clock::now();
   result.stats.lex_ms = std::chrono::duration<double, std::milli>(t_lex - t0).count();

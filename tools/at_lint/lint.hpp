@@ -1,5 +1,5 @@
 #pragma once
-// at_lint v3 — repo-native whole-program invariant checker. A dependency-free
+// at_lint v4 — repo-native whole-program invariant checker. A dependency-free
 // (no libclang) token-level analysis engine that turns the project's written
 // conventions into machine-checked rules over src/, tools/, bench/ and
 // tests/. It complements, not replaces, Clang -Wthread-safety: the compiler
@@ -19,15 +19,16 @@
 //   lexer.hpp    — C++ lexer: comments, literals (incl. raw strings),
 //                  line continuations, preprocessor lines → TokenStream.
 //   facts.hpp    — phase-1 fact extraction (functions, calls, locks,
-//                  blocking/atomic/throw sites, container fields).
+//                  blocking/atomic/throw sites, container fields, dataflow
+//                  summaries; dataflow.cpp holds the flow extractor).
 //   link.hpp     — phase-2 linker: ProjectGraph (call resolution through
 //                  include closures, lock summaries, hot reachability,
-//                  throw propagation).
+//                  throw propagation, worklist taint propagation).
 //   lint.hpp/cpp — engine: orchestration, inline suppressions, Check
 //                  registry, allowlist, incremental-cache plumbing.
-//   checks.cpp   — the twelve rules, each a Check subclass.
+//   checks.cpp   — the fifteen rules, each a Check subclass.
 //   sarif.hpp    — SARIF 2.1.0 JSON for CI code-scanning annotation.
-//   cache.hpp    — content-hash incremental cache, format v3.
+//   cache.hpp    — content-hash incremental cache, format v4.
 //
 // Rules:
 //   banned-call     rand/strtok/gmtime anywhere in src/; std::sto* outside
@@ -63,6 +64,18 @@
 //                   memory order explicitly (no silent seq_cst).
 //   noexcept-escape a noexcept function, destructor, or ThreadPool task
 //                   must not reach a `throw` through the call graph.
+//   taint-to-sink   a value from an AT_UNTRUSTED source (Zeek / honeypot /
+//                   replay parse entry points) must not reach an allocation
+//                   size, array index, file path, or format call without a
+//                   bounds check or an AT_SANITIZES hop on the path; the
+//                   diagnostic prints the interprocedural taint chain.
+//   dangling-view   a string_view/span/reference must not borrow from a
+//                   temporary (ternary materialization, substr, concat) or
+//                   outlive a container mutation that invalidates it, and a
+//                   view-returning function must not return a local buffer.
+//   unbounded-growth a member map/vector keyed or grown by tainted data
+//                   must carry an eviction path or an AT_BOUNDED annotation
+//                   (the daemon's bounded-ring invariant, repo-wide).
 //
 // Suppressing a finding (both forms need a written justification):
 //   - inline: // at_lint: allow(rule[,rule]) — <why>   (same line, or the
@@ -196,10 +209,31 @@ struct FileFacts {
     bool guards_other = false;
   };
 
+  /// One dataflow step in a function's summary: a value whose origin is a
+  /// parameter (`from_param` >= 0) or the return value of a named call
+  /// (`from_call` non-empty) reaches one destination — a callee argument
+  /// (kind 'a'), the function's own return value (kind 'r'), or a sink
+  /// (kind 's': allocation size, index, keyed growth, file path, format).
+  /// Phase 2 decides whether the origin is *tainted* by propagating from
+  /// AT_UNTRUSTED sources through these summaries over the call graph.
+  struct FlowEdge {
+    int from_param = -1;    ///< origin parameter index, -1 = none
+    std::string from_call;  ///< origin callee name (last component), "" = none
+    char kind = 'a';        ///< 'a' arg-pass | 'r' return | 's' sink
+    std::string to_call;    ///< kind 'a': callee name
+    int to_arg = -1;        ///< kind 'a': 0-based argument position
+    std::string sink;       ///< kind 's': alloc-size|index|growth|path|format
+    std::string detail;     ///< kind 's': container / callee the sink is on
+    std::uint32_t line = 0;
+    /// A comparison against the carrying variable dominates this edge (the
+    /// value was bounds-checked before use), so taint does not fire here.
+    bool checked = false;
+  };
+
   /// A function definition (or an annotated declaration: AT_ACQUIRES /
-  /// AT_HOT on a header prototype contributes its markers with no body
-  /// facts). Task pseudo-functions are lambdas handed to ThreadPool
-  /// submit/parallel_for*, named "task@<line>".
+  /// AT_HOT / AT_UNTRUSTED / AT_SANITIZES on a header prototype contributes
+  /// its markers with no body facts). Task pseudo-functions are lambdas
+  /// handed to ThreadPool submit/parallel_for*, named "task@<line>".
   struct Function {
     std::string name;  ///< qualified when enclosing class is known
     std::uint32_t line = 0;
@@ -207,13 +241,23 @@ struct FileFacts {
     bool is_noexcept = false;
     bool is_dtor = false;
     bool is_task = false;    ///< ThreadPool-submitted callable
+    bool untrusted = false;  ///< AT_UNTRUSTED: params + return carry attacker bytes
+    bool sanitizes = false;  ///< AT_SANITIZES: return value is validated, clears taint
     std::vector<std::string> acquires;  ///< LockGuard exprs + AT_ACQUIRES args
+    std::vector<std::string> params;    ///< positional names ("" when unnamed)
     std::vector<CallSite> calls;
     std::vector<BlockingSite> blocking;
     std::vector<std::uint32_t> throw_lines;  ///< `throw expr` at try-depth 0
     std::vector<AtomicOp> atomics;
+    std::vector<FlowEdge> flows;  ///< dataflow summary (see FlowEdge)
   };
   std::vector<Function> functions;
+
+  /// Member-shaped container fields with a growth bound: either annotated
+  /// AT_BOUNDED at the declaration, or showing eviction evidence in this
+  /// file (erase/pop_front/pop_back/clear on the field). Unioned project-
+  /// wide by the linker: eviction in one TU blesses the field everywhere.
+  std::vector<std::string> bounded_fields;
 };
 
 /// Result of analyzing one file: per-file-rule violations (inline
@@ -256,7 +300,7 @@ class Check {
   virtual void project(const ProjectCtx& ctx, std::vector<Violation>& out) const;
 };
 
-/// All twelve checks, in stable registration order.
+/// All fifteen checks, in stable registration order.
 [[nodiscard]] const std::vector<const Check*>& registry();
 
 /// Allowlist entry: `rule<spaces>file<spaces>token...`. Empty token matches
@@ -301,6 +345,18 @@ struct RunStats {
   double check_ms = 0.0;    ///< project rules + suppression + merge + sort
   double analyze_ms = 0.0;  ///< per-file phase (lex + file rules)
   double project_ms = 0.0;  ///< project rules + merge + sort
+
+  /// Per-rule breakdown, in registry order. file_ms sums the rule's
+  /// file() time across cache misses (CPU time when the phase runs
+  /// parallel, so the column can exceed wall time); project_ms is its
+  /// project() pass; violations counts raw (pre-allowlist) findings.
+  struct RuleStat {
+    std::string name;
+    double file_ms = 0.0;
+    double project_ms = 0.0;
+    std::size_t violations = 0;
+  };
+  std::vector<RuleStat> rules;
 };
 
 struct RunOptions {

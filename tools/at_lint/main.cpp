@@ -11,14 +11,18 @@
 //                           changed files (default: off)
 //   --no-cache              ignore --cache (force a cold run)
 //   --diff REF              print (and exit nonzero on) only findings in
-//                           files changed vs the git ref; the whole-program
-//                           phase still analyzes every file, so cross-TU
-//                           findings in changed files stay complete
+//                           files changed vs `git merge-base HEAD REF`
+//                           (REF itself when no merge base exists); the
+//                           whole-program phase still analyzes every file,
+//                           so cross-TU findings in changed files stay
+//                           complete
 //   --jobs N                per-file analysis threads (default: hardware
 //                           concurrency; 1 = serial)
 //   --sarif FILE            also write findings as SARIF 2.1.0 JSON
 //                           (unfiltered — --diff narrows text output only)
-//   --stats                 print per-phase timing / cache-hit summary
+//   --stats                 print per-phase + per-rule timing / cache-hit
+//                           summary; appended as a markdown table to
+//                           $GITHUB_STEP_SUMMARY when that is set
 //   --write-header-tus DIR  instead emit one single-include TU per
 //                           src/**.hpp (the CMake `lint` target compiles
 //                           them to prove header self-containment)
@@ -27,6 +31,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -75,20 +80,41 @@ bool safe_ref(const std::string& ref) {
   return true;
 }
 
-/// Repo-relative paths changed vs `ref` (committed + working tree), via
-/// `git diff --name-only`. Returns false when git itself fails (bad ref,
-/// not a repo) so the caller can fail loudly instead of linting nothing.
-bool git_changed_files(const fs::path& root, const std::string& ref,
-                       std::vector<std::string>& out) {
-  const std::string cmd = "git -C \"" + root.string() + "\" diff --name-only " + ref +
-                          " -- src tools bench tests 2>/dev/null";
+/// Capture a command's stdout into `out`. False when the command fails.
+bool run_command(const std::string& cmd, std::string& out) {
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return false;
   char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  return pclose(pipe) == 0;
+}
+
+/// Repo-relative paths changed vs `ref` (committed + working tree), via
+/// `git diff --name-only`. The ref resolves through `git merge-base HEAD
+/// REF` first, so `--diff origin/main` on a feature branch compares
+/// against the fork point instead of picking up every file main moved
+/// since the branch — REF's tip is only used directly when merge-base
+/// fails (detached fixtures, REF not an ancestor-bearing commit).
+/// Returns false when git itself fails (bad ref, not a repo) so the
+/// caller can fail loudly instead of linting nothing.
+bool git_changed_files(const fs::path& root, const std::string& ref,
+                       std::vector<std::string>& out) {
+  const std::string git = "git -C \"" + root.string() + "\" ";
+  std::string base = ref;
+  std::string merge_base;
+  if (run_command(git + "merge-base HEAD " + ref + " 2>/dev/null", merge_base)) {
+    while (!merge_base.empty() &&
+           (merge_base.back() == '\n' || merge_base.back() == '\r')) {
+      merge_base.pop_back();
+    }
+    if (!merge_base.empty() && safe_ref(merge_base)) base = merge_base;
+  }
   std::string acc;
-  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) acc += buf;
-  const int status = pclose(pipe);
-  if (status != 0) return false;
+  if (!run_command(git + "diff --name-only " + base +
+                       " -- src tools bench tests 2>/dev/null",
+                   acc)) {
+    return false;
+  }
   std::size_t start = 0;
   while (start < acc.size()) {
     std::size_t end = acc.find('\n', start);
@@ -288,6 +314,32 @@ int main(int argc, char** argv) {
         "lex %.1f ms, extract %.1f ms, link %.1f ms, check %.1f ms (jobs=%zu)\n",
         s.files, s.cache_hits, hit_rate, s.analyzed, s.raw_violations, s.allowlisted,
         result.violations.size(), s.lex_ms, s.extract_ms, s.link_ms, s.check_ms, jobs);
+    for (const auto& r : s.rules) {
+      std::printf("at_lint:   %-22s file %7.2f ms | project %7.2f ms | %zu raw\n",
+                  r.name.c_str(), r.file_ms, r.project_ms, r.violations);
+    }
+    // On GitHub Actions, mirror the numbers into the job summary so the
+    // run page shows per-rule cost and cache health without log digging.
+    const char* summary_path = std::getenv("GITHUB_STEP_SUMMARY");
+    if (summary_path != nullptr && summary_path[0] != '\0') {
+      std::ofstream summary(summary_path, std::ios::app);
+      if (summary) {
+        summary << "### at_lint\n\n"
+                << s.files << " files | " << s.cache_hits << " cache hits ("
+                << static_cast<int>(hit_rate) << "%), " << s.analyzed
+                << " analyzed | " << s.raw_violations << " raw, " << s.allowlisted
+                << " allowlisted, " << result.violations.size() << " reported\n\n"
+                << "| rule | file (ms) | project (ms) | raw findings |\n"
+                << "|---|---:|---:|---:|\n";
+        char row[256];
+        for (const auto& r : s.rules) {
+          std::snprintf(row, sizeof(row), "| %s | %.2f | %.2f | %zu |\n",
+                        r.name.c_str(), r.file_ms, r.project_ms, r.violations);
+          summary << row;
+        }
+        summary << '\n';
+      }
+    }
   }
   if (exit_code == 0) {
     if (diff_active) {

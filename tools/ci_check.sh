@@ -10,9 +10,12 @@
 #
 # Stages:
 #   1. configure + build   build-ci/        -Wall -Wextra -Werror (AT_WERROR=ON)
-#   2. lint                cmake --target lint (header TUs + at_lint sweep)
-#   3. ctest               full suite, parallel
-#   4. sanitizers          build-asan/      AT_SANITIZE=address,undefined,
+#   2. lint                cmake --target lint (header TUs + at_lint sweep),
+#                          stale-suppression gate, warm-rerun 3s budget
+#   3. dataflow fixtures   the v4 rule suites (taint / dangling-view /
+#                          growth / cache round-trip) as a focused gtest pass
+#   4. ctest               full suite, parallel
+#   5. sanitizers          build-asan/      AT_SANITIZE=address,undefined,
 #                          then the zeeklog/fg gtest suites under ASan+UBSan;
 #                          build-tsan/      AT_SANITIZE=thread, then the
 #                          epoch-reclamation + concurrent-BHR suites
@@ -32,7 +35,7 @@ done
 JOBS="$(nproc 2>/dev/null || echo 2)"
 fail() { echo "ci_check: FAIL: $*" >&2; exit 1; }
 
-echo "=== [1/4] configure + build (warnings are errors) ==="
+echo "=== [1/5] configure + build (warnings are errors) ==="
 cmake -B build-ci -S . -DAT_WERROR=ON > /dev/null
 BUILD_LOG="$(mktemp)"
 trap 'rm -f "$BUILD_LOG"' EXIT
@@ -46,7 +49,7 @@ if grep -iE "warning[ :]" "$BUILD_LOG" > /dev/null; then
   fail "build log contains warnings"
 fi
 
-echo "=== [2/4] lint (header TUs + at_lint sweep + stale-suppression gate) ==="
+echo "=== [2/5] lint (header TUs + at_lint sweep + stale-suppression gate) ==="
 cmake --build build-ci --target lint -j "$JOBS" || fail "lint"
 # The lint target already passes --check-stale-allowlist, but run the gate
 # explicitly too so a CMake edit can't silently drop it: an allowlist entry
@@ -56,8 +59,11 @@ cmake --build build-ci --target lint -j "$JOBS" || fail "lint"
   --cache build-ci/at_lint.cache --check-stale-allowlist > /dev/null \
   || fail "stale suppressions (run with --check-stale-allowlist for the list)"
 # Warm-rerun budget: with the fact cache populated by the runs above, a
-# whole-program pass must re-extract nothing and finish under 2 seconds —
+# whole-program pass must re-extract nothing and finish under 3 seconds —
 # the same tripwire CI enforces, so cache regressions fail before the PR.
+# (2s through v3; the v4 taint worklist + flow-summary relink buys a
+# second of headroom on slow runners while still catching a broken cache,
+# whose symptom is a full re-extraction measured in tens of seconds.)
 LINT_START=$(date +%s%N)
 LINT_OUT=$(./build-ci/tools/at_lint --root . --allowlist tools/at_lint/allowlist.txt \
   --cache build-ci/at_lint.cache --stats) || fail "warm lint rerun"
@@ -65,15 +71,23 @@ LINT_MS=$(( ($(date +%s%N) - LINT_START) / 1000000 ))
 echo "$LINT_OUT"
 echo "warm lint wall time: ${LINT_MS} ms"
 echo "$LINT_OUT" | grep -q " 0 analyzed" || fail "warm lint re-extracted files"
-[ "$LINT_MS" -lt 2000 ] || fail "warm lint exceeded 2s budget (${LINT_MS} ms)"
+[ "$LINT_MS" -lt 3000 ] || fail "warm lint exceeded 3s budget (${LINT_MS} ms)"
 
-echo "=== [3/4] ctest ==="
+echo "=== [3/5] dataflow fixture suite (taint / dangling-view / growth) ==="
+# The v4 rules' positive+negative fixtures in one fast pass: a rule whose
+# detector regressed to silence (or to noise) fails here even if the
+# repo-wide sweep above happens to stay clean.
+./build-ci/tests/at_tests \
+  --gtest_filter='AtLintTaint*:AtLintDanglingView*:AtLintGrowth*:AtLintCacheV4*:AtLintStaleSuppression*' \
+  || fail "dataflow fixture suite"
+
+echo "=== [4/5] ctest ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS" || fail "ctest"
 
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
-  echo "=== [4/4] sanitizers: SKIPPED (--skip-sanitizers) ==="
+  echo "=== [5/5] sanitizers: SKIPPED (--skip-sanitizers) ==="
 else
-  echo "=== [4/4] ASan+UBSan: zeeklog + factor-graph unit tests ==="
+  echo "=== [5/5] ASan+UBSan: zeeklog + factor-graph unit tests ==="
   cmake -B build-asan -S . -DAT_SANITIZE=address,undefined \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-asan -j "$JOBS" --target at_tests > /dev/null \
@@ -87,7 +101,7 @@ else
       --gtest_filter='ZeekLog*:ZeeklogMalformed*:BpTest*:ChainTest*:EnumerateTest*:FactorGraphTest*:ModelTest*:IncrementalBp*:EntityBatchBp*' \
     || fail "sanitized tests"
 
-  echo "=== [4/4] TSan: epoch reclamation + concurrent BHR readers ==="
+  echo "=== [5/5] TSan: epoch reclamation + concurrent BHR readers ==="
   # The lock-free read path's race coverage: a missing acquire/release edge
   # in the trie's COW publishes or the epoch pin protocol shows up here.
   cmake -B build-tsan -S . -DAT_SANITIZE=thread \
